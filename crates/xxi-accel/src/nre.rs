@@ -1,0 +1,128 @@
+//! NRE amortization and breakeven volumes — experiment E5.
+//!
+//! Table 1 row 5: one-time costs are *"expensive to design, verify,
+//! fabricate, and test, especially for specialized-market platforms."*
+//! This module turns the `xxi-tech::nre` cost data into the curves that
+//! quantify the squeeze: cost-per-part vs volume for ASIC / FPGA /
+//! software, and the breakeven volumes between them — which rise every
+//! generation, shrinking the set of markets that can afford full
+//! specialization.
+
+use xxi_tech::node::TechNode;
+use xxi_tech::nre::{cost_model, CostModel, ImplStyle};
+
+/// The volume at which style `a` becomes no more expensive per part than
+/// style `b`, or `None` if `a` never catches up (its unit cost is higher
+/// and its NRE is higher too).
+pub fn breakeven_volume(a: &CostModel, b: &CostModel) -> Option<u64> {
+    // a.nre/v + a.unit <= b.nre/v + b.unit
+    // (a.nre - b.nre)/v <= b.unit - a.unit
+    let dn = (a.nre_musd - b.nre_musd) * 1e6;
+    let du = b.unit_usd - a.unit_usd;
+    if dn <= 0.0 {
+        // a is cheaper or equal up front: breakeven immediately if unit
+        // cost also no worse.
+        return if du >= 0.0 { Some(1) } else { None };
+    }
+    if du <= 0.0 {
+        return None;
+    }
+    Some((dn / du).ceil() as u64)
+}
+
+/// Breakeven volume of an ASIC over an FPGA implementation on `node`.
+pub fn asic_over_fpga(node: &TechNode) -> Option<u64> {
+    breakeven_volume(
+        &cost_model(node, ImplStyle::Asic),
+        &cost_model(node, ImplStyle::Fpga),
+    )
+}
+
+/// Breakeven volume of an ASIC over a software implementation on `node`.
+pub fn asic_over_software(node: &TechNode) -> Option<u64> {
+    breakeven_volume(
+        &cost_model(node, ImplStyle::Asic),
+        &cost_model(node, ImplStyle::CpuSoftware),
+    )
+}
+
+/// Cheapest style at `volume` on `node`.
+pub fn cheapest_style(node: &TechNode, volume: u64) -> ImplStyle {
+    [ImplStyle::CpuSoftware, ImplStyle::Fpga, ImplStyle::Asic]
+        .into_iter()
+        .min_by(|a, b| {
+            cost_model(node, *a)
+                .cost_per_part(volume)
+                .partial_cmp(&cost_model(node, *b).cost_per_part(volume))
+                .unwrap()
+        })
+        .unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xxi_tech::node::NodeDb;
+
+    #[test]
+    fn breakeven_math() {
+        let a = CostModel {
+            nre_musd: 10.0,
+            unit_usd: 5.0,
+        };
+        let b = CostModel {
+            nre_musd: 1.0,
+            unit_usd: 105.0,
+        };
+        // (10-1)M / (105-5) = 90_000.
+        assert_eq!(breakeven_volume(&a, &b), Some(90_000));
+        // Reverse direction: b never beats a at volume (higher unit cost,
+        // lower NRE means b wins only at LOW volume; breakeven of b over a
+        // is immediate at v=1? b.nre < a.nre and b.unit > a.unit → None per
+        // definition: b is cheaper upfront but more expensive per unit, so
+        // "no more expensive than a" holds at small volumes... our function
+        // answers the catch-up question only.
+        assert_eq!(breakeven_volume(&b, &a), None);
+    }
+
+    #[test]
+    fn asic_breakeven_volumes_rise_every_generation() {
+        let db = NodeDb::standard();
+        let mut prev = 0u64;
+        for node in db.all() {
+            let v = asic_over_fpga(node).expect("ASIC always catches FPGA");
+            assert!(v > prev, "{}: {v} <= {prev}", node.name);
+            prev = v;
+        }
+        // At 7 nm the breakeven is in the millions — the Table 1 squeeze.
+        let v7 = asic_over_fpga(db.by_name("7nm").unwrap()).unwrap();
+        assert!(v7 > 1_000_000, "v7={v7}");
+        // At 180 nm it was within reach of niche markets.
+        let v180 = asic_over_fpga(db.by_name("180nm").unwrap()).unwrap();
+        assert!(v180 < 100_000, "v180={v180}");
+    }
+
+    #[test]
+    fn cheapest_style_progression_with_volume() {
+        let db = NodeDb::standard();
+        let node = db.by_name("22nm").unwrap();
+        assert_eq!(cheapest_style(node, 100), ImplStyle::CpuSoftware);
+        assert_eq!(cheapest_style(node, 50_000), ImplStyle::Fpga);
+        assert_eq!(cheapest_style(node, 50_000_000), ImplStyle::Asic);
+    }
+
+    #[test]
+    fn fpga_catches_software_at_moderate_volume() {
+        // FPGA NRE exceeds software NRE by 0.9 M$, but each FPGA part
+        // replaces ~$500 of commodity server hardware, so the FPGA breaks
+        // even in the low thousands of units.
+        let db = NodeDb::standard();
+        let node = db.by_name("22nm").unwrap();
+        let fpga = cost_model(node, ImplStyle::Fpga);
+        let sw = cost_model(node, ImplStyle::CpuSoftware);
+        let v = breakeven_volume(&fpga, &sw).expect("FPGA catches software");
+        assert!((1_000..10_000).contains(&v), "v={v}");
+        assert!(fpga.cost_per_part(10_000) < sw.cost_per_part(10_000));
+        assert!(fpga.cost_per_part(100) > sw.cost_per_part(100));
+    }
+}

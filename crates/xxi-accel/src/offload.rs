@@ -1,0 +1,149 @@
+//! Accelerator-coverage economics.
+//!
+//! An accelerator only pays off on the fraction of a workload it covers —
+//! Amdahl's law with energy attached. §2.2 asks research to "broaden the
+//! class of applicable problems"; this module quantifies *why*: with 100×
+//! efficiency on the covered region, total-energy gains saturate at
+//! `1/(1−c)` for coverage `c`, so the uncovered 50% caps the win at 2×.
+//! Per-invocation offload overhead (argument marshalling, kicking the
+//! device, synchronization) further gates how fine-grained offload can be.
+
+use serde::Serialize;
+
+use xxi_core::units::{Energy, Seconds};
+
+/// Offload scenario parameters.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct OffloadConfig {
+    /// Fraction of dynamic work the accelerator covers, `0 ≤ c ≤ 1`.
+    pub coverage: f64,
+    /// Accelerator speedup on covered work.
+    pub speedup: f64,
+    /// Accelerator energy-efficiency factor on covered work.
+    pub efficiency: f64,
+    /// Host time per accelerator invocation (marshalling + launch + sync).
+    pub invoke_overhead: Seconds,
+    /// Number of accelerator invocations over the workload.
+    pub invocations: u64,
+}
+
+impl OffloadConfig {
+    fn validate(&self) {
+        assert!((0.0..=1.0).contains(&self.coverage));
+        assert!(self.speedup >= 1.0 && self.efficiency >= 1.0);
+    }
+}
+
+/// End-to-end speedup of the offloaded workload relative to host-only,
+/// where host-only execution takes `host_time`.
+pub fn offload_speedup(cfg: &OffloadConfig, host_time: Seconds) -> f64 {
+    cfg.validate();
+    let covered = host_time.value() * cfg.coverage;
+    let uncovered = host_time.value() - covered;
+    let overhead = cfg.invoke_overhead.value() * cfg.invocations as f64;
+    host_time.value() / (uncovered + covered / cfg.speedup + overhead)
+}
+
+/// End-to-end energy of the offloaded workload relative to host-only
+/// (returns the ratio `offloaded/host`, < 1 when offload wins), where
+/// host-only execution costs `host_energy` and each invocation costs
+/// `invoke_energy` on the host.
+pub fn offload_energy(
+    cfg: &OffloadConfig,
+    host_energy: Energy,
+    invoke_energy: Energy,
+) -> f64 {
+    cfg.validate();
+    let covered = host_energy.value() * cfg.coverage;
+    let uncovered = host_energy.value() - covered;
+    let overhead = invoke_energy.value() * cfg.invocations as f64;
+    (uncovered + covered / cfg.efficiency + overhead) / host_energy.value()
+}
+
+/// Maximum possible energy gain at a given coverage, with an infinitely
+/// efficient accelerator and zero overhead: `1/(1−c)`.
+pub fn coverage_limit(coverage: f64) -> f64 {
+    assert!((0.0..1.0).contains(&coverage));
+    1.0 / (1.0 - coverage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(coverage: f64) -> OffloadConfig {
+        OffloadConfig {
+            coverage,
+            speedup: 50.0,
+            efficiency: 100.0,
+            invoke_overhead: Seconds::from_us(10.0),
+            invocations: 100,
+        }
+    }
+
+    #[test]
+    fn amdahl_caps_the_win() {
+        let host = Seconds(1.0);
+        // 50% coverage with a 50× accelerator: speedup just under 2.
+        let s = offload_speedup(&cfg(0.5), host);
+        assert!((1.8..2.0).contains(&s), "s={s}");
+        // 99% coverage: approaching the accelerator's own speedup.
+        let s99 = offload_speedup(&cfg(0.99), host);
+        assert!(s99 > 25.0, "s99={s99}");
+    }
+
+    #[test]
+    fn energy_gain_saturates_at_coverage_limit() {
+        let host = Energy(1.0);
+        let inv = Energy::from_uj(1.0);
+        for c in [0.3, 0.6, 0.9] {
+            let ratio = offload_energy(&cfg(c), host, inv);
+            let gain = 1.0 / ratio;
+            assert!(gain < coverage_limit(c) + 1e-9, "c={c} gain={gain}");
+            assert!(gain > 0.8 * coverage_limit(c), "c={c} gain={gain}");
+        }
+    }
+
+    #[test]
+    fn the_100x_accelerator_yields_2x_system_energy_at_half_coverage() {
+        // The quantitative form of the paper's "broaden the class of
+        // applicable problems" imperative.
+        let ratio = offload_energy(&cfg(0.5), Energy(1.0), Energy::ZERO);
+        let gain = 1.0 / ratio;
+        assert!((1.9..2.01).contains(&gain), "gain={gain}");
+    }
+
+    #[test]
+    fn invocation_overhead_kills_fine_grained_offload() {
+        let host = Seconds(0.01); // 10 ms workload
+        let coarse = OffloadConfig {
+            invocations: 10,
+            ..cfg(0.9)
+        };
+        let fine = OffloadConfig {
+            invocations: 100_000,
+            ..cfg(0.9)
+        };
+        let s_coarse = offload_speedup(&coarse, host);
+        let s_fine = offload_speedup(&fine, host);
+        assert!(s_coarse > 4.0, "coarse={s_coarse}");
+        assert!(s_fine < 0.05, "fine-grained offload must lose: {s_fine}");
+    }
+
+    #[test]
+    fn zero_coverage_is_identity_minus_overhead() {
+        let c = OffloadConfig {
+            coverage: 0.0,
+            invocations: 0,
+            ..cfg(0.0)
+        };
+        assert!((offload_speedup(&c, Seconds(1.0)) - 1.0).abs() < 1e-12);
+        assert!((offload_energy(&c, Energy(1.0), Energy(1.0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn coverage_above_one_rejected() {
+        offload_speedup(&cfg(1.5), Seconds(1.0));
+    }
+}

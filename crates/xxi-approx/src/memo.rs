@@ -1,0 +1,162 @@
+//! Memoization with tolerance ("approximate memoization").
+//!
+//! An approximate-computing technique from the same family §2.1/§2.4
+//! invoke: if a function is smooth and expensive, reuse the result of a
+//! *nearby* previous input instead of recomputing. The cache quantizes
+//! inputs into cells of width `tolerance`; hits return the stored result at
+//! zero compute cost; the error is bounded by the function's Lipschitz
+//! constant times the tolerance — an invariant the property-style tests
+//! check against a known-Lipschitz kernel.
+
+use std::collections::HashMap;
+
+use xxi_core::metrics::Metrics;
+
+/// A tolerance-based memo cache over `f: f64 -> f64`.
+pub struct TolerantMemo<F: Fn(f64) -> f64> {
+    f: F,
+    tolerance: f64,
+    cache: HashMap<i64, f64>,
+    capacity: usize,
+    /// `calls`, `hits`, `evaluations`.
+    pub metrics: Metrics,
+}
+
+impl<F: Fn(f64) -> f64> TolerantMemo<F> {
+    /// Memoize `f` with input-cell width `tolerance` and a bounded table.
+    pub fn new(f: F, tolerance: f64, capacity: usize) -> Self {
+        assert!(tolerance > 0.0 && capacity > 0);
+        TolerantMemo {
+            f,
+            tolerance,
+            cache: HashMap::new(),
+            capacity,
+            metrics: Metrics::new(),
+        }
+    }
+
+    fn cell(&self, x: f64) -> i64 {
+        (x / self.tolerance).floor() as i64
+    }
+
+    /// Evaluate (approximately): exact on the first visit to a cell,
+    /// reused thereafter.
+    pub fn call(&mut self, x: f64) -> f64 {
+        self.metrics.incr("calls");
+        let c = self.cell(x);
+        if let Some(&v) = self.cache.get(&c) {
+            self.metrics.incr("hits");
+            return v;
+        }
+        self.metrics.incr("evaluations");
+        let v = (self.f)(x);
+        if self.cache.len() >= self.capacity {
+            // Simple random-ish eviction: drop an arbitrary entry (bounded
+            // tables in hardware use way-replacement; any victim works for
+            // the accounting here).
+            if let Some(&k) = self.cache.keys().next() {
+                self.cache.remove(&k);
+            }
+        }
+        self.cache.insert(c, v);
+        v
+    }
+
+    /// Hit rate so far.
+    pub fn hit_rate(&self) -> f64 {
+        self.metrics.ratio("hits", "calls")
+    }
+
+    /// Worst-case output error for an `l`-Lipschitz function: inputs in
+    /// one cell differ by < tolerance, so outputs differ by < `l·tolerance`.
+    pub fn error_bound(&self, lipschitz: f64) -> f64 {
+        lipschitz * self.tolerance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xxi_core::rng::Rng64;
+
+    /// sin is 1-Lipschitz.
+    fn kernel(x: f64) -> f64 {
+        x.sin()
+    }
+
+    #[test]
+    fn first_call_evaluates_second_reuses() {
+        let mut m = TolerantMemo::new(kernel, 0.01, 1024);
+        let a = m.call(1.000);
+        let b = m.call(1.005); // same cell
+        assert_eq!(a, b);
+        assert_eq!(m.metrics.counter("evaluations"), 1);
+        assert_eq!(m.metrics.counter("hits"), 1);
+        let c = m.call(1.02); // next cell
+        assert_ne!(a, c);
+        assert_eq!(m.metrics.counter("evaluations"), 2);
+    }
+
+    #[test]
+    fn error_stays_within_lipschitz_bound() {
+        let tol = 0.05;
+        let mut m = TolerantMemo::new(kernel, tol, 1 << 16);
+        let mut rng = Rng64::new(1);
+        let bound = m.error_bound(1.0);
+        for _ in 0..100_000 {
+            let x = rng.range_f64(-10.0, 10.0);
+            let approx = m.call(x);
+            let exact = kernel(x);
+            assert!(
+                (approx - exact).abs() <= bound + 1e-12,
+                "x={x}: err {} > bound {bound}",
+                (approx - exact).abs()
+            );
+        }
+        assert!(m.hit_rate() > 0.9, "hit rate {}", m.hit_rate());
+    }
+
+    #[test]
+    fn tighter_tolerance_lower_error_lower_hit_rate() {
+        let mut rng = Rng64::new(2);
+        let xs: Vec<f64> = (0..50_000).map(|_| rng.range_f64(0.0, 1.0)).collect();
+        let run = |tol: f64| {
+            let mut m = TolerantMemo::new(kernel, tol, 1 << 16);
+            let mut worst: f64 = 0.0;
+            for &x in &xs {
+                worst = worst.max((m.call(x) - kernel(x)).abs());
+            }
+            (worst, m.hit_rate())
+        };
+        let (err_loose, hit_loose) = run(0.1);
+        let (err_tight, hit_tight) = run(0.001);
+        assert!(err_tight < err_loose);
+        assert!(hit_tight < hit_loose);
+        assert!(hit_loose > 0.99);
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let mut m = TolerantMemo::new(kernel, 0.001, 100);
+        let mut rng = Rng64::new(3);
+        for _ in 0..10_000 {
+            m.call(rng.range_f64(0.0, 100.0));
+        }
+        assert!(m.cache.len() <= 100);
+    }
+
+    #[test]
+    fn work_saved_is_the_hit_rate() {
+        let mut m = TolerantMemo::new(kernel, 0.01, 1 << 16);
+        let mut rng = Rng64::new(4);
+        let n = 20_000;
+        for _ in 0..n {
+            m.call(rng.range_f64(0.0, 2.0));
+        }
+        let evals = m.metrics.counter("evaluations");
+        let calls = m.metrics.counter("calls");
+        assert_eq!(calls, n);
+        // Energy model: evaluations are the only compute.
+        assert!((evals as f64 / calls as f64) < 0.05, "evals={evals}");
+    }
+}

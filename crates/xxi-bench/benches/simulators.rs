@@ -1,0 +1,170 @@
+//! Criterion benches for the simulator kernels: these are the inner loops
+//! every experiment pays for, so their throughput bounds experiment scale.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use xxi_cloud::latency::LatencyDist;
+use xxi_cloud::queueing::MG1Queue;
+use xxi_core::des::Sim;
+use xxi_core::rng::Rng64;
+use xxi_core::time::SimTime;
+use xxi_mem::cache::{AccessKind, Cache, CacheConfig, Replacement};
+use xxi_mem::dram::{Dram, DramConfig};
+use xxi_mem::trace::TraceGen;
+use xxi_noc::sim::{NocConfig, NocSim};
+use xxi_noc::topology::Mesh;
+use xxi_noc::traffic::Pattern;
+
+fn bench_des_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("event_chain_100k", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(0u64);
+            fn ev(sim: &mut Sim<u64>) {
+                sim.state += 1;
+                if sim.state < 100_000 {
+                    sim.schedule_in(SimTime::from_ps(13), ev);
+                }
+            }
+            sim.schedule_at(SimTime::ZERO, ev);
+            sim.run();
+            assert_eq!(sim.state, 100_000);
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(100_000));
+    let mut gen = TraceGen::new(1);
+    let trace = gen.zipf(100_000, 0, 1 << 14, 64, 0.9, 0.2);
+    for (name, policy) in [
+        ("lru", Replacement::Lru),
+        ("plru", Replacement::TreePlru),
+        ("random", Replacement::Random),
+    ] {
+        g.bench_function(format!("l1_zipf_{name}"), |b| {
+            b.iter_batched(
+                || {
+                    Cache::new(CacheConfig {
+                        replacement: policy,
+                        ..CacheConfig::l1()
+                    })
+                    .unwrap()
+                },
+                |mut cache| {
+                    for a in &trace {
+                        let kind = if a.write {
+                            AccessKind::Write
+                        } else {
+                            AccessKind::Read
+                        };
+                        cache.access(a.addr, kind);
+                    }
+                    cache.hit_rate()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram");
+    g.throughput(Throughput::Elements(100_000));
+    let mut gen = TraceGen::new(2);
+    let seq = gen.sequential(100_000, 0, 64, 0.0);
+    let rand = gen.uniform(100_000, 0, 1 << 28, 64, 0.0);
+    for (name, trace) in [("sequential", &seq), ("random", &rand)] {
+        g.bench_function(name.to_string(), |b| {
+            b.iter_batched(
+                || Dram::new(DramConfig::default()),
+                |mut dram| {
+                    for a in trace {
+                        dram.access(a.addr);
+                    }
+                    dram.row_hit_rate()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_noc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("noc");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(6));
+    g.bench_function("mesh8x8_5k_cycles_rate0.2", |b| {
+        b.iter(|| {
+            let cfg = NocConfig {
+                mesh: Mesh::new_2d(8, 8),
+                queue_depth: 4,
+                pattern: Pattern::Uniform,
+                injection_rate: 0.2,
+                seed: 3,
+            };
+            NocSim::new(cfg).run(1_000, 4_000).delivered
+        })
+    });
+    g.finish();
+}
+
+fn bench_queueing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queueing");
+    g.sample_size(10);
+    g.bench_function("mg1_50k_requests", |b| {
+        b.iter(|| {
+            MG1Queue {
+                lambda_per_ms: 0.7,
+                service: LatencyDist::Exp { mean_ms: 1.0 },
+            }
+            .run(50_000, 4)
+            .completed
+        })
+    });
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.throughput(Throughput::Elements(1_000_000));
+    g.bench_function("xoshiro_1m_u64", |b| {
+        let mut rng = Rng64::new(5);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1_000_000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            acc
+        })
+    });
+    g.bench_function("lognormal_1m", |b| {
+        let mut rng = Rng64::new(6);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1_000_000 {
+                acc += rng.lognormal(0.0, 0.5);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_des_engine,
+    bench_cache,
+    bench_dram,
+    bench_noc,
+    bench_queueing,
+    bench_rng
+);
+criterion_main!(benches);

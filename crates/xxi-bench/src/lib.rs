@@ -1,0 +1,18 @@
+//! Shared helpers for the experiment binaries (`exp_e1` … `exp_e18`).
+//!
+//! Every binary regenerates one experiment from DESIGN.md's index and
+//! prints paper-style tables; EXPERIMENTS.md records the outputs. Keep the
+//! binaries deterministic: fixed seeds only.
+
+/// Print a section header in a consistent style.
+pub fn section(title: &str) {
+    println!("\n== {title} ==\n");
+}
+
+/// Print the experiment banner.
+pub fn banner(id: &str, anchor: &str) {
+    println!("######################################################################");
+    println!("# Experiment {id}");
+    println!("# Paper anchor: {anchor}");
+    println!("######################################################################");
+}

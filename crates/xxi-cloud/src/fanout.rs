@@ -1,0 +1,155 @@
+//! Fan-out requests and the 63% straggler claim — experiment E9.
+//!
+//! A root fans a query to `n` leaves and must wait for all of them. The
+//! paper: *"if 100 systems must jointly respond to a request, 63% of
+//! requests will incur the 99-percentile delay of the individual systems"*
+//! — i.e. `P(max of 100 i.i.d. draws > p99) = 1 − 0.99¹⁰⁰ ≈ 0.634`.
+//! [`analytic_straggler_prob`] is the formula; [`fanout_latency`] is the
+//! Monte Carlo that confirms it for realistic (non-i.i.d.-textbook)
+//! latency distributions and produces the full latency-vs-fanout table.
+
+use serde::Serialize;
+
+use crate::latency::LatencyDist;
+use xxi_core::rng::Rng64;
+use xxi_core::stats::Summary;
+
+/// `P(at least one of n leaves exceeds its own q-quantile) = 1 − q^n`.
+///
+/// ```
+/// use xxi_cloud::fanout::analytic_straggler_prob;
+/// // The paper's 63% claim, verbatim.
+/// assert!((analytic_straggler_prob(100, 0.99) - 0.634).abs() < 1e-3);
+/// ```
+pub fn analytic_straggler_prob(fanout: u32, quantile: f64) -> f64 {
+    assert!(fanout >= 1);
+    assert!((0.0..1.0).contains(&quantile));
+    1.0 - quantile.powi(fanout as i32)
+}
+
+/// Result of a fan-out Monte Carlo.
+#[derive(Clone, Debug, Serialize)]
+pub struct FanoutResult {
+    /// Fan-out degree.
+    pub fanout: u32,
+    /// Median request latency (ms).
+    pub p50: f64,
+    /// 99th-percentile request latency (ms).
+    pub p99: f64,
+    /// Mean request latency (ms).
+    pub mean: f64,
+    /// Fraction of requests whose slowest leaf exceeded the single-leaf
+    /// p99.
+    pub frac_hit_by_leaf_p99: f64,
+}
+
+/// Simulate `trials` requests, each the max of `fanout` leaf draws.
+pub fn fanout_latency(
+    dist: LatencyDist,
+    fanout: u32,
+    trials: usize,
+    seed: u64,
+) -> FanoutResult {
+    assert!(fanout >= 1 && trials > 0);
+    let mut rng = Rng64::new(seed);
+    // Estimate the single-leaf p99 first.
+    let leaf = dist.sample_summary(200_000, &mut rng);
+    let leaf_p99 = leaf.percentile(99.0);
+
+    let mut maxima = Vec::with_capacity(trials);
+    let mut hit = 0usize;
+    for _ in 0..trials {
+        let worst = (0..fanout)
+            .map(|_| dist.sample(&mut rng))
+            .fold(f64::MIN, f64::max);
+        if worst > leaf_p99 {
+            hit += 1;
+        }
+        maxima.push(worst);
+    }
+    let s = Summary::from_slice(&maxima);
+    FanoutResult {
+        fanout,
+        p50: s.median(),
+        p99: s.percentile(99.0),
+        mean: s.mean(),
+        frac_hit_by_leaf_p99: hit as f64 / trials as f64,
+    }
+}
+
+/// The E9 sweep: one [`FanoutResult`] per fan-out degree.
+pub fn fanout_sweep(
+    dist: LatencyDist,
+    fanouts: &[u32],
+    trials: usize,
+    seed: u64,
+) -> Vec<FanoutResult> {
+    fanouts
+        .iter()
+        .map(|&f| fanout_latency(dist, f, trials, seed ^ f as u64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_63_percent_claim_analytic() {
+        // The paper's exact arithmetic.
+        let p = analytic_straggler_prob(100, 0.99);
+        assert!((p - 0.634).abs() < 0.001, "p={p}");
+        // And neighbours for the table.
+        assert!((analytic_straggler_prob(10, 0.99) - 0.0956).abs() < 0.001);
+        assert!((analytic_straggler_prob(1000, 0.99) - 0.99996).abs() < 0.0001);
+        assert!((analytic_straggler_prob(1, 0.99) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monte_carlo_confirms_63_percent() {
+        let r = fanout_latency(LatencyDist::typical_leaf(), 100, 20_000, 7);
+        assert!(
+            (r.frac_hit_by_leaf_p99 - 0.634).abs() < 0.02,
+            "mc={}",
+            r.frac_hit_by_leaf_p99
+        );
+    }
+
+    #[test]
+    fn monte_carlo_confirms_for_other_distributions_too() {
+        // The 1 − q^n law is distribution-free (it only uses the quantile
+        // definition), so it must hold for exponential latencies as well.
+        let r = fanout_latency(LatencyDist::Exp { mean_ms: 3.0 }, 50, 20_000, 8);
+        let expect = analytic_straggler_prob(50, 0.99);
+        assert!(
+            (r.frac_hit_by_leaf_p99 - expect).abs() < 0.02,
+            "mc={} analytic={expect}",
+            r.frac_hit_by_leaf_p99
+        );
+    }
+
+    #[test]
+    fn fanout_pushes_median_into_the_leaf_tail() {
+        // The qualitative disaster: at fan-out 100 the MEDIAN request is
+        // slower than the 90th percentile leaf.
+        let mut rng = Rng64::new(9);
+        let leaf = LatencyDist::typical_leaf().sample_summary(200_000, &mut rng);
+        let r = fanout_latency(LatencyDist::typical_leaf(), 100, 10_000, 9);
+        assert!(r.p50 > leaf.percentile(90.0), "p50={} leaf p90={}", r.p50, leaf.percentile(90.0));
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_fanout() {
+        let sweep = fanout_sweep(
+            LatencyDist::typical_leaf(),
+            &[1, 10, 100],
+            10_000,
+            10,
+        );
+        assert_eq!(sweep.len(), 3);
+        for w in sweep.windows(2) {
+            assert!(w[1].p50 > w[0].p50);
+            assert!(w[1].frac_hit_by_leaf_p99 > w[0].frac_hit_by_leaf_p99);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Hedged and tied requests — the tail-tolerant mitigations.
+//!
+//! §2.1: *"architectural innovations can guarantee strict worst-case
+//! latency requirements."* The software-level state of the art the paper
+//! builds on (Dean & Barroso, "The Tail at Scale"): after a deadline
+//! (typically the p95), send a duplicate request to another replica and
+//! take whichever answers first. Cost: a few percent extra load. Benefit:
+//! the p99+ collapses toward the body of the distribution.
+//!
+//! [`hedged_request`] models one request; [`hedge_experiment`] produces the
+//! before/after table of experiment E9b.
+
+use serde::Serialize;
+
+use crate::latency::LatencyDist;
+use xxi_core::rng::Rng64;
+use xxi_core::stats::Summary;
+
+/// Outcome of a hedged-request experiment.
+#[derive(Clone, Debug, Serialize)]
+pub struct HedgeOutcome {
+    /// Hedge deadline used (ms).
+    pub deadline_ms: f64,
+    /// p50 with hedging.
+    pub p50: f64,
+    /// p99 with hedging.
+    pub p99: f64,
+    /// p99.9 with hedging.
+    pub p999: f64,
+    /// Fraction of requests that actually sent a hedge (extra load).
+    pub extra_load: f64,
+}
+
+/// Latency of one hedged request: issue to replica A; if no answer by
+/// `deadline_ms`, also issue to replica B; completion is the earlier of
+/// A's finish and `deadline + B`'s service time.
+pub fn hedged_request(dist: &LatencyDist, deadline_ms: f64, rng: &mut Rng64) -> (f64, bool) {
+    let a = dist.sample(rng);
+    if a <= deadline_ms {
+        (a, false)
+    } else {
+        let b = deadline_ms + dist.sample(rng);
+        (a.min(b), true)
+    }
+}
+
+/// Run `trials` hedged requests with the deadline at the distribution's
+/// `deadline_quantile` (e.g. 0.95).
+pub fn hedge_experiment(
+    dist: LatencyDist,
+    deadline_quantile: f64,
+    trials: usize,
+    seed: u64,
+) -> HedgeOutcome {
+    assert!((0.0..1.0).contains(&deadline_quantile));
+    let mut rng = Rng64::new(seed);
+    let base = dist.sample_summary(200_000, &mut rng);
+    let deadline = base.percentile(deadline_quantile * 100.0);
+    let mut xs = Vec::with_capacity(trials);
+    let mut hedged = 0usize;
+    for _ in 0..trials {
+        let (t, h) = hedged_request(&dist, deadline, &mut rng);
+        xs.push(t);
+        hedged += h as usize;
+    }
+    let s = Summary::from_slice(&xs);
+    HedgeOutcome {
+        deadline_ms: deadline,
+        p50: s.median(),
+        p99: s.percentile(99.0),
+        p999: s.percentile(99.9),
+        extra_load: hedged as f64 / trials as f64,
+    }
+}
+
+/// Latency of one **tied** request: issue to two replicas immediately,
+/// each queued behind an exponential queueing delay with the given mean;
+/// when one starts executing it cancels its twin. Effective latency =
+/// min of the two (queue + service) paths plus a small cancellation
+/// message delay. Cost: brief double queue occupancy, ~no double service.
+pub fn tied_request(
+    dist: &LatencyDist,
+    queue_mean_ms: f64,
+    cancel_ms: f64,
+    rng: &mut Rng64,
+) -> f64 {
+    let qa = rng.exp(1.0 / queue_mean_ms);
+    let qb = rng.exp(1.0 / queue_mean_ms) + cancel_ms;
+    let a = qa + dist.sample(rng);
+    let b = qb + dist.sample(rng);
+    a.min(b)
+}
+
+/// Run `trials` tied requests; returns `(p50, p99, p999)`.
+pub fn tied_experiment(
+    dist: LatencyDist,
+    queue_mean_ms: f64,
+    cancel_ms: f64,
+    trials: usize,
+    seed: u64,
+) -> (f64, f64, f64) {
+    let mut rng = Rng64::new(seed);
+    let xs: Vec<f64> = (0..trials)
+        .map(|_| tied_request(&dist, queue_mean_ms, cancel_ms, &mut rng))
+        .collect();
+    let s = Summary::from_slice(&xs);
+    (s.median(), s.percentile(99.0), s.percentile(99.9))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hedging_collapses_the_far_tail_cheaply() {
+        let dist = LatencyDist::typical_leaf();
+        let mut rng = Rng64::new(1);
+        let base = dist.sample_summary(300_000, &mut rng);
+        let hedged = hedge_experiment(dist, 0.95, 300_000, 2);
+        // ~5% extra load…
+        assert!(
+            (hedged.extra_load - 0.05).abs() < 0.01,
+            "load={}",
+            hedged.extra_load
+        );
+        // …median untouched…
+        assert!((hedged.p50 - base.median()).abs() < 0.3);
+        // …and the p99.9 collapses by a large factor (the Tail-at-Scale
+        // result shape).
+        assert!(
+            hedged.p999 < base.percentile(99.9) / 3.0,
+            "hedged p999={} base p999={}",
+            hedged.p999,
+            base.percentile(99.9)
+        );
+    }
+
+    #[test]
+    fn hedged_latency_never_exceeds_unhedged_draw() {
+        // By construction min(a, deadline + b) ≤ a.
+        let dist = LatencyDist::typical_leaf();
+        let mut rng = Rng64::new(3);
+        for _ in 0..10_000 {
+            let mut probe = rng.clone();
+            let a = dist.sample(&mut probe);
+            let (t, _) = hedged_request(&dist, 10.0, &mut rng);
+            // Same RNG stream: first draw is `a`.
+            assert!(t <= a + 1e-12);
+        }
+    }
+
+    #[test]
+    fn tied_requests_beat_single_issue_on_the_tail() {
+        // Two queued copies with cancellation: the min of two paths cuts
+        // both queueing and service tails.
+        let dist = LatencyDist::typical_leaf();
+        let mut rng = Rng64::new(7);
+        let single: Vec<f64> = (0..200_000)
+            .map(|_| rng.exp(1.0 / 4.0) + dist.sample(&mut rng))
+            .collect();
+        let s = Summary::from_slice(&single);
+        let (p50, p99, p999) = tied_experiment(dist, 4.0, 1.0, 200_000, 8);
+        assert!(p50 < s.median());
+        assert!(p99 < s.percentile(99.0));
+        assert!(
+            p999 < s.percentile(99.9) / 2.0,
+            "tied p999={p999} single={}",
+            s.percentile(99.9)
+        );
+    }
+
+    #[test]
+    fn later_deadline_less_load_less_benefit() {
+        let dist = LatencyDist::typical_leaf();
+        let h95 = hedge_experiment(dist, 0.95, 100_000, 4);
+        let h999 = hedge_experiment(dist, 0.999, 100_000, 4);
+        assert!(h999.extra_load < h95.extra_load / 10.0);
+        assert!(h999.p999 >= h95.p999);
+    }
+}

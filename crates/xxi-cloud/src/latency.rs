@@ -1,0 +1,148 @@
+//! Server response-time distributions.
+//!
+//! Measured leaf-server latencies are well described by a log-normal body
+//! with a heavy straggler tail (GC pauses, background daemons, queueing
+//! spikes). [`LatencyDist`] offers the three shapes the experiments use.
+
+use serde::{Deserialize, Serialize};
+
+use xxi_core::rng::Rng64;
+use xxi_core::stats::Summary;
+
+/// A response-time distribution (milliseconds).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LatencyDist {
+    /// Exponential with the given mean.
+    Exp {
+        /// Mean latency (ms).
+        mean_ms: f64,
+    },
+    /// Log-normal parameterized by median and sigma (ln-space).
+    LogNormal {
+        /// Median latency (ms).
+        median_ms: f64,
+        /// ln-space standard deviation.
+        sigma: f64,
+    },
+    /// Log-normal body; with probability `p_straggler` the response is
+    /// instead Pareto-tailed starting at `tail_start_ms`.
+    WithStragglers {
+        /// Median of the body (ms).
+        median_ms: f64,
+        /// ln-space sigma of the body.
+        sigma: f64,
+        /// Probability a response is a straggler.
+        p_straggler: f64,
+        /// Straggler minimum latency (ms).
+        tail_start_ms: f64,
+        /// Pareto shape (smaller = heavier).
+        alpha: f64,
+    },
+}
+
+impl LatencyDist {
+    /// A typical leaf server: 5 ms median, modest spread, 1% stragglers
+    /// from 50 ms with a heavy tail.
+    pub fn typical_leaf() -> LatencyDist {
+        LatencyDist::WithStragglers {
+            median_ms: 5.0,
+            sigma: 0.3,
+            p_straggler: 0.01,
+            tail_start_ms: 50.0,
+            alpha: 1.5,
+        }
+    }
+
+    /// Draw one response time in milliseconds.
+    pub fn sample(&self, rng: &mut Rng64) -> f64 {
+        match *self {
+            LatencyDist::Exp { mean_ms } => rng.exp(1.0 / mean_ms),
+            LatencyDist::LogNormal { median_ms, sigma } => {
+                rng.lognormal(median_ms.ln(), sigma)
+            }
+            LatencyDist::WithStragglers {
+                median_ms,
+                sigma,
+                p_straggler,
+                tail_start_ms,
+                alpha,
+            } => {
+                if rng.chance(p_straggler) {
+                    rng.pareto(tail_start_ms, alpha)
+                } else {
+                    rng.lognormal(median_ms.ln(), sigma)
+                }
+            }
+        }
+    }
+
+    /// Draw `n` samples into a [`Summary`].
+    pub fn sample_summary(&self, n: usize, rng: &mut Rng64) -> Summary {
+        let xs: Vec<f64> = (0..n).map(|_| self.sample(rng)).collect();
+        Summary::from_slice(&xs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = Rng64::new(1);
+        let d = LatencyDist::Exp { mean_ms: 10.0 };
+        let s = d.sample_summary(100_000, &mut rng);
+        assert!((s.mean() - 10.0).abs() < 0.15, "mean={}", s.mean());
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut rng = Rng64::new(2);
+        let d = LatencyDist::LogNormal {
+            median_ms: 5.0,
+            sigma: 0.3,
+        };
+        let s = d.sample_summary(100_001, &mut rng);
+        assert!((s.median() - 5.0).abs() < 0.1, "median={}", s.median());
+    }
+
+    #[test]
+    fn stragglers_fatten_the_tail_not_the_median() {
+        let mut rng = Rng64::new(3);
+        let body = LatencyDist::LogNormal {
+            median_ms: 5.0,
+            sigma: 0.3,
+        };
+        let leaf = LatencyDist::typical_leaf();
+        let sb = body.sample_summary(200_001, &mut rng);
+        let sl = leaf.sample_summary(200_001, &mut rng);
+        assert!((sl.median() - sb.median()).abs() < 0.2);
+        assert!(
+            sl.percentile(99.9) > 3.0 * sb.percentile(99.9),
+            "leaf p999={} body p999={}",
+            sl.percentile(99.9),
+            sb.percentile(99.9)
+        );
+    }
+
+    #[test]
+    fn typical_leaf_p99_in_tens_of_ms() {
+        let mut rng = Rng64::new(4);
+        let s = LatencyDist::typical_leaf().sample_summary(300_000, &mut rng);
+        let p99 = s.percentile(99.0);
+        assert!((10.0..150.0).contains(&p99), "p99={p99}");
+    }
+
+    #[test]
+    fn all_samples_positive() {
+        let mut rng = Rng64::new(5);
+        for d in [
+            LatencyDist::Exp { mean_ms: 1.0 },
+            LatencyDist::typical_leaf(),
+        ] {
+            for _ in 0..10_000 {
+                assert!(d.sample(&mut rng) > 0.0);
+            }
+        }
+    }
+}

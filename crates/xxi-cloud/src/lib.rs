@@ -1,0 +1,41 @@
+//! # xxi-cloud
+//!
+//! Warehouse-scale computing models for the `xxi-arch` framework.
+//!
+//! §2.1 ("The Infrastructure—Cloud Servers") contains the paper's single
+//! most quotable quantitative claim: *"if 100 systems must jointly respond
+//! to a request, 63% of requests will incur the 99-percentile delay of the
+//! individual systems due to waiting for stragglers"* (citing Dean). This
+//! crate reproduces that arithmetic, the queueing dynamics that create
+//! stragglers, and the mitigations the tail-at-scale literature proposes —
+//! plus the datacenter power models behind "memory and storage systems
+//! consume an increasing fraction of the total data center power budget."
+//!
+//! * [`latency`] — server response-time distributions (exponential,
+//!   log-normal, log-normal with a Pareto straggler tail).
+//! * [`fanout`] — fan-out requests: analytic `1 − p^n` straggler
+//!   probability and Monte Carlo latency-of-max (experiment E9).
+//! * [`queueing`] — an M/G/1 discrete-event queue on `xxi_core::des`,
+//!   showing tail inflation with utilization (why stragglers exist).
+//! * [`hedge`] — hedged and tied requests: deadline-triggered duplicates
+//!   that cut p99 at a few percent extra load (the mitigation table).
+//! * [`power`] — datacenter power: server idle/peak, energy
+//!   proportionality, PUE, and the memory/storage share of the budget.
+//! * [`qos`] — latency-critical + batch colocation with an interference
+//!   model and an SLO-driven admission knob (§2.4's QoS interfaces).
+
+pub mod fanout;
+pub mod hedge;
+pub mod latency;
+pub mod power;
+pub mod qos;
+pub mod replication;
+pub mod queueing;
+
+pub use fanout::{analytic_straggler_prob, fanout_latency};
+pub use hedge::{hedged_request, HedgeOutcome};
+pub use latency::LatencyDist;
+pub use power::{DatacenterPower, ServerPower};
+pub use qos::Colocation;
+pub use replication::{LoadStats, ReplicatedStore};
+pub use queueing::{MG1Queue, QueueResult};

@@ -1,0 +1,176 @@
+//! An M/G/1 queueing server on the DES engine — where stragglers come from.
+//!
+//! The fan-out arithmetic takes the leaf latency distribution as given;
+//! this module shows why it has a tail at all: a server at utilization ρ
+//! amplifies service-time variability into queueing delay (for M/M/1, mean
+//! sojourn `= s/(1−ρ)`; the p99 inflates even faster). Experiment E9 uses
+//! this to connect "run your servers hotter" to "your fan-out tail gets
+//! worse".
+
+use serde::Serialize;
+
+use crate::latency::LatencyDist;
+use xxi_core::des::Sim;
+use xxi_core::rng::Rng64;
+use xxi_core::stats::Summary;
+use xxi_core::time::SimTime;
+
+/// M/G/1 queue configuration.
+#[derive(Clone, Debug, Serialize)]
+pub struct MG1Queue {
+    /// Mean arrival rate (requests per ms).
+    pub lambda_per_ms: f64,
+    /// Service-time distribution (ms).
+    pub service: LatencyDist,
+}
+
+/// Results of a queueing run.
+#[derive(Clone, Debug, Serialize)]
+pub struct QueueResult {
+    /// Offered utilization ρ = λ·E\[S\].
+    pub rho: f64,
+    /// Mean sojourn (queueing + service) in ms.
+    pub mean_ms: f64,
+    /// Median sojourn.
+    pub p50: f64,
+    /// 99th-percentile sojourn.
+    pub p99: f64,
+    /// Requests completed.
+    pub completed: usize,
+}
+
+struct QState {
+    rng: Rng64,
+    service: LatencyDist,
+    lambda_per_ms: f64,
+    /// Time the server becomes free.
+    server_free_at: SimTime,
+    sojourns_ms: Vec<f64>,
+    max_requests: usize,
+    arrived: usize,
+}
+
+fn ms_to_sim(ms: f64) -> SimTime {
+    SimTime::from_ps((ms * 1e9).round().max(0.0) as u64)
+}
+
+fn arrival(sim: &mut Sim<QState>) {
+    // Schedule next arrival.
+    let s = &mut sim.state;
+    s.arrived += 1;
+    if s.arrived < s.max_requests {
+        let gap = s.rng.exp(s.lambda_per_ms);
+        let gap = ms_to_sim(gap);
+        sim.schedule_in(gap, arrival);
+    }
+    // Serve this one: FIFO single server.
+    let now = sim.now();
+    let s = &mut sim.state;
+    let service_ms = s.service.sample(&mut s.rng);
+    let start = s.server_free_at.max(now);
+    let finish = start.saturating_add(ms_to_sim(service_ms));
+    s.server_free_at = finish;
+    let arrived_at = now;
+    sim.schedule_at(finish, move |sim| {
+        let sojourn = finish.since(arrived_at);
+        sim.state.sojourns_ms.push(sojourn.ms());
+    });
+}
+
+impl MG1Queue {
+    /// Run `requests` arrivals and collect sojourn-time statistics (the
+    /// first 10% are discarded as warmup).
+    pub fn run(&self, requests: usize, seed: u64) -> QueueResult {
+        assert!(requests > 10);
+        let mut rng = Rng64::new(seed);
+        // Empirical mean service time for ρ.
+        let mean_s = self.service.sample_summary(100_000, &mut rng).mean();
+        let state = QState {
+            rng,
+            service: self.service,
+            lambda_per_ms: self.lambda_per_ms,
+            server_free_at: SimTime::ZERO,
+            sojourns_ms: Vec::with_capacity(requests),
+            max_requests: requests,
+            arrived: 0,
+        };
+        let mut sim = Sim::new(state);
+        sim.schedule_at(SimTime::ZERO, arrival);
+        sim.run();
+        let warmup = requests / 10;
+        let xs = &sim.state.sojourns_ms[warmup..];
+        let s = Summary::from_slice(xs);
+        QueueResult {
+            rho: self.lambda_per_ms * mean_s,
+            mean_ms: s.mean(),
+            p50: s.median(),
+            p99: s.percentile(99.0),
+            completed: xs.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mm1(rho: f64) -> MG1Queue {
+        // Exponential service with mean 1 ms; λ = ρ.
+        MG1Queue {
+            lambda_per_ms: rho,
+            service: LatencyDist::Exp { mean_ms: 1.0 },
+        }
+    }
+
+    #[test]
+    fn mm1_mean_sojourn_matches_theory() {
+        // E[T] = E[S]/(1−ρ).
+        for rho in [0.3, 0.6, 0.8] {
+            let r = mm1(rho).run(400_000, 42);
+            let expect = 1.0 / (1.0 - rho);
+            assert!(
+                (r.mean_ms - expect).abs() / expect < 0.1,
+                "rho={rho}: mean={} expect={expect}",
+                r.mean_ms
+            );
+        }
+    }
+
+    #[test]
+    fn utilization_inflates_the_tail_superlinearly() {
+        let lo = mm1(0.3).run(200_000, 1);
+        let hi = mm1(0.9).run(200_000, 1);
+        // Mean grows ~7×; p99 grows comparably (M/M/1 sojourn stays
+        // exponential) — both large.
+        assert!(hi.mean_ms > 5.0 * lo.mean_ms);
+        assert!(hi.p99 > 5.0 * lo.p99, "lo={} hi={}", lo.p99, hi.p99);
+    }
+
+    #[test]
+    fn heavy_tailed_service_is_worse_than_exponential_at_same_rho() {
+        // M/G/1 with high service variability (stragglers) has a far worse
+        // tail than M/M/1 at equal utilization — Pollaczek–Khinchine in
+        // action, and the root cause of leaf stragglers.
+        let mm = mm1(0.7).run(200_000, 2);
+        let mut rng = Rng64::new(3);
+        let leaf = LatencyDist::typical_leaf();
+        let mean_s = leaf.sample_summary(100_000, &mut rng).mean();
+        let mg = MG1Queue {
+            lambda_per_ms: 0.7 / mean_s,
+            service: leaf,
+        }
+        .run(200_000, 2);
+        assert!((mg.rho - 0.7).abs() < 0.02);
+        // Normalize tails by their own mean service time.
+        let mm_tail = mm.p99 / 1.0;
+        let mg_tail = mg.p99 / mean_s;
+        assert!(mg_tail > mm_tail, "mg={mg_tail} mm={mm_tail}");
+    }
+
+    #[test]
+    fn rho_reported_correctly() {
+        let r = mm1(0.5).run(50_000, 4);
+        assert!((r.rho - 0.5).abs() < 0.01);
+        assert!(r.completed > 40_000);
+    }
+}

@@ -1,0 +1,170 @@
+//! Selective replication of hot micro-partitions.
+//!
+//! A tail-tolerant technique complementing hedging (§2.1's tail agenda):
+//! shard data into many micro-partitions, watch their load, and give the
+//! hottest partitions extra replicas so requests to them can pick the
+//! least-loaded copy. Skewed ("big data", Appendix A) workloads
+//! concentrate load on a few partitions; replicating just the head evens
+//! out per-server load at a small storage cost — the effect this module
+//! quantifies.
+
+use serde::Serialize;
+
+use xxi_core::rng::{Rng64, Zipf};
+
+/// A cluster serving `partitions` micro-partitions on `servers` servers.
+#[derive(Clone, Debug, Serialize)]
+pub struct ReplicatedStore {
+    servers: usize,
+    /// `replicas[p]` lists the servers holding partition `p`.
+    replicas: Vec<Vec<usize>>,
+}
+
+/// Load statistics after serving a request stream.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct LoadStats {
+    /// Highest per-server request count.
+    pub max_load: u64,
+    /// Mean per-server request count.
+    pub mean_load: f64,
+    /// Imbalance `max/mean` — 1.0 is perfect.
+    pub imbalance: f64,
+    /// Total replica slots used (storage cost), in partition-copies.
+    pub storage_copies: usize,
+}
+
+impl ReplicatedStore {
+    /// Place `partitions` on `servers` round-robin with one replica each.
+    pub fn unreplicated(partitions: usize, servers: usize) -> ReplicatedStore {
+        assert!(partitions >= servers && servers > 0);
+        ReplicatedStore {
+            servers,
+            replicas: (0..partitions).map(|p| vec![p % servers]).collect(),
+        }
+    }
+
+    /// Additionally replicate the `hot_count` most popular partitions
+    /// (given a popularity ranking where partition id = rank) onto
+    /// `extra` more servers each (chosen round-robin offset).
+    pub fn with_hot_replicas(
+        partitions: usize,
+        servers: usize,
+        hot_count: usize,
+        extra: usize,
+    ) -> ReplicatedStore {
+        let mut store = ReplicatedStore::unreplicated(partitions, servers);
+        for p in 0..hot_count.min(partitions) {
+            for k in 1..=extra {
+                let s = (p + k * 7) % servers; // spread across the cluster
+                if !store.replicas[p].contains(&s) {
+                    store.replicas[p].push(s);
+                }
+            }
+        }
+        store
+    }
+
+    /// Serve `n` Zipf(`skew`)-popular requests, routing each to the
+    /// least-loaded replica of its partition; returns load statistics.
+    pub fn serve(&self, n: usize, skew: f64, seed: u64) -> LoadStats {
+        let zipf = Zipf::new(self.replicas.len(), skew);
+        let mut rng = Rng64::new(seed);
+        let mut load = vec![0u64; self.servers];
+        for _ in 0..n {
+            let p = zipf.sample(&mut rng);
+            let &target = self.replicas[p]
+                .iter()
+                .min_by_key(|&&s| load[s])
+                .expect("every partition has a replica");
+            load[target] += 1;
+        }
+        let max_load = load.iter().copied().max().unwrap_or(0);
+        let mean_load = n as f64 / self.servers as f64;
+        LoadStats {
+            max_load,
+            mean_load,
+            imbalance: max_load as f64 / mean_load,
+            storage_copies: self.replicas.iter().map(|r| r.len()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PARTITIONS: usize = 1000;
+    const SERVERS: usize = 50;
+    const REQUESTS: usize = 200_000;
+    const SKEW: f64 = 1.1;
+
+    #[test]
+    fn skew_imbalances_an_unreplicated_store() {
+        let store = ReplicatedStore::unreplicated(PARTITIONS, SERVERS);
+        let stats = store.serve(REQUESTS, SKEW, 1);
+        // Zipf(1.1) rank-0 alone carries ~14% of traffic to one server.
+        assert!(stats.imbalance > 3.0, "imbalance={}", stats.imbalance);
+        assert_eq!(stats.storage_copies, PARTITIONS);
+    }
+
+    #[test]
+    fn replicating_the_head_restores_balance_cheaply() {
+        let plain = ReplicatedStore::unreplicated(PARTITIONS, SERVERS).serve(REQUESTS, SKEW, 2);
+        // Replicate the 20 hottest partitions 4 extra times: +80 copies =
+        // 8% storage overhead.
+        let repl = ReplicatedStore::with_hot_replicas(PARTITIONS, SERVERS, 20, 4)
+            .serve(REQUESTS, SKEW, 2);
+        assert!(
+            repl.imbalance < plain.imbalance / 2.0,
+            "plain={} repl={}",
+            plain.imbalance,
+            repl.imbalance
+        );
+        let overhead =
+            repl.storage_copies as f64 / plain.storage_copies as f64 - 1.0;
+        assert!(overhead < 0.1, "storage overhead {overhead}");
+    }
+
+    #[test]
+    fn uniform_traffic_needs_no_replication() {
+        let plain = ReplicatedStore::unreplicated(PARTITIONS, SERVERS).serve(REQUESTS, 0.0, 3);
+        assert!(plain.imbalance < 1.2, "uniform imbalance={}", plain.imbalance);
+        let repl = ReplicatedStore::with_hot_replicas(PARTITIONS, SERVERS, 20, 4)
+            .serve(REQUESTS, 0.0, 3);
+        // No harm, just no benefit.
+        assert!((repl.imbalance - plain.imbalance).abs() < 0.2);
+    }
+
+    #[test]
+    fn replicating_more_of_the_head_helps_monotonically() {
+        let mut prev = f64::INFINITY;
+        for hot in [0usize, 5, 20, 80] {
+            let s = ReplicatedStore::with_hot_replicas(PARTITIONS, SERVERS, hot, 3)
+                .serve(REQUESTS, SKEW, 4);
+            assert!(
+                s.imbalance <= prev * 1.15,
+                "hot={hot}: {} vs prev {prev}",
+                s.imbalance
+            );
+            prev = s.imbalance.min(prev);
+        }
+    }
+
+    #[test]
+    fn least_loaded_routing_uses_all_replicas() {
+        // One ultra-hot partition with replicas on 5 servers: its load
+        // must spread across all of them.
+        let store = ReplicatedStore::with_hot_replicas(100, 10, 1, 4);
+        let stats = store.serve(50_000, 2.0, 5);
+        // Rank 0 under Zipf(2.0) carries ~60% of traffic; unreplicated it
+        // would pin one server at 0.6·N = 6× the mean. With 5 replicas the
+        // max must sit far below that.
+        assert!(stats.imbalance < 3.0, "imbalance={}", stats.imbalance);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fewer_partitions_than_servers_rejected() {
+        ReplicatedStore::unreplicated(5, 10);
+    }
+}

@@ -1,0 +1,92 @@
+//! Common error type for the `xxi-arch` workspace.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, XxiError>;
+
+/// Errors produced by model construction and simulation.
+///
+/// Models are configured from plain Rust structs rather than external files,
+/// so most errors are *configuration* errors caught at construction time
+/// (e.g. a cache with a non-power-of-two line size, a NoC with zero columns).
+/// Simulation-time errors indicate a model invariant was violated and are
+/// bugs rather than user errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XxiError {
+    /// A model parameter is out of range or inconsistent.
+    Config(String),
+    /// A capacity (queue, buffer, endurance budget) was exhausted.
+    Capacity(String),
+    /// A simulation invariant was violated; indicates a bug in the model.
+    Invariant(String),
+    /// The requested item does not exist (e.g. unknown technology node).
+    NotFound(String),
+}
+
+impl XxiError {
+    /// Convenience constructor for configuration errors.
+    pub fn config(msg: impl Into<String>) -> Self {
+        XxiError::Config(msg.into())
+    }
+
+    /// Convenience constructor for capacity-exhaustion errors.
+    pub fn capacity(msg: impl Into<String>) -> Self {
+        XxiError::Capacity(msg.into())
+    }
+
+    /// Convenience constructor for invariant violations.
+    pub fn invariant(msg: impl Into<String>) -> Self {
+        XxiError::Invariant(msg.into())
+    }
+
+    /// Convenience constructor for lookups that failed.
+    pub fn not_found(msg: impl Into<String>) -> Self {
+        XxiError::NotFound(msg.into())
+    }
+}
+
+impl fmt::Display for XxiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XxiError::Config(m) => write!(f, "configuration error: {m}"),
+            XxiError::Capacity(m) => write!(f, "capacity exhausted: {m}"),
+            XxiError::Invariant(m) => write!(f, "invariant violated: {m}"),
+            XxiError::NotFound(m) => write!(f, "not found: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for XxiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = XxiError::config("line size must be a power of two");
+        assert_eq!(
+            e.to_string(),
+            "configuration error: line size must be a power of two"
+        );
+        let e = XxiError::capacity("queue full");
+        assert!(e.to_string().starts_with("capacity exhausted"));
+        let e = XxiError::invariant("negative energy");
+        assert!(e.to_string().starts_with("invariant violated"));
+        let e = XxiError::not_found("node 3nm");
+        assert!(e.to_string().starts_with("not found"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(XxiError::config("x"), XxiError::Config("x".into()));
+        assert_ne!(XxiError::config("x"), XxiError::capacity("x"));
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(XxiError::config("x"));
+        assert!(e.to_string().contains("x"));
+    }
+}

@@ -1,0 +1,54 @@
+//! # xxi-core
+//!
+//! Foundation crate for the `xxi-arch` framework: an executable model of the
+//! research agenda laid out in the community white paper *21st Century
+//! Computer Architecture* (CCC, 2012; PPoPP 2014 keynote).
+//!
+//! The white paper argues that post-Dennard architecture research must treat
+//! **energy as the first-class constraint**, span **sensors to clouds**, and
+//! cut across layers. Every higher-level crate in the workspace
+//! (`xxi-tech`, `xxi-cpu`, `xxi-mem`, `xxi-noc`, `xxi-accel`, `xxi-rel`,
+//! `xxi-approx`, `xxi-sensor`, `xxi-cloud`, `xxi-stack`) builds on the
+//! primitives defined here:
+//!
+//! * [`units`] — typed physical quantities (energy, power, time, area,
+//!   voltage, operations) so that energy accounting is dimension-checked at
+//!   compile time rather than by convention.
+//! * [`time`] — picosecond-resolution simulated time for discrete-event
+//!   simulation.
+//! * [`des`] — a deterministic discrete-event simulation engine used by the
+//!   memory, interconnect, sensor-node, and warehouse-scale models.
+//! * [`stats`] — streaming statistics: Welford moments, exact and P²
+//!   (streaming) quantiles, histograms. Tail-latency experiments depend on
+//!   faithful percentile math.
+//! * [`rng`] — deterministic, splittable pseudo-random generation plus the
+//!   distributions the workload generators need (exponential, log-normal,
+//!   Pareto, Zipf, normal).
+//! * [`table`] — plain-text table rendering used by every `exp_*` experiment
+//!   binary so that reproduced tables look like the paper's.
+//! * [`metrics`] — a lightweight named-counter registry shared by simulators.
+//! * [`error`] — the common error type.
+//!
+//! ## Design notes
+//!
+//! Determinism is a hard requirement: every simulation result in
+//! EXPERIMENTS.md must be reproducible from a seed. The DES engine breaks
+//! event-time ties by insertion sequence, and all stochastic inputs flow
+//! through [`rng::Rng64`] seeded explicitly.
+
+pub mod des;
+pub mod error;
+pub mod metrics;
+pub mod rng;
+pub mod stats;
+pub mod table;
+pub mod time;
+pub mod units;
+
+pub use des::Sim;
+pub use error::{Result, XxiError};
+pub use rng::Rng64;
+pub use stats::{Histogram, P2Quantile, Streaming, Summary};
+pub use table::Table;
+pub use time::SimTime;
+pub use units::{Area, Energy, Frequency, Ops, Power, Seconds, Volts};

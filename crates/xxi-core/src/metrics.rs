@@ -1,0 +1,137 @@
+//! A lightweight named-counter/gauge registry.
+//!
+//! Simulators across the workspace (caches, routers, servers, sensor nodes)
+//! need to expose dozens of counters — hits, misses, retries, drops,
+//! checkpoints — without each defining bespoke bookkeeping structs for
+//! rarely-read values. `Metrics` is a string-keyed map of integer counters
+//! and float gauges with ordered, stable iteration for reporting.
+
+use std::collections::BTreeMap;
+
+/// Named counters (u64, monotonic) and gauges (f64, last-write-wins).
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+}
+
+impl Metrics {
+    /// Empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Add `n` to counter `name` (creating it at zero).
+    #[inline]
+    pub fn count(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Increment counter `name` by one.
+    #[inline]
+    pub fn incr(&mut self, name: &'static str) {
+        self.count(name, 1);
+    }
+
+    /// Read counter `name` (zero if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set gauge `name`.
+    #[inline]
+    pub fn gauge(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Read gauge `name` (NaN if absent, so misuse is visible).
+    pub fn gauge_value(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(f64::NAN)
+    }
+
+    /// Ratio of two counters; 0 when the denominator is zero.
+    pub fn ratio(&self, num: &str, den: &str) -> f64 {
+        let d = self.counter(den);
+        if d == 0 {
+            0.0
+        } else {
+            self.counter(num) as f64 / d as f64
+        }
+    }
+
+    /// Iterate counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Iterate gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Merge another registry: counters add, gauges take the other's value.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k, *v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.incr("hits");
+        m.count("hits", 4);
+        assert_eq!(m.counter("hits"), 5);
+        assert_eq!(m.counter("absent"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut m = Metrics::new();
+        m.gauge("temp", 1.0);
+        m.gauge("temp", 2.0);
+        assert_eq!(m.gauge_value("temp"), 2.0);
+        assert!(m.gauge_value("absent").is_nan());
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        let mut m = Metrics::new();
+        m.count("hits", 3);
+        assert_eq!(m.ratio("hits", "accesses"), 0.0);
+        m.count("accesses", 4);
+        assert!((m.ratio("hits", "accesses") - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut m = Metrics::new();
+        m.incr("zeta");
+        m.incr("alpha");
+        let names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_takes_gauges() {
+        let mut a = Metrics::new();
+        a.count("x", 1);
+        a.gauge("g", 1.0);
+        let mut b = Metrics::new();
+        b.count("x", 2);
+        b.count("y", 3);
+        b.gauge("g", 9.0);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.counter("y"), 3);
+        assert_eq!(a.gauge_value("g"), 9.0);
+    }
+}

@@ -1,0 +1,293 @@
+//! Heterogeneous chip composition: big + small cores + an accelerator on
+//! one die.
+//!
+//! §2.2: *"We need chip organizations that are structured in heterogeneous
+//! clusters, with simple computational cores and custom, high-performance
+//! functional units that work together in concert"* — the iPad anecdote
+//! ("dedicates half of its chip area for specialized units") made into a
+//! design-space tool. A [`HeteroChip`] splits die area between one big
+//! core, a sea of small cores, and fixed-function accelerator area, then
+//! scores a workload mix (serial fraction / parallel fraction / accelerable
+//! fraction) for performance and energy under the TDP.
+
+use serde::Serialize;
+
+use crate::core::{CoreKind, CoreModel};
+use xxi_core::units::{Area, Power};
+use xxi_core::{Result, XxiError};
+use xxi_tech::node::TechNode;
+
+/// Area split of a heterogeneous die (fractions of core-usable area).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct HeteroSplit {
+    /// Fraction for one big OoO core (0 disables it; anything > 0 buys
+    /// exactly one, sized by [`CoreKind::OoOBig`]).
+    pub big_frac: f64,
+    /// Fraction for small in-order cores.
+    pub small_frac: f64,
+    /// Fraction for fixed-function accelerator area.
+    pub accel_frac: f64,
+}
+
+impl HeteroSplit {
+    fn validate(&self) -> Result<()> {
+        let sum = self.big_frac + self.small_frac + self.accel_frac;
+        if !(0.99..=1.01).contains(&sum) {
+            return Err(XxiError::config(format!("fractions sum to {sum}")));
+        }
+        if self.big_frac < 0.0 || self.small_frac < 0.0 || self.accel_frac < 0.0 {
+            return Err(XxiError::config("negative fraction"));
+        }
+        Ok(())
+    }
+}
+
+/// A workload as the paper's three-way mix.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct WorkMix {
+    /// Fraction of work that is serial (wants the big core).
+    pub serial: f64,
+    /// Fraction that is parallel general-purpose (wants small cores).
+    pub parallel: f64,
+    /// Fraction that maps onto the accelerator.
+    pub accelerable: f64,
+}
+
+impl WorkMix {
+    fn validate(&self) -> Result<()> {
+        let sum = self.serial + self.parallel + self.accelerable;
+        if !(0.99..=1.01).contains(&sum) {
+            return Err(XxiError::config(format!("mix sums to {sum}")));
+        }
+        Ok(())
+    }
+}
+
+/// A composed heterogeneous chip.
+#[derive(Clone, Debug, Serialize)]
+pub struct HeteroChip {
+    /// Node used.
+    pub node: TechNode,
+    /// Has a big core?
+    pub big_core: bool,
+    /// Small-core count (area-limited; the TDP governs how many run).
+    pub small_cores: u64,
+    /// Accelerator throughput in small-core-equivalents when engaged.
+    pub accel_throughput: f64,
+    /// Accelerator energy-efficiency factor vs a small core.
+    pub accel_efficiency: f64,
+    /// Package TDP.
+    pub tdp: Power,
+    small_power: Power,
+    big_power: Power,
+}
+
+impl HeteroChip {
+    /// Compose on `node` with `die` core-usable area, `tdp`, and a split.
+    ///
+    /// Accelerator calibration: per mm², fixed-function logic delivers 10×
+    /// a small core's throughput at 20× its energy efficiency (the E7
+    /// ladder folded into area terms).
+    pub fn compose(
+        node: TechNode,
+        die: Area,
+        tdp: Power,
+        split: HeteroSplit,
+    ) -> Result<HeteroChip> {
+        split.validate()?;
+        let small = CoreModel::new(CoreKind::InOrderSmall, node.clone());
+        let big = CoreModel::new(CoreKind::OoOBig, node.clone());
+        let big_core = split.big_frac > 0.0 && die.value() * split.big_frac >= big.area().value();
+        let small_area = die.value() * split.small_frac;
+        let small_cores = (small_area / small.area().value()).floor() as u64;
+        let accel_area = die.value() * split.accel_frac;
+        let accel_throughput = 10.0 * accel_area / small.area().value();
+        Ok(HeteroChip {
+            node,
+            big_core,
+            small_cores,
+            accel_throughput,
+            accel_efficiency: 20.0,
+            tdp,
+            small_power: small.power(),
+            big_power: big.power(),
+        })
+    }
+
+    /// Execution time (relative units; 1 work unit at 1 small-core perf =
+    /// 1 time unit) of `mix`, phase by phase, respecting the TDP within
+    /// each phase.
+    pub fn time_for(&self, mix: WorkMix) -> Result<f64> {
+        mix.validate()?;
+        let mut t = 0.0;
+        // Serial phase: the big core if present (perf 4), else one small.
+        let serial_perf = if self.big_core { 4.0 } else { 1.0 };
+        t += mix.serial / serial_perf;
+        // Parallel phase: as many small cores as the TDP allows.
+        let powered = ((self.tdp.value() / self.small_power.value()).floor() as u64)
+            .min(self.small_cores)
+            .max(1);
+        t += mix.parallel / powered as f64;
+        // Accelerable phase: the accelerator if present, else small cores.
+        if self.accel_throughput > 0.0 {
+            t += mix.accelerable / self.accel_throughput;
+        } else {
+            t += mix.accelerable / powered as f64;
+        }
+        Ok(t)
+    }
+
+    /// Energy (relative units; 1 work unit on a small core = 1) of `mix`.
+    pub fn energy_for(&self, mix: WorkMix) -> Result<f64> {
+        mix.validate()?;
+        let mut e = 0.0;
+        // Big core: 4× perf for 16× power ⇒ 4× energy per unit of work.
+        e += mix.serial * if self.big_core { 4.0 } else { 1.0 };
+        e += mix.parallel * 1.0;
+        e += mix.accelerable
+            * if self.accel_throughput > 0.0 {
+                1.0 / self.accel_efficiency
+            } else {
+                1.0
+            };
+        Ok(e * (self.big_power.value() / 16.0 / self.small_power.value()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xxi_tech::node::NodeDb;
+
+    fn node() -> TechNode {
+        NodeDb::standard().by_name("22nm").unwrap().clone()
+    }
+
+    /// A generously-cooled part so that die AREA, not TDP, is the binding
+    /// constraint — the regime where the split matters.
+    fn chip(split: HeteroSplit) -> HeteroChip {
+        HeteroChip::compose(node(), Area(100.0), Power(100.0), split).unwrap()
+    }
+
+    fn homogeneous_small() -> HeteroChip {
+        chip(HeteroSplit {
+            big_frac: 0.0,
+            small_frac: 1.0,
+            accel_frac: 0.0,
+        })
+    }
+
+    fn ipad_like() -> HeteroChip {
+        // "dedicates half of its chip area for specialized units".
+        chip(HeteroSplit {
+            big_frac: 0.1,
+            small_frac: 0.4,
+            accel_frac: 0.5,
+        })
+    }
+
+    #[test]
+    fn split_and_mix_validation() {
+        assert!(HeteroChip::compose(
+            node(),
+            Area(100.0),
+            Power(10.0),
+            HeteroSplit {
+                big_frac: 0.5,
+                small_frac: 0.2,
+                accel_frac: 0.1
+            }
+        )
+        .is_err());
+        let c = homogeneous_small();
+        assert!(c
+            .time_for(WorkMix {
+                serial: 0.5,
+                parallel: 0.2,
+                accelerable: 0.1
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn ipad_wins_the_media_workload() {
+        // Heavily accelerable mix (media/UI pipeline): the specialized die
+        // wins both time and energy.
+        let mix = WorkMix {
+            serial: 0.1,
+            parallel: 0.2,
+            accelerable: 0.7,
+        };
+        let hetero = ipad_like();
+        let homo = homogeneous_small();
+        let (th, eh) = (hetero.time_for(mix).unwrap(), hetero.energy_for(mix).unwrap());
+        let (tm, em) = (homo.time_for(mix).unwrap(), homo.energy_for(mix).unwrap());
+        assert!(th < tm, "time {th} vs {tm}");
+        assert!(eh < em, "energy {eh} vs {em}");
+    }
+
+    #[test]
+    fn homogeneous_wins_the_irregular_parallel_workload() {
+        // Purely parallel, nothing accelerable: the accelerator area is
+        // dead weight (any serial residue would instead showcase the big
+        // core, a different effect).
+        let mix = WorkMix {
+            serial: 0.0,
+            parallel: 1.0,
+            accelerable: 0.0,
+        };
+        let hetero = ipad_like();
+        let homo = homogeneous_small();
+        assert!(homo.time_for(mix).unwrap() < hetero.time_for(mix).unwrap());
+    }
+
+    #[test]
+    fn big_core_pays_off_only_with_serial_work() {
+        let with_big = chip(HeteroSplit {
+            big_frac: 0.2,
+            small_frac: 0.8,
+            accel_frac: 0.0,
+        });
+        let without = homogeneous_small();
+        let serial_mix = WorkMix {
+            serial: 0.6,
+            parallel: 0.4,
+            accelerable: 0.0,
+        };
+        let parallel_mix = WorkMix {
+            serial: 0.0,
+            parallel: 1.0,
+            accelerable: 0.0,
+        };
+        assert!(with_big.time_for(serial_mix).unwrap() < without.time_for(serial_mix).unwrap());
+        assert!(
+            without.time_for(parallel_mix).unwrap() < with_big.time_for(parallel_mix).unwrap()
+        );
+    }
+
+    #[test]
+    fn accelerator_energy_factor_shows_up() {
+        let hetero = ipad_like();
+        let all_accel = WorkMix {
+            serial: 0.0,
+            parallel: 0.0,
+            accelerable: 1.0,
+        };
+        let all_parallel = WorkMix {
+            serial: 0.0,
+            parallel: 1.0,
+            accelerable: 0.0,
+        };
+        let e_accel = hetero.energy_for(all_accel).unwrap();
+        let e_par = hetero.energy_for(all_parallel).unwrap();
+        assert!((e_par / e_accel - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn composition_counts_are_sane() {
+        let c = ipad_like();
+        assert!(c.big_core);
+        assert!(c.small_cores > 10);
+        assert!(c.accel_throughput > c.small_cores as f64);
+    }
+}

@@ -1,0 +1,256 @@
+//! Multi-level memory hierarchies: latency and energy per access.
+//!
+//! Chains [`Cache`] levels in front of a memory model and charges each
+//! access the latency/energy of every level it touches. Produces the AMAT
+//! (average memory access time) and average energy per access that the
+//! chip-level models in `xxi-cpu` consume, and lets experiments contrast
+//! performance-first vs energy-first hierarchy tuning (§2.2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{AccessKind, Cache, CacheConfig};
+use crate::trace::Access;
+use xxi_core::units::{Energy, Seconds};
+use xxi_core::Result;
+
+/// One cache level plus its access costs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LevelConfig {
+    /// Cache geometry.
+    pub cache: CacheConfig,
+    /// Hit latency.
+    pub latency: Seconds,
+    /// Energy per access (charged on every probe of this level).
+    pub energy: Energy,
+}
+
+/// Hierarchy = ordered cache levels + backing memory.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// Cache levels, L1 first.
+    pub levels: Vec<LevelConfig>,
+    /// Backing-memory latency.
+    pub mem_latency: Seconds,
+    /// Backing-memory energy per access.
+    pub mem_energy: Energy,
+}
+
+impl HierarchyConfig {
+    /// A conventional three-level hierarchy with 45 nm-class costs:
+    /// L1 1 ns/20 pJ, L2 4 ns/80 pJ, L3 12 ns/250 pJ, DRAM 60 ns/12 nJ.
+    pub fn three_level() -> HierarchyConfig {
+        HierarchyConfig {
+            levels: vec![
+                LevelConfig {
+                    cache: CacheConfig::l1(),
+                    latency: Seconds::from_ns(1.0),
+                    energy: Energy::from_pj(20.0),
+                },
+                LevelConfig {
+                    cache: CacheConfig::l2(),
+                    latency: Seconds::from_ns(4.0),
+                    energy: Energy::from_pj(80.0),
+                },
+                LevelConfig {
+                    cache: CacheConfig::l3(),
+                    latency: Seconds::from_ns(12.0),
+                    energy: Energy::from_pj(250.0),
+                },
+            ],
+            mem_latency: Seconds::from_ns(60.0),
+            mem_energy: Energy::from_nj(12.0),
+        }
+    }
+}
+
+/// A running hierarchy.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    levels: Vec<(Cache, Seconds, Energy)>,
+    mem_latency: Seconds,
+    mem_energy: Energy,
+    accesses: u64,
+    total_latency: Seconds,
+    total_energy: Energy,
+    mem_accesses: u64,
+}
+
+impl Hierarchy {
+    /// Build from a config.
+    pub fn new(cfg: HierarchyConfig) -> Result<Hierarchy> {
+        let mut levels = Vec::with_capacity(cfg.levels.len());
+        for l in cfg.levels {
+            levels.push((Cache::new(l.cache)?, l.latency, l.energy));
+        }
+        Ok(Hierarchy {
+            levels,
+            mem_latency: cfg.mem_latency,
+            mem_energy: cfg.mem_energy,
+            accesses: 0,
+            total_latency: Seconds::ZERO,
+            total_energy: Energy::ZERO,
+            mem_accesses: 0,
+        })
+    }
+
+    /// Issue one access; returns its latency and energy. Misses probe each
+    /// deeper level in turn (charging that level's cost), fill on the way
+    /// back (non-inclusive, fill-everywhere), and dirty evictions charge
+    /// one write access at the next level down.
+    pub fn access(&mut self, a: Access) -> (Seconds, Energy) {
+        self.accesses += 1;
+        let kind = if a.write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        let mut latency = Seconds::ZERO;
+        let mut energy = Energy::ZERO;
+        let mut hit_level: Option<usize> = None;
+        // Cost of writing a dirty victim from level i to level i+1 (or to
+        // memory from the last level).
+        let wb_costs: Vec<Energy> = (0..self.levels.len())
+            .map(|i| {
+                self.levels
+                    .get(i + 1)
+                    .map(|(_, _, e)| *e)
+                    .unwrap_or(self.mem_energy)
+            })
+            .collect();
+        for (i, (cache, lat, en)) in self.levels.iter_mut().enumerate() {
+            latency += *lat;
+            energy += *en;
+            let outcome = cache.access(a.addr, kind);
+            if let crate::cache::Outcome::Miss { writeback } = outcome {
+                if writeback {
+                    // Dirty victim written one level down.
+                    energy += wb_costs[i];
+                }
+                continue;
+            }
+            hit_level = Some(i);
+            break;
+        }
+        if hit_level.is_none() {
+            latency += self.mem_latency;
+            energy += self.mem_energy;
+            self.mem_accesses += 1;
+        }
+        self.total_latency += latency;
+        self.total_energy += energy;
+        (latency, energy)
+    }
+
+    /// Run a whole trace.
+    pub fn run(&mut self, trace: &[Access]) {
+        for &a in trace {
+            self.access(a);
+        }
+    }
+
+    /// Average memory-access time so far.
+    pub fn amat(&self) -> Seconds {
+        if self.accesses == 0 {
+            Seconds::ZERO
+        } else {
+            Seconds(self.total_latency.value() / self.accesses as f64)
+        }
+    }
+
+    /// Average energy per access so far.
+    pub fn energy_per_access(&self) -> Energy {
+        if self.accesses == 0 {
+            Energy::ZERO
+        } else {
+            Energy(self.total_energy.value() / self.accesses as f64)
+        }
+    }
+
+    /// Total accesses issued.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Accesses that reached backing memory.
+    pub fn mem_accesses(&self) -> u64 {
+        self.mem_accesses
+    }
+
+    /// Per-level hit rates, L1 first.
+    pub fn hit_rates(&self) -> Vec<f64> {
+        self.levels.iter().map(|(c, _, _)| c.hit_rate()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceGen;
+
+    #[test]
+    fn l1_resident_working_set_runs_at_l1_cost() {
+        let mut h = Hierarchy::new(HierarchyConfig::three_level()).unwrap();
+        let mut g = TraceGen::new(1);
+        // 16 KiB set fits in the 32 KiB L1.
+        let warm = g.strided(256, 0, 64, 16 * 1024, 0.0);
+        h.run(&warm);
+        let mut h2 = h.clone();
+        let hot = g.strided(10_000, 0, 64, 16 * 1024, 0.0);
+        h2.run(&hot);
+        // Cost after warmup ≈ L1 hit cost.
+        let (lat, en) = h2.access(Access::read(0));
+        assert!((lat.value() - 1e-9).abs() < 1e-12, "lat={lat:?}");
+        assert!((en.pj() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_bound_stream_pays_full_stack() {
+        let mut h = Hierarchy::new(HierarchyConfig::three_level()).unwrap();
+        let mut g = TraceGen::new(2);
+        // A 64 MiB uniform-random stream misses everywhere.
+        let t = g.uniform(20_000, 0, 64 << 20, 64, 0.0);
+        h.run(&t);
+        let amat = h.amat();
+        // 1 + 4 + 12 + 60 ns = 77 ns on a full miss.
+        assert!(amat.value() > 70e-9, "amat={amat:?}");
+        assert!(h.mem_accesses() as f64 / h.accesses() as f64 > 0.9);
+        // Energy dominated by DRAM.
+        assert!(h.energy_per_access().nj() > 10.0);
+    }
+
+    #[test]
+    fn amat_between_best_and_worst() {
+        let mut h = Hierarchy::new(HierarchyConfig::three_level()).unwrap();
+        let mut g = TraceGen::new(3);
+        // Zipf over 1 MiB of objects: some levels catch some accesses.
+        let t = g.zipf(50_000, 0, 16_384, 64, 0.9, 0.2);
+        h.run(&t);
+        let amat = h.amat().value();
+        assert!(amat > 1e-9 && amat < 77e-9, "amat={amat}");
+        let rates = h.hit_rates();
+        assert_eq!(rates.len(), 3);
+        assert!(rates[0] > 0.2, "L1 should catch the hot head: {rates:?}");
+    }
+
+    #[test]
+    fn empty_hierarchy_counts_are_zero() {
+        let h = Hierarchy::new(HierarchyConfig::three_level()).unwrap();
+        assert_eq!(h.amat(), Seconds::ZERO);
+        assert_eq!(h.energy_per_access(), Energy::ZERO);
+        assert_eq!(h.accesses(), 0);
+    }
+
+    #[test]
+    fn bigger_l1_improves_amat_for_medium_sets() {
+        let mut small = Hierarchy::new(HierarchyConfig::three_level()).unwrap();
+        let mut big_cfg = HierarchyConfig::three_level();
+        big_cfg.levels[0].cache.size_bytes = 128 * 1024;
+        let mut big = Hierarchy::new(big_cfg).unwrap();
+        let mut g = TraceGen::new(4);
+        // 64 KiB working set: fits the big L1 only.
+        let t = g.strided(50_000, 0, 64, 64 * 1024, 0.0);
+        small.run(&t);
+        big.run(&t);
+        assert!(big.amat().value() < small.amat().value());
+    }
+}

@@ -1,0 +1,315 @@
+//! Hybrid DRAM + NVM main memory with page migration.
+//!
+//! The "rethought memory/storage stack" of §2.3: a small, fast, volatile
+//! DRAM tier in front of a large, slow-to-write, non-volatile tier, managed
+//! at page granularity. Hot pages are promoted into DRAM (evicting the
+//! coldest resident page) using epoch-based access counting — the standard
+//! first-order design from the PCM-hybrid literature (Qureshi et al., ISCA
+//! 2009) that the paper's agenda builds on.
+//!
+//! The model answers the E12 questions: how close does a mostly-NVM system
+//! get to all-DRAM latency, at what write-traffic cost, and how much
+//! standing (refresh) power does it save?
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::nvm::NvmTech;
+use crate::trace::Access;
+use xxi_core::metrics::Metrics;
+use xxi_core::units::{Energy, Power, Seconds};
+
+/// Hybrid-memory configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HybridConfig {
+    /// DRAM tier capacity in pages.
+    pub dram_pages: usize,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+    /// NVM technology of the capacity tier.
+    pub nvm: NvmTech,
+    /// Accesses to a page within one epoch before it is promoted.
+    pub promote_threshold: u32,
+    /// Epoch length in accesses (counters halve each epoch).
+    pub epoch_accesses: u64,
+    /// DRAM access latency / energy per 64 B.
+    pub dram_latency: Seconds,
+    /// DRAM energy per 64 B.
+    pub dram_energy: Energy,
+    /// DRAM refresh power per GiB.
+    pub dram_refresh_per_gib: Power,
+}
+
+impl Default for HybridConfig {
+    fn default() -> HybridConfig {
+        HybridConfig {
+            dram_pages: 1024,
+            page_bytes: 4096,
+            nvm: NvmTech::Pcm,
+            promote_threshold: 4,
+            epoch_accesses: 100_000,
+            dram_latency: Seconds::from_ns(60.0),
+            dram_energy: Energy::from_nj(12.0),
+            dram_refresh_per_gib: Power::from_mw(50.0),
+        }
+    }
+}
+
+/// The hybrid memory.
+#[derive(Clone, Debug)]
+pub struct HybridMemory {
+    cfg: HybridConfig,
+    /// Pages currently in DRAM, with their epoch access count.
+    dram: HashMap<u64, u32>,
+    /// Epoch access counters for NVM-resident pages.
+    heat: HashMap<u64, u32>,
+    since_epoch: u64,
+    total_latency: Seconds,
+    total_energy: Energy,
+    accesses: u64,
+    /// `dram_hits`, `nvm_reads`, `nvm_writes`, `promotions`, `demotions`,
+    /// `migration_writes`.
+    pub metrics: Metrics,
+}
+
+impl HybridMemory {
+    /// Build from config.
+    pub fn new(cfg: HybridConfig) -> HybridMemory {
+        assert!(cfg.dram_pages > 0 && cfg.page_bytes.is_power_of_two());
+        HybridMemory {
+            cfg,
+            dram: HashMap::new(),
+            heat: HashMap::new(),
+            since_epoch: 0,
+            total_latency: Seconds::ZERO,
+            total_energy: Energy::ZERO,
+            accesses: 0,
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HybridConfig {
+        &self.cfg
+    }
+
+    fn page_of(&self, addr: u64) -> u64 {
+        addr / self.cfg.page_bytes
+    }
+
+    /// Serve one access.
+    pub fn access(&mut self, a: Access) -> (Seconds, Energy) {
+        self.accesses += 1;
+        self.since_epoch += 1;
+        if self.since_epoch >= self.cfg.epoch_accesses {
+            self.rotate_epoch();
+        }
+        let page = self.page_of(a.addr);
+        let nvm = self.cfg.nvm.params();
+
+        let (lat, en) = if let Some(count) = self.dram.get_mut(&page) {
+            *count = count.saturating_add(1);
+            self.metrics.incr("dram_hits");
+            (self.cfg.dram_latency, self.cfg.dram_energy)
+        } else {
+            // NVM access.
+            let (lat, en) = if a.write {
+                self.metrics.incr("nvm_writes");
+                (nvm.write_latency, nvm.write_energy)
+            } else {
+                self.metrics.incr("nvm_reads");
+                (nvm.read_latency, nvm.read_energy)
+            };
+            // Heat accounting and possible promotion.
+            let heat = self.heat.entry(page).or_insert(0);
+            *heat = heat.saturating_add(1);
+            if *heat >= self.cfg.promote_threshold {
+                self.promote(page);
+            }
+            (lat, en)
+        };
+        self.total_latency += lat;
+        self.total_energy += en;
+        (lat, en)
+    }
+
+    /// Promote `page` into DRAM, evicting the coldest resident page if
+    /// full. Migration copies one page: charged as page-size/64 NVM reads
+    /// plus (on demotion) page-size/64 NVM writes.
+    fn promote(&mut self, page: u64) {
+        let nvm = self.cfg.nvm.params();
+        let lines = (self.cfg.page_bytes / 64).max(1) as f64;
+        if self.dram.len() >= self.cfg.dram_pages {
+            // Evict coldest (min counter; ties broken by smallest page id
+            // for determinism).
+            let (&victim, _) = self
+                .dram
+                .iter()
+                .min_by_key(|(p, c)| (**c, **p))
+                .expect("dram non-empty");
+            self.dram.remove(&victim);
+            self.metrics.incr("demotions");
+            // Write the page back to NVM.
+            self.metrics.count("migration_writes", lines as u64);
+            self.total_energy += nvm.write_energy * lines;
+        }
+        self.heat.remove(&page);
+        self.dram.insert(page, 0);
+        self.metrics.incr("promotions");
+        // Read the page out of NVM into DRAM.
+        self.total_energy += nvm.read_energy * lines;
+    }
+
+    /// Epoch rotation: halve all heat counters (aging) and DRAM counters.
+    fn rotate_epoch(&mut self) {
+        self.since_epoch = 0;
+        for c in self.heat.values_mut() {
+            *c /= 2;
+        }
+        for c in self.dram.values_mut() {
+            *c /= 2;
+        }
+        self.heat.retain(|_, c| *c > 0);
+    }
+
+    /// Run a trace.
+    pub fn run(&mut self, trace: &[Access]) {
+        for &a in trace {
+            self.access(a);
+        }
+    }
+
+    /// Average access latency so far.
+    pub fn avg_latency(&self) -> Seconds {
+        if self.accesses == 0 {
+            Seconds::ZERO
+        } else {
+            Seconds(self.total_latency.value() / self.accesses as f64)
+        }
+    }
+
+    /// Average dynamic energy per access so far (incl. migration).
+    pub fn avg_energy(&self) -> Energy {
+        if self.accesses == 0 {
+            Energy::ZERO
+        } else {
+            Energy(self.total_energy.value() / self.accesses as f64)
+        }
+    }
+
+    /// Fraction of accesses served from DRAM.
+    pub fn dram_hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.metrics.counter("dram_hits") as f64 / self.accesses as f64
+        }
+    }
+
+    /// Standing power of the DRAM tier (refresh) — the part NVM avoids.
+    pub fn dram_standing_power(&self) -> Power {
+        let gib = self.cfg.dram_pages as f64 * self.cfg.page_bytes as f64 / (1u64 << 30) as f64;
+        Power(self.cfg.dram_refresh_per_gib.value() * gib)
+    }
+
+    /// Number of DRAM-resident pages.
+    pub fn dram_occupancy(&self) -> usize {
+        self.dram.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceGen;
+
+    #[test]
+    fn hot_pages_get_promoted() {
+        let mut m = HybridMemory::new(HybridConfig::default());
+        // Hammer one page.
+        for i in 0..100 {
+            m.access(Access::read(4096 * 7 + (i % 64) * 64));
+        }
+        assert!(m.metrics.counter("promotions") >= 1);
+        assert!(m.dram_occupancy() >= 1);
+        // After promotion the page serves from DRAM.
+        assert!(m.dram_hit_rate() > 0.9, "{}", m.dram_hit_rate());
+    }
+
+    #[test]
+    fn cold_uniform_traffic_stays_in_nvm() {
+        let mut m = HybridMemory::new(HybridConfig {
+            promote_threshold: 8,
+            ..HybridConfig::default()
+        });
+        let mut g = TraceGen::new(1);
+        // 1 GiB span, 20k accesses: pages rarely repeat within an epoch.
+        let t = g.uniform(20_000, 0, 1 << 30, 64, 0.3);
+        m.run(&t);
+        assert!(m.dram_hit_rate() < 0.1, "{}", m.dram_hit_rate());
+        assert!(m.metrics.counter("nvm_reads") + m.metrics.counter("nvm_writes") > 15_000);
+    }
+
+    #[test]
+    fn zipf_traffic_approaches_dram_latency() {
+        // Skewed traffic: the hot head fits in DRAM, so average latency
+        // lands near DRAM's, far below PCM write latency.
+        let mut m = HybridMemory::new(HybridConfig::default());
+        let mut g = TraceGen::new(2);
+        let t = g.zipf(300_000, 0, 100_000, 4096, 1.1, 0.3);
+        m.run(&t);
+        assert!(m.dram_hit_rate() > 0.5, "hit={}", m.dram_hit_rate());
+        let avg_ns = m.avg_latency().value() * 1e9;
+        assert!(avg_ns < 150.0, "avg={avg_ns}ns");
+    }
+
+    #[test]
+    fn dram_capacity_bound_respected() {
+        let mut m = HybridMemory::new(HybridConfig {
+            dram_pages: 8,
+            promote_threshold: 1,
+            ..HybridConfig::default()
+        });
+        let mut g = TraceGen::new(3);
+        let t = g.uniform(10_000, 0, 1 << 24, 64, 0.0);
+        m.run(&t);
+        assert!(m.dram_occupancy() <= 8);
+        assert!(m.metrics.counter("demotions") > 0);
+    }
+
+    #[test]
+    fn migration_energy_is_charged() {
+        let mut m = HybridMemory::new(HybridConfig {
+            dram_pages: 1,
+            promote_threshold: 1,
+            ..HybridConfig::default()
+        });
+        // Two pages alternate, forcing promote/demote churn.
+        for i in 0..50u64 {
+            m.access(Access::read((i % 2) * 4096));
+        }
+        assert!(m.metrics.counter("migration_writes") > 0);
+        // Energy per access exceeds the pure read energy because of
+        // migration traffic.
+        let pure_read = NvmTech::Pcm.params().read_energy;
+        assert!(m.avg_energy().value() > pure_read.value());
+    }
+
+    #[test]
+    fn standing_power_scales_with_dram_size_only() {
+        let small = HybridMemory::new(HybridConfig {
+            dram_pages: 1024,
+            ..HybridConfig::default()
+        });
+        let big = HybridMemory::new(HybridConfig {
+            dram_pages: 4096,
+            ..HybridConfig::default()
+        });
+        assert!(
+            (big.dram_standing_power().value() / small.dram_standing_power().value() - 4.0)
+                .abs()
+                < 1e-9
+        );
+    }
+}

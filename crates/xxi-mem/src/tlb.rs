@@ -1,0 +1,228 @@
+//! TLB and page-walk modeling — virtual memory as an energy/latency tax.
+//!
+//! §2.2 asks memory systems to "simplify programmability (e.g., by
+//! extending coherence and virtual memory to accelerators when needed)";
+//! §2.4 notes virtual memory was "defined when memory was at a premium".
+//! Extending VM to accelerators means paying translation costs there too,
+//! so the experiments need a TLB model: a set-associative translation
+//! cache in front of a multi-level page walk, with reach, miss rates, and
+//! the latency/energy bill. Large pages — the standard reach fix — are a
+//! config knob whose effect the tests verify.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use xxi_core::metrics::Metrics;
+use xxi_core::units::{Energy, Seconds};
+
+/// TLB configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// Number of entries.
+    pub entries: usize,
+    /// Page size in bytes (power of two).
+    pub page_bytes: u64,
+    /// Page-table levels walked on a miss.
+    pub walk_levels: u32,
+    /// Latency of one walk step (one memory access, possibly cached).
+    pub walk_step_latency: Seconds,
+    /// Energy of one walk step.
+    pub walk_step_energy: Energy,
+}
+
+impl TlbConfig {
+    /// A typical L1 DTLB: 64 entries, 4 KiB pages, 4-level walk at cached
+    /// page-table latency.
+    pub fn dtlb_4k() -> TlbConfig {
+        TlbConfig {
+            entries: 64,
+            page_bytes: 4096,
+            walk_levels: 4,
+            walk_step_latency: Seconds::from_ns(10.0),
+            walk_step_energy: Energy::from_pj(250.0),
+        }
+    }
+
+    /// The same TLB with 2 MiB pages (512× the reach, one fewer level).
+    pub fn dtlb_2m() -> TlbConfig {
+        TlbConfig {
+            entries: 64,
+            page_bytes: 2 * 1024 * 1024,
+            walk_levels: 3,
+            ..TlbConfig::dtlb_4k()
+        }
+    }
+
+    /// Address space covered by a full TLB.
+    pub fn reach_bytes(&self) -> u64 {
+        self.entries as u64 * self.page_bytes
+    }
+}
+
+/// A fully-associative LRU TLB (small enough that FA is realistic).
+pub struct Tlb {
+    cfg: TlbConfig,
+    /// LRU order: front = most recent.
+    entries: VecDeque<u64>,
+    /// `accesses`, `hits`, `misses`, `walk_steps`.
+    pub metrics: Metrics,
+    total_latency: Seconds,
+    total_energy: Energy,
+}
+
+impl Tlb {
+    /// Build from config.
+    pub fn new(cfg: TlbConfig) -> Tlb {
+        assert!(cfg.entries > 0 && cfg.page_bytes.is_power_of_two());
+        Tlb {
+            cfg,
+            entries: VecDeque::new(),
+            metrics: Metrics::new(),
+            total_latency: Seconds::ZERO,
+            total_energy: Energy::ZERO,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TlbConfig {
+        &self.cfg
+    }
+
+    /// Translate `vaddr`; returns the translation cost added by the TLB
+    /// (zero on a hit in this model; a full walk on a miss).
+    pub fn translate(&mut self, vaddr: u64) -> (Seconds, Energy) {
+        self.metrics.incr("accesses");
+        let vpn = vaddr / self.cfg.page_bytes;
+        if let Some(pos) = self.entries.iter().position(|&e| e == vpn) {
+            self.metrics.incr("hits");
+            // Move to front.
+            self.entries.remove(pos);
+            self.entries.push_front(vpn);
+            (Seconds::ZERO, Energy::ZERO)
+        } else {
+            self.metrics.incr("misses");
+            self.metrics
+                .count("walk_steps", self.cfg.walk_levels as u64);
+            let lat = Seconds(self.cfg.walk_step_latency.value() * self.cfg.walk_levels as f64);
+            let en = self.cfg.walk_step_energy * self.cfg.walk_levels as f64;
+            self.total_latency += lat;
+            self.total_energy += en;
+            if self.entries.len() >= self.cfg.entries {
+                self.entries.pop_back();
+            }
+            self.entries.push_front(vpn);
+            (lat, en)
+        }
+    }
+
+    /// Miss rate so far.
+    pub fn miss_rate(&self) -> f64 {
+        self.metrics.ratio("misses", "accesses")
+    }
+
+    /// Total translation latency added.
+    pub fn total_latency(&self) -> Seconds {
+        self.total_latency
+    }
+
+    /// Total translation energy added.
+    pub fn total_energy(&self) -> Energy {
+        self.total_energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceGen;
+    use xxi_core::rng::Rng64;
+
+    #[test]
+    fn reach_math() {
+        assert_eq!(TlbConfig::dtlb_4k().reach_bytes(), 64 * 4096);
+        assert_eq!(TlbConfig::dtlb_2m().reach_bytes(), 64 * 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn working_set_within_reach_hits() {
+        let mut tlb = Tlb::new(TlbConfig::dtlb_4k());
+        // 32 pages, touched repeatedly.
+        for round in 0..100 {
+            for p in 0..32u64 {
+                let (lat, _) = tlb.translate(p * 4096 + 128);
+                if round > 0 {
+                    assert_eq!(lat, Seconds::ZERO, "round {round} page {p}");
+                }
+            }
+        }
+        assert!(tlb.miss_rate() <= 0.011); // 32 cold misses / 3200
+    }
+
+    #[test]
+    fn thrashing_beyond_reach() {
+        let mut tlb = Tlb::new(TlbConfig::dtlb_4k());
+        // 128 pages round-robin through a 64-entry LRU TLB: every access
+        // misses (classic LRU worst case).
+        for _ in 0..10 {
+            for p in 0..128u64 {
+                tlb.translate(p * 4096);
+            }
+        }
+        assert!(tlb.miss_rate() > 0.99, "{}", tlb.miss_rate());
+    }
+
+    #[test]
+    fn large_pages_restore_reach() {
+        // The same 64 MiB working set: 16k 4-KiB pages (thrash) vs 32
+        // 2-MiB pages (fit).
+        let mut g = TraceGen::new(1);
+        let trace = g.uniform(50_000, 0, 64 << 20, 64, 0.0);
+        let mut small = Tlb::new(TlbConfig::dtlb_4k());
+        let mut big = Tlb::new(TlbConfig::dtlb_2m());
+        for a in &trace {
+            small.translate(a.addr);
+            big.translate(a.addr);
+        }
+        assert!(small.miss_rate() > 0.9, "small={}", small.miss_rate());
+        assert!(big.miss_rate() < 0.01, "big={}", big.miss_rate());
+        assert!(big.total_energy().value() < 0.02 * small.total_energy().value());
+    }
+
+    #[test]
+    fn walk_cost_accounting() {
+        let mut tlb = Tlb::new(TlbConfig::dtlb_4k());
+        tlb.translate(0); // one miss: 4 steps
+        assert_eq!(tlb.metrics.counter("walk_steps"), 4);
+        assert!((tlb.total_latency().value() - 40e-9).abs() < 1e-15);
+        assert!((tlb.total_energy().pj() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_keeps_hot_pages_under_mixed_traffic() {
+        let mut tlb = Tlb::new(TlbConfig::dtlb_4k());
+        let mut rng = Rng64::new(2);
+        // 8 hot pages (90%) + huge cold space (10%).
+        let mut hot_hits = 0;
+        let mut hot_accesses = 0;
+        for i in 0..200_000u64 {
+            let addr = if rng.chance(0.9) {
+                (i % 8) * 4096
+            } else {
+                (1000 + rng.below(100_000)) * 4096
+            };
+            let is_hot = addr < 8 * 4096;
+            let (lat, _) = tlb.translate(addr);
+            if is_hot {
+                hot_accesses += 1;
+                if lat == Seconds::ZERO {
+                    hot_hits += 1;
+                }
+            }
+        }
+        assert!(
+            hot_hits as f64 / hot_accesses as f64 > 0.99,
+            "hot pages must stay resident"
+        );
+    }
+}

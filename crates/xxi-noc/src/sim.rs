@@ -1,0 +1,429 @@
+//! Synchronous flit-level mesh simulator.
+//!
+//! A cycle-driven model of a wormhole-class mesh at single-flit-packet
+//! granularity: each router has one FIFO per input port; each cycle every
+//! output port forwards at most one flit, chosen by rotating round-robin
+//! arbitration over the input ports; forwarding requires a free slot in the
+//! downstream FIFO (credit backpressure). This is the standard abstraction
+//! for latency-vs-offered-load curves: it exhibits the canonical hockey-
+//! stick saturation that experiment E13 sweeps.
+//!
+//! Determinism: arbitration state and the injection RNG are seeded, so a
+//! `(config, seed)` pair fully determines the run.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::topology::{Dir, Mesh};
+use crate::traffic::Pattern;
+use xxi_core::rng::Rng64;
+use xxi_core::stats::Streaming;
+
+/// Simulator configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Topology.
+    pub mesh: Mesh,
+    /// Per-input-port FIFO depth in flits.
+    pub queue_depth: usize,
+    /// Traffic pattern.
+    pub pattern: Pattern,
+    /// Injection rate in flits per node per cycle (0–1).
+    pub injection_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl NocConfig {
+    /// A conventional 8×8 mesh at the given injection rate.
+    pub fn mesh8x8(pattern: Pattern, injection_rate: f64, seed: u64) -> NocConfig {
+        NocConfig {
+            mesh: Mesh::new_2d(8, 8),
+            queue_depth: 4,
+            pattern,
+            injection_rate,
+            seed,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Flit {
+    dest: usize,
+    injected_at: u64,
+    hops: u32,
+}
+
+struct Router {
+    inputs: [VecDeque<Flit>; 7],
+    /// Round-robin pointer per output port.
+    rr: [usize; 7],
+}
+
+/// Aggregate results of a run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NocResult {
+    /// Flits delivered during the measurement phase.
+    pub delivered: u64,
+    /// Flits offered (attempted injections) during measurement.
+    pub offered: u64,
+    /// Flits that could not be injected (source queue full).
+    pub throttled: u64,
+    /// Mean packet latency in cycles (measurement phase).
+    pub mean_latency: f64,
+    /// Max packet latency in cycles.
+    pub max_latency: f64,
+    /// Mean hops per delivered flit.
+    pub mean_hops: f64,
+    /// Delivered throughput in flits/node/cycle.
+    pub throughput: f64,
+    /// Total link traversals (for energy accounting).
+    pub link_traversals: u64,
+}
+
+/// The simulator.
+pub struct NocSim {
+    cfg: NocConfig,
+    routers: Vec<Router>,
+    rng: Rng64,
+    cycle: u64,
+    latency: Streaming,
+    hops: Streaming,
+    delivered: u64,
+    offered: u64,
+    throttled: u64,
+    link_traversals: u64,
+    measuring: bool,
+}
+
+impl NocSim {
+    /// Build a simulator.
+    pub fn new(cfg: NocConfig) -> NocSim {
+        assert!(cfg.queue_depth >= 1);
+        assert!((0.0..=1.0).contains(&cfg.injection_rate));
+        let routers = (0..cfg.mesh.nodes())
+            .map(|_| Router {
+                inputs: Default::default(),
+                rr: [0; 7],
+            })
+            .collect();
+        NocSim {
+            rng: Rng64::new(cfg.seed),
+            cfg,
+            routers,
+            cycle: 0,
+            latency: Streaming::new(),
+            hops: Streaming::new(),
+            delivered: 0,
+            offered: 0,
+            throttled: 0,
+            link_traversals: 0,
+            measuring: false,
+        }
+    }
+
+    /// Advance one cycle: inject, then switch.
+    pub fn step(&mut self) {
+        self.inject();
+        self.switch();
+        self.cycle += 1;
+    }
+
+    fn inject(&mut self) {
+        let nodes = self.cfg.mesh.nodes();
+        for src in 0..nodes {
+            if !self.rng.chance(self.cfg.injection_rate) {
+                continue;
+            }
+            let Some(dest) = self.cfg.pattern.dest(&self.cfg.mesh, src, &mut self.rng) else {
+                continue;
+            };
+            if self.measuring {
+                self.offered += 1;
+            }
+            let q = &mut self.routers[src].inputs[Dir::Local.index()];
+            if q.len() < self.cfg.queue_depth {
+                q.push_back(Flit {
+                    dest,
+                    injected_at: self.cycle,
+                    hops: 0,
+                });
+            } else if self.measuring {
+                self.throttled += 1;
+            }
+        }
+    }
+
+    fn switch(&mut self) {
+        // Two-phase: decide all moves against the *current* occupancy, then
+        // apply, so a flit moves at most one hop per cycle and router scan
+        // order cannot create free-slot races.
+        let mesh = self.cfg.mesh;
+        // (from_router, from_port) -> (to_router, to_port) or delivery.
+        enum Move {
+            Hop {
+                from: usize,
+                port: usize,
+                to: usize,
+                to_port: usize,
+            },
+            Deliver {
+                from: usize,
+                port: usize,
+            },
+        }
+        let mut moves: Vec<Move> = Vec::new();
+        // Claimed slots this cycle: (router, port) -> claims.
+        let mut claims = vec![[0u8; 7]; self.routers.len()];
+
+        for r in 0..self.routers.len() {
+            // Each output port arbitrates independently among input ports.
+            for out in Dir::ALL {
+                let out_idx = out.index();
+                let rr = self.routers[r].rr[out_idx];
+                let mut chosen: Option<usize> = None;
+                for k in 0..7 {
+                    let inp = (rr + k) % 7;
+                    let Some(f) = self.routers[r].inputs[inp].front() else {
+                        continue;
+                    };
+                    if mesh.route(r, f.dest) != out {
+                        continue;
+                    }
+                    // Check downstream capacity.
+                    if out == Dir::Local {
+                        chosen = Some(inp);
+                        break;
+                    }
+                    let Some(to) = mesh.neighbor(r, out) else {
+                        continue;
+                    };
+                    let to_port = out.opposite().index();
+                    let free = self.cfg.queue_depth
+                        - self.routers[to].inputs[to_port].len()
+                        - claims[to][to_port] as usize;
+                    if free > 0 {
+                        chosen = Some(inp);
+                        break;
+                    }
+                }
+                if let Some(inp) = chosen {
+                    self.routers[r].rr[out_idx] = (inp + 1) % 7;
+                    if out == Dir::Local {
+                        moves.push(Move::Deliver { from: r, port: inp });
+                    } else {
+                        let to = mesh.neighbor(r, out).unwrap();
+                        let to_port = out.opposite().index();
+                        claims[to][to_port] += 1;
+                        moves.push(Move::Hop {
+                            from: r,
+                            port: inp,
+                            to,
+                            to_port,
+                        });
+                    }
+                }
+            }
+        }
+
+        for m in moves {
+            match m {
+                Move::Deliver { from, port } => {
+                    let f = self.routers[from].inputs[port].pop_front().unwrap();
+                    debug_assert_eq!(f.dest, from);
+                    self.delivered_flit(f);
+                }
+                Move::Hop {
+                    from,
+                    port,
+                    to,
+                    to_port,
+                } => {
+                    let mut f = self.routers[from].inputs[port].pop_front().unwrap();
+                    f.hops += 1;
+                    self.link_traversals += 1;
+                    self.routers[to].inputs[to_port].push_back(f);
+                    debug_assert!(self.routers[to].inputs[to_port].len() <= self.cfg.queue_depth);
+                }
+            }
+        }
+    }
+
+    fn delivered_flit(&mut self, f: Flit) {
+        if self.measuring {
+            self.delivered += 1;
+            self.latency.add((self.cycle - f.injected_at) as f64);
+            self.hops.add(f.hops as f64);
+        }
+    }
+
+    /// Run `warmup` cycles unmeasured, then `measure` measured cycles, then
+    /// drain-free stop; returns aggregate results.
+    pub fn run(mut self, warmup: u64, measure: u64) -> NocResult {
+        for _ in 0..warmup {
+            self.step();
+        }
+        self.measuring = true;
+        let start = self.cycle;
+        for _ in 0..measure {
+            self.step();
+        }
+        let cycles = (self.cycle - start) as f64;
+        let nodes = self.cfg.mesh.nodes() as f64;
+        NocResult {
+            delivered: self.delivered,
+            offered: self.offered,
+            throttled: self.throttled,
+            mean_latency: self.latency.mean(),
+            max_latency: self.latency.max(),
+            mean_hops: self.hops.mean(),
+            throughput: self.delivered as f64 / cycles / nodes,
+            link_traversals: self.link_traversals,
+        }
+    }
+}
+
+/// Sweep injection rates and return `(rate, mean_latency, throughput)`
+/// triples — the saturation curve of experiment E13.
+pub fn load_sweep(
+    mesh: Mesh,
+    pattern: Pattern,
+    rates: &[f64],
+    seed: u64,
+) -> Vec<(f64, f64, f64)> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let cfg = NocConfig {
+                mesh,
+                queue_depth: 4,
+                pattern,
+                injection_rate: rate,
+                seed,
+            };
+            let r = NocSim::new(cfg).run(2_000, 8_000);
+            (rate, r.mean_latency, r.throughput)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_load_latency_matches_hop_count() {
+        // A single flit travels hops × 1 cycle per hop + 1 ejection cycle.
+        let cfg = NocConfig::mesh8x8(Pattern::Uniform, 0.005, 7);
+        let r = NocSim::new(cfg).run(1_000, 20_000);
+        assert!(r.delivered > 100);
+        // At near-zero load, latency ≈ mean_hops + small constant.
+        assert!(
+            (r.mean_latency - r.mean_hops).abs() < 3.0,
+            "lat={} hops={}",
+            r.mean_latency,
+            r.mean_hops
+        );
+        // Mean hops ≈ analytic uniform mean (≈ 5.25 for 8×8).
+        let expect = Mesh::new_2d(8, 8).mean_hops_uniform();
+        assert!((r.mean_hops - expect).abs() < 0.5, "hops={}", r.mean_hops);
+    }
+
+    #[test]
+    fn throughput_tracks_offered_load_below_saturation() {
+        let cfg = NocConfig::mesh8x8(Pattern::Uniform, 0.05, 8);
+        let r = NocSim::new(cfg).run(2_000, 10_000);
+        assert!(
+            (r.throughput - 0.05).abs() < 0.01,
+            "throughput={}",
+            r.throughput
+        );
+        assert_eq!(r.throttled, 0);
+    }
+
+    #[test]
+    fn saturation_hockey_stick() {
+        // Latency at high load must exceed low-load latency by a lot, and
+        // throughput must flatten below offered load.
+        let m = Mesh::new_2d(8, 8);
+        let sweep = load_sweep(m, Pattern::Uniform, &[0.02, 0.45], 9);
+        let (lo_rate, lo_lat, lo_thr) = sweep[0];
+        let (hi_rate, hi_lat, hi_thr) = sweep[1];
+        assert!(hi_lat > 3.0 * lo_lat, "lo={lo_lat} hi={hi_lat}");
+        assert!((lo_thr - lo_rate).abs() < 0.005);
+        assert!(hi_thr < hi_rate, "saturated throughput {hi_thr} < {hi_rate}");
+    }
+
+    #[test]
+    fn transpose_saturates_earlier_than_uniform() {
+        // Dimension-order routing concentrates transpose traffic.
+        let m = Mesh::new_2d(8, 8);
+        let u = load_sweep(m, Pattern::Uniform, &[0.30], 10)[0];
+        let t = load_sweep(m, Pattern::Transpose, &[0.30], 10)[0];
+        assert!(
+            t.1 > u.1,
+            "transpose latency {} should exceed uniform {}",
+            t.1,
+            u.1
+        );
+    }
+
+    #[test]
+    fn neighbor_traffic_is_cheap() {
+        let m = Mesh::new_2d(8, 8);
+        let n = load_sweep(m, Pattern::Neighbor, &[0.30], 11)[0];
+        // One-hop traffic stays low-latency even at 0.3 flits/node/cycle.
+        assert!(n.1 < 10.0, "neighbor latency={}", n.1);
+    }
+
+    #[test]
+    fn stacked_3d_beats_planar_on_latency() {
+        // E13's 3D claim: same node count, lower hop count, lower latency.
+        let planar = NocSim::new(NocConfig {
+            mesh: Mesh::new_2d(8, 8),
+            queue_depth: 4,
+            pattern: Pattern::Uniform,
+            injection_rate: 0.1,
+            seed: 12,
+        })
+        .run(2_000, 8_000);
+        let stacked = NocSim::new(NocConfig {
+            mesh: Mesh::new_3d(4, 4, 4),
+            queue_depth: 4,
+            pattern: Pattern::Uniform,
+            injection_rate: 0.1,
+            seed: 12,
+        })
+        .run(2_000, 8_000);
+        assert!(stacked.mean_hops < planar.mean_hops);
+        assert!(stacked.mean_latency < planar.mean_latency);
+    }
+
+    #[test]
+    fn conservation_no_flits_lost() {
+        // Run with measurement from cycle 0 and drain by injecting nothing:
+        // delivered + in-flight == injected.
+        let cfg = NocConfig::mesh8x8(Pattern::Uniform, 0.1, 13);
+        let mut sim = NocSim::new(cfg);
+        sim.measuring = true;
+        for _ in 0..1_000 {
+            sim.step();
+        }
+        let injected = sim.offered - sim.throttled;
+        sim.cfg.injection_rate = 0.0;
+        for _ in 0..10_000 {
+            sim.step();
+        }
+        assert_eq!(sim.delivered, injected);
+    }
+
+    #[test]
+    fn determinism() {
+        let r1 = NocSim::new(NocConfig::mesh8x8(Pattern::Uniform, 0.2, 99)).run(500, 2_000);
+        let r2 = NocSim::new(NocConfig::mesh8x8(Pattern::Uniform, 0.2, 99)).run(500, 2_000);
+        assert_eq!(r1.delivered, r2.delivered);
+        assert_eq!(r1.link_traversals, r2.link_traversals);
+        assert_eq!(r1.mean_latency, r2.mean_latency);
+    }
+}

@@ -1,0 +1,210 @@
+//! Checkpoint/restart under Poisson failures — Young–Daly.
+//!
+//! Table A.2 ("Always Online") demands five-nines availability at every
+//! scale; §2.4 demands continuous health monitoring with "contingency
+//! actions". The foundational quantitative tool is the Young–Daly optimal
+//! checkpoint interval `τ* = √(2·δ·M)` for checkpoint cost `δ` and MTBF
+//! `M`. This module provides the analytic efficiency model and a
+//! discrete-event simulation that validates it (experiment E17).
+
+use serde::Serialize;
+
+use xxi_core::rng::Rng64;
+use xxi_core::units::Seconds;
+
+/// The Young–Daly optimal checkpoint interval (compute time between
+/// checkpoints) for checkpoint cost `delta` and MTBF `mtbf`.
+pub fn young_daly_interval(delta: Seconds, mtbf: Seconds) -> Seconds {
+    assert!(delta.value() > 0.0 && mtbf.value() > 0.0);
+    Seconds((2.0 * delta.value() * mtbf.value()).sqrt())
+}
+
+/// First-order analytic machine efficiency (useful work / wall-clock) for
+/// checkpoint interval `tau`, checkpoint cost `delta`, restart cost `r`,
+/// MTBF `m` (valid when `tau + delta ≪ m`):
+/// overheads = checkpointing `δ/τ` + expected rework `(τ+δ)/(2m)` +
+/// restarts `r/m`.
+pub fn efficiency(tau: Seconds, delta: Seconds, restart: Seconds, mtbf: Seconds) -> f64 {
+    let t = tau.value();
+    let d = delta.value();
+    let m = mtbf.value();
+    let overhead = d / (t + d) + (t + d) / (2.0 * m) + restart.value() / m;
+    (1.0 - overhead).max(0.0)
+}
+
+/// Discrete simulation of a long-running job with checkpointing.
+#[derive(Clone, Debug, Serialize)]
+pub struct CheckpointSim {
+    /// Compute time between checkpoints.
+    pub tau: Seconds,
+    /// Time to write a checkpoint.
+    pub delta: Seconds,
+    /// Time to restart after a failure (load checkpoint, reboot).
+    pub restart: Seconds,
+    /// Mean time between failures (exponential).
+    pub mtbf: Seconds,
+}
+
+/// Simulation outcome.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct SimOutcome {
+    /// Wall-clock time to finish the job.
+    pub wall: Seconds,
+    /// Useful compute accomplished (equals the job size).
+    pub work: Seconds,
+    /// Number of failures survived.
+    pub failures: u64,
+    /// Machine efficiency `work / wall`.
+    pub efficiency: f64,
+}
+
+impl CheckpointSim {
+    /// Simulate a job needing `work` seconds of compute; returns wall-clock
+    /// and efficiency. Failure arrivals are exponential; on failure the job
+    /// loses progress since the last checkpoint, pays `restart`, and
+    /// resumes.
+    pub fn run(&self, work: Seconds, seed: u64) -> SimOutcome {
+        let mut rng = Rng64::new(seed);
+        let mut wall = 0.0f64;
+        let mut done = 0.0f64; // checkpointed work
+        let mut failures = 0u64;
+        let mut next_failure = rng.exp(1.0 / self.mtbf.value());
+        let target = work.value();
+
+        while done < target {
+            // Attempt one segment: tau compute + delta checkpoint (or the
+            // final partial segment).
+            let seg = (target - done).min(self.tau.value());
+            let seg_cost = seg + if done + seg < target { self.delta.value() } else { 0.0 };
+            if wall + seg_cost <= next_failure {
+                wall += seg_cost;
+                done += seg;
+            } else {
+                // Failure mid-segment: lose the partial work.
+                wall = next_failure + self.restart.value();
+                failures += 1;
+                next_failure = wall + rng.exp(1.0 / self.mtbf.value());
+            }
+        }
+        SimOutcome {
+            wall: Seconds(wall),
+            work,
+            failures,
+            efficiency: target / wall,
+        }
+    }
+}
+
+/// Steady-state availability of a system with failure rate `1/mtbf` and
+/// mean repair time `mttr`: `A = MTBF / (MTBF + MTTR)`.
+pub fn availability(mtbf: Seconds, mttr: Seconds) -> f64 {
+    mtbf.value() / (mtbf.value() + mttr.value())
+}
+
+/// Number of leading nines of an availability (e.g. 0.99999 → 5).
+pub fn nines(avail: f64) -> u32 {
+    assert!((0.0..1.0).contains(&avail));
+    // The epsilon absorbs float artifacts like (1 − 0.99) = 0.010000…009.
+    (-(1.0 - avail).log10() + 1e-9).floor().max(0.0) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn young_daly_formula() {
+        let tau = young_daly_interval(Seconds(60.0), Seconds::from_hours(24.0));
+        // √(2·60·86400) = √10368000 ≈ 3220 s.
+        assert!((tau.value() - 3219.9).abs() < 1.0, "tau={tau:?}");
+    }
+
+    #[test]
+    fn simulated_optimum_is_near_young_daly() {
+        let delta = Seconds(30.0);
+        let mtbf = Seconds::from_hours(4.0);
+        let restart = Seconds(60.0);
+        let work = Seconds::from_hours(100.0);
+        let yd = young_daly_interval(delta, mtbf);
+
+        let eff_at = |tau: Seconds| {
+            let sim = CheckpointSim {
+                tau,
+                delta,
+                restart,
+                mtbf,
+            };
+            // Average over seeds to tame variance.
+            (0..8).map(|s| sim.run(work, s).efficiency).sum::<f64>() / 8.0
+        };
+
+        let at_yd = eff_at(yd);
+        let too_short = eff_at(Seconds(yd.value() / 16.0));
+        let too_long = eff_at(Seconds(yd.value() * 16.0));
+        assert!(
+            at_yd > too_short,
+            "yd={at_yd} too_short={too_short}"
+        );
+        assert!(at_yd > too_long, "yd={at_yd} too_long={too_long}");
+        // And the absolute efficiency at the optimum is high.
+        assert!(at_yd > 0.9, "at_yd={at_yd}");
+    }
+
+    #[test]
+    fn no_failures_with_huge_mtbf() {
+        let sim = CheckpointSim {
+            tau: Seconds(100.0),
+            delta: Seconds(1.0),
+            restart: Seconds(10.0),
+            mtbf: Seconds(1e12),
+        };
+        let out = sim.run(Seconds(10_000.0), 1);
+        assert_eq!(out.failures, 0);
+        // Efficiency = tau/(tau+delta) ≈ 0.99 (no checkpoint after final
+        // segment).
+        assert!(out.efficiency > 0.98, "eff={}", out.efficiency);
+    }
+
+    #[test]
+    fn job_always_completes_even_with_harsh_failures() {
+        let sim = CheckpointSim {
+            tau: Seconds(50.0),
+            delta: Seconds(5.0),
+            restart: Seconds(20.0),
+            mtbf: Seconds(500.0),
+        };
+        let out = sim.run(Seconds(5_000.0), 2);
+        assert!(out.failures > 0);
+        assert!(out.efficiency < 1.0 && out.efficiency > 0.3);
+        assert!(out.wall.value() > 5_000.0);
+    }
+
+    #[test]
+    fn availability_and_nines() {
+        // Five nines = at most ~5.26 minutes of downtime per year.
+        let a = availability(Seconds::from_hours(8760.0), Seconds(315.0 / 60.0 * 60.0));
+        assert!(nines(a) >= 5, "a={a}");
+        assert_eq!(nines(0.99), 2);
+        assert_eq!(nines(0.999), 3);
+        assert_eq!(nines(0.9), 1);
+        assert_eq!(nines(0.5), 0);
+    }
+
+    #[test]
+    fn analytic_efficiency_monotone_pieces() {
+        let delta = Seconds(30.0);
+        let mtbf = Seconds::from_hours(4.0);
+        let r = Seconds(60.0);
+        let yd = young_daly_interval(delta, mtbf);
+        let e_yd = efficiency(yd, delta, r, mtbf);
+        let e_short = efficiency(Seconds(yd.value() / 20.0), delta, r, mtbf);
+        let e_long = efficiency(Seconds(yd.value() * 20.0), delta, r, mtbf);
+        assert!(e_yd > e_short && e_yd > e_long);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_mtbf_rejected() {
+        young_daly_interval(Seconds(1.0), Seconds(0.0));
+    }
+}

@@ -1,0 +1,187 @@
+//! Bit-flip fault injection over an ECC-protected memory array.
+//!
+//! Drives the SECDED implementation with the fault processes that
+//! `xxi-tech::ser` predicts, classifying every read into the standard
+//! taxonomy: **corrected** (single flip), **DUE** (detected uncorrectable —
+//! double flip caught by SECDED), and **SDC** (silent data corruption —
+//! the decode returned data that differs from what was written without
+//! signalling). For SECDED, SDC requires ≥3 aliased flips, so observing
+//! zero SDC at realistic rates *is* the experiment's expected result; the
+//! injector lets E3 verify it rather than assume it.
+
+use crate::ecc::{decode, encode, flip, Codeword, DecodeResult};
+use xxi_core::metrics::Metrics;
+use xxi_core::rng::Rng64;
+
+/// Outcome classification of one read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Word read back clean.
+    Clean,
+    /// Single-bit error corrected transparently.
+    Corrected,
+    /// Detected uncorrectable error.
+    Due,
+    /// Silent data corruption: wrong data, no signal. The disaster case.
+    Sdc,
+}
+
+/// An ECC-protected word array with fault injection.
+pub struct FaultInjector {
+    words: Vec<(u64, Codeword)>,
+    rng: Rng64,
+    /// `flips_injected`, `reads`, `clean`, `corrected`, `due`, `sdc`.
+    pub metrics: Metrics,
+}
+
+impl FaultInjector {
+    /// An array of `n` words initialized to a deterministic pattern.
+    pub fn new(n: usize, seed: u64) -> FaultInjector {
+        let mut rng = Rng64::new(seed);
+        let words = (0..n)
+            .map(|_| {
+                let d = rng.next_u64();
+                (d, encode(d))
+            })
+            .collect();
+        FaultInjector {
+            words,
+            rng,
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Inject `n` uniformly random bit flips across the array (codeword
+    /// bits, including check bits — radiation does not respect layout).
+    pub fn inject(&mut self, n: u64) {
+        for _ in 0..n {
+            let w = self.rng.below(self.words.len() as u64) as usize;
+            let pos = self.rng.range_u64(1, 72) as u32;
+            self.words[w].1 = flip(self.words[w].1, pos);
+            self.metrics.incr("flips_injected");
+        }
+    }
+
+    /// Read word `i`, classify, and (as hardware would) write back the
+    /// corrected codeword on correction.
+    pub fn read(&mut self, i: usize) -> Outcome {
+        self.metrics.incr("reads");
+        let (golden, cw) = self.words[i];
+        let out = match decode(cw) {
+            DecodeResult::Clean(d) => {
+                if d == golden {
+                    Outcome::Clean
+                } else {
+                    Outcome::Sdc
+                }
+            }
+            DecodeResult::Corrected(d, _) => {
+                if d == golden {
+                    // Write back the repaired word.
+                    self.words[i].1 = encode(d);
+                    Outcome::Corrected
+                } else {
+                    Outcome::Sdc
+                }
+            }
+            DecodeResult::DoubleError => Outcome::Due,
+        };
+        match out {
+            Outcome::Clean => self.metrics.incr("clean"),
+            Outcome::Corrected => self.metrics.incr("corrected"),
+            Outcome::Due => self.metrics.incr("due"),
+            Outcome::Sdc => self.metrics.incr("sdc"),
+        }
+        out
+    }
+
+    /// Read the whole array, returning (clean, corrected, due, sdc).
+    pub fn scrub_pass(&mut self) -> (u64, u64, u64, u64) {
+        let before = (
+            self.metrics.counter("clean"),
+            self.metrics.counter("corrected"),
+            self.metrics.counter("due"),
+            self.metrics.counter("sdc"),
+        );
+        for i in 0..self.words.len() {
+            self.read(i);
+        }
+        (
+            self.metrics.counter("clean") - before.0,
+            self.metrics.counter("corrected") - before.1,
+            self.metrics.counter("due") - before.2,
+            self.metrics.counter("sdc") - before.3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_all_clean() {
+        let mut fi = FaultInjector::new(64, 1);
+        let (clean, corrected, due, sdc) = fi.scrub_pass();
+        assert_eq!(clean, 64);
+        assert_eq!(corrected + due + sdc, 0);
+    }
+
+    #[test]
+    fn sparse_faults_all_corrected() {
+        // Fewer flips than words ⇒ mostly one flip per word ⇒ corrected.
+        let mut fi = FaultInjector::new(4096, 2);
+        fi.inject(64);
+        let (_, corrected, due, sdc) = fi.scrub_pass();
+        assert_eq!(sdc, 0, "SECDED must not silently corrupt at low rates");
+        assert!(corrected >= 55, "corrected={corrected} (birthday collisions allowed)");
+        assert!(due <= 5);
+    }
+
+    #[test]
+    fn correction_writeback_heals_the_array() {
+        let mut fi = FaultInjector::new(256, 3);
+        fi.inject(40);
+        fi.scrub_pass();
+        // Second pass: everything the first pass corrected is now clean.
+        let (clean, corrected, due, _) = fi.scrub_pass();
+        assert_eq!(clean + due, 256);
+        assert_eq!(corrected, 0);
+    }
+
+    #[test]
+    fn dense_faults_produce_dues_but_no_sdc() {
+        // Hammer a tiny array so words take ≥2 flips.
+        let mut fi = FaultInjector::new(8, 4);
+        fi.inject(24);
+        let (_, _, due, sdc) = fi.scrub_pass();
+        assert!(due > 0, "with 3 flips/word expected, some DUEs must appear");
+        // 3+ aliased flips *can* in principle mis-correct; with 8 words and
+        // this seed the expected SDC count is ~0-1. Just bound it.
+        assert!(sdc <= 1, "sdc={sdc}");
+    }
+
+    #[test]
+    fn counters_are_consistent() {
+        let mut fi = FaultInjector::new(128, 5);
+        fi.inject(20);
+        fi.scrub_pass();
+        let m = &fi.metrics;
+        assert_eq!(m.counter("reads"), 128);
+        assert_eq!(
+            m.counter("clean") + m.counter("corrected") + m.counter("due") + m.counter("sdc"),
+            128
+        );
+        assert_eq!(m.counter("flips_injected"), 20);
+    }
+}

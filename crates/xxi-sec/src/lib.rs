@@ -1,0 +1,38 @@
+//! # xxi-sec
+//!
+//! Security mechanisms for the `xxi-arch` framework.
+//!
+//! §2.4 ("Security and Privacy"): *"it is time to rethink security and
+//! privacy from the ground up and define architectural interfaces that
+//! enable hardware to act as the 'root of trust' … Such services include
+//! information flow tracking (reducing side-channel attacks) and efficient
+//! enforcement of richer information access rules"*; and under interfaces:
+//! *"we need interfaces to specify fine-grain protection boundaries among
+//! modules within a single application."*
+//!
+//! Three mechanisms, each runnable and tested:
+//!
+//! * [`ift`] — **dynamic information-flow tracking (DIFT)**: a tiny
+//!   register machine whose every value carries a taint label; taint
+//!   propagates through arithmetic, loads and stores; a hardware policy
+//!   blocks tainted data from reaching output (or jump targets) without an
+//!   explicit declassification — the canonical DIFT design the paper
+//!   names.
+//! * [`protection`] — **fine-grain protection domains**: an
+//!   access-control matrix between intra-application modules and memory
+//!   regions with word granularity, checked on every access — the §2.4
+//!   interface experiment, with an energy cost per check so the
+//!   "efficiency" half of the claim is priced too.
+//! * [`sidechannel`] — a working **prime+probe cache side channel**
+//!   against the `xxi-mem` cache model (a victim whose memory access
+//!   pattern depends on a secret), and the architectural defense the paper
+//!   family proposes: way-partitioning. The attack recovers the secret
+//!   from an unpartitioned cache and is blinded by the partitioned one.
+
+pub mod ift;
+pub mod protection;
+pub mod sidechannel;
+
+pub use ift::{Instr, Machine, Policy, Taint, TrapKind};
+pub use protection::{AccessKind, DomainId, ProtectionMatrix, RegionId};
+pub use sidechannel::{prime_probe_attack, PartitionedCache};

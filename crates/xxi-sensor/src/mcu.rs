@@ -1,0 +1,84 @@
+//! Microcontroller energy model with duty cycling.
+
+use serde::{Deserialize, Serialize};
+
+use xxi_core::units::{Energy, Power, Seconds};
+
+/// A sensor-node MCU.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Mcu {
+    /// Power while actively computing.
+    pub active_power: Power,
+    /// Power while asleep (RAM retention + RTC).
+    pub sleep_power: Power,
+    /// Energy per executed operation.
+    pub energy_per_op: Energy,
+    /// Operations per second when active.
+    pub ops_per_sec: f64,
+}
+
+impl Mcu {
+    /// A Cortex-M-class MCU: 5 mW active at 50 Mops/s (100 pJ/op),
+    /// 5 µW asleep.
+    pub fn cortex_m_class() -> Mcu {
+        Mcu {
+            active_power: Power::from_mw(5.0),
+            sleep_power: Power::from_uw(5.0),
+            energy_per_op: Energy::from_pj(100.0),
+            ops_per_sec: 50e6,
+        }
+    }
+
+    /// Energy to execute `ops` operations.
+    pub fn compute_energy(&self, ops: u64) -> Energy {
+        self.energy_per_op * ops as f64
+    }
+
+    /// Time to execute `ops` operations.
+    pub fn compute_time(&self, ops: u64) -> Seconds {
+        Seconds(ops as f64 / self.ops_per_sec)
+    }
+
+    /// Energy over an interval where the MCU is active for `active` of
+    /// `total` (sleeping the rest).
+    pub fn duty_cycle_energy(&self, active: Seconds, total: Seconds) -> Energy {
+        assert!(active.value() <= total.value());
+        self.active_power * active + self.sleep_power * (total - active)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_is_self_consistent() {
+        // active_power ≈ energy_per_op × ops_per_sec.
+        let m = Mcu::cortex_m_class();
+        let implied = m.energy_per_op.value() * m.ops_per_sec;
+        assert!((implied - m.active_power.value()).abs() / m.active_power.value() < 1e-9);
+    }
+
+    #[test]
+    fn compute_energy_and_time() {
+        let m = Mcu::cortex_m_class();
+        let e = m.compute_energy(1_000_000);
+        assert!((e.value() - 1e-4).abs() < 1e-12); // 1 Mop × 100 pJ = 100 µJ
+        let t = m.compute_time(50_000_000);
+        assert!((t.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duty_cycling_saves_orders_of_magnitude() {
+        let m = Mcu::cortex_m_class();
+        let always_on = m.duty_cycle_energy(Seconds(3600.0), Seconds(3600.0));
+        let one_percent = m.duty_cycle_energy(Seconds(36.0), Seconds(3600.0));
+        assert!(always_on.value() / one_percent.value() > 50.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn active_exceeding_total_rejected() {
+        Mcu::cortex_m_class().duty_cycle_energy(Seconds(2.0), Seconds(1.0));
+    }
+}

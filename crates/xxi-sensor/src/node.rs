@@ -1,0 +1,306 @@
+//! The whole sensor node: sample → process → transmit — experiment E10.
+//!
+//! Three policies for a node that samples a biometric-like signal and must
+//! get clinically relevant information to the uplink:
+//!
+//! * [`NodePolicy::SendRaw`] — transmit every sample. Radio-dominated.
+//! * [`NodePolicy::FilterThenSend`] — run an on-node anomaly detector
+//!   (moving-mean threshold) and transmit only anomalous windows. Trades
+//!   MCU ops (pJ) for radio bits (nJ) — the paper's central sensor claim.
+//! * [`NodePolicy::CompressThenSend`] — delta-encode and transmit
+//!   everything (lossless middle ground, modeled with a calibrated
+//!   compression ratio).
+//!
+//! The simulation marches a battery through sampling epochs and reports
+//! lifetime, plus the detector's recall so the energy saving is shown not
+//! to come from dropping the signal.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mcu::Mcu;
+use crate::power::Battery;
+use crate::radio::Radio;
+use xxi_approx::signal::SignalGen;
+use xxi_core::units::{Energy, Seconds};
+
+/// Processing/transmission policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodePolicy {
+    /// Transmit every raw sample.
+    SendRaw,
+    /// Detect anomalies on-node; transmit only anomalous windows.
+    FilterThenSend,
+    /// Delta-compress and transmit everything.
+    CompressThenSend,
+}
+
+/// Node configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SensorNodeConfig {
+    /// Sampling rate in Hz.
+    pub sample_hz: f64,
+    /// Bits per raw sample.
+    pub bits_per_sample: u32,
+    /// Samples per processing/transmit epoch.
+    pub epoch_samples: usize,
+    /// Detection window for the moving-mean filter.
+    pub window: usize,
+    /// Detection threshold as a multiple of the running RMS.
+    pub threshold: f64,
+    /// Compression ratio for [`NodePolicy::CompressThenSend`].
+    pub compression_ratio: f64,
+    /// MCU operations per sample for filtering.
+    pub ops_per_sample_filter: u64,
+    /// MCU operations per sample for compression.
+    pub ops_per_sample_compress: u64,
+}
+
+impl Default for SensorNodeConfig {
+    fn default() -> SensorNodeConfig {
+        SensorNodeConfig {
+            sample_hz: 250.0, // ECG-class
+            bits_per_sample: 12,
+            epoch_samples: 250,
+            window: 8,
+            threshold: 1.8,
+            compression_ratio: 3.0,
+            ops_per_sample_filter: 50,
+            ops_per_sample_compress: 200,
+        }
+    }
+}
+
+/// Result of simulating one node to battery exhaustion (or the horizon).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct NodeOutcome {
+    /// Battery lifetime.
+    pub lifetime: Seconds,
+    /// Bits transmitted in total.
+    pub bits_sent: u64,
+    /// Fraction of true anomaly windows that were reported (recall);
+    /// 1.0 for policies that send everything.
+    pub recall: f64,
+    /// Total energy spent in the radio.
+    pub radio_energy: Energy,
+    /// Total energy spent computing.
+    pub compute_energy: Energy,
+}
+
+/// The node simulator.
+pub struct SensorNode {
+    /// Node configuration.
+    pub cfg: SensorNodeConfig,
+    /// MCU model.
+    pub mcu: Mcu,
+    /// Radio model.
+    pub radio: Radio,
+}
+
+impl SensorNode {
+    /// Build a node.
+    pub fn new(cfg: SensorNodeConfig, mcu: Mcu, radio: Radio) -> SensorNode {
+        assert!(cfg.epoch_samples > 0 && cfg.window > 0);
+        SensorNode { cfg, mcu, radio }
+    }
+
+    /// Simulate under `policy` until `battery` dies or `horizon` elapses.
+    pub fn run(
+        &self,
+        policy: NodePolicy,
+        mut battery: Battery,
+        horizon: Seconds,
+        seed: u64,
+    ) -> NodeOutcome {
+        let cfg = &self.cfg;
+        let epoch_dt = Seconds(cfg.epoch_samples as f64 / cfg.sample_hz);
+        // Clinically interesting events are rare: ~5% of epochs.
+        let gen = SignalGen {
+            anomaly_rate: 0.0002,
+            ..SignalGen::default()
+        };
+        let mut elapsed = 0.0f64;
+        let mut bits_sent = 0u64;
+        let mut radio_energy = Energy::ZERO;
+        let mut compute_energy = Energy::ZERO;
+        let mut anomaly_epochs = 0u64;
+        let mut reported_anomaly_epochs = 0u64;
+        let mut epoch_seed = seed;
+
+        while elapsed < horizon.value() && !battery.dead() {
+            epoch_seed = epoch_seed.wrapping_mul(6364136223846793005).wrapping_add(7);
+            let (signal, mask) = gen.generate(cfg.epoch_samples, epoch_seed);
+            let has_anomaly = mask.iter().any(|&m| m);
+            if has_anomaly {
+                anomaly_epochs += 1;
+            }
+
+            // Baseline sampling cost (ADC + store): 10 ops/sample.
+            let mut ops = 10 * cfg.epoch_samples as u64;
+            let mut bits = 0u64;
+            let mut reported = false;
+
+            match policy {
+                NodePolicy::SendRaw => {
+                    bits = cfg.epoch_samples as u64 * cfg.bits_per_sample as u64;
+                    reported = has_anomaly;
+                }
+                NodePolicy::FilterThenSend => {
+                    ops += cfg.ops_per_sample_filter * cfg.epoch_samples as u64;
+                    if detect(&signal, cfg.window, cfg.threshold) {
+                        bits = cfg.epoch_samples as u64 * cfg.bits_per_sample as u64;
+                        reported = has_anomaly;
+                    }
+                }
+                NodePolicy::CompressThenSend => {
+                    ops += cfg.ops_per_sample_compress * cfg.epoch_samples as u64;
+                    bits = (cfg.epoch_samples as f64 * cfg.bits_per_sample as f64
+                        / cfg.compression_ratio) as u64;
+                    reported = has_anomaly;
+                }
+            }
+
+            let e_compute = self.mcu.compute_energy(ops);
+            let e_radio = if bits > 0 {
+                self.radio.tx_energy(bits)
+            } else {
+                Energy::ZERO
+            };
+            let e_sleep = self.mcu.sleep_power * epoch_dt;
+            let e_total = e_compute + e_radio + e_sleep;
+            if !battery.draw(e_total) {
+                break;
+            }
+            compute_energy += e_compute;
+            radio_energy += e_radio;
+            bits_sent += bits;
+            if reported && has_anomaly {
+                reported_anomaly_epochs += 1;
+            }
+            elapsed += epoch_dt.value();
+        }
+
+        NodeOutcome {
+            lifetime: Seconds(elapsed),
+            bits_sent,
+            recall: if anomaly_epochs == 0 {
+                1.0
+            } else {
+                reported_anomaly_epochs as f64 / anomaly_epochs as f64
+            },
+            radio_energy,
+            compute_energy,
+        }
+    }
+}
+
+/// Moving-mean-of-squares anomaly detector: fires when any window's RMS
+/// exceeds `threshold ×` the epoch RMS baseline.
+fn detect(signal: &[f64], window: usize, threshold: f64) -> bool {
+    let epoch_ms = signal.iter().map(|x| x * x).sum::<f64>() / signal.len() as f64;
+    if epoch_ms == 0.0 {
+        return false;
+    }
+    let mut acc = 0.0;
+    for (i, x) in signal.iter().enumerate() {
+        acc += x * x;
+        if i >= window {
+            acc -= signal[i - window] * signal[i - window];
+        }
+        let n = window.min(i + 1) as f64;
+        if acc / n > threshold * threshold * epoch_ms {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radio::RadioTech;
+
+    fn node() -> SensorNode {
+        SensorNode::new(
+            SensorNodeConfig::default(),
+            Mcu::cortex_m_class(),
+            Radio::new(RadioTech::BleClass),
+        )
+    }
+
+    fn small_battery() -> Battery {
+        Battery::new(Energy(1.0))
+    }
+
+    #[test]
+    fn filtering_extends_lifetime_substantially() {
+        // E10's headline: compute-then-send beats send-raw on lifetime.
+        let n = node();
+        let horizon = Seconds::from_hours(10_000.0);
+        let raw = n.run(NodePolicy::SendRaw, small_battery(), horizon, 1);
+        let filt = n.run(NodePolicy::FilterThenSend, small_battery(), horizon, 1);
+        assert!(
+            filt.lifetime.value() > 2.0 * raw.lifetime.value(),
+            "filter {}h vs raw {}h",
+            filt.lifetime.hours(),
+            raw.lifetime.hours()
+        );
+        // And it's the radio that made the difference: bits per second of
+        // lifetime drop by at least 5×.
+        let raw_rate = raw.bits_sent as f64 / raw.lifetime.value();
+        let filt_rate = filt.bits_sent as f64 / filt.lifetime.value();
+        assert!(filt_rate < raw_rate / 5.0, "filt={filt_rate} raw={raw_rate}");
+    }
+
+    #[test]
+    fn compression_lands_between() {
+        let n = node();
+        let horizon = Seconds::from_hours(10_000.0);
+        let raw = n.run(NodePolicy::SendRaw, small_battery(), horizon, 2);
+        let comp = n.run(NodePolicy::CompressThenSend, small_battery(), horizon, 2);
+        let filt = n.run(NodePolicy::FilterThenSend, small_battery(), horizon, 2);
+        assert!(comp.lifetime.value() > raw.lifetime.value());
+        assert!(comp.lifetime.value() < filt.lifetime.value());
+    }
+
+    #[test]
+    fn filtering_keeps_high_recall() {
+        // The saving must not come from dropping the medical events.
+        let n = node();
+        let filt = n.run(
+            NodePolicy::FilterThenSend,
+            Battery::new(Energy(2.0)),
+            Seconds::from_hours(10_000.0),
+            3,
+        );
+        assert!(filt.recall > 0.9, "recall={}", filt.recall);
+    }
+
+    #[test]
+    fn radio_dominates_raw_policy_energy() {
+        let n = node();
+        let raw = n.run(
+            NodePolicy::SendRaw,
+            small_battery(),
+            Seconds::from_hours(10_000.0),
+            4,
+        );
+        assert!(
+            raw.radio_energy.value() > 3.0 * raw.compute_energy.value(),
+            "radio={} compute={}",
+            raw.radio_energy,
+            raw.compute_energy
+        );
+    }
+
+    #[test]
+    fn horizon_caps_simulation() {
+        let n = node();
+        let out = n.run(
+            NodePolicy::FilterThenSend,
+            Battery::coin_cell(),
+            Seconds(10.0),
+            5,
+        );
+        assert!(out.lifetime.value() <= 10.0 + 1.1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Batteries and energy harvesters.
+
+use serde::{Deserialize, Serialize};
+
+use xxi_core::rng::Rng64;
+use xxi_core::units::{Energy, Power, Seconds};
+
+/// A finite energy store.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Battery {
+    capacity: Energy,
+    remaining: Energy,
+}
+
+impl Battery {
+    /// A battery with the given capacity, fully charged.
+    pub fn new(capacity: Energy) -> Battery {
+        assert!(capacity.value() > 0.0);
+        Battery {
+            capacity,
+            remaining: capacity,
+        }
+    }
+
+    /// A CR2032-class coin cell: ~225 mAh at 3 V ≈ 2430 J.
+    pub fn coin_cell() -> Battery {
+        Battery::new(Energy(2430.0))
+    }
+
+    /// Remaining energy.
+    pub fn remaining(&self) -> Energy {
+        self.remaining
+    }
+
+    /// State of charge in [0, 1].
+    pub fn soc(&self) -> f64 {
+        self.remaining / self.capacity
+    }
+
+    /// Draw `e`; returns `false` (and empties) if insufficient.
+    pub fn draw(&mut self, e: Energy) -> bool {
+        assert!(e.value() >= 0.0);
+        if e.value() <= self.remaining.value() {
+            self.remaining -= e;
+            true
+        } else {
+            self.remaining = Energy::ZERO;
+            false
+        }
+    }
+
+    /// Recharge by `e`, clamped at capacity.
+    pub fn charge(&mut self, e: Energy) {
+        assert!(e.value() >= 0.0);
+        self.remaining = (self.remaining + e).min(self.capacity);
+    }
+
+    /// True once fully drained.
+    pub fn dead(&self) -> bool {
+        self.remaining.value() <= 0.0
+    }
+}
+
+/// Harvester profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HarvestProfile {
+    /// Solar-like: sinusoidal day/night cycle, zero at night.
+    Solar,
+    /// Vibration-like: bursty on/off (Markov) supply.
+    Vibration,
+    /// Constant trickle.
+    Constant,
+}
+
+/// A stochastic energy harvester sampled at fixed steps.
+#[derive(Clone, Debug)]
+pub struct Harvester {
+    profile: HarvestProfile,
+    /// Peak harvest power.
+    peak: Power,
+    /// Period of the solar cycle (steps) / mean burst length (vibration).
+    period: u64,
+    rng: Rng64,
+    step: u64,
+    burst_on: bool,
+}
+
+impl Harvester {
+    /// A harvester with `peak` power and characteristic `period` in steps.
+    pub fn new(profile: HarvestProfile, peak: Power, period: u64, seed: u64) -> Harvester {
+        assert!(peak.value() >= 0.0 && period > 0);
+        Harvester {
+            profile,
+            peak,
+            period,
+            rng: Rng64::new(seed),
+            step: 0,
+            burst_on: false,
+        }
+    }
+
+    /// Power available during the next step.
+    pub fn next_power(&mut self) -> Power {
+        let p = match self.profile {
+            HarvestProfile::Constant => self.peak,
+            HarvestProfile::Solar => {
+                let phase = (self.step % self.period) as f64 / self.period as f64;
+                let s = (std::f64::consts::TAU * phase).sin();
+                // Daylight only (positive half of the cycle).
+                self.peak * s.max(0.0)
+            }
+            HarvestProfile::Vibration => {
+                // Two-state Markov chain with mean sojourn = period steps.
+                if self.rng.chance(1.0 / self.period as f64) {
+                    self.burst_on = !self.burst_on;
+                }
+                if self.burst_on {
+                    self.peak
+                } else {
+                    Power::ZERO
+                }
+            }
+        };
+        self.step += 1;
+        p
+    }
+
+    /// Energy harvested over one step of `dt`.
+    pub fn harvest(&mut self, dt: Seconds) -> Energy {
+        self.next_power() * dt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn battery_draw_and_charge() {
+        let mut b = Battery::new(Energy(100.0));
+        assert!(b.draw(Energy(30.0)));
+        assert!((b.soc() - 0.7).abs() < 1e-12);
+        b.charge(Energy(50.0));
+        assert!((b.remaining().value() - 100.0).abs() < 1e-12, "clamped at capacity");
+        assert!(b.draw(Energy(100.0)));
+        assert!(b.dead());
+        assert!(!b.draw(Energy(1.0)));
+    }
+
+    #[test]
+    fn overdraw_empties_and_fails() {
+        let mut b = Battery::new(Energy(10.0));
+        assert!(!b.draw(Energy(11.0)));
+        assert!(b.dead());
+    }
+
+    #[test]
+    fn coin_cell_capacity_sane() {
+        let b = Battery::coin_cell();
+        assert!((b.remaining().value() - 2430.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn solar_cycles_between_zero_and_peak() {
+        let mut h = Harvester::new(HarvestProfile::Solar, Power::from_mw(10.0), 100, 1);
+        let ps: Vec<f64> = (0..200).map(|_| h.next_power().value()).collect();
+        let max = ps.iter().cloned().fold(0.0f64, f64::max);
+        let zeros = ps.iter().filter(|&&p| p == 0.0).count();
+        assert!((max - 0.01).abs() < 1e-4, "max={max}");
+        // Half the cycle is night.
+        assert!(zeros >= 90 && zeros <= 110, "zeros={zeros}");
+    }
+
+    #[test]
+    fn vibration_is_bursty_with_right_duty() {
+        let mut h = Harvester::new(HarvestProfile::Vibration, Power::from_mw(5.0), 50, 2);
+        let n = 100_000;
+        let on = (0..n)
+            .filter(|_| h.next_power().value() > 0.0)
+            .count();
+        let duty = on as f64 / n as f64;
+        assert!((duty - 0.5).abs() < 0.05, "duty={duty}");
+    }
+
+    #[test]
+    fn constant_profile_harvest_energy() {
+        let mut h = Harvester::new(HarvestProfile::Constant, Power::from_mw(2.0), 1, 3);
+        let e = h.harvest(Seconds(10.0));
+        assert!((e.value() - 0.02).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,189 @@
+//! Cross-layer intent translation — the §2.4 interface experiment.
+//!
+//! *"Current ISAs fail to provide an efficient means of capturing
+//! software-intent … they have no way of specifying when a program
+//! requires energy efficiency, robust security, or a desired
+//! Quality-of-Service level."*
+//!
+//! [`Intent`] is that missing interface in miniature: the application
+//! states *what it needs* — a latency target, an energy budget, an
+//! availability target, an error tolerance — and [`Intent::compile`]
+//! translates it into concrete knobs drawn from the rest of the workspace:
+//!
+//! * a DVFS operating point (via `xxi-tech`'s ladder) slow enough to save
+//!   energy but fast enough for the deadline;
+//! * a checkpoint interval (Young–Daly, via `xxi-rel`) for the stated
+//!   availability;
+//! * a replication degree for the availability target;
+//! * whether ECC + re-execution (resilient NTV) may be engaged, based on
+//!   the stated error tolerance.
+
+use serde::Serialize;
+
+use xxi_core::units::{Power, Seconds, Volts};
+use xxi_rel::checkpoint::young_daly_interval;
+use xxi_tech::freq::{dvfs_ladder, OperatingPoint};
+use xxi_tech::node::TechNode;
+
+/// Application-expressed requirements.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Intent {
+    /// Work per period, in cycles.
+    pub cycles_per_period: f64,
+    /// Period (deadline).
+    pub period: Seconds,
+    /// Target availability, e.g. 0.999.
+    pub availability_target: f64,
+    /// Whether occasional silent numerical error is tolerable
+    /// (approximate-computing consent).
+    pub error_tolerant: bool,
+}
+
+/// The compiled cross-layer plan.
+#[derive(Clone, Debug, Serialize)]
+pub struct Plan {
+    /// Chosen operating point.
+    pub op: OperatingPoint,
+    /// Checkpoint interval for the availability machinery.
+    pub checkpoint_interval: Seconds,
+    /// Replicas needed to reach the availability target given one
+    /// replica's availability.
+    pub replicas: u32,
+    /// Engage low-voltage (NTV) operation with recovery?
+    pub ntv_allowed: bool,
+}
+
+/// System facts the compiler needs.
+#[derive(Clone, Debug)]
+pub struct Platform {
+    /// Technology node.
+    pub node: TechNode,
+    /// Block nominal power.
+    pub nominal_power: Power,
+    /// Mean time between failures of one replica.
+    pub mtbf: Seconds,
+    /// Checkpoint write cost.
+    pub checkpoint_cost: Seconds,
+    /// Availability of a single replica.
+    pub replica_availability: f64,
+}
+
+impl Intent {
+    /// Translate intent into knobs on `platform`. Returns `None` when the
+    /// deadline is infeasible even at the top operating point.
+    pub fn compile(&self, platform: &Platform) -> Option<Plan> {
+        let ladder = dvfs_ladder(
+            &platform.node,
+            platform.nominal_power,
+            Volts(platform.node.vth.value() + 0.15),
+            16,
+        );
+        // Slowest rung that meets the deadline.
+        let op = *ladder
+            .iter()
+            .find(|op| self.cycles_per_period / op.f.value() <= self.period.value())?;
+
+        let checkpoint_interval = young_daly_interval(platform.checkpoint_cost, platform.mtbf);
+
+        // Replication: unavailability multiplies per independent replica.
+        let mut replicas = 1u32;
+        let single_u = 1.0 - platform.replica_availability;
+        while 1.0 - single_u.powi(replicas as i32) < self.availability_target {
+            replicas += 1;
+            assert!(replicas <= 16, "availability target unreachable");
+        }
+
+        Some(Plan {
+            op,
+            checkpoint_interval,
+            replicas,
+            ntv_allowed: self.error_tolerant,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xxi_tech::node::NodeDb;
+
+    fn platform() -> Platform {
+        Platform {
+            node: NodeDb::standard().by_name("22nm").unwrap().clone(),
+            nominal_power: Power(10.0),
+            mtbf: Seconds::from_hours(24.0),
+            checkpoint_cost: Seconds(30.0),
+            replica_availability: 0.99,
+        }
+    }
+
+    fn intent(cycles: f64) -> Intent {
+        Intent {
+            cycles_per_period: cycles,
+            period: Seconds(1e-3),
+            availability_target: 0.999,
+            error_tolerant: false,
+        }
+    }
+
+    #[test]
+    fn lax_deadline_compiles_to_slow_point() {
+        let p = platform();
+        let plan = intent(1e5).compile(&p).unwrap();
+        let ladder = dvfs_ladder(&p.node, p.nominal_power, Volts(p.node.vth.value() + 0.15), 16);
+        assert!(plan.op.f.value() < ladder.last().unwrap().f.value());
+        // Deadline actually met.
+        assert!(1e5 / plan.op.f.value() <= 1e-3);
+    }
+
+    #[test]
+    fn tight_deadline_compiles_to_fast_point() {
+        let p = platform();
+        let top_f = dvfs_ladder(&p.node, p.nominal_power, Volts(p.node.vth.value() + 0.15), 16)
+            .last()
+            .unwrap()
+            .f
+            .value();
+        let plan = intent(0.99 * top_f * 1e-3).compile(&p).unwrap();
+        assert!((plan.op.f.value() - top_f).abs() / top_f < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_deadline_reports_none() {
+        let p = platform();
+        assert!(intent(1e12).compile(&p).is_none());
+    }
+
+    #[test]
+    fn availability_target_sets_replicas() {
+        let p = platform();
+        // 0.99 single: two replicas give 0.9999 ≥ 0.999.
+        let plan = intent(1e5).compile(&p).unwrap();
+        assert_eq!(plan.replicas, 2);
+        // Five nines needs three replicas (1 − 0.01³ = 0.999999).
+        let mut hard = intent(1e5);
+        hard.availability_target = 0.99999;
+        assert_eq!(hard.compile(&p).unwrap().replicas, 3);
+        // A lax target needs one.
+        let mut lax = intent(1e5);
+        lax.availability_target = 0.9;
+        assert_eq!(lax.compile(&p).unwrap().replicas, 1);
+    }
+
+    #[test]
+    fn checkpoint_interval_is_young_daly() {
+        let p = platform();
+        let plan = intent(1e5).compile(&p).unwrap();
+        let expect = young_daly_interval(p.checkpoint_cost, p.mtbf);
+        assert!((plan.checkpoint_interval.value() - expect.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_tolerance_gates_ntv() {
+        let p = platform();
+        assert!(!intent(1e5).compile(&p).unwrap().ntv_allowed);
+        let mut tolerant = intent(1e5);
+        tolerant.error_tolerant = true;
+        assert!(tolerant.compile(&p).unwrap().ntv_allowed);
+    }
+}

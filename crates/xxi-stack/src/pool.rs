@@ -1,0 +1,351 @@
+//! A work-stealing thread pool over [`crate::deque`].
+//!
+//! Each worker owns a deque; spawned tasks go to the submitting worker's
+//! deque when possible, otherwise to a global injector. Idle workers drain
+//! their own deque LIFO, then the injector, then steal from victims in a
+//! rotating order. This is the "orchestrate fine-grain multitasking"
+//! runtime of §2.2 in ~250 lines; experiment E18 measures its scaling.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+use crate::deque::{deque, Stealer, Worker};
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    injector: Mutex<VecDeque<Task>>,
+    stealers: Vec<Stealer<Task>>,
+    pending: AtomicUsize,
+    shutdown: AtomicBool,
+    idle: Mutex<()>,
+    idle_cv: Condvar,
+    done: Mutex<()>,
+    done_cv: Condvar,
+}
+
+/// The work-stealing pool.
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawn a pool with `threads ≥ 1` workers.
+    pub fn new(threads: usize) -> Pool {
+        assert!(threads >= 1);
+        let mut workers: Vec<Worker<Task>> = Vec::with_capacity(threads);
+        let mut stealers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (w, s) = deque::<Task>(1 << 13);
+            workers.push(w);
+            stealers.push(s);
+        }
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            stealers,
+            pending: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            idle: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            done: Mutex::new(()),
+            done_cv: Condvar::new(),
+        });
+        let handles = workers
+            .into_iter()
+            .enumerate()
+            .map(|(id, w)| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("xxi-worker-{id}"))
+                    .spawn(move || worker_loop(id, w, shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Pool { shared, handles }
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.shared.stealers.len()
+    }
+
+    /// Submit a task.
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        self.shared.injector.lock().unwrap().push_back(Box::new(f));
+        self.shared.idle_cv.notify_one();
+    }
+
+    /// Block until every spawned task has completed.
+    pub fn wait(&self) {
+        let mut guard = self.shared.done.lock().unwrap();
+        while self.shared.pending.load(Ordering::SeqCst) != 0 {
+            guard = self.shared.done_cv.wait(guard).unwrap();
+        }
+    }
+
+    /// Apply `f` to every index in `0..n` in parallel; returns the results
+    /// in order.
+    pub fn parallel_map<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(usize) -> R + Send + Sync + 'static,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let f = Arc::new(f);
+        let results: Arc<Mutex<Vec<Option<R>>>> =
+            Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+        // Chunk so task count ~ 8× threads (grain control).
+        let chunks = (self.threads() * 8).min(n).max(1);
+        let chunk = n.div_ceil(chunks);
+        for c in 0..chunks {
+            let lo = c * chunk;
+            let hi = ((c + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            let f = Arc::clone(&f);
+            let results = Arc::clone(&results);
+            self.spawn(move || {
+                let vals: Vec<(usize, R)> = (lo..hi).map(|i| (i, f(i))).collect();
+                let mut g = results.lock().unwrap();
+                for (i, v) in vals {
+                    g[i] = Some(v);
+                }
+            });
+        }
+        self.wait();
+        let mut g = results.lock().unwrap();
+        g.drain(..).map(|o| o.expect("task completed")).collect()
+    }
+
+    /// Parallel sum of `f(i)` over `0..n` (reduction helper).
+    pub fn parallel_sum<F>(&self, n: usize, f: F) -> f64
+    where
+        F: Fn(usize) -> f64 + Send + Sync + 'static,
+    {
+        self.parallel_map(self.threads().min(n.max(1)), {
+            let threads = self.threads().min(n.max(1));
+            move |t| {
+                let mut acc = 0.0;
+                let mut i = t;
+                while i < n {
+                    acc += f(i);
+                    i += threads;
+                }
+                acc
+            }
+        })
+        .into_iter()
+        .sum()
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.idle_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(id: usize, worker: Worker<Task>, shared: Arc<Shared>) {
+    let n = shared.stealers.len();
+    loop {
+        // 1. Own deque (LIFO).
+        if let Some(task) = worker.pop() {
+            run(task, &shared);
+            continue;
+        }
+        // 2. Global injector: take a batch into the local deque.
+        {
+            let mut overflow: Option<Task> = None;
+            let mut moved = false;
+            {
+                let mut inj = shared.injector.lock().unwrap();
+                for _ in 0..16 {
+                    match inj.pop_front() {
+                        Some(t) => {
+                            moved = true;
+                            if let Err(t) = worker.push(t) {
+                                // Local deque full: run the overflow task
+                                // ourselves, outside the lock.
+                                overflow = Some(t);
+                                break;
+                            }
+                        }
+                        None => break,
+                    }
+                }
+            }
+            if let Some(t) = overflow {
+                run(t, &shared);
+            }
+            if moved {
+                continue;
+            }
+        }
+        // 3. Steal from victims, starting after our own id.
+        let mut stolen = None;
+        for k in 1..n {
+            let v = (id + k) % n;
+            if let Some(t) = shared.stealers[v].steal() {
+                stolen = Some(t);
+                break;
+            }
+        }
+        if let Some(t) = stolen {
+            run(t, &shared);
+            continue;
+        }
+        // 4. Nothing anywhere: sleep unless shutting down.
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let guard = shared.idle.lock().unwrap();
+        // Re-check under the lock to avoid lost wakeups.
+        let injector_empty = shared.injector.lock().unwrap().is_empty();
+        if injector_empty
+            && worker.is_empty()
+            && !shared.shutdown.load(Ordering::SeqCst)
+            && shared.stealers.iter().all(|s| s.is_empty())
+        {
+            let _ = shared
+                .idle_cv
+                .wait_timeout(guard, std::time::Duration::from_millis(1))
+                .unwrap();
+        }
+    }
+}
+
+fn run(task: Task, shared: &Shared) {
+    task();
+    if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+        let _g = shared.done.lock().unwrap();
+        shared.done_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_all_tasks() {
+        let pool = Pool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..10_000 {
+            let c = Arc::clone(&counter);
+            pool.spawn(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait();
+        assert_eq!(counter.load(Ordering::SeqCst), 10_000);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let pool = Pool::new(4);
+        let out = pool.parallel_map(1000, |i| i * i);
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let pool = Pool::new(2);
+        let out: Vec<u32> = pool.parallel_map(0, |_| 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_sum_matches_serial() {
+        let pool = Pool::new(4);
+        let s = pool.parallel_sum(100_000, |i| (i as f64).sqrt());
+        let serial: f64 = (0..100_000).map(|i| (i as f64).sqrt()).sum();
+        assert!((s - serial).abs() / serial < 1e-9);
+    }
+
+    #[test]
+    fn work_actually_spreads_across_threads() {
+        let pool = Pool::new(4);
+        let ids = Arc::new(Mutex::new(std::collections::HashSet::new()));
+        for _ in 0..200 {
+            let ids = Arc::clone(&ids);
+            pool.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                ids.lock().unwrap().insert(std::thread::current().id());
+            });
+        }
+        pool.wait();
+        assert!(ids.lock().unwrap().len() >= 2, "no parallelism observed");
+    }
+
+    #[test]
+    fn wait_with_no_tasks_returns_immediately() {
+        let pool = Pool::new(2);
+        pool.wait();
+    }
+
+    #[test]
+    fn nested_spawns_complete() {
+        let pool = Arc::new(Pool::new(4));
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.spawn(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait();
+        // Second wave after the first completed.
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.spawn(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait();
+        assert_eq!(counter.load(Ordering::SeqCst), 200);
+    }
+
+    #[test]
+    fn speedup_on_compute_bound_work() {
+        // Not a strict benchmark, but 4 threads should beat 1 by ≥1.5× on
+        // an embarrassingly parallel kernel when ≥2 cores exist.
+        if std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1) < 2 {
+            return;
+        }
+        fn work(n: usize, pool: &Pool) -> std::time::Duration {
+            let t0 = std::time::Instant::now();
+            pool.parallel_sum(n, |i| {
+                let mut x = i as f64 + 1.0;
+                for _ in 0..2_000 {
+                    x = (x * 1.000001).sqrt() + 0.5;
+                }
+                x
+            });
+            t0.elapsed()
+        }
+        let single = Pool::new(1);
+        let multi = Pool::new(4);
+        // Warm up both pools.
+        work(1_000, &single);
+        work(1_000, &multi);
+        let t1 = work(200_000, &single);
+        let t4 = work(200_000, &multi);
+        let speedup = t1.as_secs_f64() / t4.as_secs_f64();
+        assert!(speedup > 1.5, "speedup={speedup}");
+    }
+}

@@ -1,0 +1,202 @@
+//! Long-term transistor wear-out: aging models.
+//!
+//! Table 1 row 3's "reliability worsening" has a slow component alongside
+//! soft errors: devices degrade over months and years. Two standard compact
+//! models cover the experiments' needs:
+//!
+//! * **NBTI-style threshold drift** — negative-bias temperature instability
+//!   shifts `V_th` upward roughly as a power law in stress time,
+//!   `ΔV_th(t) = A · (t/t₀)^n` with `n ≈ 1/6`, slowing the device until it
+//!   misses timing. Guard-banding against it costs voltage (energy).
+//! * **Black's equation** for electromigration: interconnect MTTF
+//!   `∝ J^{−2} · exp(E_a / kT)` — halving current density quadruples
+//!   lifetime; every 10–15 °C of extra temperature roughly halves it.
+
+use serde::{Deserialize, Serialize};
+
+use xxi_core::units::Volts;
+
+/// Boltzmann constant in eV/K.
+const K_B: f64 = 8.617e-5;
+
+/// NBTI-style threshold-voltage drift model.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct NbtiModel {
+    /// Drift magnitude after one year of stress at reference conditions (V).
+    pub a_volts_per_year: f64,
+    /// Power-law time exponent (≈1/6 for reaction–diffusion NBTI).
+    pub n: f64,
+}
+
+impl Default for NbtiModel {
+    fn default() -> Self {
+        NbtiModel {
+            a_volts_per_year: 0.03,
+            n: 1.0 / 6.0,
+        }
+    }
+}
+
+impl NbtiModel {
+    /// Threshold shift after `years` of stress.
+    pub fn delta_vth(&self, years: f64) -> Volts {
+        assert!(years >= 0.0);
+        Volts(self.a_volts_per_year * years.powf(self.n))
+    }
+
+    /// Fractional frequency loss after `years`, for a circuit with
+    /// supply `vdd`, fresh threshold `vth0`, and alpha-power exponent
+    /// `alpha` (≈1.3): `f ∝ (V − V_th)^α / V`.
+    pub fn freq_degradation(&self, vdd: Volts, vth0: Volts, years: f64, alpha: f64) -> f64 {
+        let vth_aged = vth0.value() + self.delta_vth(years).value();
+        let fresh = (vdd.value() - vth0.value()).max(0.0).powf(alpha);
+        let aged = (vdd.value() - vth_aged).max(0.0).powf(alpha);
+        if fresh == 0.0 {
+            return 1.0;
+        }
+        1.0 - aged / fresh
+    }
+
+    /// Extra supply voltage needed at end-of-life (`years`) to restore the
+    /// fresh-device frequency — the *aging guard-band*. Solved in closed
+    /// form: frequency depends on `V − V_th` (to first order in the
+    /// numerator), so the guard-band equals the threshold drift, corrected
+    /// for the `1/V` denominator by a small fixed-point iteration.
+    pub fn guard_band(&self, vdd: Volts, vth0: Volts, years: f64, alpha: f64) -> Volts {
+        let dvth = self.delta_vth(years).value();
+        let target = (vdd.value() - vth0.value()).powf(alpha) / vdd.value();
+        // Fixed-point: find g with ((V+g) − (Vth+Δ))^α/(V+g) = target.
+        let mut g = dvth;
+        for _ in 0..60 {
+            let v = vdd.value() + g;
+            let f = (v - vth0.value() - dvth).max(1e-9).powf(alpha) / v;
+            // Newton-ish update via proportional control on the ratio.
+            let ratio = target / f;
+            g += (ratio - 1.0) * 0.1;
+            g = g.clamp(0.0, 1.0);
+        }
+        Volts(g)
+    }
+}
+
+/// Black's-equation electromigration lifetime model.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct BlackModel {
+    /// MTTF in hours at reference current density and temperature.
+    pub mttf_ref_hours: f64,
+    /// Reference current density (arbitrary consistent unit).
+    pub j_ref: f64,
+    /// Reference absolute temperature (K).
+    pub t_ref: f64,
+    /// Activation energy (eV); ≈0.9 for copper interconnect.
+    pub ea_ev: f64,
+    /// Current-density exponent; 2 in the classic formulation.
+    pub n: f64,
+}
+
+impl Default for BlackModel {
+    fn default() -> Self {
+        BlackModel {
+            mttf_ref_hours: 10.0 * 365.0 * 24.0, // 10 years
+            j_ref: 1.0,
+            t_ref: 358.15, // 85 °C
+            ea_ev: 0.9,
+            n: 2.0,
+        }
+    }
+}
+
+impl BlackModel {
+    /// MTTF in hours at current density `j` and temperature `t_kelvin`.
+    pub fn mttf_hours(&self, j: f64, t_kelvin: f64) -> f64 {
+        assert!(j > 0.0 && t_kelvin > 0.0);
+        let j_term = (self.j_ref / j).powf(self.n);
+        let t_term = (self.ea_ev / K_B * (1.0 / t_kelvin - 1.0 / self.t_ref)).exp();
+        self.mttf_ref_hours * j_term * t_term
+    }
+
+    /// Temperature rise (°C above reference) that halves the lifetime.
+    pub fn half_life_temp_rise(&self) -> f64 {
+        // Solve exp(Ea/k (1/T - 1/Tr)) = 1/2 for T − Tr, linearized around
+        // T_ref: ΔT ≈ ln2 · k · T_ref² / Ea.
+        (2.0f64).ln() * K_B * self.t_ref * self.t_ref / self.ea_ev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nbti_drift_is_sublinear_power_law() {
+        let m = NbtiModel::default();
+        let d1 = m.delta_vth(1.0).value();
+        let d4 = m.delta_vth(4.0).value();
+        let d16 = m.delta_vth(16.0).value();
+        assert!((d1 - 0.03).abs() < 1e-12);
+        // Power law: equal ratios for equal time ratios.
+        assert!((d4 / d1 - d16 / d4).abs() < 1e-9);
+        // Sub-linear: 4× time ⇒ < 2× drift.
+        assert!(d4 / d1 < 2.0);
+    }
+
+    #[test]
+    fn zero_years_zero_drift() {
+        let m = NbtiModel::default();
+        assert_eq!(m.delta_vth(0.0).value(), 0.0);
+        assert_eq!(m.freq_degradation(Volts(1.0), Volts(0.3), 0.0, 1.3), 0.0);
+    }
+
+    #[test]
+    fn aged_chips_slow_down_more_at_low_vdd() {
+        // Aging hurts low-voltage (margin-starved) designs more — a key NTV
+        // interaction.
+        let m = NbtiModel::default();
+        let deg_nominal = m.freq_degradation(Volts(1.0), Volts(0.3), 5.0, 1.3);
+        let deg_ntv = m.freq_degradation(Volts(0.5), Volts(0.3), 5.0, 1.3);
+        assert!(deg_nominal > 0.0 && deg_nominal < 0.2);
+        assert!(deg_ntv > 2.0 * deg_nominal, "nom={deg_nominal} ntv={deg_ntv}");
+    }
+
+    #[test]
+    fn guard_band_restores_frequency() {
+        let m = NbtiModel::default();
+        let vdd = Volts(0.9);
+        let vth = Volts(0.3);
+        let years = 7.0;
+        let g = m.guard_band(vdd, vth, years, 1.3);
+        assert!(g.value() > 0.0 && g.value() < 0.2, "g={g:?}");
+        // Check: frequency at (vdd+g) with aged vth ≈ fresh frequency.
+        let dvth = m.delta_vth(years).value();
+        let fresh = (vdd.value() - vth.value()).powf(1.3) / vdd.value();
+        let v = vdd.value() + g.value();
+        let aged = (v - vth.value() - dvth).powf(1.3) / v;
+        assert!((aged / fresh - 1.0).abs() < 0.02, "ratio={}", aged / fresh);
+    }
+
+    #[test]
+    fn black_reference_point() {
+        let m = BlackModel::default();
+        let mttf = m.mttf_hours(1.0, 358.15);
+        assert!((mttf - 87_600.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn black_current_density_squared() {
+        let m = BlackModel::default();
+        let at_half_j = m.mttf_hours(0.5, m.t_ref);
+        assert!((at_half_j / m.mttf_ref_hours - 4.0).abs() < 1e-9);
+        let at_double_j = m.mttf_hours(2.0, m.t_ref);
+        assert!((at_double_j / m.mttf_ref_hours - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn black_temperature_sensitivity() {
+        let m = BlackModel::default();
+        let dt = m.half_life_temp_rise();
+        // Rule of thumb: ~10 °C halves EM lifetime around 85 °C.
+        assert!((5.0..15.0).contains(&dt), "dt={dt}");
+        let hot = m.mttf_hours(1.0, m.t_ref + dt);
+        assert!((hot / m.mttf_ref_hours - 0.5).abs() < 0.02);
+    }
+}

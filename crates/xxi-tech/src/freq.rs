@@ -1,0 +1,189 @@
+//! Voltage–frequency–power relationships.
+//!
+//! Two standard compact models underpin all DVFS and NTV analysis in the
+//! workspace:
+//!
+//! * **Alpha-power law** (Sakurai–Newton): gate delay
+//!   `t_d ∝ V / (V − V_th)^α` with velocity-saturation exponent `α ≈ 1.3`,
+//!   giving maximum frequency `f(V) ∝ (V − V_th)^α / V`.
+//! * **Power decomposition**: `P = a·C·V²·f + V·I_leak(V)` where activity
+//!   factor `a` captures how much of the chip switches each cycle and
+//!   subthreshold leakage grows exponentially as `V_th` (effectively) drops
+//!   and with DIBL as `V` rises.
+
+use crate::node::TechNode;
+use xxi_core::units::{Frequency, Power, Volts};
+
+/// Velocity-saturation exponent for modern short-channel CMOS.
+pub const ALPHA: f64 = 1.3;
+
+/// Maximum stable clock frequency at supply voltage `v`, for a circuit that
+/// achieves `node.freq` at `node.vdd` (alpha-power law, normalized to the
+/// node's nominal operating point).
+///
+/// Returns zero at or below threshold: the device still switches
+/// (subthreshold conduction) but we model that regime in [`crate::ntv`]
+/// where its error behaviour is handled explicitly.
+pub fn alpha_power_frequency(node: &TechNode, v: Volts) -> Frequency {
+    let vth = node.vth.value();
+    let vv = v.value();
+    if vv <= vth {
+        return Frequency(0.0);
+    }
+    let nominal = (node.vdd.value() - vth).powf(ALPHA) / node.vdd.value();
+    let here = (vv - vth).powf(ALPHA) / vv;
+    Frequency(node.freq.value() * here / nominal)
+}
+
+/// Subthreshold + gate leakage current at supply `v`, normalized so that at
+/// the nominal voltage the node dissipates `node.leakage_frac` of its total
+/// nominal power as leakage.
+///
+/// Voltage dependence: leakage current scales roughly linearly with V for
+/// the drain term times an exponential DIBL term `exp((V−V_nom)/V_dibl)`
+/// with `V_dibl ≈ 0.25 V`. Lowering supply therefore cuts leakage power
+/// super-linearly — one reason NTV is attractive.
+pub fn leakage_current(node: &TechNode, v: Volts, nominal_total_power: Power) -> f64 {
+    let p_leak_nominal = nominal_total_power.value() * node.leakage_frac;
+    let i_nominal = p_leak_nominal / node.vdd.value();
+    let dibl = ((v.value() - node.vdd.value()) / 0.25).exp();
+    i_nominal * (v.value() / node.vdd.value()) * dibl
+}
+
+/// Total power at `(v, f)` for a block whose nominal operating point is
+/// `(node.vdd, node.freq, nominal_total_power)`.
+///
+/// Dynamic power scales as `C·V²·f` (the activity factor and capacitance
+/// are folded into the nominal calibration); leakage per
+/// [`leakage_current`].
+pub fn total_power(node: &TechNode, v: Volts, f: Frequency, nominal_total_power: Power) -> Power {
+    let p_dyn_nominal = nominal_total_power.value() * (1.0 - node.leakage_frac);
+    let v_ratio = v.value() / node.vdd.value();
+    let f_ratio = f.value() / node.freq.value();
+    let p_dyn = p_dyn_nominal * v_ratio * v_ratio * f_ratio;
+    let p_leak = leakage_current(node, v, nominal_total_power) * v.value();
+    Power(p_dyn + p_leak)
+}
+
+/// A DVFS operating point: a (voltage, frequency) pair with its power for a
+/// block of nominal power `p_nom`.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
+pub struct OperatingPoint {
+    /// Supply voltage.
+    pub v: Volts,
+    /// Clock frequency (max stable at `v`).
+    pub f: Frequency,
+    /// Total block power at this point.
+    pub power: Power,
+}
+
+/// Build a ladder of `steps` DVFS operating points from `v_min` to the
+/// nominal voltage, each running at the maximum stable frequency.
+pub fn dvfs_ladder(
+    node: &TechNode,
+    nominal_total_power: Power,
+    v_min: Volts,
+    steps: usize,
+) -> Vec<OperatingPoint> {
+    assert!(steps >= 2, "a ladder needs at least two rungs");
+    let lo = v_min.value();
+    let hi = node.vdd.value();
+    assert!(lo < hi, "v_min must be below nominal");
+    (0..steps)
+        .map(|i| {
+            let v = Volts(lo + (hi - lo) * i as f64 / (steps - 1) as f64);
+            let f = alpha_power_frequency(node, v);
+            let power = total_power(node, v, f, nominal_total_power);
+            OperatingPoint { v, f, power }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeDb;
+
+    fn node45() -> TechNode {
+        NodeDb::standard().by_name("45nm").unwrap().clone()
+    }
+
+    #[test]
+    fn nominal_point_reproduces_itself() {
+        let n = node45();
+        let f = alpha_power_frequency(&n, n.vdd);
+        assert!((f.ghz() - n.freq.ghz()).abs() < 1e-9);
+        let p = total_power(&n, n.vdd, n.freq, Power(100.0));
+        assert!((p.value() - 100.0).abs() < 1e-6, "p={p}");
+    }
+
+    #[test]
+    fn frequency_zero_at_threshold() {
+        let n = node45();
+        assert_eq!(alpha_power_frequency(&n, n.vth).value(), 0.0);
+        assert_eq!(alpha_power_frequency(&n, Volts(0.1)).value(), 0.0);
+    }
+
+    #[test]
+    fn frequency_monotonic_in_voltage() {
+        let n = node45();
+        let mut prev = 0.0;
+        for i in 1..=20 {
+            let v = Volts(n.vth.value() + 0.03 * i as f64);
+            let f = alpha_power_frequency(&n, v).value();
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn cubic_ish_power_scaling() {
+        // Classic DVFS result: scaling V and f together gives ~cubic power
+        // reduction in the dynamic term.
+        let n = node45();
+        let p_nom = Power(100.0);
+        let v = Volts(0.8);
+        let f = alpha_power_frequency(&n, v);
+        let p = total_power(&n, v, f, p_nom);
+        let f_ratio = f.value() / n.freq.value();
+        // Dynamic part should scale as v²·f exactly.
+        let expect_dyn = 100.0 * (1.0 - n.leakage_frac) * (0.8f64 / 1.0).powi(2) * f_ratio;
+        assert!(p.value() > expect_dyn, "leakage must add something");
+        assert!(p.value() < expect_dyn + 25.0);
+        // And total power at 0.8 V is far below nominal.
+        assert!(p.value() < 55.0, "p={p}");
+    }
+
+    #[test]
+    fn leakage_drops_superlinearly_with_voltage() {
+        let n = node45();
+        let p_nom = Power(100.0);
+        let i_nom = leakage_current(&n, n.vdd, p_nom);
+        let i_low = leakage_current(&n, Volts(0.7), p_nom);
+        // 30% voltage cut → >50% leakage current cut (linear × DIBL).
+        assert!(i_low < 0.5 * i_nom, "i_low={i_low} i_nom={i_nom}");
+    }
+
+    #[test]
+    fn dvfs_ladder_is_monotone() {
+        let n = node45();
+        let ladder = dvfs_ladder(&n, Power(100.0), Volts(0.5), 8);
+        assert_eq!(ladder.len(), 8);
+        for w in ladder.windows(2) {
+            assert!(w[1].v.value() > w[0].v.value());
+            assert!(w[1].f.value() >= w[0].f.value());
+            assert!(w[1].power.value() >= w[0].power.value());
+        }
+        // Top rung is the nominal point.
+        let top = ladder.last().unwrap();
+        assert!((top.v.value() - n.vdd.value()).abs() < 1e-12);
+        assert!((top.power.value() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ladder_rejects_inverted_range() {
+        let n = node45();
+        dvfs_ladder(&n, Power(1.0), Volts(2.0), 4);
+    }
+}

@@ -1,0 +1,216 @@
+//! Thermal modeling for planar and 3D-stacked dies.
+//!
+//! §2.3 lists among 3D-stacking challenges the integration of "energy
+//! providers and cooling systems (e.g., … microfluidic cooling)". The
+//! physics that makes cooling a first-class 3D problem:
+//!
+//! * a steady-state **thermal resistance** network — junction temperature
+//!   `T_j = T_ambient + P · R_ja`;
+//! * stacking dies **adds their power through shared resistance**: the die
+//!   farthest from the heat sink sees every layer's heat through the
+//!   inter-layer resistance, so `T` grows superlinearly with stack height;
+//! * **leakage–temperature feedback**: leakage grows exponentially with
+//!   temperature, which raises power, which raises temperature — solved
+//!   here by fixed-point iteration, with divergence = thermal runaway.
+//!
+//! The model answers E13's companion question: how much power can each
+//! layer of a stack run before exceeding `T_max`, with and without
+//! aggressive (microfluidic-class) cooling?
+
+use serde::{Deserialize, Serialize};
+
+use xxi_core::units::Power;
+
+/// Thermal parameters of a stack.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ThermalModel {
+    /// Heat-sink (junction-to-ambient) resistance for the layer touching
+    /// the sink, in K/W.
+    pub r_sink: f64,
+    /// Inter-layer resistance (through TSVs, bond layers), K/W.
+    pub r_layer: f64,
+    /// Ambient temperature, °C.
+    pub t_ambient: f64,
+    /// Max junction temperature, °C.
+    pub t_max: f64,
+    /// Leakage fraction of each layer's power at the reference 85 °C.
+    pub leak_frac_ref: f64,
+    /// Leakage doubles every this many °C (≈ 20-25 for modern CMOS).
+    pub leak_double_c: f64,
+}
+
+impl ThermalModel {
+    /// A conventional air-cooled package (inter-layer resistance per the
+    /// thinned-die + TSV-field estimates in the 3D-IC literature).
+    pub fn air_cooled() -> ThermalModel {
+        ThermalModel {
+            r_sink: 0.5,
+            r_layer: 0.3,
+            t_ambient: 45.0,
+            t_max: 100.0,
+            leak_frac_ref: 0.3,
+            leak_double_c: 22.0,
+        }
+    }
+
+    /// Microfluidic-class cooling: an order of magnitude lower sink
+    /// resistance and inter-layer channels.
+    pub fn microfluidic() -> ThermalModel {
+        ThermalModel {
+            r_sink: 0.05,
+            r_layer: 0.05,
+            ..ThermalModel::air_cooled()
+        }
+    }
+
+    /// Steady-state junction temperatures for a stack dissipating
+    /// `dynamic_powers[i]` per layer (layer 0 touches the sink), including
+    /// leakage–temperature feedback. Returns `None` on thermal runaway
+    /// (no fixed point below boiling-silicon absurdity).
+    pub fn solve(&self, dynamic_powers: &[Power]) -> Option<Vec<f64>> {
+        let n = dynamic_powers.len();
+        assert!(n > 0);
+        let mut temps = vec![self.t_ambient; n];
+        for _ in 0..200 {
+            // Leakage-adjusted layer powers at current temperatures.
+            let powers: Vec<f64> = dynamic_powers
+                .iter()
+                .zip(&temps)
+                .map(|(p, &t)| {
+                    let leak_mult = 2f64.powf((t - 85.0) / self.leak_double_c);
+                    p.value() * (1.0 - self.leak_frac_ref)
+                        + p.value() * self.leak_frac_ref * leak_mult
+                })
+                .collect();
+            // Heat flows to the sink: layer i's temperature is ambient +
+            // (total power) · r_sink + Σ_{j≤i} (power above j) · r_layer.
+            let total: f64 = powers.iter().sum();
+            let mut new_temps = Vec::with_capacity(n);
+            let mut above: f64 = total;
+            let mut t = self.t_ambient + total * self.r_sink;
+            for p in powers.iter() {
+                new_temps.push(t);
+                above -= p;
+                t += above * self.r_layer;
+            }
+            let delta: f64 = new_temps
+                .iter()
+                .zip(&temps)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            temps = new_temps;
+            if temps.iter().any(|&t| t > 400.0) {
+                return None; // runaway
+            }
+            if delta < 1e-6 {
+                return Some(temps);
+            }
+        }
+        Some(temps)
+    }
+
+    /// Hottest junction temperature for a uniform stack.
+    pub fn peak_temp(&self, layers: usize, per_layer: Power) -> Option<f64> {
+        self.solve(&vec![per_layer; layers])
+            .map(|t| t.into_iter().fold(f64::MIN, f64::max))
+    }
+
+    /// Maximum per-layer power (W) keeping the whole stack under `t_max`
+    /// (bisection).
+    pub fn max_power_per_layer(&self, layers: usize) -> Power {
+        let mut lo = 0.0f64;
+        let mut hi = 500.0f64;
+        for _ in 0..60 {
+            let mid = (lo + hi) / 2.0;
+            match self.peak_temp(layers, Power(mid)) {
+                Some(t) if t <= self.t_max => lo = mid,
+                _ => hi = mid,
+            }
+        }
+        Power(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_die_matches_hand_calculation_without_feedback() {
+        // Kill the feedback (leakage 0) for an exact check:
+        // T = 45 + 50 W × 0.5 K/W = 70 °C.
+        let m = ThermalModel {
+            leak_frac_ref: 0.0,
+            ..ThermalModel::air_cooled()
+        };
+        let t = m.solve(&[Power(50.0)]).unwrap();
+        assert!((t[0] - 70.0).abs() < 1e-6, "t={t:?}");
+    }
+
+    #[test]
+    fn leakage_feedback_raises_temperature() {
+        let m = ThermalModel::air_cooled();
+        let no_fb = ThermalModel {
+            leak_frac_ref: 0.0,
+            ..m
+        };
+        let with = m.peak_temp(1, Power(90.0)).unwrap();
+        let without = no_fb.peak_temp(1, Power(90.0)).unwrap();
+        assert!(with > without + 1.0, "with={with} without={without}");
+    }
+
+    #[test]
+    fn upper_layers_run_hotter() {
+        let m = ThermalModel::air_cooled();
+        let t = m.solve(&vec![Power(10.0); 4]).unwrap();
+        for w in t.windows(2) {
+            assert!(w[1] > w[0], "{t:?}");
+        }
+    }
+
+    #[test]
+    fn stacking_shrinks_the_per_layer_power_budget_superlinearly() {
+        // The §2.3 cooling challenge in one table: per-layer budget falls
+        // much faster than 1/layers.
+        let m = ThermalModel::air_cooled();
+        let p1 = m.max_power_per_layer(1).value();
+        let p4 = m.max_power_per_layer(4).value();
+        assert!(p1 > 50.0, "p1={p1}");
+        assert!(
+            p4 < p1 / 4.0,
+            "4-layer budget {p4} must be below the naive {}",
+            p1 / 4.0
+        );
+    }
+
+    #[test]
+    fn microfluidic_cooling_restores_the_stack() {
+        let air = ThermalModel::air_cooled();
+        let fluid = ThermalModel::microfluidic();
+        let air4 = air.max_power_per_layer(4).value();
+        let fluid4 = fluid.max_power_per_layer(4).value();
+        assert!(
+            fluid4 > 4.0 * air4,
+            "microfluidic {fluid4} vs air {air4}"
+        );
+    }
+
+    #[test]
+    fn runaway_detected_at_absurd_power() {
+        let m = ThermalModel::air_cooled();
+        assert!(m.solve(&[Power(5_000.0)]).is_none());
+    }
+
+    #[test]
+    fn em_lifetime_couples_to_stack_temperature() {
+        // Cross-module check: the hotter top layer of a stack loses
+        // electromigration lifetime per Black's equation.
+        use crate::aging::BlackModel;
+        let m = ThermalModel::air_cooled();
+        let temps = m.solve(&vec![Power(10.0); 3]).unwrap();
+        let black = BlackModel::default();
+        let mttf_bottom = black.mttf_hours(1.0, temps[0] + 273.15);
+        let mttf_top = black.mttf_hours(1.0, temps[2] + 273.15);
+        assert!(mttf_top < mttf_bottom);
+    }
+}

@@ -1,0 +1,128 @@
+//! The real runtime vs the analytic model: xxi-stack's work-stealing pool
+//! must scale the way xxi-cpu's Hill–Marty model predicts (qualitatively),
+//! closing the loop between the paper's parallelism *models* and actual
+//! parallel *code*.
+
+use std::sync::Arc;
+
+use xxi::cpu::hillmarty::speedup_amdahl;
+use xxi::stack::Pool;
+
+fn timed<F: FnOnce()>(f: F) -> f64 {
+    let t0 = std::time::Instant::now();
+    f();
+    t0.elapsed().as_secs_f64()
+}
+
+fn cpu_bound_kernel(i: usize) -> f64 {
+    let mut x = i as f64 + 1.0;
+    for _ in 0..3_000 {
+        x = (x * 1.0000001).sqrt() + 0.25;
+    }
+    x
+}
+
+#[test]
+fn pool_scaling_is_amdahl_shaped() {
+    let hw = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    if hw < 4 {
+        eprintln!("skipping: needs >=4 hardware threads, have {hw}");
+        return;
+    }
+    let n = 120_000usize;
+    let p1 = Pool::new(1);
+    let p4 = Pool::new(4);
+    // Warmup.
+    p1.parallel_sum(1000, cpu_bound_kernel);
+    p4.parallel_sum(1000, cpu_bound_kernel);
+
+    let t1 = timed(|| {
+        p1.parallel_sum(n, cpu_bound_kernel);
+    });
+    let t4 = timed(|| {
+        p4.parallel_sum(n, cpu_bound_kernel);
+    });
+    let measured = t1 / t4;
+    // Fully parallel workload: Amdahl predicts ~4; accept ≥2 for noisy CI
+    // machines, and it must never exceed the ideal bound.
+    let ideal = speedup_amdahl(1.0, 4.0);
+    assert!(
+        measured > 2.0,
+        "4-thread speedup {measured} too low (t1={t1:.3}s t4={t4:.3}s)"
+    );
+    assert!(measured < ideal * 1.3, "speedup {measured} exceeds ideal {ideal}");
+}
+
+#[test]
+fn pool_handles_serial_fraction_like_amdahl() {
+    // A workload with a serial section: run serial part on one task, then
+    // the parallel part; speedup must be visibly below the fully-parallel
+    // case, in Amdahl's direction.
+    let hw = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    if hw < 4 {
+        eprintln!("skipping: needs >=4 hardware threads");
+        return;
+    }
+    let n = 60_000usize;
+    let serial_n = 30_000usize; // f = 2/3 parallel by work count
+
+    let run = |threads: usize| {
+        let pool = Pool::new(threads);
+        pool.parallel_sum(1000, cpu_bound_kernel); // warm
+        timed(|| {
+            // Serial section (single task).
+            let acc = Arc::new(std::sync::Mutex::new(0.0f64));
+            let acc2 = Arc::clone(&acc);
+            pool.spawn(move || {
+                let mut s = 0.0;
+                for i in 0..serial_n {
+                    s += cpu_bound_kernel(i);
+                }
+                *acc2.lock().unwrap() += s;
+            });
+            pool.wait();
+            // Parallel section.
+            pool.parallel_sum(n, cpu_bound_kernel);
+        })
+    };
+
+    let t1 = run(1);
+    let t4 = run(4);
+    let measured = t1 / t4;
+    let f = n as f64 / (n + serial_n) as f64;
+    let predicted = speedup_amdahl(f, 4.0);
+    // Same regime: between 1 and the fully-parallel ideal, near Amdahl.
+    assert!(measured > 1.2, "measured {measured}");
+    assert!(
+        measured < 4.0,
+        "serial fraction must cap speedup: {measured}"
+    );
+    assert!(
+        (measured / predicted) > 0.5 && (measured / predicted) < 2.0,
+        "measured {measured} vs Amdahl {predicted}"
+    );
+}
+
+#[test]
+fn pool_correctness_under_load() {
+    let pool = Pool::new(4);
+    // Many waves of small tasks with interleaved waits.
+    let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    for wave in 0..20 {
+        for _ in 0..500 {
+            let c = Arc::clone(&counter);
+            pool.spawn(move || {
+                c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            });
+        }
+        pool.wait();
+        assert_eq!(
+            counter.load(std::sync::atomic::Ordering::SeqCst),
+            (wave + 1) * 500
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! End-to-end "sensors to clouds" pipeline (§1.2's "architecture as
+//! infrastructure"): a fleet of wearable sensors filters locally, uplinks
+//! anomalies through the offload planner's network model, and the cloud
+//! serves the analytics queries with bounded tail latency. The test checks
+//! the *composed* system meets targets no single crate states.
+
+use xxi::cloud::fanout::fanout_latency;
+use xxi::cloud::hedge::hedge_experiment;
+use xxi::cloud::latency::LatencyDist;
+use xxi::core::units::{Energy, Seconds};
+use xxi::sensor::mcu::Mcu;
+use xxi::sensor::node::{NodePolicy, SensorNode, SensorNodeConfig};
+use xxi::sensor::power::Battery;
+use xxi::sensor::radio::{Radio, RadioTech};
+use xxi::stack::offload::{plan_offload, AppProfile, DeviceModel, Uplink};
+
+#[test]
+fn wearable_fleet_meets_lifetime_and_the_cloud_meets_latency() {
+    // --- Edge: 100 simulated wearables on small energy budgets ----------
+    let node = SensorNode::new(
+        SensorNodeConfig::default(),
+        Mcu::cortex_m_class(),
+        Radio::new(RadioTech::BleClass),
+    );
+    let horizon = Seconds::from_hours(10_000.0);
+    let mut total_recall = 0.0;
+    let mut min_lifetime = f64::INFINITY;
+    let fleet = 20;
+    for seed in 0..fleet {
+        let out = node.run(
+            NodePolicy::FilterThenSend,
+            Battery::new(Energy(1.0)),
+            horizon,
+            seed,
+        );
+        total_recall += out.recall;
+        min_lifetime = min_lifetime.min(out.lifetime.value());
+    }
+    let avg_recall = total_recall / fleet as f64;
+    assert!(avg_recall > 0.85, "fleet recall {avg_recall}");
+    // 1 J must last ≥ 1 day with filtering (a coin cell ⇒ years).
+    assert!(
+        min_lifetime > 86_400.0 * 0.5,
+        "worst lifetime {min_lifetime}s"
+    );
+
+    // --- Uplink: the planner must choose to keep filtering local --------
+    // Filtering is data-heavy relative to its compute: shipping raw ECG to
+    // the cloud must lose.
+    let filter_stage = AppProfile {
+        ops: 1e6,          // cheap threshold filter
+        input_bytes: 375e3, // 250 Hz × 12 bit × 1000 s of signal
+        output_bytes: 4e3,  // detected events only
+        split_bytes: 100e3,
+    };
+    let plan = plan_offload(
+        &filter_stage,
+        &DeviceModel::phone_vs_rack(),
+        &Uplink {
+            bps: 2e6,
+            rtt: Seconds::from_ms(80.0),
+        },
+        1.0, // battery matters on a wearable
+    );
+    assert_eq!(
+        plan.decision,
+        xxi::stack::offload::Decision::Local,
+        "raw-signal shipping must lose: {plan:?}"
+    );
+
+    // --- Cloud: population-scale analytics query over 100 leaves --------
+    let leaf = LatencyDist::typical_leaf();
+    let no_mitigation = fanout_latency(leaf, 100, 20_000, 99);
+    // Most requests hit the leaf tail…
+    assert!(no_mitigation.frac_hit_by_leaf_p99 > 0.6);
+    // …but hedging at p95 restores a usable interactive p99.
+    let hedged = hedge_experiment(leaf, 0.95, 200_000, 100);
+    assert!(
+        hedged.p999 < 60.0,
+        "hedged p999 {} must be interactive",
+        hedged.p999
+    );
+    assert!(hedged.extra_load < 0.07);
+}
+
+#[test]
+fn compress_policy_is_never_the_best_of_both_worlds() {
+    // A consistency check across the three policies: filtering dominates
+    // compression on lifetime, compression dominates raw on lifetime, and
+    // both non-filtering policies have perfect recall by construction.
+    let node = SensorNode::new(
+        SensorNodeConfig::default(),
+        Mcu::cortex_m_class(),
+        Radio::new(RadioTech::ZigbeeClass),
+    );
+    let horizon = Seconds::from_hours(10_000.0);
+    let b = || Battery::new(Energy(1.0));
+    let raw = node.run(NodePolicy::SendRaw, b(), horizon, 5);
+    let comp = node.run(NodePolicy::CompressThenSend, b(), horizon, 5);
+    let filt = node.run(NodePolicy::FilterThenSend, b(), horizon, 5);
+    assert!(raw.lifetime.value() < comp.lifetime.value());
+    assert!(comp.lifetime.value() < filt.lifetime.value());
+    assert_eq!(raw.recall, 1.0);
+    assert_eq!(comp.recall, 1.0);
+}
