@@ -1,0 +1,23 @@
+//! Offline stand-in for the real `serde` crate.
+//!
+//! The workspace annotates its model types with
+//! `#[derive(Serialize, Deserialize)]` so results can be exported once a
+//! real serializer is linked, but the build environment has no crates.io
+//! access. This proc-macro crate supplies derives with the same names that
+//! expand to nothing, keeping every annotation compiling (and greppable)
+//! at zero cost. Swap the workspace `serde` path dependency back to the
+//! registry crate to get real serialization; no call sites change.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -105,8 +105,7 @@ mod tests {
         let db = NodeDb::standard();
         let node = db.by_name("45nm").unwrap();
         let ops = OpEnergies::at(node);
-        let asic_factor =
-            (ops.fp_fma.value() + ops.ooo_overhead.value()) / ops.fp_fma.value();
+        let asic_factor = (ops.fp_fma.value() + ops.ooo_overhead.value()) / ops.fp_fma.value();
         let soft = fpga_vs_cpu_factor(node, 0.0);
         assert!(soft < 1.0, "pure soft logic must lose on FP: {soft}");
         // A realistic DSP-mapped datapath (80-90% hard) wins handily…

@@ -178,7 +178,10 @@ mod tests {
         let wide = efficiency_factor(&n, ImplKind::Simd { lanes: 32 }, Kernel::Irregular);
         let narrow = efficiency_factor(&n, ImplKind::Simd { lanes: 4 }, Kernel::Irregular);
         let regular = efficiency_factor(&n, ImplKind::Simd { lanes: 32 }, Kernel::Fir);
-        assert!(wide < regular / 3.0, "wide-on-irregular={wide} regular={regular}");
+        assert!(
+            wide < regular / 3.0,
+            "wide-on-irregular={wide} regular={regular}"
+        );
         assert!(narrow > wide * 0.5, "narrow should be competitive");
         // Fixed function barely helps irregular code either.
         let asic = efficiency_factor(&n, ImplKind::FixedFunction, Kernel::Irregular);
@@ -197,7 +200,10 @@ mod tests {
         // wide machine: a plain in-order scalar core beats 64-lane SIMD.
         let i64 = ladder_energy_per_op(&n, ImplKind::Simd { lanes: 64 }, Kernel::Irregular);
         let scalar = ladder_energy_per_op(&n, ImplKind::ScalarInOrder, Kernel::Irregular);
-        assert!(scalar.value() < i64.value(), "scalar={scalar:?} simd64={i64:?}");
+        assert!(
+            scalar.value() < i64.value(),
+            "scalar={scalar:?} simd64={i64:?}"
+        );
     }
 
     #[test]

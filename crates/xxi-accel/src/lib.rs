@@ -35,6 +35,6 @@ pub mod offload;
 
 pub use cgra::{Cgra, DataflowGraph};
 pub use fpga::{fpga_energy_per_op, fpga_vs_cpu_factor, FpgaGap};
-pub use ladder::{ImplKind, Kernel, ladder_energy_per_op};
+pub use ladder::{ladder_energy_per_op, ImplKind, Kernel};
 pub use nre::breakeven_volume;
 pub use offload::{offload_energy, offload_speedup, OffloadConfig};

@@ -48,11 +48,7 @@ pub fn offload_speedup(cfg: &OffloadConfig, host_time: Seconds) -> f64 {
 /// (returns the ratio `offloaded/host`, < 1 when offload wins), where
 /// host-only execution costs `host_energy` and each invocation costs
 /// `invoke_energy` on the host.
-pub fn offload_energy(
-    cfg: &OffloadConfig,
-    host_energy: Energy,
-    invoke_energy: Energy,
-) -> f64 {
+pub fn offload_energy(cfg: &OffloadConfig, host_energy: Energy, invoke_energy: Energy) -> f64 {
     cfg.validate();
     let covered = host_energy.value() * cfg.coverage;
     let uncovered = host_energy.value() - covered;

@@ -50,21 +50,27 @@ impl ApproxReal {
         self.mantissa_bits
     }
 
-    /// Add: result carries the *minimum* precision of the operands.
-    pub fn add(self, rhs: ApproxReal) -> ApproxReal {
-        let bits = self.mantissa_bits.min(rhs.mantissa_bits);
-        ApproxReal::new(self.value + rhs.value, bits)
-    }
-
-    /// Multiply at minimum operand precision.
-    pub fn mul(self, rhs: ApproxReal) -> ApproxReal {
-        let bits = self.mantissa_bits.min(rhs.mantissa_bits);
-        ApproxReal::new(self.value * rhs.value, bits)
-    }
-
     /// Worst-case relative quantization error at this precision: `2^-bits`.
     pub fn quantization_bound(self) -> f64 {
         2.0f64.powi(-(self.mantissa_bits as i32))
+    }
+}
+
+/// Add: result carries the *minimum* precision of the operands.
+impl std::ops::Add for ApproxReal {
+    type Output = ApproxReal;
+    fn add(self, rhs: ApproxReal) -> ApproxReal {
+        let bits = self.mantissa_bits.min(rhs.mantissa_bits);
+        ApproxReal::new(self.value + rhs.value, bits)
+    }
+}
+
+/// Multiply at minimum operand precision.
+impl std::ops::Mul for ApproxReal {
+    type Output = ApproxReal;
+    fn mul(self, rhs: ApproxReal) -> ApproxReal {
+        let bits = self.mantissa_bits.min(rhs.mantissa_bits);
+        ApproxReal::new(self.value * rhs.value, bits)
     }
 }
 
@@ -106,10 +112,7 @@ mod tests {
             for x in [1.234567890123, -98.7654321, 3.14159e7, 1.1e-8] {
                 let a = ApproxReal::new(x, bits);
                 let rel = ((a.value() - x) / x).abs();
-                assert!(
-                    rel <= a.quantization_bound(),
-                    "bits={bits} x={x} rel={rel}"
-                );
+                assert!(rel <= a.quantization_bound(), "bits={bits} x={x} rel={rel}");
             }
         }
     }
@@ -134,11 +137,11 @@ mod tests {
     fn arithmetic_takes_minimum_precision() {
         let a = ApproxReal::new(1.5, 8);
         let b = ApproxReal::new(2.5, 20);
-        assert_eq!(a.add(b).bits(), 8);
-        assert_eq!(a.mul(b).bits(), 8);
+        assert_eq!((a + b).bits(), 8);
+        assert_eq!((a * b).bits(), 8);
         // Values are near the exact result.
-        assert!((a.add(b).value() - 4.0).abs() < 0.05);
-        assert!((a.mul(b).value() - 3.75).abs() < 0.05);
+        assert!(((a + b).value() - 4.0).abs() < 0.05);
+        assert!(((a * b).value() - 3.75).abs() < 0.05);
     }
 
     #[test]

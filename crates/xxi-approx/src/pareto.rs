@@ -43,9 +43,8 @@ pub fn sweep_fir(n: usize, seed: u64) -> Vec<SweepPoint> {
             let (out, evals) = perforated_mean_filter(&quantized, w, k);
             let error = rmse(&exact, &out);
             // Each window evaluation: w adds + 1 multiply (by 1/w).
-            let energy = (add_energy(bits, full_add) * w as f64
-                + mul_energy(bits, full_mul))
-                * evals as f64;
+            let energy =
+                (add_energy(bits, full_add) * w as f64 + mul_energy(bits, full_mul)) * evals as f64;
             points.push(SweepPoint {
                 bits,
                 perforation: k,
@@ -124,9 +123,9 @@ mod tests {
             .iter()
             .find(|p| p.bits == 52 && p.perforation == 1)
             .unwrap();
-        let good_cheap = pts.iter().any(|p| {
-            p.energy.value() < full.energy.value() / 5.0 && p.error < 0.1
-        });
+        let good_cheap = pts
+            .iter()
+            .any(|p| p.energy.value() < full.energy.value() / 5.0 && p.error < 0.1);
         assert!(good_cheap, "no cheap high-quality configuration found");
     }
 }

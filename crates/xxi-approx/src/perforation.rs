@@ -93,11 +93,16 @@ mod tests {
 
     #[test]
     fn perforated_sum_unbiased_on_smooth_data() {
-        let xs: Vec<f64> = (0..10_000).map(|i| (i as f64 * 0.001).sin() + 2.0).collect();
+        let xs: Vec<f64> = (0..10_000)
+            .map(|i| (i as f64 * 0.001).sin() + 2.0)
+            .collect();
         let exact: f64 = xs.iter().sum();
         let (est, work) = perforated_sum(&xs, 10);
         assert_eq!(work, 1000);
-        assert!((est - exact).abs() / exact < 0.01, "est={est} exact={exact}");
+        assert!(
+            (est - exact).abs() / exact < 0.01,
+            "est={est} exact={exact}"
+        );
     }
 
     #[test]

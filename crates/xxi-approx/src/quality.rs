@@ -15,9 +15,7 @@ pub fn rmse(reference: &[f64], approx: &[f64]) -> f64 {
 /// Peak signal-to-noise ratio in dB, with the reference's peak amplitude
 /// as signal. Returns `+inf` for a perfect match.
 pub fn psnr(reference: &[f64], approx: &[f64]) -> f64 {
-    let peak = reference
-        .iter()
-        .fold(0.0f64, |m, &x| m.max(x.abs()));
+    let peak = reference.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
     let e = rmse(reference, approx);
     if e == 0.0 {
         f64::INFINITY

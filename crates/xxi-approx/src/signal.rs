@@ -49,14 +49,14 @@ impl SignalGen {
         let mut signal = Vec::with_capacity(n);
         let mut mask = vec![false; n];
         let mut anomaly_left = 0usize;
-        for i in 0..n {
+        for (i, anomalous) in mask.iter_mut().enumerate() {
             if anomaly_left == 0 && rng.chance(self.anomaly_rate) {
                 anomaly_left = self.anomaly_len;
             }
             let phase = (i % self.period) as f64 / self.period as f64;
             let carrier = self.amplitude * (std::f64::consts::TAU * phase).sin();
             let gain = if anomaly_left > 0 {
-                mask[i] = true;
+                *anomalous = true;
                 anomaly_left -= 1;
                 self.anomaly_gain
             } else {
@@ -101,9 +101,7 @@ mod tests {
         let (s, mask) = g.generate(50_000, 2);
         let n_anom = mask.iter().filter(|&&m| m).count();
         assert!(n_anom > 100, "need anomalies to compare: {n_anom}");
-        let rms = |xs: Vec<f64>| {
-            (xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt()
-        };
+        let rms = |xs: Vec<f64>| (xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt();
         let anom: Vec<f64> = s
             .iter()
             .zip(&mask)

@@ -2,64 +2,53 @@
 //!
 //! * the lock-free deque vs a mutex-guarded queue (why build Chase–Lev);
 //! * work stealing vs a single shared queue at 4 threads;
-//! * P² streaming quantiles vs retain-and-sort (why the simulators can
-//!   afford per-event percentile tracking);
+//! * P² streaming quantiles and the log-bucketed histogram vs
+//!   retain-and-sort (why the simulators can afford per-event percentile
+//!   tracking);
 //! * cache replacement policy cost (tree-PLRU's hardware rationale shows
 //!   up as software speed too).
+//!
+//! Run with `cargo bench --bench ablations` (optionally a substring
+//! filter).
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-
+use xxi_bench::Bench;
+use xxi_core::obs::LogHistogram;
 use xxi_core::rng::Rng64;
 use xxi_core::stats::{P2Quantile, Summary};
 use xxi_stack::deque::deque;
 use xxi_stack::Pool;
 
-fn bench_deque_vs_mutex(c: &mut Criterion) {
-    let mut g = c.benchmark_group("deque_vs_mutex");
-    g.throughput(Throughput::Elements(100_000));
-    g.bench_function("chase_lev_push_pop_100k", |b| {
-        b.iter_batched(
-            || deque::<u64>(1 << 18).0,
-            |w| {
-                for i in 0..100_000u64 {
-                    w.push(i).unwrap();
-                }
-                let mut acc = 0u64;
-                while let Some(v) = w.pop() {
-                    acc = acc.wrapping_add(v);
-                }
-                acc
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_deque_vs_mutex(h: &mut Bench) {
+    let mut g = h.group("deque_vs_mutex");
+    g.throughput(100_000);
+    g.bench("chase_lev_push_pop_100k", || {
+        let (w, _s) = deque::<u64>(1 << 18);
+        for i in 0..100_000u64 {
+            w.push(i).unwrap();
+        }
+        let mut acc = 0u64;
+        while let Some(v) = w.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        acc
     });
-    g.bench_function("mutex_vecdeque_push_pop_100k", |b| {
-        b.iter_batched(
-            || Arc::new(Mutex::new(VecDeque::<u64>::new())),
-            |q| {
-                for i in 0..100_000u64 {
-                    q.lock().unwrap().push_back(i);
-                }
-                let mut acc = 0u64;
-                while let Some(v) = q.lock().unwrap().pop_back() {
-                    acc = acc.wrapping_add(v);
-                }
-                acc
-            },
-            BatchSize::SmallInput,
-        )
+    g.bench("mutex_vecdeque_push_pop_100k", || {
+        let q = Arc::new(Mutex::new(VecDeque::<u64>::new()));
+        for i in 0..100_000u64 {
+            q.lock().unwrap().push_back(i);
+        }
+        let mut acc = 0u64;
+        while let Some(v) = q.lock().unwrap().pop_back() {
+            acc = acc.wrapping_add(v);
+        }
+        acc
     });
-    g.finish();
 }
 
-fn bench_pool_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pool_scaling");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(8));
+fn bench_pool_scaling(h: &mut Bench) {
     fn kernel(i: usize) -> f64 {
         let mut x = i as f64 + 1.0;
         for _ in 0..500 {
@@ -67,135 +56,121 @@ fn bench_pool_scaling(c: &mut Criterion) {
         }
         x
     }
+    let mut g = h.group("pool_scaling");
     for threads in [1usize, 2, 4] {
-        g.bench_function(format!("parallel_sum_60k_t{threads}"), |b| {
-            let pool = Pool::new(threads);
-            pool.parallel_sum(1_000, kernel); // warm
-            b.iter(|| pool.parallel_sum(60_000, kernel))
+        let pool = Pool::new(threads);
+        pool.parallel_sum(1_000, kernel); // warm
+        g.bench(&format!("parallel_sum_60k_t{threads}"), || {
+            pool.parallel_sum(60_000, kernel)
         });
     }
-    g.finish();
 }
 
-fn bench_quantiles(c: &mut Criterion) {
-    let mut g = c.benchmark_group("quantiles");
-    g.throughput(Throughput::Elements(200_000));
+fn bench_quantiles(h: &mut Bench) {
     let mut rng = Rng64::new(1);
     let xs: Vec<f64> = (0..200_000).map(|_| rng.lognormal(0.0, 0.5)).collect();
-    g.bench_function("p2_streaming_200k", |b| {
-        b.iter(|| {
-            let mut p2 = P2Quantile::new(0.99);
-            for &x in &xs {
-                p2.add(x);
-            }
-            p2.estimate()
-        })
+    let mut g = h.group("quantiles");
+    g.throughput(200_000);
+    g.bench("p2_streaming_200k", || {
+        let mut p2 = P2Quantile::new(0.99);
+        for &x in &xs {
+            p2.add(x);
+        }
+        p2.estimate()
     });
-    g.bench_function("retain_and_sort_200k", |b| {
-        b.iter(|| Summary::from_slice(&xs).percentile(99.0))
+    g.bench("log_histogram_200k", || {
+        let mut hist = LogHistogram::new();
+        for &x in &xs {
+            hist.add(x);
+        }
+        hist.p99()
     });
-    g.finish();
+    g.bench("retain_and_sort_200k", || {
+        Summary::from_slice(&xs).percentile(99.0)
+    });
 }
 
-fn bench_replacement_policies(c: &mut Criterion) {
+fn bench_replacement_policies(h: &mut Bench) {
     use xxi_mem::cache::{AccessKind, Cache, CacheConfig, Replacement};
     use xxi_mem::trace::TraceGen;
-    let mut g = c.benchmark_group("replacement_cost");
-    g.throughput(Throughput::Elements(200_000));
     let mut gen = TraceGen::new(2);
     let trace = gen.zipf(200_000, 0, 1 << 15, 64, 0.8, 0.0);
+    let mut g = h.group("replacement_cost");
+    g.throughput(200_000);
     for (name, policy) in [
         ("lru", Replacement::Lru),
         ("fifo", Replacement::Fifo),
         ("tree_plru", Replacement::TreePlru),
     ] {
-        g.bench_function(name, |b| {
-            b.iter_batched(
-                || {
-                    Cache::new(CacheConfig {
-                        replacement: policy,
-                        ..CacheConfig::l2()
-                    })
-                    .unwrap()
-                },
-                |mut cache| {
-                    for a in &trace {
-                        cache.access(a.addr, AccessKind::Read);
-                    }
-                    cache.hit_rate()
-                },
-                BatchSize::SmallInput,
-            )
+        g.bench(name, || {
+            let mut cache = Cache::new(CacheConfig {
+                replacement: policy,
+                ..CacheConfig::l2()
+            })
+            .unwrap();
+            for a in &trace {
+                cache.access(a.addr, AccessKind::Read);
+            }
+            cache.hit_rate()
         });
     }
-    g.finish();
 }
 
-fn bench_stm_vs_mutex(c: &mut Criterion) {
+fn bench_stm_vs_mutex(h: &mut Bench) {
     use xxi_stack::stm::TxArray;
-    let mut g = c.benchmark_group("stm_vs_mutex");
-    g.throughput(Throughput::Elements(50_000));
-    g.bench_function("stm_counter_50k_single_thread", |b| {
-        b.iter_batched(
-            || TxArray::new(4),
-            |arr| {
-                for _ in 0..50_000 {
-                    arr.run(|tx| {
-                        let v = tx.read(0)?;
-                        tx.write(0, v + 1);
-                        Ok(())
-                    });
-                }
-                arr.read_direct(0)
-            },
-            BatchSize::SmallInput,
-        )
+    let mut g = h.group("stm_vs_mutex");
+    g.throughput(50_000);
+    g.bench("stm_counter_50k_single_thread", || {
+        let arr = TxArray::new(4);
+        for _ in 0..50_000 {
+            arr.run(|tx| {
+                let v = tx.read(0)?;
+                tx.write(0, v + 1);
+                Ok(())
+            });
+        }
+        arr.read_direct(0)
     });
-    g.bench_function("mutex_counter_50k_single_thread", |b| {
-        b.iter_batched(
-            || Mutex::new(0u64),
-            |m| {
-                for _ in 0..50_000 {
-                    *m.lock().unwrap() += 1;
-                }
-                *m.lock().unwrap()
-            },
-            BatchSize::SmallInput,
-        )
+    g.bench("mutex_counter_50k_single_thread", || {
+        let m = Mutex::new(0u64);
+        for _ in 0..50_000 {
+            *m.lock().unwrap() += 1;
+        }
+        let v = *m.lock().unwrap();
+        v
     });
-    g.finish();
 }
 
-fn bench_dift_overhead(c: &mut Criterion) {
+fn bench_dift_overhead(h: &mut Bench) {
     use xxi_sec::ift::{Instr, Machine, Policy};
-    let mut g = c.benchmark_group("dift");
     // A tight arithmetic loop: the taint machinery's interpretive cost.
     let prog = [
         Instr::Const { d: 0, imm: 50_000 },
         Instr::Const { d: 1, imm: 0 },
-        Instr::Const { d: 2, imm: u64::MAX },
+        Instr::Const {
+            d: 2,
+            imm: u64::MAX,
+        },
         Instr::Add { d: 1, a: 1, b: 0 },
         Instr::Add { d: 0, a: 0, b: 2 },
         Instr::Bnz { c: 0, target: 3 },
         Instr::Halt,
     ];
-    g.throughput(Throughput::Elements(150_000));
-    g.bench_function("tracked_loop_150k_instr", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(Policy::integrity(), 16, vec![]);
-            m.run(&prog, 1_000_000)
-        })
+    let mut g = h.group("dift");
+    g.throughput(150_000);
+    g.bench("tracked_loop_150k_instr", || {
+        let mut m = Machine::new(Policy::integrity(), 16, vec![]);
+        m.run(&prog, 1_000_000)
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_deque_vs_mutex,
-    bench_pool_scaling,
-    bench_quantiles,
-    bench_replacement_policies,
-    bench_stm_vs_mutex,
-    bench_dift_overhead
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Bench::from_args();
+    bench_deque_vs_mutex(&mut h);
+    bench_pool_scaling(&mut h);
+    bench_quantiles(&mut h);
+    bench_replacement_policies(&mut h);
+    bench_stm_vs_mutex(&mut h);
+    bench_dift_overhead(&mut h);
+    h.finish();
+}

@@ -1,8 +1,8 @@
-//! Criterion benches for the analytic models and codecs: ECC, wear
-//! leveling, compression, Hill–Marty, fan-out Monte Carlo.
+//! Benches for the analytic models and codecs: ECC, wear leveling,
+//! compression, Hill–Marty, fan-out Monte Carlo. Run with
+//! `cargo bench --bench models` (optionally a substring filter).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-
+use xxi_bench::Bench;
 use xxi_cloud::fanout::fanout_latency;
 use xxi_cloud::latency::LatencyDist;
 use xxi_core::rng::{Rng64, Zipf};
@@ -12,150 +12,121 @@ use xxi_mem::nvm::{NvmDevice, NvmTech};
 use xxi_mem::wear::StartGap;
 use xxi_rel::ecc::{decode, encode, flip};
 
-fn bench_ecc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ecc");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("encode_10k", |b| {
-        let mut rng = Rng64::new(1);
-        let data: Vec<u64> = (0..10_000).map(|_| rng.next_u64()).collect();
-        b.iter(|| {
-            let mut acc = 0u128;
-            for &d in &data {
-                acc ^= encode(d).0;
-            }
-            acc
-        })
+fn bench_ecc(h: &mut Bench) {
+    let mut g = h.group("ecc");
+    g.throughput(10_000);
+    let mut rng = Rng64::new(1);
+    let data: Vec<u64> = (0..10_000).map(|_| rng.next_u64()).collect();
+    g.bench("encode_10k", || {
+        let mut acc = 0u128;
+        for &d in &data {
+            acc ^= encode(d).0;
+        }
+        acc
     });
-    g.bench_function("decode_corrupted_10k", |b| {
-        let mut rng = Rng64::new(2);
-        let words: Vec<_> = (0..10_000)
-            .map(|_| flip(encode(rng.next_u64()), rng.range_u64(1, 72) as u32))
-            .collect();
-        b.iter(|| {
-            let mut fixed = 0u64;
-            for &w in &words {
-                if decode(w).data().is_some() {
-                    fixed += 1;
-                }
+    let mut rng = Rng64::new(2);
+    let words: Vec<_> = (0..10_000)
+        .map(|_| flip(encode(rng.next_u64()), rng.range_u64(1, 72) as u32))
+        .collect();
+    g.bench("decode_corrupted_10k", || {
+        let mut fixed = 0u64;
+        for &w in &words {
+            if decode(w).data().is_some() {
+                fixed += 1;
             }
-            fixed
-        })
+        }
+        fixed
     });
-    g.finish();
 }
 
-fn bench_wear_leveling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("wear");
-    g.throughput(Throughput::Elements(100_000));
-    g.bench_function("start_gap_100k_writes", |b| {
-        b.iter_batched(
-            || StartGap::new(NvmDevice::new(NvmTech::Pcm, 4097), 100),
-            |mut sg| {
-                for i in 0..100_000usize {
-                    sg.write(i % 4096);
-                }
-                sg.gap_moves()
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_wear_leveling(h: &mut Bench) {
+    let mut g = h.group("wear");
+    g.throughput(100_000);
+    g.bench("start_gap_100k_writes", || {
+        let mut sg = StartGap::new(NvmDevice::new(NvmTech::Pcm, 4097), 100);
+        for i in 0..100_000usize {
+            sg.write(i % 4096);
+        }
+        sg.gap_moves()
     });
-    g.bench_function("raw_nvm_100k_writes", |b| {
-        b.iter_batched(
-            || NvmDevice::new(NvmTech::Pcm, 4097),
-            |mut dev| {
-                for i in 0..100_000usize {
-                    dev.write(i % 4096);
-                }
-                dev.max_wear()
-            },
-            BatchSize::SmallInput,
-        )
+    g.bench("raw_nvm_100k_writes", || {
+        let mut dev = NvmDevice::new(NvmTech::Pcm, 4097);
+        for i in 0..100_000usize {
+            dev.write(i % 4096);
+        }
+        dev.max_wear()
     });
-    g.finish();
 }
 
-fn bench_compression(c: &mut Criterion) {
-    let mut g = c.benchmark_group("compress");
+fn bench_compression(h: &mut Bench) {
     let mut rng = Rng64::new(3);
     let lines: Vec<Line> = (0..10_000)
         .map(|i| {
             let mut l = [0u32; 16];
             for (j, w) in l.iter_mut().enumerate() {
                 *w = match i % 3 {
-                    0 => (j as u32) % 5,                    // compressible
-                    1 => rng.next_u64() as u32,             // random
-                    _ => 0,                                 // zeros
+                    0 => (j as u32) % 5,        // compressible
+                    1 => rng.next_u64() as u32, // random
+                    _ => 0,                     // zeros
                 };
             }
             l
         })
         .collect();
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("fpc_10k_lines", |b| {
-        b.iter(|| {
-            let mut bits = 0u64;
-            for l in &lines {
-                bits += compressed_bits(l) as u64;
+    let mut g = h.group("compress");
+    g.throughput(10_000);
+    g.bench("fpc_10k_lines", || {
+        let mut bits = 0u64;
+        for l in &lines {
+            bits += compressed_bits(l) as u64;
+        }
+        bits
+    });
+}
+
+fn bench_hillmarty(h: &mut Bench) {
+    let mut g = h.group("hillmarty");
+    g.bench("best_r_scan_n4096", || best_symmetric_r(0.975, 4096.0));
+    g.bench("speedup_grid_100x100", || {
+        let mut acc = 0.0;
+        for fi in 1..=100 {
+            let f = fi as f64 / 101.0;
+            for ri in 1..=100 {
+                acc += speedup_symmetric(f, 256.0, ri as f64 * 2.56);
             }
-            bits
-        })
+        }
+        acc
     });
-    g.finish();
 }
 
-fn bench_hillmarty(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hillmarty");
-    g.bench_function("best_r_scan_n4096", |b| {
-        b.iter(|| best_symmetric_r(0.975, 4096.0))
+fn bench_fanout(h: &mut Bench) {
+    let mut g = h.group("fanout");
+    g.bench("mc_fanout100_5k_trials", || {
+        fanout_latency(LatencyDist::typical_leaf(), 100, 5_000, 7).p99
     });
-    g.bench_function("speedup_grid_100x100", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for fi in 1..=100 {
-                let f = fi as f64 / 101.0;
-                for ri in 1..=100 {
-                    acc += speedup_symmetric(f, 256.0, ri as f64 * 2.56);
-                }
-            }
-            acc
-        })
-    });
-    g.finish();
 }
 
-fn bench_fanout(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fanout");
-    g.sample_size(10);
-    g.bench_function("mc_fanout100_5k_trials", |b| {
-        b.iter(|| fanout_latency(LatencyDist::typical_leaf(), 100, 5_000, 7).p99)
+fn bench_zipf(h: &mut Bench) {
+    let mut g = h.group("zipf");
+    g.throughput(1_000_000);
+    let z = Zipf::new(100_000, 0.99);
+    let mut rng = Rng64::new(8);
+    g.bench("sample_1m_over_100k", || {
+        let mut acc = 0usize;
+        for _ in 0..1_000_000 {
+            acc = acc.wrapping_add(z.sample(&mut rng));
+        }
+        acc
     });
-    g.finish();
 }
 
-fn bench_zipf(c: &mut Criterion) {
-    let mut g = c.benchmark_group("zipf");
-    g.throughput(Throughput::Elements(1_000_000));
-    g.bench_function("sample_1m_over_100k", |b| {
-        let z = Zipf::new(100_000, 0.99);
-        let mut rng = Rng64::new(8);
-        b.iter(|| {
-            let mut acc = 0usize;
-            for _ in 0..1_000_000 {
-                acc = acc.wrapping_add(z.sample(&mut rng));
-            }
-            acc
-        })
-    });
-    g.finish();
+fn main() {
+    let mut h = Bench::from_args();
+    bench_ecc(&mut h);
+    bench_wear_leveling(&mut h);
+    bench_compression(&mut h);
+    bench_hillmarty(&mut h);
+    bench_fanout(&mut h);
+    bench_zipf(&mut h);
+    h.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_ecc,
-    bench_wear_leveling,
-    bench_compression,
-    bench_hillmarty,
-    bench_fanout,
-    bench_zipf
-);
-criterion_main!(benches);

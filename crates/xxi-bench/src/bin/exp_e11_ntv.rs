@@ -9,7 +9,10 @@ use xxi_core::Table;
 use xxi_tech::{NodeDb, NtvModel, SoftErrorModel};
 
 fn main() {
-    banner("E11", "§2.3: NTV 'tremendous potential ... at the cost of reliability'");
+    banner(
+        "E11",
+        "§2.3: NTV 'tremendous potential ... at the cost of reliability'",
+    );
 
     let db = NodeDb::standard();
     let node = db.by_name("22nm").unwrap();
@@ -41,7 +44,12 @@ fn main() {
     let (mep_v, mep_e) = m.minimum_energy_point();
     let (res_v, res_e) = m.resilient_optimum();
     let e_nom = m.e_op(node.vdd);
-    let mut t = Table::new(&["operating point", "Vdd (V)", "E/op (pJ)", "saving vs nominal"]);
+    let mut t = Table::new(&[
+        "operating point",
+        "Vdd (V)",
+        "E/op (pJ)",
+        "saving vs nominal",
+    ]);
     t.row(&[
         "nominal".into(),
         fnum(node.vdd.value()),

@@ -10,7 +10,10 @@ use xxi_mem::trace::TraceGen;
 use xxi_mem::wear::StartGap;
 
 fn main() {
-    banner("E12", "§2.3: NVMs 'disrupt the memory/storage dichotomy ... device wear out'");
+    banner(
+        "E12",
+        "§2.3: NVMs 'disrupt the memory/storage dichotomy ... device wear out'",
+    );
 
     section("Device technologies (per 64 B line)");
     let mut t = Table::new(&[
@@ -22,7 +25,12 @@ fn main() {
         "endurance",
         "idle mW/GiB",
     ]);
-    for tech in [NvmTech::SttRam, NvmTech::Memristor, NvmTech::Pcm, NvmTech::Flash] {
+    for tech in [
+        NvmTech::SttRam,
+        NvmTech::Memristor,
+        NvmTech::Pcm,
+        NvmTech::Flash,
+    ] {
         let p = tech.params();
         t.row(&[
             format!("{tech:?}"),
@@ -46,8 +54,16 @@ fn main() {
     t.print();
 
     section("Hybrid DRAM+PCM vs the PCM-only strawman (Zipf page workload, 30% writes)");
-    let mut t = Table::new(&["design", "avg latency (ns)", "avg dyn energy (nJ)", "DRAM hit rate"]);
-    for (name, dram_pages) in [("PCM-only (1 page DRAM)", 1usize), ("hybrid (1k pages DRAM)", 1024)] {
+    let mut t = Table::new(&[
+        "design",
+        "avg latency (ns)",
+        "avg dyn energy (nJ)",
+        "DRAM hit rate",
+    ]);
+    for (name, dram_pages) in [
+        ("PCM-only (1 page DRAM)", 1usize),
+        ("hybrid (1k pages DRAM)", 1024),
+    ] {
         let mut gen = TraceGen::new(7);
         let trace = gen.zipf(300_000, 0, 100_000, 4096, 1.1, 0.3);
         let mut m = HybridMemory::new(HybridConfig {

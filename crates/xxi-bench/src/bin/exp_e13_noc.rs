@@ -13,7 +13,10 @@ use xxi_noc::traffic::Pattern;
 use xxi_tech::NodeDb;
 
 fn main() {
-    banner("E13", "§2.3: 'Photonics ... 3D chip stacking change communication costs radically'");
+    banner(
+        "E13",
+        "§2.3: 'Photonics ... 3D chip stacking change communication costs radically'",
+    );
 
     let db = NodeDb::standard();
     let node = db.by_name("22nm").unwrap();
@@ -30,13 +33,7 @@ fn main() {
         "3D throughput",
     ]);
     for ((r, l2, t2), (_, l3, t3)) in planar.iter().zip(&stacked) {
-        t.row(&[
-            fnum(*r),
-            fnum(*l2),
-            fnum(*l3),
-            fnum(*t2),
-            fnum(*t3),
-        ]);
+        t.row(&[fnum(*r), fnum(*l2), fnum(*l3), fnum(*t2), fnum(*t3)]);
     }
     t.print();
     println!(
@@ -53,7 +50,13 @@ fn main() {
         ("uniform", Pattern::Uniform),
         ("neighbor", Pattern::Neighbor),
         ("transpose", Pattern::Transpose),
-        ("hotspot 20%", Pattern::Hotspot { node: 27, permille: 200 }),
+        (
+            "hotspot 20%",
+            Pattern::Hotspot {
+                node: 27,
+                permille: 200,
+            },
+        ),
     ] {
         let r = load_sweep(Mesh::new_2d(8, 8), p, &[0.25], 6)[0];
         t.row(&[name.to_string(), fnum(r.1), fnum(r.2)]);
@@ -66,7 +69,12 @@ fn main() {
     let crossover = photonic
         .energy_crossover_bits_per_sec(&electrical)
         .expect("crossover exists");
-    let mut t = Table::new(&["utilization (Gb/s)", "electrical (mJ/s)", "photonic (mJ/s)", "winner"]);
+    let mut t = Table::new(&[
+        "utilization (Gb/s)",
+        "electrical (mJ/s)",
+        "photonic (mJ/s)",
+        "winner",
+    ]);
     for gbps in [0.1, 1.0, 5.0, 20.0, 100.0] {
         let bits = (gbps * 1e9) as u64;
         let e = electrical.total_energy(bits, Seconds(1.0)).mj();

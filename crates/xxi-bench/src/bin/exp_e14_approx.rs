@@ -7,7 +7,10 @@ use xxi_core::table::{fnum, xfactor};
 use xxi_core::Table;
 
 fn main() {
-    banner("E14", "§2.1: approximate computing -> 'significant energy savings'");
+    banner(
+        "E14",
+        "§2.1: approximate computing -> 'significant energy savings'",
+    );
 
     let points = sweep_fir(20_000, 14);
     let full = points

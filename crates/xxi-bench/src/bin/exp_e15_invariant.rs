@@ -32,7 +32,10 @@ fn run_with_period(period: u64) -> (f64, f64, f64) {
 }
 
 fn main() {
-    banner("E15", "§2.4: 'dynamic (hardware) checking of invariants supplied by software'");
+    banner(
+        "E15",
+        "§2.4: 'dynamic (hardware) checking of invariants supplied by software'",
+    );
 
     section("Invariant checker vs DMR: coverage per joule");
     let mut t = Table::new(&[

@@ -17,18 +17,35 @@ fn decision_char(d: Decision) -> String {
 }
 
 fn main() {
-    banner("E16", "§2.1: 'How should computation be split between the nodes and cloud?'");
+    banner(
+        "E16",
+        "§2.1: 'How should computation be split between the nodes and cloud?'",
+    );
 
     let dev = DeviceModel::phone_vs_rack();
     let bws = [0.2e6, 1e6, 5e6, 20e6, 100e6];
     let rtts = [10.0, 50.0, 200.0, 1000.0];
 
     for (name, app, lambda) in [
-        ("compute-heavy stage (speech-class), latency objective", AppProfile::compute_heavy(), 0.0),
-        ("compute-heavy stage, battery-weighted objective", AppProfile::compute_heavy(), 10.0),
-        ("data-heavy stage (video-class), latency objective", AppProfile::data_heavy(), 0.0),
+        (
+            "compute-heavy stage (speech-class), latency objective",
+            AppProfile::compute_heavy(),
+            0.0,
+        ),
+        (
+            "compute-heavy stage, battery-weighted objective",
+            AppProfile::compute_heavy(),
+            10.0,
+        ),
+        (
+            "data-heavy stage (video-class), latency objective",
+            AppProfile::data_heavy(),
+            0.0,
+        ),
     ] {
-        section(&format!("Decision map: {name} (L=local, R=remote, S*=split)"));
+        section(&format!(
+            "Decision map: {name} (L=local, R=remote, S*=split)"
+        ));
         let mut t = Table::new(&["bandwidth \\ RTT", "10 ms", "50 ms", "200 ms", "1000 ms"]);
         for &bps in &bws {
             let mut row = vec![format!("{} Mb/s", bps / 1e6)];

@@ -1,7 +1,9 @@
 //! E17 — Table A.2 "Always Online": five-nines availability from
 //! checkpoint/restart and replication, at what cost.
 
-use xxi_bench::{banner, section};
+use xxi_bench::{banner, quantile_row, quantile_table, save_trace, section, trace_arg};
+use xxi_cloud::obs::ObservedFanout;
+use xxi_core::obs::Trace;
 use xxi_core::table::fnum;
 use xxi_core::units::Seconds;
 use xxi_core::Table;
@@ -9,6 +11,7 @@ use xxi_rel::checkpoint::{availability, efficiency, nines, young_daly_interval, 
 
 fn main() {
     banner("E17", "Table A.2: 'Always Online' — five 9s at every scale");
+    let trace_path = trace_arg();
 
     let delta = Seconds(30.0);
     let restart = Seconds(120.0);
@@ -49,10 +52,21 @@ fn main() {
     t.print();
 
     section("Availability vs repair speed and replication");
-    let mut t = Table::new(&["configuration", "availability", "nines", "downtime/yr (min)"]);
+    let mut t = Table::new(&[
+        "configuration",
+        "availability",
+        "nines",
+        "downtime/yr (min)",
+    ]);
     for (name, a) in [
-        ("1 replica, MTTR 4 h, MTBF 1000 h", availability(Seconds::from_hours(1000.0), Seconds::from_hours(4.0))),
-        ("1 replica, MTTR 5 min (auto-restart)", availability(Seconds::from_hours(1000.0), Seconds(300.0))),
+        (
+            "1 replica, MTTR 4 h, MTBF 1000 h",
+            availability(Seconds::from_hours(1000.0), Seconds::from_hours(4.0)),
+        ),
+        (
+            "1 replica, MTTR 5 min (auto-restart)",
+            availability(Seconds::from_hours(1000.0), Seconds(300.0)),
+        ),
         ("2 replicas of 99.9%", 1.0 - (1.0 - 0.999f64).powi(2)),
         ("3 replicas of 99.9%", 1.0 - (1.0 - 0.999f64).powi(3)),
     ] {
@@ -65,8 +79,48 @@ fn main() {
     }
     t.print();
 
+    section("Observed fan-out cluster: where an 'online' request's time and energy go");
+    // The serving side of "always online": a 100-leaf fan-out on the DES
+    // engine with per-request spans, leaf latency histograms, and an
+    // energy ledger — with and without hedging at the leaf p95.
+    let base = ObservedFanout {
+        requests: 2_000,
+        ..ObservedFanout::default()
+    };
+    let plain = base.run(Trace::disabled());
+    let hedged_cfg = ObservedFanout {
+        hedge_quantile: Some(0.95),
+        ..base
+    };
+    // The trace captures the hedged run (requests, leaves, hedge instants).
+    let hedged = hedged_cfg.run(if trace_path.is_some() {
+        Trace::enabled()
+    } else {
+        Trace::disabled()
+    });
+
+    let mut t = quantile_table("request latency (ms)");
+    t.row(&quantile_row("fan-out 100", &plain.request_latency));
+    t.row(&quantile_row("  + hedge @p95", &hedged.request_latency));
+    t.row(&quantile_row("single leaf", &hedged.leaf_latency));
+    t.print();
+    println!(
+        "hedges sent: {} ({:.1}% extra load)",
+        hedged.metrics.counter("hedges"),
+        100.0 * hedged.metrics.counter("hedges") as f64 / hedged.metrics.counter("leaves") as f64
+    );
+
+    section("Energy ledger, hedged run (per 2000 requests)");
+    hedged.ledger.table().print();
+
+    if let Some(path) = &trace_path {
+        save_trace(&hedged.trace, path);
+    }
+
     println!("\nHeadline: the Young-Daly interval maximizes machine efficiency (the");
     println!("simulation's optimum sits at tau*, both shorter and longer lose); five");
     println!("nines needs either minutes-scale repair or 3x replication — the paper's");
-    println!("point that 'this same availability at a few dollars' is a research gap.");
+    println!("point that 'this same availability at a few dollars' is a research gap;");
+    println!("and the observed cluster shows hedging buying back the p99.9 for ~5%");
+    println!("extra load while leaf compute dominates the request's energy bill.");
 }

@@ -2,12 +2,15 @@
 //! computation energy." Real scaling on the work-stealing runtime, plus
 //! the modeled 1000-way energy balance.
 
-use xxi_bench::{banner, section};
+use xxi_bench::{banner, quantile_row, quantile_table, save_trace, section, trace_arg};
+use xxi_core::obs::Trace;
 use xxi_core::table::fnum;
 use xxi_core::Table;
 use xxi_mem::energy::MemEnergyTable;
 use xxi_noc::link::{Link, LinkKind};
+use xxi_noc::sim::{NocConfig, NocSim};
 use xxi_noc::topology::Mesh;
+use xxi_noc::traffic::Pattern;
 use xxi_stack::Pool;
 use xxi_tech::ops::OpEnergies;
 use xxi_tech::NodeDb;
@@ -21,7 +24,11 @@ fn kernel(i: usize) -> f64 {
 }
 
 fn main() {
-    banner("E18", "§2.2: 'communication energy will outgrow computation energy'");
+    banner(
+        "E18",
+        "§2.2: 'communication energy will outgrow computation energy'",
+    );
+    let trace_path = trace_arg();
 
     section("Real strong scaling on the work-stealing pool (this machine)");
     let hw = std::thread::available_parallelism()
@@ -100,6 +107,38 @@ fn main() {
         comm.value() * 1e6,
         comm.value() / compute.value()
     );
+
+    section("Observed 8x8 mesh under the halo traffic: packet-latency tail + energy");
+    // The fabric carrying those halos, observed: per-packet latency
+    // histograms at a moderate and a near-saturation load, link/router
+    // energy on the ledger.
+    let mut t = quantile_table("packet latency (cycles)");
+    let mut traced = None;
+    for rate in [0.1, 0.4] {
+        let mut sim = NocSim::new(NocConfig::mesh8x8(Pattern::Uniform, rate, 18));
+        // Trace the heavier load (the interesting one to look at).
+        if trace_path.is_some() && rate > 0.3 {
+            sim.trace = Trace::enabled();
+        }
+        let obs = sim.run_observed(2_000, 8_000);
+        t.row(&quantile_row(&format!("load {rate}"), &obs.latency));
+        if rate > 0.3 {
+            traced = Some(obs);
+        }
+    }
+    t.print();
+    let heavy = traced.expect("0.4 run present");
+    println!(
+        "throughput at load 0.4: {} flits/node/cycle; throttled injections: {}",
+        fnum(heavy.result.throughput),
+        heavy.result.throttled
+    );
+    section("NoC energy ledger (measured phase, load 0.4)");
+    heavy.ledger.table().print();
+
+    if let Some(path) = &trace_path {
+        save_trace(&heavy.trace, path);
+    }
 
     println!("\nHeadline: the runtime scales near-linearly on real cores; in the model,");
     println!("neighbor-only communication stays affordable but its share grows every");

@@ -7,9 +7,7 @@ use xxi_core::Table;
 use xxi_mem::cache::{Cache, CacheConfig, Replacement};
 use xxi_sec::ift::{Instr, Machine, Policy};
 use xxi_sec::protection::{AccessKind, DomainId, Perms, ProtectionMatrix, RegionId};
-use xxi_sec::sidechannel::{
-    prime_probe_attack, prime_probe_attack_partitioned, PartitionedCache,
-};
+use xxi_sec::sidechannel::{prime_probe_attack, prime_probe_attack_partitioned, PartitionedCache};
 
 fn shared_cfg() -> CacheConfig {
     CacheConfig {
@@ -85,7 +83,11 @@ fn main() {
             format!("{} ({} miss)", r.inferred_set, r.signal_misses),
             format!(
                 "{} ({} miss)",
-                if rp.signal_misses == 0 { "blind".to_string() } else { rp.inferred_set.to_string() },
+                if rp.signal_misses == 0 {
+                    "blind".to_string()
+                } else {
+                    rp.inferred_set.to_string()
+                },
                 rp.signal_misses
             ),
         ]);

@@ -43,7 +43,12 @@ fn main() {
 
     section("Consequence: dark silicon (200 mm^2 die, 100 W package)");
     let calc = DarkSilicon::new(200.0, Power(100.0));
-    let mut t = Table::new(&["node", "full-die power (W)", "active fraction", "dark fraction"]);
+    let mut t = Table::new(&[
+        "node",
+        "full-die power (W)",
+        "active fraction",
+        "dark fraction",
+    ]);
     for p in calc.sweep(&db) {
         t.row(&[
             p.node.to_string(),

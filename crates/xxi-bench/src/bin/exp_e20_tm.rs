@@ -42,7 +42,10 @@ fn run_bank(threads: usize, accounts: usize, transfers_per_thread: usize) -> (f6
 }
 
 fn main() {
-    banner("E20", "§2.4: 'Transactional memory ... simplify parallelization and synchronization'");
+    banner(
+        "E20",
+        "§2.4: 'Transactional memory ... simplify parallelization and synchronization'",
+    );
 
     section("Concurrent bank: throughput, aborts, and the conservation invariant");
     let transfers = 20_000usize;

@@ -7,10 +7,20 @@ use xxi_core::Table;
 use xxi_cpu::cpudb::{attribution, overall, CPU_DB};
 
 fn main() {
-    banner("E2", "§1: CPU DB apportions growth ~equally; architecture ~80x since 1985");
+    banner(
+        "E2",
+        "§1: CPU DB apportions growth ~equally; architecture ~80x since 1985",
+    );
 
     section("The stylized generational table");
-    let mut t = Table::new(&["year", "design", "feature (nm)", "freq (MHz)", "IPC", "perf (rel)"]);
+    let mut t = Table::new(&[
+        "year",
+        "design",
+        "feature (nm)",
+        "freq (MHz)",
+        "IPC",
+        "perf (rel)",
+    ]);
     let base = CPU_DB[0].freq_mhz * CPU_DB[0].ipc;
     for e in CPU_DB {
         t.row(&[

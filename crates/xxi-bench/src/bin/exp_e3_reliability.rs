@@ -3,14 +3,17 @@
 
 use xxi_bench::{banner, section};
 use xxi_core::table::fnum;
+use xxi_core::units::{Seconds, Volts};
 use xxi_core::Table;
 use xxi_rel::inject::FaultInjector;
 use xxi_rel::scrub::ScrubModel;
-use xxi_core::units::{Seconds, Volts};
 use xxi_tech::{NodeDb, SoftErrorModel};
 
 fn main() {
-    banner("E3", "Table 1 row 3: 'Transistor reliability worsening, no longer easy to hide'");
+    banner(
+        "E3",
+        "Table 1 row 3: 'Transistor reliability worsening, no longer easy to hide'",
+    );
 
     let db = NodeDb::standard();
 
@@ -56,7 +59,11 @@ fn main() {
     let node22 = db.by_name("22nm").unwrap();
     let per_bit_per_sec = node22.ser_fit_per_mbit / 1e6 / (1e9 * 3600.0) * 1000.0;
     let m = ScrubModel::secded(per_bit_per_sec);
-    let mut t = Table::new(&["scrub interval", "P(word DUE)/interval", "DUE rate (/word/s)"]);
+    let mut t = Table::new(&[
+        "scrub interval",
+        "P(word DUE)/interval",
+        "DUE rate (/word/s)",
+    ]);
     for hours in [0.1, 1.0, 10.0, 100.0] {
         let iv = Seconds::from_hours(hours);
         t.row(&[

@@ -19,7 +19,15 @@ fn main() {
 
     section("The energy ladder per 64-bit access (pJ), across nodes");
     let mut t = Table::new(&[
-        "node", "FMA", "RF", "L1", "L2", "L3", "10mm wire", "chip-to-chip", "DRAM",
+        "node",
+        "FMA",
+        "RF",
+        "L1",
+        "L2",
+        "L3",
+        "10mm wire",
+        "chip-to-chip",
+        "DRAM",
     ]);
     for name in ["90nm", "45nm", "22nm", "14nm", "7nm"] {
         let node = db.by_name(name).unwrap();
@@ -47,9 +55,7 @@ fn main() {
         t.row(&[
             node.name.to_string(),
             xfactor(e.dram_to_fma_ratio(&ops)),
-            xfactor(
-                e.operand_traffic(xxi_mem::energy::Level::L2).value() / ops.fp_fma.value(),
-            ),
+            xfactor(e.operand_traffic(xxi_mem::energy::Level::L2).value() / ops.fp_fma.value()),
         ]);
     }
     t.print();

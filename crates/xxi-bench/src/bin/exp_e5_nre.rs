@@ -9,14 +9,24 @@ use xxi_tech::nre::{cost_model, ImplStyle};
 use xxi_tech::NodeDb;
 
 fn main() {
-    banner("E5", "Table 1 row 5: 'Expensive to design, verify, fabricate, and test'");
+    banner(
+        "E5",
+        "Table 1 row 5: 'Expensive to design, verify, fabricate, and test'",
+    );
 
     let db = NodeDb::standard();
 
     section("Cost per part (USD) vs volume, 22nm accelerator block");
     let node = db.by_name("22nm").unwrap();
     let mut t = Table::new(&["volume", "software/CPU", "FPGA", "ASIC", "cheapest"]);
-    for v in [1_000u64, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000] {
+    for v in [
+        1_000u64,
+        10_000,
+        100_000,
+        1_000_000,
+        10_000_000,
+        100_000_000,
+    ] {
         let sw = cost_model(node, ImplStyle::CpuSoftware).cost_per_part(v);
         let fpga = cost_model(node, ImplStyle::Fpga).cost_per_part(v);
         let asic = cost_model(node, ImplStyle::Asic).cost_per_part(v);
@@ -31,14 +41,22 @@ fn main() {
     t.print();
 
     section("Breakeven volumes per node (ASIC catches ...)");
-    let mut t = Table::new(&["node", "masks (M$)", "ASIC NRE (M$)", "vs FPGA", "vs software"]);
+    let mut t = Table::new(&[
+        "node",
+        "masks (M$)",
+        "ASIC NRE (M$)",
+        "vs FPGA",
+        "vs software",
+    ]);
     for node in db.all() {
         let asic = cost_model(node, ImplStyle::Asic);
         t.row(&[
             node.name.to_string(),
             fnum(node.mask_cost_musd),
             fnum(asic.nre_musd),
-            asic_over_fpga(node).map(|v| v.to_string()).unwrap_or("never".into()),
+            asic_over_fpga(node)
+                .map(|v| v.to_string())
+                .unwrap_or("never".into()),
             asic_over_software(node)
                 .map(|v| v.to_string())
                 .unwrap_or("never".into()),

@@ -14,7 +14,10 @@ use xxi_cpu::CoreKind;
 use xxi_tech::{DarkSilicon, NodeDb};
 
 fn main() {
-    banner("E6", "§2.2: 'massive on-chip parallelism with simpler, low-power cores'");
+    banner(
+        "E6",
+        "§2.2: 'massive on-chip parallelism with simpler, low-power cores'",
+    );
 
     section("Hill-Marty speedup, n = 256 BCE, vs core size r (f = 0.975)");
     let n = 256.0;
@@ -45,7 +48,12 @@ fn main() {
     section("Dark silicon erodes the parallel term (f = 0.99, r = 1)");
     let db = NodeDb::standard();
     let calc = DarkSilicon::new(200.0, Power(100.0));
-    let mut t = Table::new(&["node", "active fraction", "speedup (powered)", "speedup (if fully lit)"]);
+    let mut t = Table::new(&[
+        "node",
+        "active fraction",
+        "speedup (powered)",
+        "speedup (if fully lit)",
+    ]);
     for name in ["90nm", "45nm", "22nm", "7nm"] {
         let node = db.by_name(name).unwrap();
         let active = calc.active_fraction(&db, node);
@@ -67,7 +75,11 @@ fn main() {
         "S(f=0.99)",
         "throughput/W",
     ]);
-    for kind in [CoreKind::InOrderSmall, CoreKind::OoOMedium, CoreKind::OoOBig] {
+    for kind in [
+        CoreKind::InOrderSmall,
+        CoreKind::OoOMedium,
+        CoreKind::OoOBig,
+    ] {
         let chip = Chip::compose(ChipConfig::desktop(
             db.by_name("22nm").unwrap().clone(),
             kind,

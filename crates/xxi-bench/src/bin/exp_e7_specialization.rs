@@ -8,7 +8,10 @@ use xxi_core::Table;
 use xxi_tech::NodeDb;
 
 fn main() {
-    banner("E7", "§2.2: 'Specialization can give 100x higher energy efficiency'");
+    banner(
+        "E7",
+        "§2.2: 'Specialization can give 100x higher energy efficiency'",
+    );
 
     let db = NodeDb::standard();
     let node = db.by_name("45nm").unwrap();
@@ -28,7 +31,9 @@ fn main() {
         ("manycore w32", ImplKind::Manycore { warp: 32 }),
         ("fixed-function", ImplKind::FixedFunction),
     ];
-    let mut t = Table::new(&["kernel", impls[0].0, impls[1].0, impls[2].0, impls[3].0, impls[4].0]);
+    let mut t = Table::new(&[
+        "kernel", impls[0].0, impls[1].0, impls[2].0, impls[3].0, impls[4].0,
+    ]);
     for k in kernels {
         let cells: Vec<String> = impls
             .iter()
@@ -41,7 +46,13 @@ fn main() {
     t.print();
 
     section("Efficiency factors vs the OoO baseline");
-    let mut t = Table::new(&["kernel", "in-order", "SIMD x16", "manycore w32", "fixed-function"]);
+    let mut t = Table::new(&[
+        "kernel",
+        "in-order",
+        "SIMD x16",
+        "manycore w32",
+        "fixed-function",
+    ]);
     for k in kernels {
         t.row(&[
             format!("{k:?}"),
@@ -58,7 +69,11 @@ fn main() {
     let g = DataflowGraph::reduction_tree(32);
     let m = cgra.map(&g).unwrap();
     let cpu = cgra.cpu_energy_per_execution(&g);
-    let mut t = Table::new(&["iterations of one config", "CGRA energy/exec (pJ)", "vs CPU"]);
+    let mut t = Table::new(&[
+        "iterations of one config",
+        "CGRA energy/exec (pJ)",
+        "vs CPU",
+    ]);
     for iters in [1u64, 10, 1_000, 100_000] {
         let e = cgra.energy_per_execution(&g, &m, iters);
         t.row(&[

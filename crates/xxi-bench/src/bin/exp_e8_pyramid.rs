@@ -4,18 +4,26 @@
 
 use xxi_accel::ladder::{efficiency_factor, ImplKind, Kernel};
 use xxi_bench::{banner, section};
+use xxi_cloud::power::{DatacenterPower, ServerPower};
 use xxi_core::table::{fnum, xfactor};
 use xxi_core::units::{Energy, Power};
 use xxi_core::Table;
-use xxi_cloud::power::{DatacenterPower, ServerPower};
 use xxi_tech::ops::OpEnergies;
 use xxi_tech::{NodeDb, NtvModel};
 
 fn main() {
-    banner("E8", "§2.2: exa-op @ 10 MW ... giga-op @ 10 mW (a uniform 1e11 ops/J)");
+    banner(
+        "E8",
+        "§2.2: exa-op @ 10 MW ... giga-op @ 10 mW (a uniform 1e11 ops/J)",
+    );
 
     section("The four tiers and the uniform requirement");
-    let mut t = Table::new(&["tier", "throughput (ops/s)", "power budget", "required ops/J"]);
+    let mut t = Table::new(&[
+        "tier",
+        "throughput (ops/s)",
+        "power budget",
+        "required ops/J",
+    ]);
     for (tier, ops, pw, pstr) in [
         ("exa-op datacenter", 1e18, 10e6, "10 MW"),
         ("peta-op server", 1e15, 10e3, "10 kW"),

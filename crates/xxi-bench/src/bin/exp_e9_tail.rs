@@ -11,7 +11,10 @@ use xxi_core::Rng64;
 use xxi_core::Table;
 
 fn main() {
-    banner("E9", "§2.1: 'if 100 systems must jointly respond ... 63% of requests'");
+    banner(
+        "E9",
+        "§2.1: 'if 100 systems must jointly respond ... 63% of requests'",
+    );
 
     let leaf = LatencyDist::typical_leaf();
 

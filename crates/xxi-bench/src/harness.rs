@@ -1,0 +1,176 @@
+//! A small benchmark harness for the `harness = false` bench targets.
+//!
+//! The build environment has no crates.io access, so instead of criterion
+//! the benches drive this: warm up, time repeated calls, and report the
+//! median/min per call plus element throughput. Per-sample times land in a
+//! [`LogHistogram`] — the same estimator the simulators use — so the
+//! benches exercise the observability path they exist to keep fast.
+//!
+//! Usage from a bench target:
+//!
+//! ```no_run
+//! let mut b = xxi_bench::Bench::from_args();
+//! let mut g = b.group("rng");
+//! g.throughput(1_000_000);
+//! g.bench("xoshiro_1m_u64", || { /* 1M next_u64() calls */ });
+//! ```
+//!
+//! CLI: any free argument is a substring filter on `group/name`;
+//! `--quick` runs a single sample per bench (used to smoke-test the
+//! targets without paying full measurement time).
+
+use std::time::Instant;
+
+use xxi_core::obs::LogHistogram;
+use xxi_core::table::fnum;
+
+/// Keep sampling until this much time is spent (unless `--quick`).
+const BUDGET_SECS: f64 = 1.0;
+/// Sample-count floor and ceiling around the time budget.
+const MIN_SAMPLES: u64 = 5;
+const MAX_SAMPLES: u64 = 50;
+
+/// Top-level harness state: the CLI filter and run mode.
+pub struct Bench {
+    filter: Option<String>,
+    quick: bool,
+    ran: u64,
+    skipped: u64,
+}
+
+impl Bench {
+    /// Parse the bench CLI: free args filter by substring, `--quick`
+    /// takes one sample per bench. Flags cargo passes (`--bench`) are
+    /// ignored.
+    pub fn from_args() -> Bench {
+        let mut filter = None;
+        let mut quick = false;
+        for a in std::env::args().skip(1) {
+            if a == "--quick" {
+                quick = true;
+            } else if !a.starts_with('-') {
+                filter = Some(a);
+            }
+        }
+        println!(
+            "{:<38} {:>7} {:>11} {:>11} {:>11}",
+            "benchmark", "samples", "median", "min", "throughput"
+        );
+        Bench {
+            filter,
+            quick,
+            ran: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Start a named group; benches print as `group/name`.
+    pub fn group(&mut self, name: &'static str) -> Group<'_> {
+        Group {
+            bench: self,
+            name,
+            elements: None,
+        }
+    }
+
+    /// Print the run/skip tally. Call last in `main`.
+    pub fn finish(self) {
+        println!(
+            "\n{} benchmarks run, {} filtered out",
+            self.ran, self.skipped
+        );
+    }
+}
+
+/// A group of related benches sharing a throughput denominator.
+pub struct Group<'a> {
+    bench: &'a mut Bench,
+    name: &'static str,
+    elements: Option<u64>,
+}
+
+impl Group<'_> {
+    /// Declare how many logical elements one call processes, enabling the
+    /// throughput column.
+    pub fn throughput(&mut self, elements: u64) {
+        self.elements = Some(elements);
+    }
+
+    /// Time `f` and print one result row. The return value is passed
+    /// through [`std::hint::black_box`] so the work cannot be optimized
+    /// away.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        let full = format!("{}/{}", self.name, name);
+        if let Some(filter) = &self.bench.filter {
+            if !full.contains(filter.as_str()) {
+                self.bench.skipped += 1;
+                return;
+            }
+        }
+        self.bench.ran += 1;
+
+        let mut samples = LogHistogram::new();
+        if self.bench.quick {
+            samples.add(time_once(&mut f));
+        } else {
+            // Warm-up: fill caches and let frequency settle.
+            let warm_t0 = Instant::now();
+            let mut warmed = 0;
+            while warmed < 2 && warm_t0.elapsed().as_secs_f64() < 0.25 {
+                std::hint::black_box(f());
+                warmed += 1;
+            }
+            let t0 = Instant::now();
+            while samples.count() < MIN_SAMPLES
+                || (t0.elapsed().as_secs_f64() < BUDGET_SECS && samples.count() < MAX_SAMPLES)
+            {
+                samples.add(time_once(&mut f));
+            }
+        }
+
+        let median = samples.p50();
+        let throughput = match self.elements {
+            Some(e) => format!("{} Mel/s", fnum(e as f64 / median / 1e6)),
+            None => "-".to_string(),
+        };
+        println!(
+            "{:<38} {:>7} {:>11} {:>11} {:>11}",
+            full,
+            samples.count(),
+            fmt_secs(median),
+            fmt_secs(samples.min()),
+            throughput
+        );
+    }
+}
+
+fn time_once<R>(f: &mut impl FnMut() -> R) -> f64 {
+    let t0 = Instant::now();
+    std::hint::black_box(f());
+    t0.elapsed().as_secs_f64()
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fmt_secs;
+
+    #[test]
+    fn fmt_secs_picks_sane_units() {
+        assert_eq!(fmt_secs(3.2e-9), "3.2 ns");
+        assert_eq!(fmt_secs(4.5e-5), "45.00 us");
+        assert_eq!(fmt_secs(0.012), "12.00 ms");
+        assert_eq!(fmt_secs(2.5), "2.500 s");
+    }
+}

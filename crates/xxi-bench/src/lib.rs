@@ -4,9 +4,89 @@
 //! prints paper-style tables; EXPERIMENTS.md records the outputs. Keep the
 //! binaries deterministic: fixed seeds only.
 
+use std::path::PathBuf;
+
+use xxi_core::obs::{LogHistogram, Trace};
+use xxi_core::table::fnum;
+use xxi_core::Table;
+
+pub mod harness;
+pub use harness::Bench;
+
 /// Print a section header in a consistent style.
 pub fn section(title: &str) {
     println!("\n== {title} ==\n");
+}
+
+/// Parse `--trace <path>` (or `--trace=<path>`) from the command line.
+/// Returns `None` when absent; exits with usage on a missing value.
+pub fn trace_arg() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            match args.next() {
+                Some(p) => return Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("usage: --trace <path>   (write a Chrome trace_event JSON file)");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(p) = a.strip_prefix("--trace=") {
+            return Some(PathBuf::from(p));
+        }
+    }
+    None
+}
+
+/// Write `trace` as Chrome `trace_event` JSON and print a confirmation.
+/// Load the file in chrome://tracing or https://ui.perfetto.dev.
+pub fn save_trace(trace: &Trace, path: &PathBuf) {
+    match trace.save_chrome_json(path) {
+        Ok(()) => {
+            print!(
+                "\ntrace: {} events -> {} (chrome://tracing)",
+                trace.len(),
+                path.display()
+            );
+            if trace.dropped() > 0 {
+                print!("  [{} events dropped at the cap]", trace.dropped());
+            }
+            println!();
+        }
+        Err(e) => {
+            eprintln!("failed to write trace {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// One table row of tail quantiles from a [`LogHistogram`]:
+/// `[label, n, mean, p50, p90, p99, p99.9, max]`.
+pub fn quantile_row(label: &str, h: &LogHistogram) -> Vec<String> {
+    vec![
+        label.to_string(),
+        h.count().to_string(),
+        fnum(h.mean()),
+        fnum(h.p50()),
+        fnum(h.p90()),
+        fnum(h.p99()),
+        fnum(h.p999()),
+        fnum(h.max()),
+    ]
+}
+
+/// A table pre-labelled with quantile columns; pair with [`quantile_row`].
+pub fn quantile_table(value_label: &str) -> Table {
+    Table::new(&[
+        value_label,
+        "n",
+        "mean",
+        "p50",
+        "p90",
+        "p99",
+        "p99.9",
+        "max",
+    ])
 }
 
 /// Print the experiment banner.

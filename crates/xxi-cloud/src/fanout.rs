@@ -44,12 +44,7 @@ pub struct FanoutResult {
 }
 
 /// Simulate `trials` requests, each the max of `fanout` leaf draws.
-pub fn fanout_latency(
-    dist: LatencyDist,
-    fanout: u32,
-    trials: usize,
-    seed: u64,
-) -> FanoutResult {
+pub fn fanout_latency(dist: LatencyDist, fanout: u32, trials: usize, seed: u64) -> FanoutResult {
     assert!(fanout >= 1 && trials > 0);
     let mut rng = Rng64::new(seed);
     // Estimate the single-leaf p99 first.
@@ -135,17 +130,17 @@ mod tests {
         let mut rng = Rng64::new(9);
         let leaf = LatencyDist::typical_leaf().sample_summary(200_000, &mut rng);
         let r = fanout_latency(LatencyDist::typical_leaf(), 100, 10_000, 9);
-        assert!(r.p50 > leaf.percentile(90.0), "p50={} leaf p90={}", r.p50, leaf.percentile(90.0));
+        assert!(
+            r.p50 > leaf.percentile(90.0),
+            "p50={} leaf p90={}",
+            r.p50,
+            leaf.percentile(90.0)
+        );
     }
 
     #[test]
     fn sweep_is_monotone_in_fanout() {
-        let sweep = fanout_sweep(
-            LatencyDist::typical_leaf(),
-            &[1, 10, 100],
-            10_000,
-            10,
-        );
+        let sweep = fanout_sweep(LatencyDist::typical_leaf(), &[1, 10, 100], 10_000, 10);
         assert_eq!(sweep.len(), 3);
         for w in sweep.windows(2) {
             assert!(w[1].p50 > w[0].p50);

@@ -57,9 +57,7 @@ impl LatencyDist {
     pub fn sample(&self, rng: &mut Rng64) -> f64 {
         match *self {
             LatencyDist::Exp { mean_ms } => rng.exp(1.0 / mean_ms),
-            LatencyDist::LogNormal { median_ms, sigma } => {
-                rng.lognormal(median_ms.ln(), sigma)
-            }
+            LatencyDist::LogNormal { median_ms, sigma } => rng.lognormal(median_ms.ln(), sigma),
             LatencyDist::WithStragglers {
                 median_ms,
                 sigma,

@@ -19,6 +19,9 @@
 //!   showing tail inflation with utilization (why stragglers exist).
 //! * [`hedge`] — hedged and tied requests: deadline-triggered duplicates
 //!   that cut p99 at a few percent extra load (the mitigation table).
+//! * [`obs`] — the fan-out/hedge model re-run on the DES engine with full
+//!   telemetry: request/leaf trace spans, latency histograms, and an
+//!   energy ledger (leaf compute / fabric RPC / root idle-wait).
 //! * [`power`] — datacenter power: server idle/peak, energy
 //!   proportionality, PUE, and the memory/storage share of the budget.
 //! * [`qos`] — latency-critical + batch colocation with an interference
@@ -27,15 +30,17 @@
 pub mod fanout;
 pub mod hedge;
 pub mod latency;
+pub mod obs;
 pub mod power;
 pub mod qos;
-pub mod replication;
 pub mod queueing;
+pub mod replication;
 
 pub use fanout::{analytic_straggler_prob, fanout_latency};
 pub use hedge::{hedged_request, HedgeOutcome};
 pub use latency::LatencyDist;
+pub use obs::{ClusterObservation, ObservedFanout};
 pub use power::{DatacenterPower, ServerPower};
 pub use qos::Colocation;
-pub use replication::{LoadStats, ReplicatedStore};
 pub use queueing::{MG1Queue, QueueResult};
+pub use replication::{LoadStats, ReplicatedStore};

@@ -148,8 +148,7 @@ mod tests {
             servers: 1000,
             pue: 1.2,
         };
-        let frac = dc.mem_storage_power(1.0).value()
-            / (dc.facility_power(1.0).value() / dc.pue);
+        let frac = dc.mem_storage_power(1.0).value() / (dc.facility_power(1.0).value() / dc.pue);
         assert!((frac - 0.35).abs() < 1e-9);
     }
 

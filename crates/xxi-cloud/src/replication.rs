@@ -112,25 +112,28 @@ mod tests {
         let plain = ReplicatedStore::unreplicated(PARTITIONS, SERVERS).serve(REQUESTS, SKEW, 2);
         // Replicate the 20 hottest partitions 4 extra times: +80 copies =
         // 8% storage overhead.
-        let repl = ReplicatedStore::with_hot_replicas(PARTITIONS, SERVERS, 20, 4)
-            .serve(REQUESTS, SKEW, 2);
+        let repl =
+            ReplicatedStore::with_hot_replicas(PARTITIONS, SERVERS, 20, 4).serve(REQUESTS, SKEW, 2);
         assert!(
             repl.imbalance < plain.imbalance / 2.0,
             "plain={} repl={}",
             plain.imbalance,
             repl.imbalance
         );
-        let overhead =
-            repl.storage_copies as f64 / plain.storage_copies as f64 - 1.0;
+        let overhead = repl.storage_copies as f64 / plain.storage_copies as f64 - 1.0;
         assert!(overhead < 0.1, "storage overhead {overhead}");
     }
 
     #[test]
     fn uniform_traffic_needs_no_replication() {
         let plain = ReplicatedStore::unreplicated(PARTITIONS, SERVERS).serve(REQUESTS, 0.0, 3);
-        assert!(plain.imbalance < 1.2, "uniform imbalance={}", plain.imbalance);
-        let repl = ReplicatedStore::with_hot_replicas(PARTITIONS, SERVERS, 20, 4)
-            .serve(REQUESTS, 0.0, 3);
+        assert!(
+            plain.imbalance < 1.2,
+            "uniform imbalance={}",
+            plain.imbalance
+        );
+        let repl =
+            ReplicatedStore::with_hot_replicas(PARTITIONS, SERVERS, 20, 4).serve(REQUESTS, 0.0, 3);
         // No harm, just no benefit.
         assert!((repl.imbalance - plain.imbalance).abs() < 0.2);
     }

@@ -32,6 +32,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::obs::{SpanId, Trace};
 use crate::time::SimTime;
 
 type EventFn<S> = Box<dyn FnOnce(&mut Sim<S>)>;
@@ -68,6 +69,11 @@ impl<S> Ord for Scheduled<S> {
 pub struct Sim<S> {
     /// User-owned simulation state, freely accessible from events.
     pub state: S,
+    /// Event trace recorder. Disabled by default ([`Trace::disabled`]), in
+    /// which case every recording call is a single predicted branch and no
+    /// memory is ever allocated — the DES hot loop pays nothing. Enable
+    /// with [`Sim::with_trace`] or by assigning [`Trace::enabled`].
+    pub trace: Trace,
     now: SimTime,
     seq: u64,
     fired: u64,
@@ -75,15 +81,24 @@ pub struct Sim<S> {
 }
 
 impl<S> Sim<S> {
-    /// Create a simulator at time zero wrapping `state`.
+    /// Create a simulator at time zero wrapping `state`, tracing disabled.
     pub fn new(state: S) -> Sim<S> {
         Sim {
             state,
+            trace: Trace::disabled(),
             now: SimTime::ZERO,
             seq: 0,
             fired: 0,
             heap: BinaryHeap::new(),
         }
+    }
+
+    /// Create a simulator with the given trace recorder (typically
+    /// [`Trace::enabled`]).
+    pub fn with_trace(state: S, trace: Trace) -> Sim<S> {
+        let mut sim = Sim::new(state);
+        sim.trace = trace;
+        sim
     }
 
     /// Current simulated time.
@@ -169,6 +184,35 @@ impl<S> Sim<S> {
         let start = self.fired;
         while self.fired - start < max_events && self.step() {}
         self.fired - start
+    }
+
+    /// Open a trace span starting at the current simulated time.
+    /// Free (and returns a dead [`SpanId`]) when tracing is disabled.
+    #[inline]
+    pub fn trace_begin(&mut self, name: &'static str, cat: &'static str, track: u64) -> SpanId {
+        let now = self.now;
+        self.trace.begin(name, cat, track, now)
+    }
+
+    /// Close a trace span at the current simulated time.
+    #[inline]
+    pub fn trace_end(&mut self, id: SpanId) {
+        let now = self.now;
+        self.trace.end(id, now);
+    }
+
+    /// Close a trace span at the current time with numeric arguments.
+    #[inline]
+    pub fn trace_end_args(&mut self, id: SpanId, args: &[(&'static str, f64)]) {
+        let now = self.now;
+        self.trace.end_args(id, now, args);
+    }
+
+    /// Record an instant trace event at the current simulated time.
+    #[inline]
+    pub fn trace_instant(&mut self, name: &'static str, cat: &'static str, track: u64) {
+        let now = self.now;
+        self.trace.instant(name, cat, track, now);
     }
 }
 
@@ -304,7 +348,7 @@ mod tests {
                 let d = sim.state % 97;
                 if sim.events_fired() < 10_000 {
                     sim.schedule_in(SimTime::from_ps(d), ev);
-                    if d % 3 == 0 {
+                    if d.is_multiple_of(3) {
                         sim.schedule_in(SimTime::from_ps(d * 2), |s| {
                             s.state ^= 0xDEAD;
                         });
@@ -317,6 +361,36 @@ mod tests {
         }
         assert_eq!(run_once(42), run_once(42));
         assert_ne!(run_once(42).0, run_once(43).0);
+    }
+
+    #[test]
+    fn sim_trace_records_spans_at_sim_time() {
+        use crate::obs::Trace;
+        let mut sim = Sim::with_trace((), Trace::enabled());
+        sim.schedule_at(SimTime::from_ns(10), |s| {
+            let id = s.trace_begin("work", "test", 1);
+            s.schedule_in(SimTime::from_ns(5), move |s2| {
+                s2.trace_end(id);
+                s2.trace_instant("done", "test", 1);
+            });
+        });
+        sim.run();
+        assert_eq!(sim.trace.len(), 2);
+        let json = sim.trace.chrome_json();
+        assert!(json.contains("\"work\""), "{json}");
+        assert!(json.contains("\"done\""), "{json}");
+    }
+
+    #[test]
+    fn default_sim_trace_is_disabled_and_allocation_free() {
+        let mut sim = Sim::new(());
+        for _ in 0..1000 {
+            let id = sim.trace_begin("x", "t", 0);
+            sim.trace_end(id);
+            sim.trace_instant("y", "t", 0);
+        }
+        assert!(!sim.trace.is_enabled());
+        assert_eq!(sim.trace.events_capacity(), 0);
     }
 
     #[test]

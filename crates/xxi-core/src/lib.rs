@@ -27,6 +27,10 @@
 //! * [`table`] — plain-text table rendering used by every `exp_*` experiment
 //!   binary so that reproduced tables look like the paper's.
 //! * [`metrics`] — a lightweight named-counter registry shared by simulators.
+//! * [`obs`] — cross-layer observability: a zero-cost-when-disabled trace
+//!   recorder hooked into the DES engine (Chrome `trace_event` export), a
+//!   fixed-memory log-bucketed latency histogram, and an energy ledger that
+//!   attributes joules to components and layers.
 //! * [`error`] — the common error type.
 //!
 //! ## Design notes
@@ -39,6 +43,7 @@
 pub mod des;
 pub mod error;
 pub mod metrics;
+pub mod obs;
 pub mod rng;
 pub mod stats;
 pub mod table;
@@ -47,6 +52,7 @@ pub mod units;
 
 pub use des::Sim;
 pub use error::{Result, XxiError};
+pub use obs::{EnergyLedger, Layer, LogHistogram, SpanId, Trace};
 pub use rng::Rng64;
 pub use stats::{Histogram, P2Quantile, Streaming, Summary};
 pub use table::Table;

@@ -3,16 +3,22 @@
 //! Simulators across the workspace (caches, routers, servers, sensor nodes)
 //! need to expose dozens of counters — hits, misses, retries, drops,
 //! checkpoints — without each defining bespoke bookkeeping structs for
-//! rarely-read values. `Metrics` is a string-keyed map of integer counters
-//! and float gauges with ordered, stable iteration for reporting.
+//! rarely-read values. `Metrics` is a string-keyed map of integer counters,
+//! float gauges, and [`LogHistogram`]s with ordered, stable iteration for
+//! reporting. `Display` renders an aligned dump of all three.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
-/// Named counters (u64, monotonic) and gauges (f64, last-write-wins).
+use crate::obs::LogHistogram;
+
+/// Named counters (u64, monotonic), gauges (f64, last-write-wins), and
+/// sample distributions ([`LogHistogram`], fed via [`Metrics::observe`]).
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, f64>,
+    hists: BTreeMap<&'static str, LogHistogram>,
 }
 
 impl Metrics {
@@ -49,6 +55,18 @@ impl Metrics {
         self.gauges.get(name).copied().unwrap_or(f64::NAN)
     }
 
+    /// Record sample `x` into the histogram `name` (creating it empty).
+    /// Quantiles are then available via [`Metrics::hist`].
+    #[inline]
+    pub fn observe(&mut self, name: &'static str, x: f64) {
+        self.hists.entry(name).or_default().add(x);
+    }
+
+    /// Read histogram `name`, if any samples were observed under it.
+    pub fn hist(&self, name: &str) -> Option<&LogHistogram> {
+        self.hists.get(name)
+    }
+
     /// Ratio of two counters; 0 when the denominator is zero.
     pub fn ratio(&self, num: &str, den: &str) -> f64 {
         let d = self.counter(den);
@@ -69,14 +87,52 @@ impl Metrics {
         self.gauges.iter().map(|(k, v)| (*k, *v))
     }
 
-    /// Merge another registry: counters add, gauges take the other's value.
+    /// Iterate histograms in name order.
+    pub fn hists(&self) -> impl Iterator<Item = (&'static str, &LogHistogram)> + '_ {
+        self.hists.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Merge another registry: counters add, histograms merge, gauges take
+    /// the other's value.
     pub fn merge(&mut self, other: &Metrics) {
         for (k, v) in &other.counters {
             *self.counters.entry(k).or_insert(0) += v;
         }
+        // Gauges are last-write-wins by definition: when rolling shards up,
+        // `other` is the later observation, so its value replaces ours.
+        // Callers needing an aggregate (mean, max) should use a counter or
+        // `observe` a histogram instead.
         for (k, v) in &other.gauges {
             self.gauges.insert(k, *v);
         }
+        for (k, h) in &other.hists {
+            self.hists.entry(k).or_default().merge(h);
+        }
+    }
+}
+
+/// Aligned dump: counters, then gauges, then histogram summary lines, each
+/// name-ordered, name column padded to the longest name.
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.hists.keys())
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(0);
+        for (k, v) in &self.counters {
+            writeln!(f, "{k:<width$}  {v}")?;
+        }
+        for (k, v) in &self.gauges {
+            writeln!(f, "{k:<width$}  {v}")?;
+        }
+        for (k, h) in &self.hists {
+            writeln!(f, "{k:<width$}  {}", h.summary_line())?;
+        }
+        Ok(())
     }
 }
 
@@ -133,5 +189,45 @@ mod tests {
         assert_eq!(a.counter("x"), 3);
         assert_eq!(a.counter("y"), 3);
         assert_eq!(a.gauge_value("g"), 9.0);
+    }
+
+    #[test]
+    fn observe_feeds_histograms() {
+        let mut m = Metrics::new();
+        for i in 1..=100 {
+            m.observe("latency_ms", i as f64);
+        }
+        let h = m.hist("latency_ms").unwrap();
+        assert_eq!(h.count(), 100);
+        assert!(h.p50() > 40.0 && h.p50() < 60.0);
+        assert!(m.hist("absent").is_none());
+    }
+
+    #[test]
+    fn merge_merges_histograms() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        a.observe("x", 1.0);
+        b.observe("x", 2.0);
+        b.observe("y", 3.0);
+        a.merge(&b);
+        assert_eq!(a.hist("x").unwrap().count(), 2);
+        assert_eq!(a.hist("y").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn display_is_aligned_and_complete() {
+        let mut m = Metrics::new();
+        m.count("hits", 7);
+        m.gauge("utilization", 0.5);
+        m.observe("latency", 3.0);
+        let s = m.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // All value columns start at the same offset.
+        assert!(lines[0].starts_with("hits         "), "{s}");
+        assert!(lines[1].starts_with("utilization  "), "{s}");
+        assert!(lines[2].starts_with("latency      "), "{s}");
+        assert!(s.contains("n=1"), "{s}");
     }
 }

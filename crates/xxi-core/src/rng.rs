@@ -59,10 +59,7 @@ impl Rng64 {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -190,7 +187,10 @@ impl Zipf {
     /// `s = 0` degenerates to uniform.
     pub fn new(n: usize, s: f64) -> Zipf {
         assert!(n > 0, "Zipf over zero items");
-        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite and >= 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "Zipf exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 0..n {
@@ -260,7 +260,9 @@ mod tests {
         let mut a = Rng64::new(99);
         let mut b = a.split();
         let n = 10_000;
-        let matches = (0..n).filter(|_| (a.next_u64() & 1) == (b.next_u64() & 1)).count();
+        let matches = (0..n)
+            .filter(|_| (a.next_u64() & 1) == (b.next_u64() & 1))
+            .count();
         // Around n/2 for independent streams.
         assert!((matches as f64 - n as f64 / 2.0).abs() < 4.0 * (n as f64 / 4.0).sqrt());
     }
@@ -285,7 +287,10 @@ mod tests {
         }
         let expected = trials as f64 / n as f64;
         for &c in &counts {
-            assert!((c as f64 - expected).abs() < 5.0 * expected.sqrt(), "{counts:?}");
+            assert!(
+                (c as f64 - expected).abs() < 5.0 * expected.sqrt(),
+                "{counts:?}"
+            );
         }
     }
 
@@ -373,8 +378,10 @@ mod tests {
         for k in [0usize, 1, 5, 50] {
             let emp = counts[k] as f64 / n as f64;
             let exp = z.pmf(k);
-            assert!((emp - exp).abs() < 5.0 * (exp / n as f64).sqrt() + 1e-3,
-                "rank {k}: emp={emp} exp={exp}");
+            assert!(
+                (emp - exp).abs() < 5.0 * (exp / n as f64).sqrt() + 1e-3,
+                "rank {k}: emp={emp} exp={exp}"
+            );
         }
     }
 

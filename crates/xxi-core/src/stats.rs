@@ -389,7 +389,11 @@ impl Histogram {
         let w = (self.hi - self.lo) / self.bins.len() as f64;
         for (i, &b) in self.bins.iter().enumerate() {
             if acc + b as f64 >= target {
-                let within = if b == 0 { 0.0 } else { (target - acc) / b as f64 };
+                let within = if b == 0 {
+                    0.0
+                } else {
+                    (target - acc) / b as f64
+                };
                 return self.lo + (i as f64 + within) * w;
             }
             acc += b as f64;
@@ -549,7 +553,11 @@ mod tests {
             h.add(rng.next_f64());
         }
         for q in [0.1, 0.5, 0.9, 0.99] {
-            assert!((h.quantile(q) - q).abs() < 0.01, "q={q} got={}", h.quantile(q));
+            assert!(
+                (h.quantile(q) - q).abs() < 0.01,
+                "q={q} got={}",
+                h.quantile(q)
+            );
         }
     }
 

@@ -170,7 +170,11 @@ mod tests {
     #[test]
     fn chip_power_within_tdp() {
         for n in ["90nm", "45nm", "22nm", "7nm"] {
-            for k in [CoreKind::InOrderSmall, CoreKind::OoOMedium, CoreKind::OoOBig] {
+            for k in [
+                CoreKind::InOrderSmall,
+                CoreKind::OoOMedium,
+                CoreKind::OoOBig,
+            ] {
                 let chip = Chip::compose(ChipConfig::desktop(node(n), k)).unwrap();
                 assert!(
                     chip.power().value() <= chip.cfg.tdp.value() + 1e-9,

@@ -191,8 +191,7 @@ mod tests {
         assert!(small.energy_per_instruction().value() < med.energy_per_instruction().value());
         assert!(med.energy_per_instruction().value() < big.energy_per_instruction().value());
         // The big core pays ~5x the small core per instruction.
-        let ratio =
-            big.energy_per_instruction().value() / small.energy_per_instruction().value();
+        let ratio = big.energy_per_instruction().value() / small.energy_per_instruction().value();
         assert!((3.0..8.0).contains(&ratio), "ratio={ratio}");
     }
 }

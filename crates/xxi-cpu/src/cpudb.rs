@@ -42,15 +42,69 @@ pub struct CpuDbEntry {
 /// historical envelope of each design (frequency from datasheets; IPC from
 /// published SPEC-per-MHz analyses).
 pub const CPU_DB: &[CpuDbEntry] = &[
-    CpuDbEntry { year: 1985, name: "i386-class", feature_nm: 1500.0, freq_mhz: 16.0, ipc: 0.12 },
-    CpuDbEntry { year: 1989, name: "i486-class", feature_nm: 1000.0, freq_mhz: 25.0, ipc: 0.25 },
-    CpuDbEntry { year: 1993, name: "Pentium-class", feature_nm: 800.0, freq_mhz: 66.0, ipc: 0.5 },
-    CpuDbEntry { year: 1996, name: "PentiumPro-class", feature_nm: 350.0, freq_mhz: 200.0, ipc: 0.8 },
-    CpuDbEntry { year: 1999, name: "PIII-class", feature_nm: 250.0, freq_mhz: 600.0, ipc: 0.9 },
-    CpuDbEntry { year: 2002, name: "P4-class", feature_nm: 130.0, freq_mhz: 2400.0, ipc: 0.6 },
-    CpuDbEntry { year: 2006, name: "Core2-class", feature_nm: 65.0, freq_mhz: 2660.0, ipc: 1.1 },
-    CpuDbEntry { year: 2009, name: "Nehalem-class", feature_nm: 45.0, freq_mhz: 3200.0, ipc: 1.3 },
-    CpuDbEntry { year: 2012, name: "IvyBridge-class", feature_nm: 22.0, freq_mhz: 3500.0, ipc: 1.6 },
+    CpuDbEntry {
+        year: 1985,
+        name: "i386-class",
+        feature_nm: 1500.0,
+        freq_mhz: 16.0,
+        ipc: 0.12,
+    },
+    CpuDbEntry {
+        year: 1989,
+        name: "i486-class",
+        feature_nm: 1000.0,
+        freq_mhz: 25.0,
+        ipc: 0.25,
+    },
+    CpuDbEntry {
+        year: 1993,
+        name: "Pentium-class",
+        feature_nm: 800.0,
+        freq_mhz: 66.0,
+        ipc: 0.5,
+    },
+    CpuDbEntry {
+        year: 1996,
+        name: "PentiumPro-class",
+        feature_nm: 350.0,
+        freq_mhz: 200.0,
+        ipc: 0.8,
+    },
+    CpuDbEntry {
+        year: 1999,
+        name: "PIII-class",
+        feature_nm: 250.0,
+        freq_mhz: 600.0,
+        ipc: 0.9,
+    },
+    CpuDbEntry {
+        year: 2002,
+        name: "P4-class",
+        feature_nm: 130.0,
+        freq_mhz: 2400.0,
+        ipc: 0.6,
+    },
+    CpuDbEntry {
+        year: 2006,
+        name: "Core2-class",
+        feature_nm: 65.0,
+        freq_mhz: 2660.0,
+        ipc: 1.1,
+    },
+    CpuDbEntry {
+        year: 2009,
+        name: "Nehalem-class",
+        feature_nm: 45.0,
+        freq_mhz: 3200.0,
+        ipc: 1.3,
+    },
+    CpuDbEntry {
+        year: 2012,
+        name: "IvyBridge-class",
+        feature_nm: 22.0,
+        freq_mhz: 3500.0,
+        ipc: 1.6,
+    },
 ];
 
 /// The technology-vs-architecture split between two entries.
@@ -142,8 +196,7 @@ mod tests {
         let all = overall();
         assert!((a1.total * a2.total - all.total).abs() / all.total < 1e-12);
         assert!(
-            (a1.architecture * a2.architecture - all.architecture).abs() / all.architecture
-                < 1e-12
+            (a1.architecture * a2.architecture - all.architecture).abs() / all.architecture < 1e-12
         );
     }
 

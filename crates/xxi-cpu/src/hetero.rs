@@ -220,7 +220,10 @@ mod tests {
         };
         let hetero = ipad_like();
         let homo = homogeneous_small();
-        let (th, eh) = (hetero.time_for(mix).unwrap(), hetero.energy_for(mix).unwrap());
+        let (th, eh) = (
+            hetero.time_for(mix).unwrap(),
+            hetero.energy_for(mix).unwrap(),
+        );
         let (tm, em) = (homo.time_for(mix).unwrap(), homo.energy_for(mix).unwrap());
         assert!(th < tm, "time {th} vs {tm}");
         assert!(eh < em, "energy {eh} vs {em}");
@@ -260,9 +263,7 @@ mod tests {
             accelerable: 0.0,
         };
         assert!(with_big.time_for(serial_mix).unwrap() < without.time_for(serial_mix).unwrap());
-        assert!(
-            without.time_for(parallel_mix).unwrap() < with_big.time_for(parallel_mix).unwrap()
-        );
+        assert!(without.time_for(parallel_mix).unwrap() < with_big.time_for(parallel_mix).unwrap());
     }
 
     #[test]

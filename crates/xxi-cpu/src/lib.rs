@@ -32,7 +32,7 @@ pub mod pipeline;
 
 pub use self::core::{CoreKind, CoreModel};
 pub use chip::{Chip, ChipConfig};
-pub use hetero::{HeteroChip, HeteroSplit, WorkMix};
 pub use cpudb::{attribution, CpuDbEntry, CPU_DB};
-pub use hillmarty::{speedup_asymmetric, speedup_dynamic, speedup_symmetric, perf_pollack};
+pub use hetero::{HeteroChip, HeteroSplit, WorkMix};
+pub use hillmarty::{perf_pollack, speedup_asymmetric, speedup_dynamic, speedup_symmetric};
 pub use pipeline::{simulate as simulate_pipeline, PipelineConfig, PipelineResult};

@@ -243,15 +243,9 @@ pub fn loop_branch_program(iterations: usize, body: usize) -> Vec<Op> {
             let r = (j % 4) as u8;
             prog.push(Op::Alu { d: r, a: r, b: r });
         }
-        prog.push(Op::Branch {
-            c: 0,
-            taken: true,
-        });
+        prog.push(Op::Branch { c: 0, taken: true });
     }
-    prog.push(Op::Branch {
-        c: 0,
-        taken: false,
-    });
+    prog.push(Op::Branch { c: 0, taken: false });
     prog
 }
 
@@ -281,7 +275,12 @@ mod tests {
         // Without forwarding every instruction waits 2 cycles on its
         // predecessor.
         assert_eq!(without.stall_cycles, 2 * (10_000 - 1));
-        assert!(with.ipc > 2.5 * without.ipc, "{} vs {}", with.ipc, without.ipc);
+        assert!(
+            with.ipc > 2.5 * without.ipc,
+            "{} vs {}",
+            with.ipc,
+            without.ipc
+        );
     }
 
     #[test]
@@ -309,7 +308,11 @@ mod tests {
             },
         );
         // Not-taken prediction is wrong on every loop-back branch.
-        assert!(naive.branch_accuracy < 0.05, "naive={}", naive.branch_accuracy);
+        assert!(
+            naive.branch_accuracy < 0.05,
+            "naive={}",
+            naive.branch_accuracy
+        );
         assert!(
             predicted.branch_accuracy > 0.95,
             "predicted={}",

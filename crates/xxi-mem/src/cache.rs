@@ -112,7 +112,7 @@ impl CacheConfig {
             return Err(XxiError::config("cache must have nonzero size and ways"));
         }
         let lines = self.size_bytes / self.line_bytes;
-        if lines == 0 || lines % self.ways != 0 {
+        if lines == 0 || !lines.is_multiple_of(self.ways) {
             return Err(XxiError::config(
                 "capacity must be a whole number of sets × ways × line",
             ));
@@ -191,7 +191,10 @@ impl Cache {
     #[inline]
     fn index(&self, addr: u64) -> (usize, u64) {
         let line_addr = addr >> self.line_shift;
-        ((line_addr & self.set_mask) as usize, line_addr >> self.sets.len().trailing_zeros())
+        (
+            (line_addr & self.set_mask) as usize,
+            line_addr >> self.sets.len().trailing_zeros(),
+        )
     }
 
     /// Perform one access; returns hit/miss and whether a dirty victim was
@@ -400,6 +403,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op, clippy::identity_op)] // k*256 spells out the set math
     fn lru_evicts_least_recent() {
         let mut c = tiny(Replacement::Lru);
         // Set 0 holds lines with addr bits [7:6]=0: addresses k*256.
@@ -415,6 +419,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op, clippy::identity_op)] // k*256 spells out the set math
     fn fifo_ignores_recency() {
         let mut c = tiny(Replacement::Fifo);
         c.access(0 * 256, AccessKind::Read);
@@ -427,11 +432,12 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op, clippy::identity_op)] // k*256 spells out the set math
     fn writeback_on_dirty_eviction_only() {
         let mut c = tiny(Replacement::Lru);
         c.access(0 * 256, AccessKind::Write); // dirty
         c.access(1 * 256, AccessKind::Read); // clean
-        // Evict dirty line 0.
+                                             // Evict dirty line 0.
         let o = c.access(2 * 256, AccessKind::Read);
         assert_eq!(o, Outcome::Miss { writeback: true });
         // Evict clean line 1.
@@ -479,7 +485,7 @@ mod tests {
     #[test]
     fn working_set_behaviour_small_fits_large_thrashes() {
         let mut c = Cache::new(CacheConfig::l1()).unwrap(); // 32 KiB
-        // 16 KiB working set, sequential, looped 10×: near-perfect reuse.
+                                                            // 16 KiB working set, sequential, looped 10×: near-perfect reuse.
         let mut small = Cache::new(CacheConfig::l1()).unwrap();
         for _ in 0..10 {
             for a in (0..16 * 1024).step_by(64) {

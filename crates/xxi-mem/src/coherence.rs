@@ -66,10 +66,7 @@ impl CoherentSystem {
 
     /// Current state of `line` in `cache`.
     pub fn state(&self, cache: usize, line: u64) -> MesiState {
-        self.lines
-            .get(&line)
-            .map(|v| v[cache])
-            .unwrap_or(Invalid)
+        self.lines.get(&line).map(|v| v[cache]).unwrap_or(Invalid)
     }
 
     fn entry(&mut self, line: u64) -> &mut Vec<MesiState> {
@@ -109,7 +106,10 @@ impl CoherentSystem {
                         Invalid => {}
                     }
                 }
-                let any_shared = v.iter().enumerate().any(|(i, s)| i != cache && *s == Shared);
+                let any_shared = v
+                    .iter()
+                    .enumerate()
+                    .any(|(i, s)| i != cache && *s == Shared);
                 v[cache] = if any_shared { Shared } else { Exclusive };
                 if supplied {
                     self.metrics.incr("interventions");

@@ -107,7 +107,10 @@ impl Dram {
     #[inline]
     fn locate(&self, addr: u64) -> (usize, u64) {
         let row_addr = addr / self.cfg.row_bytes;
-        ((row_addr % self.cfg.banks as u64) as usize, row_addr / self.cfg.banks as u64)
+        (
+            (row_addr % self.cfg.banks as u64) as usize,
+            row_addr / self.cfg.banks as u64,
+        )
     }
 
     /// Access one 64-byte burst at `addr`.

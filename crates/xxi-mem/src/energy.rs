@@ -151,10 +151,7 @@ mod tests {
         let t = MemEnergyTable::at(node);
         let ops = OpEnergies::at(node);
         let ratio = t.dram_to_fma_ratio(&ops);
-        assert!(
-            (100.0..1000.0).contains(&ratio),
-            "DRAM/FMA ratio = {ratio}"
-        );
+        assert!((100.0..1000.0).contains(&ratio), "DRAM/FMA ratio = {ratio}");
         // Even an L2 operand fetch (3 accesses) exceeds the FMA itself.
         assert!(t.operand_traffic(Level::L2).value() > ops.fp_fma.value());
     }
@@ -167,8 +164,7 @@ mod tests {
         let db = NodeDb::standard();
         let mut prev = 0.0;
         for node in db.all() {
-            let ratio =
-                MemEnergyTable::at(node).dram_to_fma_ratio(&OpEnergies::at(node));
+            let ratio = MemEnergyTable::at(node).dram_to_fma_ratio(&OpEnergies::at(node));
             assert!(ratio > prev, "{}: {ratio} <= {prev}", node.name);
             prev = ratio;
         }
@@ -189,6 +185,8 @@ mod tests {
     fn operand_traffic_is_three_accesses() {
         let db = NodeDb::standard();
         let t = MemEnergyTable::at(db.by_name("45nm").unwrap());
-        assert!((t.operand_traffic(Level::RegisterFile).value() - t.rf.value() * 3.0).abs() < 1e-18);
+        assert!(
+            (t.operand_traffic(Level::RegisterFile).value() - t.rf.value() * 3.0).abs() < 1e-18
+        );
     }
 }

@@ -10,8 +10,24 @@ use serde::{Deserialize, Serialize};
 
 use crate::cache::{AccessKind, Cache, CacheConfig};
 use crate::trace::Access;
+use xxi_core::metrics::Metrics;
+use xxi_core::obs::{EnergyLedger, Layer};
 use xxi_core::units::{Energy, Seconds};
 use xxi_core::Result;
+
+/// Static level names so ledger/metric charges never allocate. Hierarchies
+/// deeper than 8 cache levels share the last name.
+const LEVEL: [&str; 8] = ["l1", "l2", "l3", "l4", "l5", "l6", "l7", "l8"];
+const LEVEL_HIT: [&str; 8] = [
+    "l1_hit", "l2_hit", "l3_hit", "l4_hit", "l5_hit", "l6_hit", "l7_hit", "l8_hit",
+];
+const LEVEL_MISS: [&str; 8] = [
+    "l1_miss", "l2_miss", "l3_miss", "l4_miss", "l5_miss", "l6_miss", "l7_miss", "l8_miss",
+];
+
+fn level_name(i: usize) -> &'static str {
+    LEVEL[i.min(LEVEL.len() - 1)]
+}
 
 /// One cache level plus its access costs.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -73,6 +89,8 @@ pub struct Hierarchy {
     total_latency: Seconds,
     total_energy: Energy,
     mem_accesses: u64,
+    ledger: EnergyLedger,
+    metrics: Metrics,
 }
 
 impl Hierarchy {
@@ -90,6 +108,8 @@ impl Hierarchy {
             total_latency: Seconds::ZERO,
             total_energy: Energy::ZERO,
             mem_accesses: 0,
+            ledger: EnergyLedger::new(),
+            metrics: Metrics::new(),
         })
     }
 
@@ -117,17 +137,28 @@ impl Hierarchy {
                     .unwrap_or(self.mem_energy)
             })
             .collect();
+        let nlevels = self.levels.len();
         for (i, (cache, lat, en)) in self.levels.iter_mut().enumerate() {
             latency += *lat;
             energy += *en;
+            self.ledger.charge(level_name(i), Layer::Memory, *en);
             let outcome = cache.access(a.addr, kind);
             if let crate::cache::Outcome::Miss { writeback } = outcome {
+                self.metrics.incr(LEVEL_MISS[i.min(LEVEL_MISS.len() - 1)]);
                 if writeback {
-                    // Dirty victim written one level down.
+                    // Dirty victim written one level down; attribute the
+                    // energy to the destination level (or DRAM).
                     energy += wb_costs[i];
+                    let dest = if i + 1 < nlevels {
+                        level_name(i + 1)
+                    } else {
+                        "dram"
+                    };
+                    self.ledger.charge(dest, Layer::Memory, wb_costs[i]);
                 }
                 continue;
             }
+            self.metrics.incr(LEVEL_HIT[i.min(LEVEL_HIT.len() - 1)]);
             hit_level = Some(i);
             break;
         }
@@ -135,6 +166,7 @@ impl Hierarchy {
             latency += self.mem_latency;
             energy += self.mem_energy;
             self.mem_accesses += 1;
+            self.ledger.charge("dram", Layer::Memory, self.mem_energy);
         }
         self.total_latency += latency;
         self.total_energy += energy;
@@ -179,6 +211,18 @@ impl Hierarchy {
     /// Per-level hit rates, L1 first.
     pub fn hit_rates(&self) -> Vec<f64> {
         self.levels.iter().map(|(c, _, _)| c.hit_rate()).collect()
+    }
+
+    /// Energy attribution so far: one component per cache level (`l1`,
+    /// `l2`, …) plus `dram`, all under [`Layer::Memory`]. Writeback energy
+    /// is attributed to the destination level.
+    pub fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+
+    /// Per-level hit/miss counters (`l1_hit`, `l1_miss`, …).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 }
 
@@ -238,6 +282,41 @@ mod tests {
         assert_eq!(h.amat(), Seconds::ZERO);
         assert_eq!(h.energy_per_access(), Energy::ZERO);
         assert_eq!(h.accesses(), 0);
+    }
+
+    #[test]
+    fn ledger_accounts_for_every_joule() {
+        let mut h = Hierarchy::new(HierarchyConfig::three_level()).unwrap();
+        let mut g = TraceGen::new(5);
+        let t = g.zipf(30_000, 0, 8_192, 64, 0.9, 0.3);
+        h.run(&t);
+        let ledger_total = h.ledger().total_spent();
+        let model_total = Energy(h.energy_per_access().value() * h.accesses() as f64);
+        assert!(
+            (ledger_total.value() - model_total.value()).abs() / model_total.value() < 1e-9,
+            "ledger={ledger_total:?} model={model_total:?}"
+        );
+        // Every probed level shows up, attributed to the memory layer.
+        for name in ["l1", "l2", "l3", "dram"] {
+            assert!(h.ledger().component(name).value() > 0.0, "missing {name}");
+        }
+        assert_eq!(
+            h.ledger().total_spent().value(),
+            h.ledger().layer_total(xxi_core::obs::Layer::Memory).value()
+        );
+    }
+
+    #[test]
+    fn hit_miss_counters_match_hit_rates() {
+        let mut h = Hierarchy::new(HierarchyConfig::three_level()).unwrap();
+        let mut g = TraceGen::new(6);
+        let t = g.zipf(20_000, 0, 8_192, 64, 0.9, 0.2);
+        h.run(&t);
+        let m = h.metrics();
+        let l1_rate =
+            m.counter("l1_hit") as f64 / (m.counter("l1_hit") + m.counter("l1_miss")) as f64;
+        assert!((l1_rate - h.hit_rates()[0]).abs() < 1e-12);
+        assert_eq!(m.counter("l1_hit") + m.counter("l1_miss"), h.accesses());
     }
 
     #[test]

@@ -307,8 +307,7 @@ mod tests {
             ..HybridConfig::default()
         });
         assert!(
-            (big.dram_standing_power().value() / small.dram_standing_power().value() - 4.0)
-                .abs()
+            (big.dram_standing_power().value() / small.dram_standing_power().value() - 4.0).abs()
                 < 1e-9
         );
     }

@@ -208,7 +208,12 @@ mod tests {
 
     #[test]
     fn asymmetry_read_vs_write() {
-        for tech in [NvmTech::Pcm, NvmTech::SttRam, NvmTech::Memristor, NvmTech::Flash] {
+        for tech in [
+            NvmTech::Pcm,
+            NvmTech::SttRam,
+            NvmTech::Memristor,
+            NvmTech::Flash,
+        ] {
             let p = tech.params();
             assert!(
                 p.write_latency.value() > p.read_latency.value(),
@@ -235,7 +240,12 @@ mod tests {
     #[test]
     fn nvm_idle_power_below_dram_refresh() {
         // The headline §2.3 advantage: no refresh.
-        for tech in [NvmTech::Pcm, NvmTech::SttRam, NvmTech::Memristor, NvmTech::Flash] {
+        for tech in [
+            NvmTech::Pcm,
+            NvmTech::SttRam,
+            NvmTech::Memristor,
+            NvmTech::Flash,
+        ] {
             assert!(tech.params().idle_mw_per_gib < 50.0);
         }
     }

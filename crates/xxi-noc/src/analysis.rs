@@ -54,7 +54,10 @@ mod tests {
 
     fn link() -> Link {
         let db = NodeDb::standard();
-        Link::on(db.by_name("45nm").unwrap(), LinkKind::Electrical { mm: 1.0 })
+        Link::on(
+            db.by_name("45nm").unwrap(),
+            LinkKind::Electrical { mm: 1.0 },
+        )
     }
 
     #[test]
@@ -75,7 +78,10 @@ mod tests {
         assert!((bound - 0.5).abs() < 1e-12);
         let sweep = load_sweep(mesh, Pattern::Uniform, &[0.9], 5);
         let sim_thr = sweep[0].2;
-        assert!(sim_thr <= bound + 0.02, "sim {sim_thr} exceeds bound {bound}");
+        assert!(
+            sim_thr <= bound + 0.02,
+            "sim {sim_thr} exceeds bound {bound}"
+        );
         assert!(sim_thr > 0.25 * bound, "sim {sim_thr} suspiciously low");
     }
 

@@ -31,6 +31,6 @@ pub mod traffic;
 
 pub use crossbar::{run_crossbar, CrossbarConfig, CrossbarResult};
 pub use link::{Link, LinkKind};
-pub use sim::{NocConfig, NocResult, NocSim};
+pub use sim::{NocConfig, NocObservation, NocResult, NocSim};
 pub use topology::{Dir, Mesh};
 pub use traffic::Pattern;

@@ -148,9 +148,7 @@ mod tests {
         let n = node();
         let short = Link::on(&n, LinkKind::Electrical { mm: 1.0 });
         let long = Link::on(&n, LinkKind::Electrical { mm: 10.0 });
-        assert!(
-            (long.energy_per_bit.value() / short.energy_per_bit.value() - 10.0).abs() < 1e-9
-        );
+        assert!((long.energy_per_bit.value() / short.energy_per_bit.value() - 10.0).abs() < 1e-9);
         assert!(long.flit_latency.value() > short.flit_latency.value());
     }
 
@@ -174,7 +172,9 @@ mod tests {
         let n = node();
         let p = Link::on(&n, LinkKind::Photonic);
         let e = Link::on(&n, LinkKind::Electrical { mm: 20.0 });
-        let r = p.energy_crossover_bits_per_sec(&e).expect("crossover exists");
+        let r = p
+            .energy_crossover_bits_per_sec(&e)
+            .expect("crossover exists");
         // Sanity: at double the crossover rate photonics is cheaper over 1 s.
         let interval = Seconds(1.0);
         let bits_hi = (2.0 * r) as u64;

@@ -17,8 +17,21 @@ use serde::{Deserialize, Serialize};
 
 use crate::topology::{Dir, Mesh};
 use crate::traffic::Pattern;
+use xxi_core::obs::{EnergyLedger, Layer, LogHistogram, Trace};
 use xxi_core::rng::Rng64;
 use xxi_core::stats::Streaming;
+use xxi_core::time::SimTime;
+use xxi_core::units::Energy;
+
+/// Trace timestamp of a cycle number, assuming a 1 GHz router clock.
+fn cycle_ts(cycle: u64) -> SimTime {
+    SimTime::from_ns(cycle)
+}
+
+/// Link energy per flit traversal (~128-bit flit on a short on-chip wire).
+const LINK_HOP_ENERGY: Energy = Energy(2.0e-12);
+/// Router switching energy per flit forwarded or ejected.
+const ROUTER_ENERGY: Energy = Energy(1.0e-12);
 
 /// Simulator configuration.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -72,6 +85,12 @@ pub struct NocResult {
     pub throttled: u64,
     /// Mean packet latency in cycles (measurement phase).
     pub mean_latency: f64,
+    /// Median packet latency in cycles.
+    pub p50_latency: f64,
+    /// 99th-percentile packet latency in cycles.
+    pub p99_latency: f64,
+    /// 99.9th-percentile packet latency in cycles.
+    pub p999_latency: f64,
     /// Max packet latency in cycles.
     pub max_latency: f64,
     /// Mean hops per delivered flit.
@@ -82,6 +101,24 @@ pub struct NocResult {
     pub link_traversals: u64,
 }
 
+/// Full telemetry from an observed run: the aggregate result plus the
+/// per-packet latency/hop distributions, the energy ledger (links and
+/// routers, [`Layer::Network`]), and the event trace.
+#[derive(Clone, Debug)]
+pub struct NocObservation {
+    /// The aggregate counters and quantiles.
+    pub result: NocResult,
+    /// Per-packet latency in cycles (measurement phase).
+    pub latency: LogHistogram,
+    /// Per-packet hop counts (measurement phase).
+    pub hops: LogHistogram,
+    /// Energy attribution: `noc_link` and `noc_router`.
+    pub ledger: EnergyLedger,
+    /// Per-packet spans (`flit` on the destination node's track) and
+    /// `throttled` instants; empty unless tracing was enabled.
+    pub trace: Trace,
+}
+
 /// The simulator.
 pub struct NocSim {
     cfg: NocConfig,
@@ -90,6 +127,13 @@ pub struct NocSim {
     cycle: u64,
     latency: Streaming,
     hops: Streaming,
+    latency_hist: LogHistogram,
+    hops_hist: LogHistogram,
+    ledger: EnergyLedger,
+    /// Trace recorder: disabled by default; assign [`Trace::enabled`]
+    /// before running to capture per-packet spans (timestamped at 1 ns per
+    /// cycle) during the measurement phase.
+    pub trace: Trace,
     delivered: u64,
     offered: u64,
     throttled: u64,
@@ -115,6 +159,10 @@ impl NocSim {
             cycle: 0,
             latency: Streaming::new(),
             hops: Streaming::new(),
+            latency_hist: LogHistogram::new(),
+            hops_hist: LogHistogram::new(),
+            ledger: EnergyLedger::new(),
+            trace: Trace::disabled(),
             delivered: 0,
             offered: 0,
             throttled: 0,
@@ -151,6 +199,8 @@ impl NocSim {
                 });
             } else if self.measuring {
                 self.throttled += 1;
+                self.trace
+                    .instant("throttled", "noc", src as u64, cycle_ts(self.cycle));
             }
         }
     }
@@ -243,6 +293,12 @@ impl NocSim {
                     let mut f = self.routers[from].inputs[port].pop_front().unwrap();
                     f.hops += 1;
                     self.link_traversals += 1;
+                    if self.measuring {
+                        self.ledger
+                            .charge("noc_link", Layer::Network, LINK_HOP_ENERGY);
+                        self.ledger
+                            .charge("noc_router", Layer::Network, ROUTER_ENERGY);
+                    }
                     self.routers[to].inputs[to_port].push_back(f);
                     debug_assert!(self.routers[to].inputs[to_port].len() <= self.cfg.queue_depth);
                 }
@@ -253,14 +309,34 @@ impl NocSim {
     fn delivered_flit(&mut self, f: Flit) {
         if self.measuring {
             self.delivered += 1;
-            self.latency.add((self.cycle - f.injected_at) as f64);
+            let cycles = (self.cycle - f.injected_at) as f64;
+            self.latency.add(cycles);
             self.hops.add(f.hops as f64);
+            self.latency_hist.add(cycles);
+            self.hops_hist.add(f.hops as f64);
+            self.ledger
+                .charge("noc_router", Layer::Network, ROUTER_ENERGY);
+            self.trace.span_args(
+                "flit",
+                "noc",
+                f.dest as u64,
+                cycle_ts(f.injected_at),
+                cycle_ts(self.cycle),
+                &[("hops", f.hops as f64)],
+            );
         }
     }
 
     /// Run `warmup` cycles unmeasured, then `measure` measured cycles, then
     /// drain-free stop; returns aggregate results.
-    pub fn run(mut self, warmup: u64, measure: u64) -> NocResult {
+    pub fn run(self, warmup: u64, measure: u64) -> NocResult {
+        self.run_observed(warmup, measure).result
+    }
+
+    /// Like [`NocSim::run`] but also returns the per-packet histograms,
+    /// the energy ledger, and the trace (enable `self.trace` first to get
+    /// events).
+    pub fn run_observed(mut self, warmup: u64, measure: u64) -> NocObservation {
         for _ in 0..warmup {
             self.step();
         }
@@ -271,27 +347,32 @@ impl NocSim {
         }
         let cycles = (self.cycle - start) as f64;
         let nodes = self.cfg.mesh.nodes() as f64;
-        NocResult {
+        let result = NocResult {
             delivered: self.delivered,
             offered: self.offered,
             throttled: self.throttled,
             mean_latency: self.latency.mean(),
+            p50_latency: self.latency_hist.p50(),
+            p99_latency: self.latency_hist.p99(),
+            p999_latency: self.latency_hist.p999(),
             max_latency: self.latency.max(),
             mean_hops: self.hops.mean(),
             throughput: self.delivered as f64 / cycles / nodes,
             link_traversals: self.link_traversals,
+        };
+        NocObservation {
+            result,
+            latency: self.latency_hist,
+            hops: self.hops_hist,
+            ledger: self.ledger,
+            trace: self.trace,
         }
     }
 }
 
 /// Sweep injection rates and return `(rate, mean_latency, throughput)`
 /// triples — the saturation curve of experiment E13.
-pub fn load_sweep(
-    mesh: Mesh,
-    pattern: Pattern,
-    rates: &[f64],
-    seed: u64,
-) -> Vec<(f64, f64, f64)> {
+pub fn load_sweep(mesh: Mesh, pattern: Pattern, rates: &[f64], seed: u64) -> Vec<(f64, f64, f64)> {
     rates
         .iter()
         .map(|&rate| {
@@ -352,7 +433,10 @@ mod tests {
         let (hi_rate, hi_lat, hi_thr) = sweep[1];
         assert!(hi_lat > 3.0 * lo_lat, "lo={lo_lat} hi={hi_lat}");
         assert!((lo_thr - lo_rate).abs() < 0.005);
-        assert!(hi_thr < hi_rate, "saturated throughput {hi_thr} < {hi_rate}");
+        assert!(
+            hi_thr < hi_rate,
+            "saturated throughput {hi_thr} < {hi_rate}"
+        );
     }
 
     #[test]
@@ -416,6 +500,38 @@ mod tests {
             sim.step();
         }
         assert_eq!(sim.delivered, injected);
+    }
+
+    #[test]
+    fn observed_run_reports_quantiles_energy_and_trace() {
+        let mut sim = NocSim::new(NocConfig::mesh8x8(Pattern::Uniform, 0.1, 21));
+        sim.trace = Trace::enabled();
+        let obs = sim.run_observed(1_000, 4_000);
+        let r = &obs.result;
+        assert_eq!(obs.latency.count(), r.delivered);
+        assert!(r.p50_latency <= r.p99_latency && r.p99_latency <= r.p999_latency);
+        assert!(r.p50_latency > 0.0 && r.p999_latency <= r.max_latency);
+        // Tail sits above the mean in a congested queueing system.
+        assert!(r.p99_latency >= r.mean_latency, "{r:?}");
+        // Energy: every measured hop charged a link + router traversal.
+        assert!(obs.ledger.component("noc_link").value() > 0.0);
+        assert!(obs.ledger.layer_total(Layer::Network).value() == obs.ledger.total_spent().value());
+        // Trace has one span per delivered flit.
+        assert_eq!(obs.trace.len() as u64, r.delivered);
+        assert!(obs.trace.chrome_json().contains("\"flit\""));
+    }
+
+    #[test]
+    fn tracing_disabled_records_nothing_and_changes_nothing() {
+        let plain =
+            NocSim::new(NocConfig::mesh8x8(Pattern::Uniform, 0.2, 22)).run_observed(500, 2_000);
+        let mut traced = NocSim::new(NocConfig::mesh8x8(Pattern::Uniform, 0.2, 22));
+        traced.trace = Trace::enabled();
+        let traced = traced.run_observed(500, 2_000);
+        assert_eq!(plain.result.delivered, traced.result.delivered);
+        assert_eq!(plain.result.p99_latency, traced.result.p99_latency);
+        assert_eq!(plain.trace.events_capacity(), 0);
+        assert!(!traced.trace.is_empty());
     }
 
     #[test]

@@ -75,7 +75,12 @@ impl CheckpointSim {
             // Attempt one segment: tau compute + delta checkpoint (or the
             // final partial segment).
             let seg = (target - done).min(self.tau.value());
-            let seg_cost = seg + if done + seg < target { self.delta.value() } else { 0.0 };
+            let seg_cost = seg
+                + if done + seg < target {
+                    self.delta.value()
+                } else {
+                    0.0
+                };
             if wall + seg_cost <= next_failure {
                 wall += seg_cost;
                 done += seg;
@@ -141,10 +146,7 @@ mod tests {
         let at_yd = eff_at(yd);
         let too_short = eff_at(Seconds(yd.value() / 16.0));
         let too_long = eff_at(Seconds(yd.value() * 16.0));
-        assert!(
-            at_yd > too_short,
-            "yd={at_yd} too_short={too_short}"
-        );
+        assert!(at_yd > too_short, "yd={at_yd} too_short={too_short}");
         assert!(at_yd > too_long, "yd={at_yd} too_long={too_long}");
         // And the absolute efficiency at the optimum is high.
         assert!(at_yd > 0.9, "at_yd={at_yd}");

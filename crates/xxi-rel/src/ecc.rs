@@ -158,7 +158,13 @@ mod tests {
 
     #[test]
     fn roundtrip_without_errors() {
-        for data in [0u64, 1, u64::MAX, 0xDEAD_BEEF_CAFE_BABE, 0x5555_5555_5555_5555] {
+        for data in [
+            0u64,
+            1,
+            u64::MAX,
+            0xDEAD_BEEF_CAFE_BABE,
+            0x5555_5555_5555_5555,
+        ] {
             let cw = encode(data);
             assert_eq!(decode(cw), DecodeResult::Clean(data));
         }

@@ -144,7 +144,10 @@ mod tests {
         fi.inject(64);
         let (_, corrected, due, sdc) = fi.scrub_pass();
         assert_eq!(sdc, 0, "SECDED must not silently corrupt at low rates");
-        assert!(corrected >= 55, "corrected={corrected} (birthday collisions allowed)");
+        assert!(
+            corrected >= 55,
+            "corrected={corrected} (birthday collisions allowed)"
+        );
         assert!(due <= 5);
     }
 

@@ -96,7 +96,7 @@ impl CheckedRegion {
         self.updates += 1;
         self.since_check += 1;
         self.energy_app += self.cfg.e_update;
-        if self.updates % self.cfg.check_period == 0 {
+        if self.updates.is_multiple_of(self.cfg.check_period) {
             self.run_check();
         }
     }
@@ -142,8 +142,7 @@ impl CheckedRegion {
         if self.detection_latencies.is_empty() {
             return 0.0;
         }
-        self.detection_latencies.iter().sum::<u64>() as f64
-            / self.detection_latencies.len() as f64
+        self.detection_latencies.iter().sum::<u64>() as f64 / self.detection_latencies.len() as f64
     }
 }
 

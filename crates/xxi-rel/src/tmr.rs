@@ -12,8 +12,8 @@
 
 use serde::Serialize;
 
-use xxi_core::rng::Rng64;
 use xxi_core::metrics::Metrics;
+use xxi_core::rng::Rng64;
 
 /// Outcome of one voted execution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
@@ -89,8 +89,7 @@ impl<F: Fn(u64) -> u64> TmrHarness<F> {
 
     /// Fraction of executions with a correct final output.
     pub fn correct_output_rate(&self) -> f64 {
-        let bad =
-            self.metrics.counter("no_majority") + self.metrics.counter("wrong_majority");
+        let bad = self.metrics.counter("no_majority") + self.metrics.counter("wrong_majority");
         1.0 - bad as f64 / self.metrics.counter("executions").max(1) as f64
     }
 
@@ -136,10 +135,7 @@ mod tests {
         // P(≥2 of 3 faulty) ≈ 3·0.05²·0.95 + 0.05³ ≈ 0.73%; and even then a
         // wrong OUTPUT additionally needs both to flip the same bit (1/64)
         // or a no-majority to land. So wrong outputs are rare.
-        assert!(
-            (wrong as f64) < 0.01 * n as f64,
-            "wrong={wrong} of {n}"
-        );
+        assert!((wrong as f64) < 0.01 * n as f64, "wrong={wrong} of {n}");
         assert!(h.correct_output_rate() > 0.99);
     }
 
@@ -177,9 +173,6 @@ mod tests {
         // ~1/64 as likely and land in Masked too, negligible here).
         let expect = 3.0 * p * (1.0 - p) * (1.0 - p);
         let got = h.metrics.counter("masked") as f64 / n as f64;
-        assert!(
-            (got - expect).abs() < 0.01,
-            "got={got} expect={expect}"
-        );
+        assert!((got - expect).abs() < 0.01, "got={got} expect={expect}");
     }
 }

@@ -255,8 +255,7 @@ impl Machine {
                         self.reg_taint[v as usize].join(self.reg_taint[a as usize]);
                 }
                 Instr::In { d } => {
-                    self.regs[d as usize] =
-                        self.inputs.get(self.next_input).copied().unwrap_or(0);
+                    self.regs[d as usize] = self.inputs.get(self.next_input).copied().unwrap_or(0);
                     self.next_input += 1;
                     self.set_taint(d, self.policy.input_label);
                 }
@@ -357,13 +356,13 @@ mod tests {
         // a jump target: the integrity policy must trap.
         let mut m = Machine::new(Policy::integrity(), 16, vec![0xDEAD]);
         let prog = [
-            In { d: 0 },              // untrusted
+            In { d: 0 }, // untrusted
             Const { d: 1, imm: 4 },
             Add { d: 2, a: 0, b: 1 }, // still untrusted
             Const { d: 3, imm: 8 },
-            Store { a: 3, v: 2 },     // through memory
+            Store { a: 3, v: 2 }, // through memory
             Load { d: 4, a: 3 },
-            JmpReg { a: 4 },          // hijack attempt
+            JmpReg { a: 4 }, // hijack attempt
             Halt,
         ];
         assert_eq!(
@@ -391,7 +390,7 @@ mod tests {
     fn secret_exfiltration_is_trapped_even_laundered_through_memory() {
         let mut m = Machine::new(Policy::confidentiality(), 16, vec![42]);
         let prog = [
-            In { d: 0 },              // secret
+            In { d: 0 }, // secret
             Const { d: 1, imm: 7 },
             Xor { d: 2, a: 0, b: 1 }, // "encrypted"? still secret label
             Const { d: 3, imm: 5 },
@@ -412,12 +411,7 @@ mod tests {
     #[test]
     fn declassification_permits_output() {
         let mut m = Machine::new(Policy::confidentiality(), 16, vec![42]);
-        let prog = [
-            In { d: 0 },
-            Declassify { v: 0 },
-            Out { v: 0 },
-            Halt,
-        ];
+        let prog = [In { d: 0 }, Declassify { v: 0 }, Out { v: 0 }, Halt];
         assert_eq!(m.run(&prog, 100), Outcome::Finished(vec![42]));
         assert_eq!(m.metrics.counter("declassifications"), 1);
     }
@@ -428,7 +422,7 @@ mod tests {
         // (index-based leaks).
         let mut m = Machine::new(Policy::confidentiality(), 16, vec![3]);
         let prog = [
-            In { d: 0 },      // secret index
+            In { d: 0 },         // secret index
             Load { d: 1, a: 0 }, // mem is clean, but address is secret
             Out { v: 1 },
             Halt,
@@ -449,12 +443,7 @@ mod tests {
             ..Policy::confidentiality()
         };
         let mut m = Machine::new(policy, 16, vec![1]);
-        let prog = [
-            In { d: 0 },
-            Bnz { c: 0, target: 3 },
-            Halt,
-            Halt,
-        ];
+        let prog = [In { d: 0 }, Bnz { c: 0, target: 3 }, Halt, Halt];
         assert_eq!(
             m.run(&prog, 100),
             Outcome::Trapped {
@@ -469,11 +458,14 @@ mod tests {
         // Sum 1..=5 with a loop; all-clean, must finish with 15.
         let mut m = Machine::new(Policy::integrity(), 16, vec![]);
         let prog = [
-            Const { d: 0, imm: 5 },           // counter
-            Const { d: 1, imm: 0 },           // acc
-            Const { d: 2, imm: u64::MAX },    // -1
-            Add { d: 1, a: 1, b: 0 },         // acc += counter
-            Add { d: 0, a: 0, b: 2 },         // counter -= 1
+            Const { d: 0, imm: 5 }, // counter
+            Const { d: 1, imm: 0 }, // acc
+            Const {
+                d: 2,
+                imm: u64::MAX,
+            }, // -1
+            Add { d: 1, a: 1, b: 0 }, // acc += counter
+            Add { d: 0, a: 0, b: 2 }, // counter -= 1
             Bnz { c: 0, target: 3 },
             Out { v: 1 },
             Halt,

@@ -181,7 +181,14 @@ mod tests {
 
     /// The scenario §2.4 implies: an app with a crypto module holding key
     /// material, a parser handling untrusted input, and shared scratch.
-    fn app() -> (ProtectionMatrix, DomainId, DomainId, RegionId, RegionId, RegionId) {
+    fn app() -> (
+        ProtectionMatrix,
+        DomainId,
+        DomainId,
+        RegionId,
+        RegionId,
+        RegionId,
+    ) {
         let mut pm = ProtectionMatrix::new();
         let crypto = DomainId(1);
         let parser = DomainId(2);

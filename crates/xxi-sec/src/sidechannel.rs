@@ -63,10 +63,10 @@ pub fn prime_probe_attack(cache: &mut Cache, secret: usize) -> AttackResult {
     // Probe: re-touch the attacker lines, counting misses per set.
     let mut misses = vec![0u64; sets];
     for way in 0..ways {
-        for set in 0..sets {
+        for (set, m) in misses.iter_mut().enumerate() {
             let addr = attacker_base + (way * sets + set) as u64 * line;
             if !cache.access(addr, AccessKind::Read).is_hit() {
-                misses[set] += 1;
+                *m += 1;
             }
         }
     }
@@ -127,10 +127,7 @@ impl PartitionedCache {
 /// Prime+probe against a partitioned cache: attacker in domain 0, victim in
 /// domain 1. Returns the same statistics; with isolation the signal is
 /// zero.
-pub fn prime_probe_attack_partitioned(
-    pc: &mut PartitionedCache,
-    secret: usize,
-) -> AttackResult {
+pub fn prime_probe_attack_partitioned(pc: &mut PartitionedCache, secret: usize) -> AttackResult {
     let (sets, ways, line) = {
         let c = pc.partition_mut(0);
         (
@@ -149,10 +146,10 @@ pub fn prime_probe_attack_partitioned(
     victim_access(pc.partition_mut(1), secret);
     let mut misses = vec![0u64; sets];
     for way in 0..ways {
-        for set in 0..sets {
+        for (set, m) in misses.iter_mut().enumerate() {
             let addr = attacker_base + (way * sets + set) as u64 * line;
             if !pc.access(0, addr, AccessKind::Read) {
-                misses[set] += 1;
+                *m += 1;
             }
         }
     }

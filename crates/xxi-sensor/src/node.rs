@@ -18,9 +18,11 @@
 use serde::{Deserialize, Serialize};
 
 use crate::mcu::Mcu;
-use crate::power::Battery;
+use crate::power::{Battery, Harvester};
 use crate::radio::Radio;
 use xxi_approx::signal::SignalGen;
+use xxi_core::obs::{EnergyLedger, Layer, LogHistogram, Trace};
+use xxi_core::time::SimTime;
 use xxi_core::units::{Energy, Seconds};
 
 /// Processing/transmission policy.
@@ -86,6 +88,20 @@ pub struct NodeOutcome {
     pub compute_energy: Energy,
 }
 
+/// Telemetry from one [`SensorNode::run_observed`] simulation.
+#[derive(Clone, Debug)]
+pub struct NodeObservation {
+    /// Energy attribution: `mcu_compute` (compute), `radio_tx` (network),
+    /// `mcu_sleep` (idle), and `harvester` (harvest) when harvesting.
+    pub ledger: EnergyLedger,
+    /// Total joules drawn per epoch.
+    pub epoch_energy: LogHistogram,
+    /// One `epoch` span per epoch plus a `tx` instant per transmission.
+    /// Trace timestamps saturate after ~200 simulated days (the `SimTime`
+    /// horizon); histograms and the ledger are unaffected.
+    pub trace: Trace,
+}
+
 /// The node simulator.
 pub struct SensorNode {
     /// Node configuration.
@@ -107,10 +123,28 @@ impl SensorNode {
     pub fn run(
         &self,
         policy: NodePolicy,
-        mut battery: Battery,
+        battery: Battery,
         horizon: Seconds,
         seed: u64,
     ) -> NodeOutcome {
+        self.run_observed(policy, battery, None, horizon, seed, Trace::disabled())
+            .0
+    }
+
+    /// Like [`SensorNode::run`], but with full telemetry: an energy ledger
+    /// across harvest/compute/transmit/idle, a per-epoch energy histogram,
+    /// and (when `trace` is enabled) epoch spans and transmit instants on
+    /// the simulated clock. An optional `harvester` recharges the battery
+    /// each epoch, with the captured energy on the ledger's harvest layer.
+    pub fn run_observed(
+        &self,
+        policy: NodePolicy,
+        mut battery: Battery,
+        mut harvester: Option<Harvester>,
+        horizon: Seconds,
+        seed: u64,
+        trace: Trace,
+    ) -> (NodeOutcome, NodeObservation) {
         let cfg = &self.cfg;
         let epoch_dt = Seconds(cfg.epoch_samples as f64 / cfg.sample_hz);
         // Clinically interesting events are rare: ~5% of epochs.
@@ -125,8 +159,16 @@ impl SensorNode {
         let mut anomaly_epochs = 0u64;
         let mut reported_anomaly_epochs = 0u64;
         let mut epoch_seed = seed;
+        let mut ledger = EnergyLedger::new();
+        let mut epoch_energy = LogHistogram::new();
+        let mut trace = trace;
 
         while elapsed < horizon.value() && !battery.dead() {
+            if let Some(h) = harvester.as_mut() {
+                let e_h = h.harvest(epoch_dt);
+                battery.charge(e_h);
+                ledger.charge("harvester", Layer::Harvest, e_h);
+            }
             epoch_seed = epoch_seed.wrapping_mul(6364136223846793005).wrapping_add(7);
             let (signal, mask) = gen.generate(cfg.epoch_samples, epoch_seed);
             let has_anomaly = mask.iter().any(|&m| m);
@@ -176,10 +218,26 @@ impl SensorNode {
             if reported && has_anomaly {
                 reported_anomaly_epochs += 1;
             }
+
+            ledger.charge("mcu_compute", Layer::Compute, e_compute);
+            ledger.charge("mcu_sleep", Layer::Idle, e_sleep);
+            if bits > 0 {
+                ledger.charge("radio_tx", Layer::Network, e_radio);
+            }
+            epoch_energy.add(e_total.value());
+            if trace.is_enabled() {
+                let t0 = SimTime::from_seconds(Seconds(elapsed));
+                let t1 = SimTime::from_seconds(Seconds(elapsed + epoch_dt.value()));
+                trace.span_args("epoch", "sensor", 0, t0, t1, &[("soc", battery.soc())]);
+                if bits > 0 {
+                    trace.instant_args("tx", "sensor", 1, t1, &[("bits", bits as f64)]);
+                }
+            }
+
             elapsed += epoch_dt.value();
         }
 
-        NodeOutcome {
+        let outcome = NodeOutcome {
             lifetime: Seconds(elapsed),
             bits_sent,
             recall: if anomaly_epochs == 0 {
@@ -189,7 +247,15 @@ impl SensorNode {
             },
             radio_energy,
             compute_energy,
-        }
+        };
+        (
+            outcome,
+            NodeObservation {
+                ledger,
+                epoch_energy,
+                trace,
+            },
+        )
     }
 }
 
@@ -248,7 +314,10 @@ mod tests {
         // lifetime drop by at least 5×.
         let raw_rate = raw.bits_sent as f64 / raw.lifetime.value();
         let filt_rate = filt.bits_sent as f64 / filt.lifetime.value();
-        assert!(filt_rate < raw_rate / 5.0, "filt={filt_rate} raw={raw_rate}");
+        assert!(
+            filt_rate < raw_rate / 5.0,
+            "filt={filt_rate} raw={raw_rate}"
+        );
     }
 
     #[test]
@@ -290,6 +359,81 @@ mod tests {
             raw.radio_energy,
             raw.compute_energy
         );
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_accounts_energy() {
+        let n = node();
+        let horizon = Seconds::from_hours(1_000.0);
+        let plain = n.run(NodePolicy::FilterThenSend, small_battery(), horizon, 6);
+        let (out, obs) = n.run_observed(
+            NodePolicy::FilterThenSend,
+            small_battery(),
+            None,
+            horizon,
+            6,
+            Trace::disabled(),
+        );
+        // run() is run_observed() without a harvester: identical outcome.
+        assert_eq!(out.lifetime.value(), plain.lifetime.value());
+        assert_eq!(out.bits_sent, plain.bits_sent);
+        // The ledger's compute/network layers equal the outcome's totals.
+        assert!(
+            (obs.ledger.layer_total(Layer::Compute).value() - out.compute_energy.value()).abs()
+                < 1e-12
+        );
+        assert!(
+            (obs.ledger.layer_total(Layer::Network).value() - out.radio_energy.value()).abs()
+                < 1e-12
+        );
+        assert!(obs.ledger.layer_total(Layer::Idle).value() > 0.0);
+        assert!(obs.epoch_energy.count() > 0);
+    }
+
+    #[test]
+    fn harvesting_extends_lifetime_and_lands_on_the_ledger() {
+        use crate::power::HarvestProfile;
+        use xxi_core::units::Power;
+        let n = node();
+        let horizon = Seconds::from_hours(100.0);
+        let (plain, _) = n.run_observed(
+            NodePolicy::FilterThenSend,
+            small_battery(),
+            None,
+            horizon,
+            7,
+            Trace::disabled(),
+        );
+        let h = Harvester::new(HarvestProfile::Constant, Power::from_uw(50.0), 100, 7);
+        let (harvested, obs) = n.run_observed(
+            NodePolicy::FilterThenSend,
+            small_battery(),
+            Some(h),
+            horizon,
+            7,
+            Trace::disabled(),
+        );
+        assert!(harvested.lifetime.value() > plain.lifetime.value());
+        assert!(obs.ledger.layer_total(Layer::Harvest).value() > 0.0);
+        // Harvest is income: excluded from spend.
+        assert!(obs.ledger.total_spent().value() > 0.0);
+    }
+
+    #[test]
+    fn epoch_trace_has_spans_and_tx_instants() {
+        let n = node();
+        let (_, obs) = n.run_observed(
+            NodePolicy::SendRaw,
+            small_battery(),
+            None,
+            Seconds(100.0),
+            8,
+            Trace::enabled(),
+        );
+        assert!(!obs.trace.is_empty());
+        let json = obs.trace.chrome_json();
+        assert!(json.contains("\"epoch\""), "{json}");
+        assert!(json.contains("\"tx\""), "{json}");
     }
 
     #[test]

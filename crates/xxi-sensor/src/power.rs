@@ -141,7 +141,10 @@ mod tests {
         assert!(b.draw(Energy(30.0)));
         assert!((b.soc() - 0.7).abs() < 1e-12);
         b.charge(Energy(50.0));
-        assert!((b.remaining().value() - 100.0).abs() < 1e-12, "clamped at capacity");
+        assert!(
+            (b.remaining().value() - 100.0).abs() < 1e-12,
+            "clamped at capacity"
+        );
         assert!(b.draw(Energy(100.0)));
         assert!(b.dead());
         assert!(!b.draw(Energy(1.0)));
@@ -168,16 +171,14 @@ mod tests {
         let zeros = ps.iter().filter(|&&p| p == 0.0).count();
         assert!((max - 0.01).abs() < 1e-4, "max={max}");
         // Half the cycle is night.
-        assert!(zeros >= 90 && zeros <= 110, "zeros={zeros}");
+        assert!((90..=110).contains(&zeros), "zeros={zeros}");
     }
 
     #[test]
     fn vibration_is_bursty_with_right_duty() {
         let mut h = Harvester::new(HarvestProfile::Vibration, Power::from_mw(5.0), 50, 2);
         let n = 100_000;
-        let on = (0..n)
-            .filter(|_| h.next_power().value() > 0.0)
-            .count();
+        let on = (0..n).filter(|_| h.next_power().value() > 0.0).count();
         let duty = on as f64 / n as f64;
         assert!((duty - 0.5).abs() < 0.05, "duty={duty}");
     }

@@ -15,10 +15,10 @@
 
 use serde::Serialize;
 
+use xxi_core::units::Volts;
 use xxi_core::units::{Energy, Power, Seconds};
 use xxi_tech::freq::{dvfs_ladder, OperatingPoint};
 use xxi_tech::node::TechNode;
-use xxi_core::units::Volts;
 
 /// Governor policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
@@ -84,12 +84,7 @@ impl Governor {
     }
 
     /// Simulate a trace of per-period loads.
-    pub fn run(
-        &self,
-        policy: GovernorPolicy,
-        loads: &[f64],
-        period: Seconds,
-    ) -> GovernorOutcome {
+    pub fn run(&self, policy: GovernorPolicy, loads: &[f64], period: Seconds) -> GovernorOutcome {
         let mut energy = Energy::ZERO;
         let mut misses = 0u64;
         for &load in loads {
@@ -166,8 +161,7 @@ mod tests {
         let load = 0.98 * top_f * period.value() / g.cycles_per_unit;
         let perf = g.run(GovernorPolicy::Performance, &[load; 50], period);
         let emin = g.run(GovernorPolicy::EnergyMin, &[load; 50], period);
-        assert!((emin.energy.value() - perf.energy.value()).abs()
-            < 0.1 * perf.energy.value());
+        assert!((emin.energy.value() - perf.energy.value()).abs() < 0.1 * perf.energy.value());
     }
 
     #[test]

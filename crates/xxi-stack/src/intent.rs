@@ -130,7 +130,12 @@ mod tests {
     fn lax_deadline_compiles_to_slow_point() {
         let p = platform();
         let plan = intent(1e5).compile(&p).unwrap();
-        let ladder = dvfs_ladder(&p.node, p.nominal_power, Volts(p.node.vth.value() + 0.15), 16);
+        let ladder = dvfs_ladder(
+            &p.node,
+            p.nominal_power,
+            Volts(p.node.vth.value() + 0.15),
+            16,
+        );
         assert!(plan.op.f.value() < ladder.last().unwrap().f.value());
         // Deadline actually met.
         assert!(1e5 / plan.op.f.value() <= 1e-3);
@@ -139,11 +144,16 @@ mod tests {
     #[test]
     fn tight_deadline_compiles_to_fast_point() {
         let p = platform();
-        let top_f = dvfs_ladder(&p.node, p.nominal_power, Volts(p.node.vth.value() + 0.15), 16)
-            .last()
-            .unwrap()
-            .f
-            .value();
+        let top_f = dvfs_ladder(
+            &p.node,
+            p.nominal_power,
+            Volts(p.node.vth.value() + 0.15),
+            16,
+        )
+        .last()
+        .unwrap()
+        .f
+        .value();
         let plan = intent(0.99 * top_f * 1e-3).compile(&p).unwrap();
         assert!((plan.op.f.value() - top_f).abs() / top_f < 1e-9);
     }

@@ -43,7 +43,7 @@ pub mod stm;
 pub use deque::Worker;
 pub use governor::{Governor, GovernorPolicy};
 pub use intent::{Intent, Plan};
-pub use locality::{placement_energy, place_greedy, place_random};
+pub use locality::{place_greedy, place_random, placement_energy};
 pub use offload::{plan_offload, AppProfile, Decision, DeviceModel, OffloadPlan, Uplink};
 pub use pool::Pool;
 pub use stm::{transfer, Conflict, Tx, TxArray};

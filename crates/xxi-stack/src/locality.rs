@@ -33,7 +33,10 @@ pub struct Task {
 /// slot nearest their shard. Each node holds at most `slots_per_node`
 /// tasks. Returns one mesh node per task (task order preserved).
 pub fn place_greedy(mesh: &Mesh, tasks: &[Task], slots_per_node: usize) -> Vec<usize> {
-    assert!(slots_per_node * mesh.nodes() >= tasks.len(), "not enough slots");
+    assert!(
+        slots_per_node * mesh.nodes() >= tasks.len(),
+        "not enough slots"
+    );
     let mut free = vec![slots_per_node; mesh.nodes()];
     let mut order: Vec<usize> = (0..tasks.len()).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(tasks[i].bytes));
@@ -57,9 +60,12 @@ pub fn place_random(
     slots_per_node: usize,
     rng: &mut Rng64,
 ) -> Vec<usize> {
-    assert!(slots_per_node * mesh.nodes() >= tasks.len(), "not enough slots");
+    assert!(
+        slots_per_node * mesh.nodes() >= tasks.len(),
+        "not enough slots"
+    );
     let mut slots: Vec<usize> = (0..mesh.nodes())
-        .flat_map(|n| std::iter::repeat(n).take(slots_per_node))
+        .flat_map(|n| std::iter::repeat_n(n, slots_per_node))
         .collect();
     rng.shuffle(&mut slots);
     tasks.iter().enumerate().map(|(i, _)| slots[i]).collect()
@@ -67,12 +73,7 @@ pub fn place_random(
 
 /// Total communication energy of a placement: per task,
 /// `bytes × 8 × hops × link-energy-per-bit`.
-pub fn placement_energy(
-    mesh: &Mesh,
-    tasks: &[Task],
-    placement: &[usize],
-    link: &Link,
-) -> Energy {
+pub fn placement_energy(mesh: &Mesh, tasks: &[Task], placement: &[usize], link: &Link) -> Energy {
     assert_eq!(tasks.len(), placement.len());
     let mut total = Energy::ZERO;
     for (t, &node) in tasks.iter().zip(placement) {
@@ -125,12 +126,7 @@ mod tests {
         let ts = tasks(&mesh, 64, 2);
         let mut rng = Rng64::new(3);
         let greedy = placement_energy(&mesh, &ts, &place_greedy(&mesh, &ts, 1), &link());
-        let random = placement_energy(
-            &mesh,
-            &ts,
-            &place_random(&mesh, &ts, 1, &mut rng),
-            &link(),
-        );
+        let random = placement_energy(&mesh, &ts, &place_random(&mesh, &ts, 1, &mut rng), &link());
         assert!(
             greedy.value() < 0.5 * random.value(),
             "greedy={greedy:?} random={random:?}"
@@ -166,8 +162,14 @@ mod tests {
         let mesh = Mesh::new_2d(4, 1);
         // Two tasks want shard 0; only one slot there.
         let ts = vec![
-            Task { shard: 0, bytes: 10 },
-            Task { shard: 0, bytes: 1_000_000 },
+            Task {
+                shard: 0,
+                bytes: 10,
+            },
+            Task {
+                shard: 0,
+                bytes: 1_000_000,
+            },
         ];
         let p = place_greedy(&mesh, &ts, 1);
         // The heavy task gets node 0; the light one is displaced.

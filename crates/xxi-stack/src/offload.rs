@@ -118,7 +118,12 @@ pub struct OffloadPlan {
     pub device_energy: Energy,
 }
 
-fn cost(app: &AppProfile, dev: &DeviceModel, up: &Uplink, local_fraction: f64) -> (Seconds, Energy) {
+fn cost(
+    app: &AppProfile,
+    dev: &DeviceModel,
+    up: &Uplink,
+    local_fraction: f64,
+) -> (Seconds, Energy) {
     assert!((0.0..=1.0).contains(&local_fraction));
     let local_ops = app.ops * local_fraction;
     let remote_ops = app.ops - local_ops;
@@ -253,8 +258,7 @@ mod tests {
                 };
                 for lambda in [0.0, 1.0] {
                     let plan = plan_offload(&app, &dev, &up, lambda);
-                    let score =
-                        plan.latency.value() + lambda * plan.device_energy.value();
+                    let score = plan.latency.value() + lambda * plan.device_energy.value();
                     let (ll, le) = super::cost(&app, &dev, &up, 1.0);
                     let (rl, re) = super::cost(&app, &dev, &up, 0.0);
                     assert!(score <= ll.value() + lambda * le.value() + 1e-12);

@@ -324,7 +324,11 @@ mod tests {
     fn speedup_on_compute_bound_work() {
         // Not a strict benchmark, but 4 threads should beat 1 by ≥1.5× on
         // an embarrassingly parallel kernel when ≥2 cores exist.
-        if std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1) < 2 {
+        if std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            < 2
+        {
             return;
         }
         fn work(n: usize, pool: &Pool) -> std::time::Duration {

@@ -121,13 +121,10 @@ impl TxArray {
     pub fn run<R>(&self, mut f: impl FnMut(&mut Tx<'_>) -> Result<R, Conflict>) -> R {
         loop {
             let mut tx = self.begin();
-            match f(&mut tx) {
-                Ok(r) => {
-                    if tx.commit().is_ok() {
-                        return r;
-                    }
+            if let Ok(r) = f(&mut tx) {
+                if tx.commit().is_ok() {
+                    return r;
                 }
-                Err(Conflict) => {}
             }
             self.aborts.fetch_add(1, Ordering::Relaxed);
             std::hint::spin_loop();

@@ -155,7 +155,10 @@ mod tests {
         let deg_nominal = m.freq_degradation(Volts(1.0), Volts(0.3), 5.0, 1.3);
         let deg_ntv = m.freq_degradation(Volts(0.5), Volts(0.3), 5.0, 1.3);
         assert!(deg_nominal > 0.0 && deg_nominal < 0.2);
-        assert!(deg_ntv > 2.0 * deg_nominal, "nom={deg_nominal} ntv={deg_ntv}");
+        assert!(
+            deg_ntv > 2.0 * deg_nominal,
+            "nom={deg_nominal} ntv={deg_ntv}"
+        );
     }
 
     #[test]

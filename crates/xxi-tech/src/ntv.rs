@@ -187,7 +187,10 @@ mod tests {
         // MEP strictly inside the sweep range: NTV, not sub-threshold, not
         // nominal.
         assert!(mep_v.value() > m.node.vth.value() + 0.02);
-        assert!(mep_v.value() < m.node.vdd.value() - 0.05, "mep at {mep_v:?}");
+        assert!(
+            mep_v.value() < m.node.vdd.value() - 0.05,
+            "mep at {mep_v:?}"
+        );
         // Energy at nominal well above MEP — the "tremendous potential".
         let e_nominal = pts.last().unwrap().e_op;
         assert!(

@@ -97,10 +97,7 @@ mod tests {
     use crate::node::NodeDb;
 
     fn model(name: &str, mbits: f64) -> SoftErrorModel {
-        SoftErrorModel::new(
-            NodeDb::standard().by_name(name).unwrap().clone(),
-            mbits,
-        )
+        SoftErrorModel::new(NodeDb::standard().by_name(name).unwrap().clone(), mbits)
     }
 
     #[test]

@@ -162,7 +162,7 @@ mod tests {
     #[test]
     fn upper_layers_run_hotter() {
         let m = ThermalModel::air_cooled();
-        let t = m.solve(&vec![Power(10.0); 4]).unwrap();
+        let t = m.solve(&[Power(10.0); 4]).unwrap();
         for w in t.windows(2) {
             assert!(w[1] > w[0], "{t:?}");
         }
@@ -189,10 +189,7 @@ mod tests {
         let fluid = ThermalModel::microfluidic();
         let air4 = air.max_power_per_layer(4).value();
         let fluid4 = fluid.max_power_per_layer(4).value();
-        assert!(
-            fluid4 > 4.0 * air4,
-            "microfluidic {fluid4} vs air {air4}"
-        );
+        assert!(fluid4 > 4.0 * air4, "microfluidic {fluid4} vs air {air4}");
     }
 
     #[test]
@@ -207,7 +204,7 @@ mod tests {
         // electromigration lifetime per Black's equation.
         use crate::aging::BlackModel;
         let m = ThermalModel::air_cooled();
-        let temps = m.solve(&vec![Power(10.0); 3]).unwrap();
+        let temps = m.solve(&[Power(10.0); 3]).unwrap();
         let black = BlackModel::default();
         let mttf_bottom = black.mttf_hours(1.0, temps[0] + 273.15);
         let mttf_top = black.mttf_hours(1.0, temps[2] + 273.15);

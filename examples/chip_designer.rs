@@ -10,8 +10,8 @@
 use xxi::accel::ladder::{efficiency_factor, ImplKind, Kernel};
 use xxi::accel::offload::{offload_energy, OffloadConfig};
 use xxi::core::table::{fnum, xfactor};
-use xxi::core::Table;
 use xxi::core::units::{Energy, Seconds};
+use xxi::core::Table;
 use xxi::cpu::chip::{Chip, ChipConfig};
 use xxi::cpu::CoreKind;
 use xxi::tech::NodeDb;
@@ -39,19 +39,23 @@ fn main() {
 
     // ---- Core-size choice vs parallel fraction ---------------------------
     println!("\n== Hill-Marty at 22nm: which core size wins? ==\n");
-    let mut t = Table::new(&["parallel fraction", "small cores", "medium cores", "big cores"]);
-    let chips: Vec<Chip> = [CoreKind::InOrderSmall, CoreKind::OoOMedium, CoreKind::OoOBig]
-        .into_iter()
-        .map(|k| Chip::compose(ChipConfig::desktop(db.by_name("22nm").unwrap().clone(), k)).unwrap())
-        .collect();
+    let mut t = Table::new(&[
+        "parallel fraction",
+        "small cores",
+        "medium cores",
+        "big cores",
+    ]);
+    let chips: Vec<Chip> = [
+        CoreKind::InOrderSmall,
+        CoreKind::OoOMedium,
+        CoreKind::OoOBig,
+    ]
+    .into_iter()
+    .map(|k| Chip::compose(ChipConfig::desktop(db.by_name("22nm").unwrap().clone(), k)).unwrap())
+    .collect();
     for f in [0.5, 0.9, 0.975, 0.99, 0.999] {
         let s: Vec<f64> = chips.iter().map(|c| c.speedup(f)).collect();
-        t.row(&[
-            fnum(f),
-            fnum(s[0]),
-            fnum(s[1]),
-            fnum(s[2]),
-        ]);
+        t.row(&[fnum(f), fnum(s[0]), fnum(s[1]), fnum(s[2])]);
     }
     t.print();
     println!("(speedup relative to one base core; big cores win serial code,");
@@ -60,7 +64,13 @@ fn main() {
     // ---- Specialization ladder -------------------------------------------
     println!("\n== The specialization ladder at 45nm (energy-efficiency factors) ==\n");
     let node = db.by_name("45nm").unwrap();
-    let mut t = Table::new(&["kernel", "in-order", "SIMDx16", "GPU warp32", "fixed-function"]);
+    let mut t = Table::new(&[
+        "kernel",
+        "in-order",
+        "SIMDx16",
+        "GPU warp32",
+        "fixed-function",
+    ]);
     for k in [
         Kernel::Fir,
         Kernel::AesRound,

@@ -30,9 +30,9 @@ fn main() {
     // Untrusted telemetry flows toward an indirect jump; the monitor traps.
     let mut m = Machine::new(Policy::integrity(), 32, vec![0x4141_4141]);
     let firmware = [
-        Instr::In { d: 0 },               // radio packet (untrusted)
+        Instr::In { d: 0 }, // radio packet (untrusted)
         Instr::Const { d: 1, imm: 16 },
-        Instr::Add { d: 2, a: 0, b: 1 },  // attacker-derived "handler"
+        Instr::Add { d: 2, a: 0, b: 1 }, // attacker-derived "handler"
         Instr::JmpReg { a: 2 },
         Instr::Halt,
     ];
@@ -49,7 +49,9 @@ fn main() {
     pm.add_gate(telemetry, pacing);
     println!(
         "telemetry reads pacing params: {:?}",
-        pm.check(telemetry, 10, AccessKind::Read).err().map(|e| e.to_string())
+        pm.check(telemetry, 10, AccessKind::Read)
+            .err()
+            .map(|e| e.to_string())
     );
     println!(
         "telemetry -> pacing via gate:  {:?}\n",
@@ -62,8 +64,14 @@ fn main() {
     let leak = prime_probe_attack(&mut shared, secret);
     let mut part = PartitionedCache::new(cache_cfg(), 2);
     let blind = prime_probe_attack_partitioned(&mut part, secret);
-    println!("shared cache:      attacker infers set {} ({} probe misses)", leak.inferred_set, leak.signal_misses);
-    println!("partitioned cache: attacker sees {} probe misses — blind\n", blind.signal_misses);
+    println!(
+        "shared cache:      attacker infers set {} ({} probe misses)",
+        leak.inferred_set, leak.signal_misses
+    );
+    println!(
+        "partitioned cache: attacker sees {} probe misses — blind\n",
+        blind.signal_misses
+    );
 
     println!("== 4. ECC: a radiation flip in the pacing interval is corrected ==\n");
     let interval_ms: u64 = 857; // pacing interval

@@ -26,7 +26,14 @@ fn main() {
 
     // ---- 1. The energy ladder -------------------------------------------
     println!("== Per-64-bit-access energy vs one FMA, across nodes ==\n");
-    let mut t = Table::new(&["node", "FMA (pJ)", "L1 (pJ)", "L3 (pJ)", "DRAM (pJ)", "DRAM/FMA"]);
+    let mut t = Table::new(&[
+        "node",
+        "FMA (pJ)",
+        "L1 (pJ)",
+        "L3 (pJ)",
+        "DRAM (pJ)",
+        "DRAM/FMA",
+    ]);
     for name in ["90nm", "45nm", "22nm", "7nm"] {
         let node = db.by_name(name).unwrap();
         let e = MemEnergyTable::at(node);
@@ -54,7 +61,12 @@ fn main() {
     // All-DRAM baseline: every access at DRAM cost.
     let dram_lat_ns = 60.0;
     let hybrid_lat_ns = hybrid.avg_latency().value() * 1e9;
-    let mut t = Table::new(&["design", "avg latency (ns)", "standing power", "capacity tier"]);
+    let mut t = Table::new(&[
+        "design",
+        "avg latency (ns)",
+        "standing power",
+        "capacity tier",
+    ]);
     t.row(&[
         "all-DRAM (64 GiB)".into(),
         fnum(dram_lat_ns),

@@ -56,7 +56,13 @@ fn main() {
 
     // ---- Claim 3: the 63% tail claim (§2.1) ----------------------------
     println!("== §2.1: \"63% of requests will incur the 99-percentile delay\" ==\n");
-    let mut t = Table::new(&["fan-out", "analytic 1-0.99^n", "simulated", "p50 (ms)", "p99 (ms)"]);
+    let mut t = Table::new(&[
+        "fan-out",
+        "analytic 1-0.99^n",
+        "simulated",
+        "p50 (ms)",
+        "p99 (ms)",
+    ]);
     for n in [1u32, 10, 100, 1000] {
         let analytic = analytic_straggler_prob(n, 0.99);
         let r = fanout_latency(LatencyDist::typical_leaf(), n, 20_000, 42);

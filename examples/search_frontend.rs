@@ -30,12 +30,7 @@ fn main() {
             service,
         };
         let r = q.run(120_000, 11);
-        t.row(&[
-            fnum(rho),
-            fnum(r.mean_ms),
-            fnum(r.p50),
-            fnum(r.p99),
-        ]);
+        t.row(&[fnum(rho), fnum(r.mean_ms), fnum(r.p50), fnum(r.p99)]);
     }
     t.print();
 
@@ -73,10 +68,7 @@ fn main() {
         ]);
     }
     t.print();
-    println!(
-        "extra load from hedging: {:.1}%",
-        hedged.extra_load * 100.0
-    );
+    println!("extra load from hedging: {:.1}%", hedged.extra_load * 100.0);
 
     // ---- Step 4: what colocation does to the SLO -------------------------
     println!("\n== Batch colocation under a latency SLO (§2.4 QoS interface) ==\n");

@@ -9,13 +9,13 @@
 //! Run with: `cargo run --example wearable_monitor`
 
 use xxi::core::table::fnum;
+use xxi::core::units::{Energy, Seconds};
 use xxi::core::Table;
 use xxi::sensor::intermittent::IntermittentTask;
 use xxi::sensor::mcu::Mcu;
 use xxi::sensor::node::{NodePolicy, SensorNode, SensorNodeConfig};
 use xxi::sensor::power::Battery;
 use xxi::sensor::radio::{Radio, RadioTech};
-use xxi::core::units::{Energy, Seconds};
 
 fn main() {
     println!("== Wearable health monitor: policy x radio -> battery life ==\n");
@@ -66,7 +66,11 @@ fn main() {
         burst_energy: Energy::from_mj(2.0),
     };
     let with_ckpt = task.run(1_000, 7);
-    let without = IntermittentTask { interval: 0, ..task }.run(1_000, 7);
+    let without = IntermittentTask {
+        interval: 0,
+        ..task
+    }
+    .run(1_000, 7);
     println!(
         "with NVM checkpoints : finished={} bursts={} re-executed {}% extra work",
         with_ckpt.finished,

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-ccbf9dbab5a65759.d: crates/xxi-bench/benches/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-ccbf9dbab5a65759.rmeta: crates/xxi-bench/benches/ablations.rs Cargo.toml
+
+crates/xxi-bench/benches/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

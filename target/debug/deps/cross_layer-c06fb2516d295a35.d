@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_layer-c06fb2516d295a35.d: tests/cross_layer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_layer-c06fb2516d295a35.rmeta: tests/cross_layer.rs Cargo.toml
+
+tests/cross_layer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

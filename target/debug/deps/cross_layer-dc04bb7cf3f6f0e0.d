@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_layer-dc04bb7cf3f6f0e0.d: tests/cross_layer.rs
+
+/root/repo/target/debug/deps/cross_layer-dc04bb7cf3f6f0e0: tests/cross_layer.rs
+
+tests/cross_layer.rs:

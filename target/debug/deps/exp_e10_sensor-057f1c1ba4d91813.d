@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e10_sensor-057f1c1ba4d91813.d: crates/xxi-bench/src/bin/exp_e10_sensor.rs
+
+/root/repo/target/debug/deps/exp_e10_sensor-057f1c1ba4d91813: crates/xxi-bench/src/bin/exp_e10_sensor.rs
+
+crates/xxi-bench/src/bin/exp_e10_sensor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e10_sensor-1f3dd9f45ad833a3.d: crates/xxi-bench/src/bin/exp_e10_sensor.rs
+
+/root/repo/target/debug/deps/exp_e10_sensor-1f3dd9f45ad833a3: crates/xxi-bench/src/bin/exp_e10_sensor.rs
+
+crates/xxi-bench/src/bin/exp_e10_sensor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e10_sensor-5a355e693129fc38.d: crates/xxi-bench/src/bin/exp_e10_sensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e10_sensor-5a355e693129fc38.rmeta: crates/xxi-bench/src/bin/exp_e10_sensor.rs Cargo.toml
+
+crates/xxi-bench/src/bin/exp_e10_sensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e11_ntv-2384d118a1c5d5fc.d: crates/xxi-bench/src/bin/exp_e11_ntv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e11_ntv-2384d118a1c5d5fc.rmeta: crates/xxi-bench/src/bin/exp_e11_ntv.rs Cargo.toml
+
+crates/xxi-bench/src/bin/exp_e11_ntv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e11_ntv-3982bf3ac2d7fac1.d: crates/xxi-bench/src/bin/exp_e11_ntv.rs
+
+/root/repo/target/debug/deps/exp_e11_ntv-3982bf3ac2d7fac1: crates/xxi-bench/src/bin/exp_e11_ntv.rs
+
+crates/xxi-bench/src/bin/exp_e11_ntv.rs:

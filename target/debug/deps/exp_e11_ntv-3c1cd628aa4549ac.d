@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e11_ntv-3c1cd628aa4549ac.d: crates/xxi-bench/src/bin/exp_e11_ntv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e11_ntv-3c1cd628aa4549ac.rmeta: crates/xxi-bench/src/bin/exp_e11_ntv.rs Cargo.toml
+
+crates/xxi-bench/src/bin/exp_e11_ntv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

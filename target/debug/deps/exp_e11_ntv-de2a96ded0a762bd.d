@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e11_ntv-de2a96ded0a762bd.d: crates/xxi-bench/src/bin/exp_e11_ntv.rs
+
+/root/repo/target/debug/deps/exp_e11_ntv-de2a96ded0a762bd: crates/xxi-bench/src/bin/exp_e11_ntv.rs
+
+crates/xxi-bench/src/bin/exp_e11_ntv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e12_nvm-93a703eb2fc5af33.d: crates/xxi-bench/src/bin/exp_e12_nvm.rs
+
+/root/repo/target/debug/deps/exp_e12_nvm-93a703eb2fc5af33: crates/xxi-bench/src/bin/exp_e12_nvm.rs
+
+crates/xxi-bench/src/bin/exp_e12_nvm.rs:

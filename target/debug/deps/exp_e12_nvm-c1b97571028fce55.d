@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e12_nvm-c1b97571028fce55.d: crates/xxi-bench/src/bin/exp_e12_nvm.rs
+
+/root/repo/target/debug/deps/exp_e12_nvm-c1b97571028fce55: crates/xxi-bench/src/bin/exp_e12_nvm.rs
+
+crates/xxi-bench/src/bin/exp_e12_nvm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e12_nvm-d772b48c52cc17f6.d: crates/xxi-bench/src/bin/exp_e12_nvm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e12_nvm-d772b48c52cc17f6.rmeta: crates/xxi-bench/src/bin/exp_e12_nvm.rs Cargo.toml
+
+crates/xxi-bench/src/bin/exp_e12_nvm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e13_noc-3cbaf3b3c84d086e.d: crates/xxi-bench/src/bin/exp_e13_noc.rs
+
+/root/repo/target/debug/deps/exp_e13_noc-3cbaf3b3c84d086e: crates/xxi-bench/src/bin/exp_e13_noc.rs
+
+crates/xxi-bench/src/bin/exp_e13_noc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e13_noc-d30f2ebf9331534a.d: crates/xxi-bench/src/bin/exp_e13_noc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e13_noc-d30f2ebf9331534a.rmeta: crates/xxi-bench/src/bin/exp_e13_noc.rs Cargo.toml
+
+crates/xxi-bench/src/bin/exp_e13_noc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

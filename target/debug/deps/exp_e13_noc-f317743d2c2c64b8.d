@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e13_noc-f317743d2c2c64b8.d: crates/xxi-bench/src/bin/exp_e13_noc.rs
+
+/root/repo/target/debug/deps/exp_e13_noc-f317743d2c2c64b8: crates/xxi-bench/src/bin/exp_e13_noc.rs
+
+crates/xxi-bench/src/bin/exp_e13_noc.rs:

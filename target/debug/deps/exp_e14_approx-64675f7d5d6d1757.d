@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e14_approx-64675f7d5d6d1757.d: crates/xxi-bench/src/bin/exp_e14_approx.rs
+
+/root/repo/target/debug/deps/exp_e14_approx-64675f7d5d6d1757: crates/xxi-bench/src/bin/exp_e14_approx.rs
+
+crates/xxi-bench/src/bin/exp_e14_approx.rs:

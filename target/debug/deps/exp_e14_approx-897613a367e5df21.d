@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e14_approx-897613a367e5df21.d: crates/xxi-bench/src/bin/exp_e14_approx.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e14_approx-897613a367e5df21.rmeta: crates/xxi-bench/src/bin/exp_e14_approx.rs Cargo.toml
+
+crates/xxi-bench/src/bin/exp_e14_approx.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

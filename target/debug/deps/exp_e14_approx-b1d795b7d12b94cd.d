@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e14_approx-b1d795b7d12b94cd.d: crates/xxi-bench/src/bin/exp_e14_approx.rs
+
+/root/repo/target/debug/deps/exp_e14_approx-b1d795b7d12b94cd: crates/xxi-bench/src/bin/exp_e14_approx.rs
+
+crates/xxi-bench/src/bin/exp_e14_approx.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e15_invariant-18d8594ea3325237.d: crates/xxi-bench/src/bin/exp_e15_invariant.rs
+
+/root/repo/target/debug/deps/exp_e15_invariant-18d8594ea3325237: crates/xxi-bench/src/bin/exp_e15_invariant.rs
+
+crates/xxi-bench/src/bin/exp_e15_invariant.rs:

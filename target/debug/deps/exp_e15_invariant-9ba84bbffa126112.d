@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e15_invariant-9ba84bbffa126112.d: crates/xxi-bench/src/bin/exp_e15_invariant.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e15_invariant-9ba84bbffa126112.rmeta: crates/xxi-bench/src/bin/exp_e15_invariant.rs Cargo.toml
+
+crates/xxi-bench/src/bin/exp_e15_invariant.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e15_invariant-fad44c8f1942890e.d: crates/xxi-bench/src/bin/exp_e15_invariant.rs
+
+/root/repo/target/debug/deps/exp_e15_invariant-fad44c8f1942890e: crates/xxi-bench/src/bin/exp_e15_invariant.rs
+
+crates/xxi-bench/src/bin/exp_e15_invariant.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e16_offload-4943ed8381d81f9e.d: crates/xxi-bench/src/bin/exp_e16_offload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e16_offload-4943ed8381d81f9e.rmeta: crates/xxi-bench/src/bin/exp_e16_offload.rs Cargo.toml
+
+crates/xxi-bench/src/bin/exp_e16_offload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e16_offload-6e4121322e18e687.d: crates/xxi-bench/src/bin/exp_e16_offload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e16_offload-6e4121322e18e687.rmeta: crates/xxi-bench/src/bin/exp_e16_offload.rs Cargo.toml
+
+crates/xxi-bench/src/bin/exp_e16_offload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

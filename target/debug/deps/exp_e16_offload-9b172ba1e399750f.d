@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e16_offload-9b172ba1e399750f.d: crates/xxi-bench/src/bin/exp_e16_offload.rs
+
+/root/repo/target/debug/deps/exp_e16_offload-9b172ba1e399750f: crates/xxi-bench/src/bin/exp_e16_offload.rs
+
+crates/xxi-bench/src/bin/exp_e16_offload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e16_offload-f6d597b5bf0c670b.d: crates/xxi-bench/src/bin/exp_e16_offload.rs
+
+/root/repo/target/debug/deps/exp_e16_offload-f6d597b5bf0c670b: crates/xxi-bench/src/bin/exp_e16_offload.rs
+
+crates/xxi-bench/src/bin/exp_e16_offload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e17_availability-6cb3f0f190de52b9.d: crates/xxi-bench/src/bin/exp_e17_availability.rs
+
+/root/repo/target/debug/deps/exp_e17_availability-6cb3f0f190de52b9: crates/xxi-bench/src/bin/exp_e17_availability.rs
+
+crates/xxi-bench/src/bin/exp_e17_availability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e17_availability-94ca79c545cd14bc.d: crates/xxi-bench/src/bin/exp_e17_availability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e17_availability-94ca79c545cd14bc.rmeta: crates/xxi-bench/src/bin/exp_e17_availability.rs Cargo.toml
+
+crates/xxi-bench/src/bin/exp_e17_availability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e17_availability-a5f0f0a6e55bd475.d: crates/xxi-bench/src/bin/exp_e17_availability.rs
+
+/root/repo/target/debug/deps/exp_e17_availability-a5f0f0a6e55bd475: crates/xxi-bench/src/bin/exp_e17_availability.rs
+
+crates/xxi-bench/src/bin/exp_e17_availability.rs:

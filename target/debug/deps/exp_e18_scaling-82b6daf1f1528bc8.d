@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e18_scaling-82b6daf1f1528bc8.d: crates/xxi-bench/src/bin/exp_e18_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e18_scaling-82b6daf1f1528bc8.rmeta: crates/xxi-bench/src/bin/exp_e18_scaling.rs Cargo.toml
+
+crates/xxi-bench/src/bin/exp_e18_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

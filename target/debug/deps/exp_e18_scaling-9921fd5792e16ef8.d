@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e18_scaling-9921fd5792e16ef8.d: crates/xxi-bench/src/bin/exp_e18_scaling.rs
+
+/root/repo/target/debug/deps/exp_e18_scaling-9921fd5792e16ef8: crates/xxi-bench/src/bin/exp_e18_scaling.rs
+
+crates/xxi-bench/src/bin/exp_e18_scaling.rs:

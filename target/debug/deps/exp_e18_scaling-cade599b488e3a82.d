@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e18_scaling-cade599b488e3a82.d: crates/xxi-bench/src/bin/exp_e18_scaling.rs
+
+/root/repo/target/debug/deps/exp_e18_scaling-cade599b488e3a82: crates/xxi-bench/src/bin/exp_e18_scaling.rs
+
+crates/xxi-bench/src/bin/exp_e18_scaling.rs:

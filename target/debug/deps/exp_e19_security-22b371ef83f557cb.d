@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e19_security-22b371ef83f557cb.d: crates/xxi-bench/src/bin/exp_e19_security.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e19_security-22b371ef83f557cb.rmeta: crates/xxi-bench/src/bin/exp_e19_security.rs Cargo.toml
+
+crates/xxi-bench/src/bin/exp_e19_security.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e19_security-b9a2fa0b34090699.d: crates/xxi-bench/src/bin/exp_e19_security.rs
+
+/root/repo/target/debug/deps/exp_e19_security-b9a2fa0b34090699: crates/xxi-bench/src/bin/exp_e19_security.rs
+
+crates/xxi-bench/src/bin/exp_e19_security.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e19_security-f53aebbb86ef500a.d: crates/xxi-bench/src/bin/exp_e19_security.rs
+
+/root/repo/target/debug/deps/exp_e19_security-f53aebbb86ef500a: crates/xxi-bench/src/bin/exp_e19_security.rs
+
+crates/xxi-bench/src/bin/exp_e19_security.rs:

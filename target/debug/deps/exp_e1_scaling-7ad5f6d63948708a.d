@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e1_scaling-7ad5f6d63948708a.d: crates/xxi-bench/src/bin/exp_e1_scaling.rs
+
+/root/repo/target/debug/deps/exp_e1_scaling-7ad5f6d63948708a: crates/xxi-bench/src/bin/exp_e1_scaling.rs
+
+crates/xxi-bench/src/bin/exp_e1_scaling.rs:

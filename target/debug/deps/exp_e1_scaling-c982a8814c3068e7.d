@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e1_scaling-c982a8814c3068e7.d: crates/xxi-bench/src/bin/exp_e1_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e1_scaling-c982a8814c3068e7.rmeta: crates/xxi-bench/src/bin/exp_e1_scaling.rs Cargo.toml
+
+crates/xxi-bench/src/bin/exp_e1_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e1_scaling-f00325e4e45f2cea.d: crates/xxi-bench/src/bin/exp_e1_scaling.rs
+
+/root/repo/target/debug/deps/exp_e1_scaling-f00325e4e45f2cea: crates/xxi-bench/src/bin/exp_e1_scaling.rs
+
+crates/xxi-bench/src/bin/exp_e1_scaling.rs:

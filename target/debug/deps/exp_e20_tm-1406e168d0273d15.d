@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e20_tm-1406e168d0273d15.d: crates/xxi-bench/src/bin/exp_e20_tm.rs
+
+/root/repo/target/debug/deps/exp_e20_tm-1406e168d0273d15: crates/xxi-bench/src/bin/exp_e20_tm.rs
+
+crates/xxi-bench/src/bin/exp_e20_tm.rs:

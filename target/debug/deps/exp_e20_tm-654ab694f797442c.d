@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e20_tm-654ab694f797442c.d: crates/xxi-bench/src/bin/exp_e20_tm.rs
+
+/root/repo/target/debug/deps/exp_e20_tm-654ab694f797442c: crates/xxi-bench/src/bin/exp_e20_tm.rs
+
+crates/xxi-bench/src/bin/exp_e20_tm.rs:

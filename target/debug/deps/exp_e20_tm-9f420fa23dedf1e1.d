@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e20_tm-9f420fa23dedf1e1.d: crates/xxi-bench/src/bin/exp_e20_tm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e20_tm-9f420fa23dedf1e1.rmeta: crates/xxi-bench/src/bin/exp_e20_tm.rs Cargo.toml
+
+crates/xxi-bench/src/bin/exp_e20_tm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

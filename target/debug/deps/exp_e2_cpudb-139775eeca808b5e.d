@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e2_cpudb-139775eeca808b5e.d: crates/xxi-bench/src/bin/exp_e2_cpudb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e2_cpudb-139775eeca808b5e.rmeta: crates/xxi-bench/src/bin/exp_e2_cpudb.rs Cargo.toml
+
+crates/xxi-bench/src/bin/exp_e2_cpudb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

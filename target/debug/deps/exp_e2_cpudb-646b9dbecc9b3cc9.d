@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e2_cpudb-646b9dbecc9b3cc9.d: crates/xxi-bench/src/bin/exp_e2_cpudb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e2_cpudb-646b9dbecc9b3cc9.rmeta: crates/xxi-bench/src/bin/exp_e2_cpudb.rs Cargo.toml
+
+crates/xxi-bench/src/bin/exp_e2_cpudb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e2_cpudb-d319844eb8f3e392.d: crates/xxi-bench/src/bin/exp_e2_cpudb.rs
+
+/root/repo/target/debug/deps/exp_e2_cpudb-d319844eb8f3e392: crates/xxi-bench/src/bin/exp_e2_cpudb.rs
+
+crates/xxi-bench/src/bin/exp_e2_cpudb.rs:

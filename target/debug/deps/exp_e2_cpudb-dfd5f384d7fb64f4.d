@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e2_cpudb-dfd5f384d7fb64f4.d: crates/xxi-bench/src/bin/exp_e2_cpudb.rs
+
+/root/repo/target/debug/deps/exp_e2_cpudb-dfd5f384d7fb64f4: crates/xxi-bench/src/bin/exp_e2_cpudb.rs
+
+crates/xxi-bench/src/bin/exp_e2_cpudb.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e3_reliability-0bc566b5c4bb35df.d: crates/xxi-bench/src/bin/exp_e3_reliability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e3_reliability-0bc566b5c4bb35df.rmeta: crates/xxi-bench/src/bin/exp_e3_reliability.rs Cargo.toml
+
+crates/xxi-bench/src/bin/exp_e3_reliability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e3_reliability-0e7d6ee8e4a3b98a.d: crates/xxi-bench/src/bin/exp_e3_reliability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e3_reliability-0e7d6ee8e4a3b98a.rmeta: crates/xxi-bench/src/bin/exp_e3_reliability.rs Cargo.toml
+
+crates/xxi-bench/src/bin/exp_e3_reliability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e3_reliability-ef26509cd18fb453.d: crates/xxi-bench/src/bin/exp_e3_reliability.rs
+
+/root/repo/target/debug/deps/exp_e3_reliability-ef26509cd18fb453: crates/xxi-bench/src/bin/exp_e3_reliability.rs
+
+crates/xxi-bench/src/bin/exp_e3_reliability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e3_reliability-ff5a7d4e4183d349.d: crates/xxi-bench/src/bin/exp_e3_reliability.rs
+
+/root/repo/target/debug/deps/exp_e3_reliability-ff5a7d4e4183d349: crates/xxi-bench/src/bin/exp_e3_reliability.rs
+
+crates/xxi-bench/src/bin/exp_e3_reliability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e4_comm_energy-add9b4486edf703c.d: crates/xxi-bench/src/bin/exp_e4_comm_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e4_comm_energy-add9b4486edf703c.rmeta: crates/xxi-bench/src/bin/exp_e4_comm_energy.rs Cargo.toml
+
+crates/xxi-bench/src/bin/exp_e4_comm_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e4_comm_energy-da67bdd9b0582a69.d: crates/xxi-bench/src/bin/exp_e4_comm_energy.rs
+
+/root/repo/target/debug/deps/exp_e4_comm_energy-da67bdd9b0582a69: crates/xxi-bench/src/bin/exp_e4_comm_energy.rs
+
+crates/xxi-bench/src/bin/exp_e4_comm_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e4_comm_energy-f8afa5f8d5882f64.d: crates/xxi-bench/src/bin/exp_e4_comm_energy.rs
+
+/root/repo/target/debug/deps/exp_e4_comm_energy-f8afa5f8d5882f64: crates/xxi-bench/src/bin/exp_e4_comm_energy.rs
+
+crates/xxi-bench/src/bin/exp_e4_comm_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e5_nre-0715001994ce2d23.d: crates/xxi-bench/src/bin/exp_e5_nre.rs
+
+/root/repo/target/debug/deps/exp_e5_nre-0715001994ce2d23: crates/xxi-bench/src/bin/exp_e5_nre.rs
+
+crates/xxi-bench/src/bin/exp_e5_nre.rs:

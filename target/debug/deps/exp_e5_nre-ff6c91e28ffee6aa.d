@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e5_nre-ff6c91e28ffee6aa.d: crates/xxi-bench/src/bin/exp_e5_nre.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e5_nre-ff6c91e28ffee6aa.rmeta: crates/xxi-bench/src/bin/exp_e5_nre.rs Cargo.toml
+
+crates/xxi-bench/src/bin/exp_e5_nre.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

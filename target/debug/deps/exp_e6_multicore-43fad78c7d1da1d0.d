@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e6_multicore-43fad78c7d1da1d0.d: crates/xxi-bench/src/bin/exp_e6_multicore.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e6_multicore-43fad78c7d1da1d0.rmeta: crates/xxi-bench/src/bin/exp_e6_multicore.rs Cargo.toml
+
+crates/xxi-bench/src/bin/exp_e6_multicore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

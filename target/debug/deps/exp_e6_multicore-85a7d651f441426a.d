@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e6_multicore-85a7d651f441426a.d: crates/xxi-bench/src/bin/exp_e6_multicore.rs
+
+/root/repo/target/debug/deps/exp_e6_multicore-85a7d651f441426a: crates/xxi-bench/src/bin/exp_e6_multicore.rs
+
+crates/xxi-bench/src/bin/exp_e6_multicore.rs:

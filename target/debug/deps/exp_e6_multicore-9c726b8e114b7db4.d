@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e6_multicore-9c726b8e114b7db4.d: crates/xxi-bench/src/bin/exp_e6_multicore.rs
+
+/root/repo/target/debug/deps/exp_e6_multicore-9c726b8e114b7db4: crates/xxi-bench/src/bin/exp_e6_multicore.rs
+
+crates/xxi-bench/src/bin/exp_e6_multicore.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e7_specialization-05077286cf1afaf0.d: crates/xxi-bench/src/bin/exp_e7_specialization.rs
+
+/root/repo/target/debug/deps/exp_e7_specialization-05077286cf1afaf0: crates/xxi-bench/src/bin/exp_e7_specialization.rs
+
+crates/xxi-bench/src/bin/exp_e7_specialization.rs:

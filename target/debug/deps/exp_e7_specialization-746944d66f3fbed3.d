@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e7_specialization-746944d66f3fbed3.d: crates/xxi-bench/src/bin/exp_e7_specialization.rs
+
+/root/repo/target/debug/deps/exp_e7_specialization-746944d66f3fbed3: crates/xxi-bench/src/bin/exp_e7_specialization.rs
+
+crates/xxi-bench/src/bin/exp_e7_specialization.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e7_specialization-c38489370f14da81.d: crates/xxi-bench/src/bin/exp_e7_specialization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e7_specialization-c38489370f14da81.rmeta: crates/xxi-bench/src/bin/exp_e7_specialization.rs Cargo.toml
+
+crates/xxi-bench/src/bin/exp_e7_specialization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

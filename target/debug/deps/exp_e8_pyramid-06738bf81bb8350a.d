@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e8_pyramid-06738bf81bb8350a.d: crates/xxi-bench/src/bin/exp_e8_pyramid.rs
+
+/root/repo/target/debug/deps/exp_e8_pyramid-06738bf81bb8350a: crates/xxi-bench/src/bin/exp_e8_pyramid.rs
+
+crates/xxi-bench/src/bin/exp_e8_pyramid.rs:

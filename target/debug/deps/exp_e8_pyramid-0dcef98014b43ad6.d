@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e8_pyramid-0dcef98014b43ad6.d: crates/xxi-bench/src/bin/exp_e8_pyramid.rs
+
+/root/repo/target/debug/deps/exp_e8_pyramid-0dcef98014b43ad6: crates/xxi-bench/src/bin/exp_e8_pyramid.rs
+
+crates/xxi-bench/src/bin/exp_e8_pyramid.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e8_pyramid-595567de1923abba.d: crates/xxi-bench/src/bin/exp_e8_pyramid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e8_pyramid-595567de1923abba.rmeta: crates/xxi-bench/src/bin/exp_e8_pyramid.rs Cargo.toml
+
+crates/xxi-bench/src/bin/exp_e8_pyramid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e9_tail-600827a366956775.d: crates/xxi-bench/src/bin/exp_e9_tail.rs
+
+/root/repo/target/debug/deps/exp_e9_tail-600827a366956775: crates/xxi-bench/src/bin/exp_e9_tail.rs
+
+crates/xxi-bench/src/bin/exp_e9_tail.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e9_tail-c804a7eacc1a1c9a.d: crates/xxi-bench/src/bin/exp_e9_tail.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e9_tail-c804a7eacc1a1c9a.rmeta: crates/xxi-bench/src/bin/exp_e9_tail.rs Cargo.toml
+
+crates/xxi-bench/src/bin/exp_e9_tail.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e9_tail-dc8a0d4c80a5c6c9.d: crates/xxi-bench/src/bin/exp_e9_tail.rs
+
+/root/repo/target/debug/deps/exp_e9_tail-dc8a0d4c80a5c6c9: crates/xxi-bench/src/bin/exp_e9_tail.rs
+
+crates/xxi-bench/src/bin/exp_e9_tail.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/models-f7486e926f17eb42.d: crates/xxi-bench/benches/models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodels-f7486e926f17eb42.rmeta: crates/xxi-bench/benches/models.rs Cargo.toml
+
+crates/xxi-bench/benches/models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-36bac95ac66e657e.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-36bac95ac66e657e: tests/properties.rs
+
+tests/properties.rs:

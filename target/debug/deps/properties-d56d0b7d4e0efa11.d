@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-d56d0b7d4e0efa11.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-d56d0b7d4e0efa11.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

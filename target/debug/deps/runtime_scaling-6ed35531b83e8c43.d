@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_scaling-6ed35531b83e8c43.d: tests/runtime_scaling.rs
+
+/root/repo/target/debug/deps/runtime_scaling-6ed35531b83e8c43: tests/runtime_scaling.rs
+
+tests/runtime_scaling.rs:

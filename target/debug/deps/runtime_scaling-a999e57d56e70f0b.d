@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_scaling-a999e57d56e70f0b.d: tests/runtime_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_scaling-a999e57d56e70f0b.rmeta: tests/runtime_scaling.rs Cargo.toml
+
+tests/runtime_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sensor_to_cloud-1bea91d1991ceca6.d: tests/sensor_to_cloud.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsensor_to_cloud-1bea91d1991ceca6.rmeta: tests/sensor_to_cloud.rs Cargo.toml
+
+tests/sensor_to_cloud.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensor_to_cloud-406a53973f88d5be.d: tests/sensor_to_cloud.rs
+
+/root/repo/target/debug/deps/sensor_to_cloud-406a53973f88d5be: tests/sensor_to_cloud.rs
+
+tests/sensor_to_cloud.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-44d0bddddafe9338.d: crates/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-44d0bddddafe9338: crates/serde/src/lib.rs
+
+crates/serde/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-4fefc088947d24e7.d: crates/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-4fefc088947d24e7.so: crates/serde/src/lib.rs Cargo.toml
+
+crates/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-99ff998caa926e2c.d: crates/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-99ff998caa926e2c.so: crates/serde/src/lib.rs
+
+crates/serde/src/lib.rs:

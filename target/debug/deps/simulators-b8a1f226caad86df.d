@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulators-b8a1f226caad86df.d: crates/xxi-bench/benches/simulators.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulators-b8a1f226caad86df.rmeta: crates/xxi-bench/benches/simulators.rs Cargo.toml
+
+crates/xxi-bench/benches/simulators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xxi-382eaf3736b7c241.d: src/lib.rs
+
+/root/repo/target/debug/deps/libxxi-382eaf3736b7c241.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libxxi-382eaf3736b7c241.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xxi-e225fc3bb4b616b9.d: src/lib.rs
+
+/root/repo/target/debug/deps/xxi-e225fc3bb4b616b9: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xxi-f4a1b7943dcfb4d9.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxxi-f4a1b7943dcfb4d9.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xxi_accel-018fad0a92c86b3f.d: crates/xxi-accel/src/lib.rs crates/xxi-accel/src/cgra.rs crates/xxi-accel/src/fpga.rs crates/xxi-accel/src/ladder.rs crates/xxi-accel/src/nre.rs crates/xxi-accel/src/offload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxxi_accel-018fad0a92c86b3f.rmeta: crates/xxi-accel/src/lib.rs crates/xxi-accel/src/cgra.rs crates/xxi-accel/src/fpga.rs crates/xxi-accel/src/ladder.rs crates/xxi-accel/src/nre.rs crates/xxi-accel/src/offload.rs Cargo.toml
+
+crates/xxi-accel/src/lib.rs:
+crates/xxi-accel/src/cgra.rs:
+crates/xxi-accel/src/fpga.rs:
+crates/xxi-accel/src/ladder.rs:
+crates/xxi-accel/src/nre.rs:
+crates/xxi-accel/src/offload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

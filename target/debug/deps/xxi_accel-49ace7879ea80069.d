@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xxi_accel-49ace7879ea80069.d: crates/xxi-accel/src/lib.rs crates/xxi-accel/src/cgra.rs crates/xxi-accel/src/fpga.rs crates/xxi-accel/src/ladder.rs crates/xxi-accel/src/nre.rs crates/xxi-accel/src/offload.rs
+
+/root/repo/target/debug/deps/xxi_accel-49ace7879ea80069: crates/xxi-accel/src/lib.rs crates/xxi-accel/src/cgra.rs crates/xxi-accel/src/fpga.rs crates/xxi-accel/src/ladder.rs crates/xxi-accel/src/nre.rs crates/xxi-accel/src/offload.rs
+
+crates/xxi-accel/src/lib.rs:
+crates/xxi-accel/src/cgra.rs:
+crates/xxi-accel/src/fpga.rs:
+crates/xxi-accel/src/ladder.rs:
+crates/xxi-accel/src/nre.rs:
+crates/xxi-accel/src/offload.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xxi_accel-5a8518a8f1ac40a9.d: crates/xxi-accel/src/lib.rs crates/xxi-accel/src/cgra.rs crates/xxi-accel/src/fpga.rs crates/xxi-accel/src/ladder.rs crates/xxi-accel/src/nre.rs crates/xxi-accel/src/offload.rs
+
+/root/repo/target/debug/deps/libxxi_accel-5a8518a8f1ac40a9.rlib: crates/xxi-accel/src/lib.rs crates/xxi-accel/src/cgra.rs crates/xxi-accel/src/fpga.rs crates/xxi-accel/src/ladder.rs crates/xxi-accel/src/nre.rs crates/xxi-accel/src/offload.rs
+
+/root/repo/target/debug/deps/libxxi_accel-5a8518a8f1ac40a9.rmeta: crates/xxi-accel/src/lib.rs crates/xxi-accel/src/cgra.rs crates/xxi-accel/src/fpga.rs crates/xxi-accel/src/ladder.rs crates/xxi-accel/src/nre.rs crates/xxi-accel/src/offload.rs
+
+crates/xxi-accel/src/lib.rs:
+crates/xxi-accel/src/cgra.rs:
+crates/xxi-accel/src/fpga.rs:
+crates/xxi-accel/src/ladder.rs:
+crates/xxi-accel/src/nre.rs:
+crates/xxi-accel/src/offload.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/xxi_approx-35b2426e23004e61.d: crates/xxi-approx/src/lib.rs crates/xxi-approx/src/memo.rs crates/xxi-approx/src/number.rs crates/xxi-approx/src/pareto.rs crates/xxi-approx/src/perforation.rs crates/xxi-approx/src/quality.rs crates/xxi-approx/src/signal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxxi_approx-35b2426e23004e61.rmeta: crates/xxi-approx/src/lib.rs crates/xxi-approx/src/memo.rs crates/xxi-approx/src/number.rs crates/xxi-approx/src/pareto.rs crates/xxi-approx/src/perforation.rs crates/xxi-approx/src/quality.rs crates/xxi-approx/src/signal.rs Cargo.toml
+
+crates/xxi-approx/src/lib.rs:
+crates/xxi-approx/src/memo.rs:
+crates/xxi-approx/src/number.rs:
+crates/xxi-approx/src/pareto.rs:
+crates/xxi-approx/src/perforation.rs:
+crates/xxi-approx/src/quality.rs:
+crates/xxi-approx/src/signal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xxi_approx-84b2080d58e1b975.d: crates/xxi-approx/src/lib.rs crates/xxi-approx/src/memo.rs crates/xxi-approx/src/number.rs crates/xxi-approx/src/pareto.rs crates/xxi-approx/src/perforation.rs crates/xxi-approx/src/quality.rs crates/xxi-approx/src/signal.rs
+
+/root/repo/target/debug/deps/libxxi_approx-84b2080d58e1b975.rlib: crates/xxi-approx/src/lib.rs crates/xxi-approx/src/memo.rs crates/xxi-approx/src/number.rs crates/xxi-approx/src/pareto.rs crates/xxi-approx/src/perforation.rs crates/xxi-approx/src/quality.rs crates/xxi-approx/src/signal.rs
+
+/root/repo/target/debug/deps/libxxi_approx-84b2080d58e1b975.rmeta: crates/xxi-approx/src/lib.rs crates/xxi-approx/src/memo.rs crates/xxi-approx/src/number.rs crates/xxi-approx/src/pareto.rs crates/xxi-approx/src/perforation.rs crates/xxi-approx/src/quality.rs crates/xxi-approx/src/signal.rs
+
+crates/xxi-approx/src/lib.rs:
+crates/xxi-approx/src/memo.rs:
+crates/xxi-approx/src/number.rs:
+crates/xxi-approx/src/pareto.rs:
+crates/xxi-approx/src/perforation.rs:
+crates/xxi-approx/src/quality.rs:
+crates/xxi-approx/src/signal.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xxi_approx-c2fe23cc7af9d450.d: crates/xxi-approx/src/lib.rs crates/xxi-approx/src/memo.rs crates/xxi-approx/src/number.rs crates/xxi-approx/src/pareto.rs crates/xxi-approx/src/perforation.rs crates/xxi-approx/src/quality.rs crates/xxi-approx/src/signal.rs
+
+/root/repo/target/debug/deps/xxi_approx-c2fe23cc7af9d450: crates/xxi-approx/src/lib.rs crates/xxi-approx/src/memo.rs crates/xxi-approx/src/number.rs crates/xxi-approx/src/pareto.rs crates/xxi-approx/src/perforation.rs crates/xxi-approx/src/quality.rs crates/xxi-approx/src/signal.rs
+
+crates/xxi-approx/src/lib.rs:
+crates/xxi-approx/src/memo.rs:
+crates/xxi-approx/src/number.rs:
+crates/xxi-approx/src/pareto.rs:
+crates/xxi-approx/src/perforation.rs:
+crates/xxi-approx/src/quality.rs:
+crates/xxi-approx/src/signal.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xxi_bench-4d3746b8e9c7a110.d: crates/xxi-bench/src/lib.rs crates/xxi-bench/src/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxxi_bench-4d3746b8e9c7a110.rmeta: crates/xxi-bench/src/lib.rs crates/xxi-bench/src/harness.rs Cargo.toml
+
+crates/xxi-bench/src/lib.rs:
+crates/xxi-bench/src/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xxi_bench-6680bee39e1fadd7.d: crates/xxi-bench/src/lib.rs crates/xxi-bench/src/harness.rs
+
+/root/repo/target/debug/deps/libxxi_bench-6680bee39e1fadd7.rlib: crates/xxi-bench/src/lib.rs crates/xxi-bench/src/harness.rs
+
+/root/repo/target/debug/deps/libxxi_bench-6680bee39e1fadd7.rmeta: crates/xxi-bench/src/lib.rs crates/xxi-bench/src/harness.rs
+
+crates/xxi-bench/src/lib.rs:
+crates/xxi-bench/src/harness.rs:

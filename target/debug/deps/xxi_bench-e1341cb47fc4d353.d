@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/xxi_bench-e1341cb47fc4d353.d: crates/xxi-bench/src/lib.rs crates/xxi-bench/src/harness.rs
+
+/root/repo/target/debug/deps/xxi_bench-e1341cb47fc4d353: crates/xxi-bench/src/lib.rs crates/xxi-bench/src/harness.rs
+
+crates/xxi-bench/src/lib.rs:
+crates/xxi-bench/src/harness.rs:

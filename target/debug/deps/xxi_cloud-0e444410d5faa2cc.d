@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/xxi_cloud-0e444410d5faa2cc.d: crates/xxi-cloud/src/lib.rs crates/xxi-cloud/src/fanout.rs crates/xxi-cloud/src/hedge.rs crates/xxi-cloud/src/latency.rs crates/xxi-cloud/src/obs.rs crates/xxi-cloud/src/power.rs crates/xxi-cloud/src/qos.rs crates/xxi-cloud/src/queueing.rs crates/xxi-cloud/src/replication.rs
+
+/root/repo/target/debug/deps/libxxi_cloud-0e444410d5faa2cc.rlib: crates/xxi-cloud/src/lib.rs crates/xxi-cloud/src/fanout.rs crates/xxi-cloud/src/hedge.rs crates/xxi-cloud/src/latency.rs crates/xxi-cloud/src/obs.rs crates/xxi-cloud/src/power.rs crates/xxi-cloud/src/qos.rs crates/xxi-cloud/src/queueing.rs crates/xxi-cloud/src/replication.rs
+
+/root/repo/target/debug/deps/libxxi_cloud-0e444410d5faa2cc.rmeta: crates/xxi-cloud/src/lib.rs crates/xxi-cloud/src/fanout.rs crates/xxi-cloud/src/hedge.rs crates/xxi-cloud/src/latency.rs crates/xxi-cloud/src/obs.rs crates/xxi-cloud/src/power.rs crates/xxi-cloud/src/qos.rs crates/xxi-cloud/src/queueing.rs crates/xxi-cloud/src/replication.rs
+
+crates/xxi-cloud/src/lib.rs:
+crates/xxi-cloud/src/fanout.rs:
+crates/xxi-cloud/src/hedge.rs:
+crates/xxi-cloud/src/latency.rs:
+crates/xxi-cloud/src/obs.rs:
+crates/xxi-cloud/src/power.rs:
+crates/xxi-cloud/src/qos.rs:
+crates/xxi-cloud/src/queueing.rs:
+crates/xxi-cloud/src/replication.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/xxi_cloud-289653382e908f1d.d: crates/xxi-cloud/src/lib.rs crates/xxi-cloud/src/fanout.rs crates/xxi-cloud/src/hedge.rs crates/xxi-cloud/src/latency.rs crates/xxi-cloud/src/obs.rs crates/xxi-cloud/src/power.rs crates/xxi-cloud/src/qos.rs crates/xxi-cloud/src/queueing.rs crates/xxi-cloud/src/replication.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxxi_cloud-289653382e908f1d.rmeta: crates/xxi-cloud/src/lib.rs crates/xxi-cloud/src/fanout.rs crates/xxi-cloud/src/hedge.rs crates/xxi-cloud/src/latency.rs crates/xxi-cloud/src/obs.rs crates/xxi-cloud/src/power.rs crates/xxi-cloud/src/qos.rs crates/xxi-cloud/src/queueing.rs crates/xxi-cloud/src/replication.rs Cargo.toml
+
+crates/xxi-cloud/src/lib.rs:
+crates/xxi-cloud/src/fanout.rs:
+crates/xxi-cloud/src/hedge.rs:
+crates/xxi-cloud/src/latency.rs:
+crates/xxi-cloud/src/obs.rs:
+crates/xxi-cloud/src/power.rs:
+crates/xxi-cloud/src/qos.rs:
+crates/xxi-cloud/src/queueing.rs:
+crates/xxi-cloud/src/replication.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

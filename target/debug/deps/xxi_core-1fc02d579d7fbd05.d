@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/xxi_core-1fc02d579d7fbd05.d: crates/xxi-core/src/lib.rs crates/xxi-core/src/des.rs crates/xxi-core/src/error.rs crates/xxi-core/src/metrics.rs crates/xxi-core/src/obs/mod.rs crates/xxi-core/src/obs/hist.rs crates/xxi-core/src/obs/ledger.rs crates/xxi-core/src/obs/trace.rs crates/xxi-core/src/rng.rs crates/xxi-core/src/stats.rs crates/xxi-core/src/table.rs crates/xxi-core/src/time.rs crates/xxi-core/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxxi_core-1fc02d579d7fbd05.rmeta: crates/xxi-core/src/lib.rs crates/xxi-core/src/des.rs crates/xxi-core/src/error.rs crates/xxi-core/src/metrics.rs crates/xxi-core/src/obs/mod.rs crates/xxi-core/src/obs/hist.rs crates/xxi-core/src/obs/ledger.rs crates/xxi-core/src/obs/trace.rs crates/xxi-core/src/rng.rs crates/xxi-core/src/stats.rs crates/xxi-core/src/table.rs crates/xxi-core/src/time.rs crates/xxi-core/src/units.rs Cargo.toml
+
+crates/xxi-core/src/lib.rs:
+crates/xxi-core/src/des.rs:
+crates/xxi-core/src/error.rs:
+crates/xxi-core/src/metrics.rs:
+crates/xxi-core/src/obs/mod.rs:
+crates/xxi-core/src/obs/hist.rs:
+crates/xxi-core/src/obs/ledger.rs:
+crates/xxi-core/src/obs/trace.rs:
+crates/xxi-core/src/rng.rs:
+crates/xxi-core/src/stats.rs:
+crates/xxi-core/src/table.rs:
+crates/xxi-core/src/time.rs:
+crates/xxi-core/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xxi_cpu-6bd3278897c25df7.d: crates/xxi-cpu/src/lib.rs crates/xxi-cpu/src/chip.rs crates/xxi-cpu/src/core.rs crates/xxi-cpu/src/cpudb.rs crates/xxi-cpu/src/hetero.rs crates/xxi-cpu/src/hillmarty.rs crates/xxi-cpu/src/pipeline.rs
+
+/root/repo/target/debug/deps/libxxi_cpu-6bd3278897c25df7.rlib: crates/xxi-cpu/src/lib.rs crates/xxi-cpu/src/chip.rs crates/xxi-cpu/src/core.rs crates/xxi-cpu/src/cpudb.rs crates/xxi-cpu/src/hetero.rs crates/xxi-cpu/src/hillmarty.rs crates/xxi-cpu/src/pipeline.rs
+
+/root/repo/target/debug/deps/libxxi_cpu-6bd3278897c25df7.rmeta: crates/xxi-cpu/src/lib.rs crates/xxi-cpu/src/chip.rs crates/xxi-cpu/src/core.rs crates/xxi-cpu/src/cpudb.rs crates/xxi-cpu/src/hetero.rs crates/xxi-cpu/src/hillmarty.rs crates/xxi-cpu/src/pipeline.rs
+
+crates/xxi-cpu/src/lib.rs:
+crates/xxi-cpu/src/chip.rs:
+crates/xxi-cpu/src/core.rs:
+crates/xxi-cpu/src/cpudb.rs:
+crates/xxi-cpu/src/hetero.rs:
+crates/xxi-cpu/src/hillmarty.rs:
+crates/xxi-cpu/src/pipeline.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/xxi_cpu-fa7b676cbf3d710b.d: crates/xxi-cpu/src/lib.rs crates/xxi-cpu/src/chip.rs crates/xxi-cpu/src/core.rs crates/xxi-cpu/src/cpudb.rs crates/xxi-cpu/src/hetero.rs crates/xxi-cpu/src/hillmarty.rs crates/xxi-cpu/src/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxxi_cpu-fa7b676cbf3d710b.rmeta: crates/xxi-cpu/src/lib.rs crates/xxi-cpu/src/chip.rs crates/xxi-cpu/src/core.rs crates/xxi-cpu/src/cpudb.rs crates/xxi-cpu/src/hetero.rs crates/xxi-cpu/src/hillmarty.rs crates/xxi-cpu/src/pipeline.rs Cargo.toml
+
+crates/xxi-cpu/src/lib.rs:
+crates/xxi-cpu/src/chip.rs:
+crates/xxi-cpu/src/core.rs:
+crates/xxi-cpu/src/cpudb.rs:
+crates/xxi-cpu/src/hetero.rs:
+crates/xxi-cpu/src/hillmarty.rs:
+crates/xxi-cpu/src/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/xxi_mem-84212b593a1f2e9d.d: crates/xxi-mem/src/lib.rs crates/xxi-mem/src/cache.rs crates/xxi-mem/src/coherence.rs crates/xxi-mem/src/compress.rs crates/xxi-mem/src/dram.rs crates/xxi-mem/src/energy.rs crates/xxi-mem/src/hierarchy.rs crates/xxi-mem/src/hybrid.rs crates/xxi-mem/src/nvm.rs crates/xxi-mem/src/prefetch.rs crates/xxi-mem/src/tlb.rs crates/xxi-mem/src/trace.rs crates/xxi-mem/src/wear.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxxi_mem-84212b593a1f2e9d.rmeta: crates/xxi-mem/src/lib.rs crates/xxi-mem/src/cache.rs crates/xxi-mem/src/coherence.rs crates/xxi-mem/src/compress.rs crates/xxi-mem/src/dram.rs crates/xxi-mem/src/energy.rs crates/xxi-mem/src/hierarchy.rs crates/xxi-mem/src/hybrid.rs crates/xxi-mem/src/nvm.rs crates/xxi-mem/src/prefetch.rs crates/xxi-mem/src/tlb.rs crates/xxi-mem/src/trace.rs crates/xxi-mem/src/wear.rs Cargo.toml
+
+crates/xxi-mem/src/lib.rs:
+crates/xxi-mem/src/cache.rs:
+crates/xxi-mem/src/coherence.rs:
+crates/xxi-mem/src/compress.rs:
+crates/xxi-mem/src/dram.rs:
+crates/xxi-mem/src/energy.rs:
+crates/xxi-mem/src/hierarchy.rs:
+crates/xxi-mem/src/hybrid.rs:
+crates/xxi-mem/src/nvm.rs:
+crates/xxi-mem/src/prefetch.rs:
+crates/xxi-mem/src/tlb.rs:
+crates/xxi-mem/src/trace.rs:
+crates/xxi-mem/src/wear.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/xxi_noc-13d3480b90901d40.d: crates/xxi-noc/src/lib.rs crates/xxi-noc/src/analysis.rs crates/xxi-noc/src/crossbar.rs crates/xxi-noc/src/link.rs crates/xxi-noc/src/sim.rs crates/xxi-noc/src/topology.rs crates/xxi-noc/src/traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxxi_noc-13d3480b90901d40.rmeta: crates/xxi-noc/src/lib.rs crates/xxi-noc/src/analysis.rs crates/xxi-noc/src/crossbar.rs crates/xxi-noc/src/link.rs crates/xxi-noc/src/sim.rs crates/xxi-noc/src/topology.rs crates/xxi-noc/src/traffic.rs Cargo.toml
+
+crates/xxi-noc/src/lib.rs:
+crates/xxi-noc/src/analysis.rs:
+crates/xxi-noc/src/crossbar.rs:
+crates/xxi-noc/src/link.rs:
+crates/xxi-noc/src/sim.rs:
+crates/xxi-noc/src/topology.rs:
+crates/xxi-noc/src/traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

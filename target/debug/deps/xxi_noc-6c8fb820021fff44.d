@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xxi_noc-6c8fb820021fff44.d: crates/xxi-noc/src/lib.rs crates/xxi-noc/src/analysis.rs crates/xxi-noc/src/crossbar.rs crates/xxi-noc/src/link.rs crates/xxi-noc/src/sim.rs crates/xxi-noc/src/topology.rs crates/xxi-noc/src/traffic.rs
+
+/root/repo/target/debug/deps/libxxi_noc-6c8fb820021fff44.rlib: crates/xxi-noc/src/lib.rs crates/xxi-noc/src/analysis.rs crates/xxi-noc/src/crossbar.rs crates/xxi-noc/src/link.rs crates/xxi-noc/src/sim.rs crates/xxi-noc/src/topology.rs crates/xxi-noc/src/traffic.rs
+
+/root/repo/target/debug/deps/libxxi_noc-6c8fb820021fff44.rmeta: crates/xxi-noc/src/lib.rs crates/xxi-noc/src/analysis.rs crates/xxi-noc/src/crossbar.rs crates/xxi-noc/src/link.rs crates/xxi-noc/src/sim.rs crates/xxi-noc/src/topology.rs crates/xxi-noc/src/traffic.rs
+
+crates/xxi-noc/src/lib.rs:
+crates/xxi-noc/src/analysis.rs:
+crates/xxi-noc/src/crossbar.rs:
+crates/xxi-noc/src/link.rs:
+crates/xxi-noc/src/sim.rs:
+crates/xxi-noc/src/topology.rs:
+crates/xxi-noc/src/traffic.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xxi_noc-c5a34c36449534bf.d: crates/xxi-noc/src/lib.rs crates/xxi-noc/src/analysis.rs crates/xxi-noc/src/crossbar.rs crates/xxi-noc/src/link.rs crates/xxi-noc/src/sim.rs crates/xxi-noc/src/topology.rs crates/xxi-noc/src/traffic.rs
+
+/root/repo/target/debug/deps/xxi_noc-c5a34c36449534bf: crates/xxi-noc/src/lib.rs crates/xxi-noc/src/analysis.rs crates/xxi-noc/src/crossbar.rs crates/xxi-noc/src/link.rs crates/xxi-noc/src/sim.rs crates/xxi-noc/src/topology.rs crates/xxi-noc/src/traffic.rs
+
+crates/xxi-noc/src/lib.rs:
+crates/xxi-noc/src/analysis.rs:
+crates/xxi-noc/src/crossbar.rs:
+crates/xxi-noc/src/link.rs:
+crates/xxi-noc/src/sim.rs:
+crates/xxi-noc/src/topology.rs:
+crates/xxi-noc/src/traffic.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/xxi_rel-109315222492cab4.d: crates/xxi-rel/src/lib.rs crates/xxi-rel/src/checkpoint.rs crates/xxi-rel/src/ecc.rs crates/xxi-rel/src/failsafe.rs crates/xxi-rel/src/inject.rs crates/xxi-rel/src/invariant.rs crates/xxi-rel/src/scrub.rs crates/xxi-rel/src/tmr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxxi_rel-109315222492cab4.rmeta: crates/xxi-rel/src/lib.rs crates/xxi-rel/src/checkpoint.rs crates/xxi-rel/src/ecc.rs crates/xxi-rel/src/failsafe.rs crates/xxi-rel/src/inject.rs crates/xxi-rel/src/invariant.rs crates/xxi-rel/src/scrub.rs crates/xxi-rel/src/tmr.rs Cargo.toml
+
+crates/xxi-rel/src/lib.rs:
+crates/xxi-rel/src/checkpoint.rs:
+crates/xxi-rel/src/ecc.rs:
+crates/xxi-rel/src/failsafe.rs:
+crates/xxi-rel/src/inject.rs:
+crates/xxi-rel/src/invariant.rs:
+crates/xxi-rel/src/scrub.rs:
+crates/xxi-rel/src/tmr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

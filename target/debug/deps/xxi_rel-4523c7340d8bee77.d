@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xxi_rel-4523c7340d8bee77.d: crates/xxi-rel/src/lib.rs crates/xxi-rel/src/checkpoint.rs crates/xxi-rel/src/ecc.rs crates/xxi-rel/src/failsafe.rs crates/xxi-rel/src/inject.rs crates/xxi-rel/src/invariant.rs crates/xxi-rel/src/scrub.rs crates/xxi-rel/src/tmr.rs
+
+/root/repo/target/debug/deps/libxxi_rel-4523c7340d8bee77.rlib: crates/xxi-rel/src/lib.rs crates/xxi-rel/src/checkpoint.rs crates/xxi-rel/src/ecc.rs crates/xxi-rel/src/failsafe.rs crates/xxi-rel/src/inject.rs crates/xxi-rel/src/invariant.rs crates/xxi-rel/src/scrub.rs crates/xxi-rel/src/tmr.rs
+
+/root/repo/target/debug/deps/libxxi_rel-4523c7340d8bee77.rmeta: crates/xxi-rel/src/lib.rs crates/xxi-rel/src/checkpoint.rs crates/xxi-rel/src/ecc.rs crates/xxi-rel/src/failsafe.rs crates/xxi-rel/src/inject.rs crates/xxi-rel/src/invariant.rs crates/xxi-rel/src/scrub.rs crates/xxi-rel/src/tmr.rs
+
+crates/xxi-rel/src/lib.rs:
+crates/xxi-rel/src/checkpoint.rs:
+crates/xxi-rel/src/ecc.rs:
+crates/xxi-rel/src/failsafe.rs:
+crates/xxi-rel/src/inject.rs:
+crates/xxi-rel/src/invariant.rs:
+crates/xxi-rel/src/scrub.rs:
+crates/xxi-rel/src/tmr.rs:

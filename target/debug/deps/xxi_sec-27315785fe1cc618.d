@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xxi_sec-27315785fe1cc618.d: crates/xxi-sec/src/lib.rs crates/xxi-sec/src/ift.rs crates/xxi-sec/src/protection.rs crates/xxi-sec/src/sidechannel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxxi_sec-27315785fe1cc618.rmeta: crates/xxi-sec/src/lib.rs crates/xxi-sec/src/ift.rs crates/xxi-sec/src/protection.rs crates/xxi-sec/src/sidechannel.rs Cargo.toml
+
+crates/xxi-sec/src/lib.rs:
+crates/xxi-sec/src/ift.rs:
+crates/xxi-sec/src/protection.rs:
+crates/xxi-sec/src/sidechannel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

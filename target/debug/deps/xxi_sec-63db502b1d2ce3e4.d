@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xxi_sec-63db502b1d2ce3e4.d: crates/xxi-sec/src/lib.rs crates/xxi-sec/src/ift.rs crates/xxi-sec/src/protection.rs crates/xxi-sec/src/sidechannel.rs
+
+/root/repo/target/debug/deps/xxi_sec-63db502b1d2ce3e4: crates/xxi-sec/src/lib.rs crates/xxi-sec/src/ift.rs crates/xxi-sec/src/protection.rs crates/xxi-sec/src/sidechannel.rs
+
+crates/xxi-sec/src/lib.rs:
+crates/xxi-sec/src/ift.rs:
+crates/xxi-sec/src/protection.rs:
+crates/xxi-sec/src/sidechannel.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xxi_sec-f530696327cca104.d: crates/xxi-sec/src/lib.rs crates/xxi-sec/src/ift.rs crates/xxi-sec/src/protection.rs crates/xxi-sec/src/sidechannel.rs
+
+/root/repo/target/debug/deps/libxxi_sec-f530696327cca104.rlib: crates/xxi-sec/src/lib.rs crates/xxi-sec/src/ift.rs crates/xxi-sec/src/protection.rs crates/xxi-sec/src/sidechannel.rs
+
+/root/repo/target/debug/deps/libxxi_sec-f530696327cca104.rmeta: crates/xxi-sec/src/lib.rs crates/xxi-sec/src/ift.rs crates/xxi-sec/src/protection.rs crates/xxi-sec/src/sidechannel.rs
+
+crates/xxi-sec/src/lib.rs:
+crates/xxi-sec/src/ift.rs:
+crates/xxi-sec/src/protection.rs:
+crates/xxi-sec/src/sidechannel.rs:

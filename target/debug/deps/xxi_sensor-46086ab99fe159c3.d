@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xxi_sensor-46086ab99fe159c3.d: crates/xxi-sensor/src/lib.rs crates/xxi-sensor/src/intermittent.rs crates/xxi-sensor/src/mcu.rs crates/xxi-sensor/src/node.rs crates/xxi-sensor/src/power.rs crates/xxi-sensor/src/radio.rs
+
+/root/repo/target/debug/deps/xxi_sensor-46086ab99fe159c3: crates/xxi-sensor/src/lib.rs crates/xxi-sensor/src/intermittent.rs crates/xxi-sensor/src/mcu.rs crates/xxi-sensor/src/node.rs crates/xxi-sensor/src/power.rs crates/xxi-sensor/src/radio.rs
+
+crates/xxi-sensor/src/lib.rs:
+crates/xxi-sensor/src/intermittent.rs:
+crates/xxi-sensor/src/mcu.rs:
+crates/xxi-sensor/src/node.rs:
+crates/xxi-sensor/src/power.rs:
+crates/xxi-sensor/src/radio.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xxi_sensor-57a3a1a2b9a72c8f.d: crates/xxi-sensor/src/lib.rs crates/xxi-sensor/src/intermittent.rs crates/xxi-sensor/src/mcu.rs crates/xxi-sensor/src/node.rs crates/xxi-sensor/src/power.rs crates/xxi-sensor/src/radio.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxxi_sensor-57a3a1a2b9a72c8f.rmeta: crates/xxi-sensor/src/lib.rs crates/xxi-sensor/src/intermittent.rs crates/xxi-sensor/src/mcu.rs crates/xxi-sensor/src/node.rs crates/xxi-sensor/src/power.rs crates/xxi-sensor/src/radio.rs Cargo.toml
+
+crates/xxi-sensor/src/lib.rs:
+crates/xxi-sensor/src/intermittent.rs:
+crates/xxi-sensor/src/mcu.rs:
+crates/xxi-sensor/src/node.rs:
+crates/xxi-sensor/src/power.rs:
+crates/xxi-sensor/src/radio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

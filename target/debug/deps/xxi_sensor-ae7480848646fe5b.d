@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xxi_sensor-ae7480848646fe5b.d: crates/xxi-sensor/src/lib.rs crates/xxi-sensor/src/intermittent.rs crates/xxi-sensor/src/mcu.rs crates/xxi-sensor/src/node.rs crates/xxi-sensor/src/power.rs crates/xxi-sensor/src/radio.rs
+
+/root/repo/target/debug/deps/libxxi_sensor-ae7480848646fe5b.rlib: crates/xxi-sensor/src/lib.rs crates/xxi-sensor/src/intermittent.rs crates/xxi-sensor/src/mcu.rs crates/xxi-sensor/src/node.rs crates/xxi-sensor/src/power.rs crates/xxi-sensor/src/radio.rs
+
+/root/repo/target/debug/deps/libxxi_sensor-ae7480848646fe5b.rmeta: crates/xxi-sensor/src/lib.rs crates/xxi-sensor/src/intermittent.rs crates/xxi-sensor/src/mcu.rs crates/xxi-sensor/src/node.rs crates/xxi-sensor/src/power.rs crates/xxi-sensor/src/radio.rs
+
+crates/xxi-sensor/src/lib.rs:
+crates/xxi-sensor/src/intermittent.rs:
+crates/xxi-sensor/src/mcu.rs:
+crates/xxi-sensor/src/node.rs:
+crates/xxi-sensor/src/power.rs:
+crates/xxi-sensor/src/radio.rs:

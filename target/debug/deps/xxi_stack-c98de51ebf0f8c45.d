@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/xxi_stack-c98de51ebf0f8c45.d: crates/xxi-stack/src/lib.rs crates/xxi-stack/src/deque.rs crates/xxi-stack/src/governor.rs crates/xxi-stack/src/intent.rs crates/xxi-stack/src/locality.rs crates/xxi-stack/src/offload.rs crates/xxi-stack/src/pool.rs crates/xxi-stack/src/stm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxxi_stack-c98de51ebf0f8c45.rmeta: crates/xxi-stack/src/lib.rs crates/xxi-stack/src/deque.rs crates/xxi-stack/src/governor.rs crates/xxi-stack/src/intent.rs crates/xxi-stack/src/locality.rs crates/xxi-stack/src/offload.rs crates/xxi-stack/src/pool.rs crates/xxi-stack/src/stm.rs Cargo.toml
+
+crates/xxi-stack/src/lib.rs:
+crates/xxi-stack/src/deque.rs:
+crates/xxi-stack/src/governor.rs:
+crates/xxi-stack/src/intent.rs:
+crates/xxi-stack/src/locality.rs:
+crates/xxi-stack/src/offload.rs:
+crates/xxi-stack/src/pool.rs:
+crates/xxi-stack/src/stm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xxi_stack-e2f590d232b2d0a5.d: crates/xxi-stack/src/lib.rs crates/xxi-stack/src/deque.rs crates/xxi-stack/src/governor.rs crates/xxi-stack/src/intent.rs crates/xxi-stack/src/locality.rs crates/xxi-stack/src/offload.rs crates/xxi-stack/src/pool.rs crates/xxi-stack/src/stm.rs
+
+/root/repo/target/debug/deps/libxxi_stack-e2f590d232b2d0a5.rlib: crates/xxi-stack/src/lib.rs crates/xxi-stack/src/deque.rs crates/xxi-stack/src/governor.rs crates/xxi-stack/src/intent.rs crates/xxi-stack/src/locality.rs crates/xxi-stack/src/offload.rs crates/xxi-stack/src/pool.rs crates/xxi-stack/src/stm.rs
+
+/root/repo/target/debug/deps/libxxi_stack-e2f590d232b2d0a5.rmeta: crates/xxi-stack/src/lib.rs crates/xxi-stack/src/deque.rs crates/xxi-stack/src/governor.rs crates/xxi-stack/src/intent.rs crates/xxi-stack/src/locality.rs crates/xxi-stack/src/offload.rs crates/xxi-stack/src/pool.rs crates/xxi-stack/src/stm.rs
+
+crates/xxi-stack/src/lib.rs:
+crates/xxi-stack/src/deque.rs:
+crates/xxi-stack/src/governor.rs:
+crates/xxi-stack/src/intent.rs:
+crates/xxi-stack/src/locality.rs:
+crates/xxi-stack/src/offload.rs:
+crates/xxi-stack/src/pool.rs:
+crates/xxi-stack/src/stm.rs:

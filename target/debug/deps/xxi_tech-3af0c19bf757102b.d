@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/xxi_tech-3af0c19bf757102b.d: crates/xxi-tech/src/lib.rs crates/xxi-tech/src/aging.rs crates/xxi-tech/src/dark.rs crates/xxi-tech/src/freq.rs crates/xxi-tech/src/node.rs crates/xxi-tech/src/nre.rs crates/xxi-tech/src/ntv.rs crates/xxi-tech/src/ops.rs crates/xxi-tech/src/scaling.rs crates/xxi-tech/src/ser.rs crates/xxi-tech/src/thermal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxxi_tech-3af0c19bf757102b.rmeta: crates/xxi-tech/src/lib.rs crates/xxi-tech/src/aging.rs crates/xxi-tech/src/dark.rs crates/xxi-tech/src/freq.rs crates/xxi-tech/src/node.rs crates/xxi-tech/src/nre.rs crates/xxi-tech/src/ntv.rs crates/xxi-tech/src/ops.rs crates/xxi-tech/src/scaling.rs crates/xxi-tech/src/ser.rs crates/xxi-tech/src/thermal.rs Cargo.toml
+
+crates/xxi-tech/src/lib.rs:
+crates/xxi-tech/src/aging.rs:
+crates/xxi-tech/src/dark.rs:
+crates/xxi-tech/src/freq.rs:
+crates/xxi-tech/src/node.rs:
+crates/xxi-tech/src/nre.rs:
+crates/xxi-tech/src/ntv.rs:
+crates/xxi-tech/src/ops.rs:
+crates/xxi-tech/src/scaling.rs:
+crates/xxi-tech/src/ser.rs:
+crates/xxi-tech/src/thermal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

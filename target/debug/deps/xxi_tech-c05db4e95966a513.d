@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/xxi_tech-c05db4e95966a513.d: crates/xxi-tech/src/lib.rs crates/xxi-tech/src/aging.rs crates/xxi-tech/src/dark.rs crates/xxi-tech/src/freq.rs crates/xxi-tech/src/node.rs crates/xxi-tech/src/nre.rs crates/xxi-tech/src/ntv.rs crates/xxi-tech/src/ops.rs crates/xxi-tech/src/scaling.rs crates/xxi-tech/src/ser.rs crates/xxi-tech/src/thermal.rs
+
+/root/repo/target/debug/deps/libxxi_tech-c05db4e95966a513.rlib: crates/xxi-tech/src/lib.rs crates/xxi-tech/src/aging.rs crates/xxi-tech/src/dark.rs crates/xxi-tech/src/freq.rs crates/xxi-tech/src/node.rs crates/xxi-tech/src/nre.rs crates/xxi-tech/src/ntv.rs crates/xxi-tech/src/ops.rs crates/xxi-tech/src/scaling.rs crates/xxi-tech/src/ser.rs crates/xxi-tech/src/thermal.rs
+
+/root/repo/target/debug/deps/libxxi_tech-c05db4e95966a513.rmeta: crates/xxi-tech/src/lib.rs crates/xxi-tech/src/aging.rs crates/xxi-tech/src/dark.rs crates/xxi-tech/src/freq.rs crates/xxi-tech/src/node.rs crates/xxi-tech/src/nre.rs crates/xxi-tech/src/ntv.rs crates/xxi-tech/src/ops.rs crates/xxi-tech/src/scaling.rs crates/xxi-tech/src/ser.rs crates/xxi-tech/src/thermal.rs
+
+crates/xxi-tech/src/lib.rs:
+crates/xxi-tech/src/aging.rs:
+crates/xxi-tech/src/dark.rs:
+crates/xxi-tech/src/freq.rs:
+crates/xxi-tech/src/node.rs:
+crates/xxi-tech/src/nre.rs:
+crates/xxi-tech/src/ntv.rs:
+crates/xxi-tech/src/ops.rs:
+crates/xxi-tech/src/scaling.rs:
+crates/xxi-tech/src/ser.rs:
+crates/xxi-tech/src/thermal.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/chip_designer-8cdc2f88086d7404.d: examples/chip_designer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchip_designer-8cdc2f88086d7404.rmeta: examples/chip_designer.rs Cargo.toml
+
+examples/chip_designer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chip_designer-cc62c3ecb0fba971.d: examples/chip_designer.rs
+
+/root/repo/target/debug/examples/chip_designer-cc62c3ecb0fba971: examples/chip_designer.rs
+
+examples/chip_designer.rs:

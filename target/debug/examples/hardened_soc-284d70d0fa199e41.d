@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hardened_soc-284d70d0fa199e41.d: examples/hardened_soc.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhardened_soc-284d70d0fa199e41.rmeta: examples/hardened_soc.rs Cargo.toml
+
+examples/hardened_soc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

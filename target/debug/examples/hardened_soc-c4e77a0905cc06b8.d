@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hardened_soc-c4e77a0905cc06b8.d: examples/hardened_soc.rs
+
+/root/repo/target/debug/examples/hardened_soc-c4e77a0905cc06b8: examples/hardened_soc.rs
+
+examples/hardened_soc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/memory_futures-09c4d40542ff4b28.d: examples/memory_futures.rs
+
+/root/repo/target/debug/examples/memory_futures-09c4d40542ff4b28: examples/memory_futures.rs
+
+examples/memory_futures.rs:

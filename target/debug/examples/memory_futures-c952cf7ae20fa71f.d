@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/memory_futures-c952cf7ae20fa71f.d: examples/memory_futures.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmemory_futures-c952cf7ae20fa71f.rmeta: examples/memory_futures.rs Cargo.toml
+
+examples/memory_futures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-eeddd28d4cbf67ee.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-eeddd28d4cbf67ee: examples/quickstart.rs
+
+examples/quickstart.rs:

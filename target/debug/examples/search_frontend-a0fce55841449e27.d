@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/search_frontend-a0fce55841449e27.d: examples/search_frontend.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsearch_frontend-a0fce55841449e27.rmeta: examples/search_frontend.rs Cargo.toml
+
+examples/search_frontend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/search_frontend-fb77629959d02fb6.d: examples/search_frontend.rs
+
+/root/repo/target/debug/examples/search_frontend-fb77629959d02fb6: examples/search_frontend.rs
+
+examples/search_frontend.rs:

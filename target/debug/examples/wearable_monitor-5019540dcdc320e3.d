@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wearable_monitor-5019540dcdc320e3.d: examples/wearable_monitor.rs
+
+/root/repo/target/debug/examples/wearable_monitor-5019540dcdc320e3: examples/wearable_monitor.rs
+
+examples/wearable_monitor.rs:

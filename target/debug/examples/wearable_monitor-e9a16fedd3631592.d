@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wearable_monitor-e9a16fedd3631592.d: examples/wearable_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwearable_monitor-e9a16fedd3631592.rmeta: examples/wearable_monitor.rs Cargo.toml
+
+examples/wearable_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

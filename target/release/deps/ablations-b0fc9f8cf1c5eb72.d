@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-b0fc9f8cf1c5eb72.d: crates/xxi-bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-b0fc9f8cf1c5eb72: crates/xxi-bench/benches/ablations.rs
+
+crates/xxi-bench/benches/ablations.rs:

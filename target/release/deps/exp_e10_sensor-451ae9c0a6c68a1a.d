@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_e10_sensor-451ae9c0a6c68a1a.d: crates/xxi-bench/src/bin/exp_e10_sensor.rs
+
+/root/repo/target/release/deps/exp_e10_sensor-451ae9c0a6c68a1a: crates/xxi-bench/src/bin/exp_e10_sensor.rs
+
+crates/xxi-bench/src/bin/exp_e10_sensor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_e11_ntv-f877338082c08099.d: crates/xxi-bench/src/bin/exp_e11_ntv.rs
+
+/root/repo/target/release/deps/exp_e11_ntv-f877338082c08099: crates/xxi-bench/src/bin/exp_e11_ntv.rs
+
+crates/xxi-bench/src/bin/exp_e11_ntv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_e12_nvm-af8eac7d32d9f800.d: crates/xxi-bench/src/bin/exp_e12_nvm.rs
+
+/root/repo/target/release/deps/exp_e12_nvm-af8eac7d32d9f800: crates/xxi-bench/src/bin/exp_e12_nvm.rs
+
+crates/xxi-bench/src/bin/exp_e12_nvm.rs:

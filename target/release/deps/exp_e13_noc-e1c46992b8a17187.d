@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_e13_noc-e1c46992b8a17187.d: crates/xxi-bench/src/bin/exp_e13_noc.rs
+
+/root/repo/target/release/deps/exp_e13_noc-e1c46992b8a17187: crates/xxi-bench/src/bin/exp_e13_noc.rs
+
+crates/xxi-bench/src/bin/exp_e13_noc.rs:

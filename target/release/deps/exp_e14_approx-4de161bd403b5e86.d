@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_e14_approx-4de161bd403b5e86.d: crates/xxi-bench/src/bin/exp_e14_approx.rs
+
+/root/repo/target/release/deps/exp_e14_approx-4de161bd403b5e86: crates/xxi-bench/src/bin/exp_e14_approx.rs
+
+crates/xxi-bench/src/bin/exp_e14_approx.rs:

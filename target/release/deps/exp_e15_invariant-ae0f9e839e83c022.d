@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_e15_invariant-ae0f9e839e83c022.d: crates/xxi-bench/src/bin/exp_e15_invariant.rs
+
+/root/repo/target/release/deps/exp_e15_invariant-ae0f9e839e83c022: crates/xxi-bench/src/bin/exp_e15_invariant.rs
+
+crates/xxi-bench/src/bin/exp_e15_invariant.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_e16_offload-3cb2615ebe86c2cd.d: crates/xxi-bench/src/bin/exp_e16_offload.rs
+
+/root/repo/target/release/deps/exp_e16_offload-3cb2615ebe86c2cd: crates/xxi-bench/src/bin/exp_e16_offload.rs
+
+crates/xxi-bench/src/bin/exp_e16_offload.rs:

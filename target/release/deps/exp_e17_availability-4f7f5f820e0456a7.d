@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_e17_availability-4f7f5f820e0456a7.d: crates/xxi-bench/src/bin/exp_e17_availability.rs
+
+/root/repo/target/release/deps/exp_e17_availability-4f7f5f820e0456a7: crates/xxi-bench/src/bin/exp_e17_availability.rs
+
+crates/xxi-bench/src/bin/exp_e17_availability.rs:

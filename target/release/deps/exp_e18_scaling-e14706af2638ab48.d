@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_e18_scaling-e14706af2638ab48.d: crates/xxi-bench/src/bin/exp_e18_scaling.rs
+
+/root/repo/target/release/deps/exp_e18_scaling-e14706af2638ab48: crates/xxi-bench/src/bin/exp_e18_scaling.rs
+
+crates/xxi-bench/src/bin/exp_e18_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_e19_security-8f77eac49519ab19.d: crates/xxi-bench/src/bin/exp_e19_security.rs
+
+/root/repo/target/release/deps/exp_e19_security-8f77eac49519ab19: crates/xxi-bench/src/bin/exp_e19_security.rs
+
+crates/xxi-bench/src/bin/exp_e19_security.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_e1_scaling-1ed0848972d7efa5.d: crates/xxi-bench/src/bin/exp_e1_scaling.rs
+
+/root/repo/target/release/deps/exp_e1_scaling-1ed0848972d7efa5: crates/xxi-bench/src/bin/exp_e1_scaling.rs
+
+crates/xxi-bench/src/bin/exp_e1_scaling.rs:

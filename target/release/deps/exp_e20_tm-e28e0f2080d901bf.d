@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_e20_tm-e28e0f2080d901bf.d: crates/xxi-bench/src/bin/exp_e20_tm.rs
+
+/root/repo/target/release/deps/exp_e20_tm-e28e0f2080d901bf: crates/xxi-bench/src/bin/exp_e20_tm.rs
+
+crates/xxi-bench/src/bin/exp_e20_tm.rs:

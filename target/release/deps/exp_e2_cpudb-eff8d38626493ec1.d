@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_e2_cpudb-eff8d38626493ec1.d: crates/xxi-bench/src/bin/exp_e2_cpudb.rs
+
+/root/repo/target/release/deps/exp_e2_cpudb-eff8d38626493ec1: crates/xxi-bench/src/bin/exp_e2_cpudb.rs
+
+crates/xxi-bench/src/bin/exp_e2_cpudb.rs:

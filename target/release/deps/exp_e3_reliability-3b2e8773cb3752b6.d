@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_e3_reliability-3b2e8773cb3752b6.d: crates/xxi-bench/src/bin/exp_e3_reliability.rs
+
+/root/repo/target/release/deps/exp_e3_reliability-3b2e8773cb3752b6: crates/xxi-bench/src/bin/exp_e3_reliability.rs
+
+crates/xxi-bench/src/bin/exp_e3_reliability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_e4_comm_energy-8dac8700cf852126.d: crates/xxi-bench/src/bin/exp_e4_comm_energy.rs
+
+/root/repo/target/release/deps/exp_e4_comm_energy-8dac8700cf852126: crates/xxi-bench/src/bin/exp_e4_comm_energy.rs
+
+crates/xxi-bench/src/bin/exp_e4_comm_energy.rs:

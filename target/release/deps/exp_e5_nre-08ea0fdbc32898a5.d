@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_e5_nre-08ea0fdbc32898a5.d: crates/xxi-bench/src/bin/exp_e5_nre.rs
+
+/root/repo/target/release/deps/exp_e5_nre-08ea0fdbc32898a5: crates/xxi-bench/src/bin/exp_e5_nre.rs
+
+crates/xxi-bench/src/bin/exp_e5_nre.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_e6_multicore-bf32757819a33143.d: crates/xxi-bench/src/bin/exp_e6_multicore.rs
+
+/root/repo/target/release/deps/exp_e6_multicore-bf32757819a33143: crates/xxi-bench/src/bin/exp_e6_multicore.rs
+
+crates/xxi-bench/src/bin/exp_e6_multicore.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_e7_specialization-40e113abf75a62e9.d: crates/xxi-bench/src/bin/exp_e7_specialization.rs
+
+/root/repo/target/release/deps/exp_e7_specialization-40e113abf75a62e9: crates/xxi-bench/src/bin/exp_e7_specialization.rs
+
+crates/xxi-bench/src/bin/exp_e7_specialization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_e8_pyramid-c841334a6f4cd3c8.d: crates/xxi-bench/src/bin/exp_e8_pyramid.rs
+
+/root/repo/target/release/deps/exp_e8_pyramid-c841334a6f4cd3c8: crates/xxi-bench/src/bin/exp_e8_pyramid.rs
+
+crates/xxi-bench/src/bin/exp_e8_pyramid.rs:

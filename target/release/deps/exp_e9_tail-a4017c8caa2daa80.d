@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_e9_tail-a4017c8caa2daa80.d: crates/xxi-bench/src/bin/exp_e9_tail.rs
+
+/root/repo/target/release/deps/exp_e9_tail-a4017c8caa2daa80: crates/xxi-bench/src/bin/exp_e9_tail.rs
+
+crates/xxi-bench/src/bin/exp_e9_tail.rs:

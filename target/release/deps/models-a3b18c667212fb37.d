@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/models-a3b18c667212fb37.d: crates/xxi-bench/benches/models.rs
+
+/root/repo/target/release/deps/models-a3b18c667212fb37: crates/xxi-bench/benches/models.rs
+
+crates/xxi-bench/benches/models.rs:

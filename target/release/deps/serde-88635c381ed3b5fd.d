@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-88635c381ed3b5fd.d: crates/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-88635c381ed3b5fd.so: crates/serde/src/lib.rs
+
+crates/serde/src/lib.rs:

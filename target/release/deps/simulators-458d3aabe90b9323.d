@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulators-458d3aabe90b9323.d: crates/xxi-bench/benches/simulators.rs
+
+/root/repo/target/release/deps/simulators-458d3aabe90b9323: crates/xxi-bench/benches/simulators.rs
+
+crates/xxi-bench/benches/simulators.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xxi-8ea2d822bc6d9633.d: src/lib.rs
+
+/root/repo/target/release/deps/libxxi-8ea2d822bc6d9633.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libxxi-8ea2d822bc6d9633.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xxi-a2a6e9886d895bc9.d: src/lib.rs
+
+/root/repo/target/release/deps/xxi-a2a6e9886d895bc9: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/xxi_accel-4deb5615294287d0.d: crates/xxi-accel/src/lib.rs crates/xxi-accel/src/cgra.rs crates/xxi-accel/src/fpga.rs crates/xxi-accel/src/ladder.rs crates/xxi-accel/src/nre.rs crates/xxi-accel/src/offload.rs
+
+/root/repo/target/release/deps/libxxi_accel-4deb5615294287d0.rlib: crates/xxi-accel/src/lib.rs crates/xxi-accel/src/cgra.rs crates/xxi-accel/src/fpga.rs crates/xxi-accel/src/ladder.rs crates/xxi-accel/src/nre.rs crates/xxi-accel/src/offload.rs
+
+/root/repo/target/release/deps/libxxi_accel-4deb5615294287d0.rmeta: crates/xxi-accel/src/lib.rs crates/xxi-accel/src/cgra.rs crates/xxi-accel/src/fpga.rs crates/xxi-accel/src/ladder.rs crates/xxi-accel/src/nre.rs crates/xxi-accel/src/offload.rs
+
+crates/xxi-accel/src/lib.rs:
+crates/xxi-accel/src/cgra.rs:
+crates/xxi-accel/src/fpga.rs:
+crates/xxi-accel/src/ladder.rs:
+crates/xxi-accel/src/nre.rs:
+crates/xxi-accel/src/offload.rs:

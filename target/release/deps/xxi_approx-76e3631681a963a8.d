@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/xxi_approx-76e3631681a963a8.d: crates/xxi-approx/src/lib.rs crates/xxi-approx/src/memo.rs crates/xxi-approx/src/number.rs crates/xxi-approx/src/pareto.rs crates/xxi-approx/src/perforation.rs crates/xxi-approx/src/quality.rs crates/xxi-approx/src/signal.rs
+
+/root/repo/target/release/deps/libxxi_approx-76e3631681a963a8.rlib: crates/xxi-approx/src/lib.rs crates/xxi-approx/src/memo.rs crates/xxi-approx/src/number.rs crates/xxi-approx/src/pareto.rs crates/xxi-approx/src/perforation.rs crates/xxi-approx/src/quality.rs crates/xxi-approx/src/signal.rs
+
+/root/repo/target/release/deps/libxxi_approx-76e3631681a963a8.rmeta: crates/xxi-approx/src/lib.rs crates/xxi-approx/src/memo.rs crates/xxi-approx/src/number.rs crates/xxi-approx/src/pareto.rs crates/xxi-approx/src/perforation.rs crates/xxi-approx/src/quality.rs crates/xxi-approx/src/signal.rs
+
+crates/xxi-approx/src/lib.rs:
+crates/xxi-approx/src/memo.rs:
+crates/xxi-approx/src/number.rs:
+crates/xxi-approx/src/pareto.rs:
+crates/xxi-approx/src/perforation.rs:
+crates/xxi-approx/src/quality.rs:
+crates/xxi-approx/src/signal.rs:

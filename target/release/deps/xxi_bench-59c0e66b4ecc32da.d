@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/xxi_bench-59c0e66b4ecc32da.d: crates/xxi-bench/src/lib.rs crates/xxi-bench/src/harness.rs
+
+/root/repo/target/release/deps/libxxi_bench-59c0e66b4ecc32da.rlib: crates/xxi-bench/src/lib.rs crates/xxi-bench/src/harness.rs
+
+/root/repo/target/release/deps/libxxi_bench-59c0e66b4ecc32da.rmeta: crates/xxi-bench/src/lib.rs crates/xxi-bench/src/harness.rs
+
+crates/xxi-bench/src/lib.rs:
+crates/xxi-bench/src/harness.rs:

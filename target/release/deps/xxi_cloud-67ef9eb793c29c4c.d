@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/xxi_cloud-67ef9eb793c29c4c.d: crates/xxi-cloud/src/lib.rs crates/xxi-cloud/src/fanout.rs crates/xxi-cloud/src/hedge.rs crates/xxi-cloud/src/latency.rs crates/xxi-cloud/src/obs.rs crates/xxi-cloud/src/power.rs crates/xxi-cloud/src/qos.rs crates/xxi-cloud/src/queueing.rs crates/xxi-cloud/src/replication.rs
+
+/root/repo/target/release/deps/libxxi_cloud-67ef9eb793c29c4c.rlib: crates/xxi-cloud/src/lib.rs crates/xxi-cloud/src/fanout.rs crates/xxi-cloud/src/hedge.rs crates/xxi-cloud/src/latency.rs crates/xxi-cloud/src/obs.rs crates/xxi-cloud/src/power.rs crates/xxi-cloud/src/qos.rs crates/xxi-cloud/src/queueing.rs crates/xxi-cloud/src/replication.rs
+
+/root/repo/target/release/deps/libxxi_cloud-67ef9eb793c29c4c.rmeta: crates/xxi-cloud/src/lib.rs crates/xxi-cloud/src/fanout.rs crates/xxi-cloud/src/hedge.rs crates/xxi-cloud/src/latency.rs crates/xxi-cloud/src/obs.rs crates/xxi-cloud/src/power.rs crates/xxi-cloud/src/qos.rs crates/xxi-cloud/src/queueing.rs crates/xxi-cloud/src/replication.rs
+
+crates/xxi-cloud/src/lib.rs:
+crates/xxi-cloud/src/fanout.rs:
+crates/xxi-cloud/src/hedge.rs:
+crates/xxi-cloud/src/latency.rs:
+crates/xxi-cloud/src/obs.rs:
+crates/xxi-cloud/src/power.rs:
+crates/xxi-cloud/src/qos.rs:
+crates/xxi-cloud/src/queueing.rs:
+crates/xxi-cloud/src/replication.rs:

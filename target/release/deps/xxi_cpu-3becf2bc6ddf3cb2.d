@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/xxi_cpu-3becf2bc6ddf3cb2.d: crates/xxi-cpu/src/lib.rs crates/xxi-cpu/src/chip.rs crates/xxi-cpu/src/core.rs crates/xxi-cpu/src/cpudb.rs crates/xxi-cpu/src/hetero.rs crates/xxi-cpu/src/hillmarty.rs crates/xxi-cpu/src/pipeline.rs
+
+/root/repo/target/release/deps/libxxi_cpu-3becf2bc6ddf3cb2.rlib: crates/xxi-cpu/src/lib.rs crates/xxi-cpu/src/chip.rs crates/xxi-cpu/src/core.rs crates/xxi-cpu/src/cpudb.rs crates/xxi-cpu/src/hetero.rs crates/xxi-cpu/src/hillmarty.rs crates/xxi-cpu/src/pipeline.rs
+
+/root/repo/target/release/deps/libxxi_cpu-3becf2bc6ddf3cb2.rmeta: crates/xxi-cpu/src/lib.rs crates/xxi-cpu/src/chip.rs crates/xxi-cpu/src/core.rs crates/xxi-cpu/src/cpudb.rs crates/xxi-cpu/src/hetero.rs crates/xxi-cpu/src/hillmarty.rs crates/xxi-cpu/src/pipeline.rs
+
+crates/xxi-cpu/src/lib.rs:
+crates/xxi-cpu/src/chip.rs:
+crates/xxi-cpu/src/core.rs:
+crates/xxi-cpu/src/cpudb.rs:
+crates/xxi-cpu/src/hetero.rs:
+crates/xxi-cpu/src/hillmarty.rs:
+crates/xxi-cpu/src/pipeline.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/xxi_mem-8ac0e4aa11e42f60.d: crates/xxi-mem/src/lib.rs crates/xxi-mem/src/cache.rs crates/xxi-mem/src/coherence.rs crates/xxi-mem/src/compress.rs crates/xxi-mem/src/dram.rs crates/xxi-mem/src/energy.rs crates/xxi-mem/src/hierarchy.rs crates/xxi-mem/src/hybrid.rs crates/xxi-mem/src/nvm.rs crates/xxi-mem/src/prefetch.rs crates/xxi-mem/src/tlb.rs crates/xxi-mem/src/trace.rs crates/xxi-mem/src/wear.rs
+
+/root/repo/target/release/deps/libxxi_mem-8ac0e4aa11e42f60.rlib: crates/xxi-mem/src/lib.rs crates/xxi-mem/src/cache.rs crates/xxi-mem/src/coherence.rs crates/xxi-mem/src/compress.rs crates/xxi-mem/src/dram.rs crates/xxi-mem/src/energy.rs crates/xxi-mem/src/hierarchy.rs crates/xxi-mem/src/hybrid.rs crates/xxi-mem/src/nvm.rs crates/xxi-mem/src/prefetch.rs crates/xxi-mem/src/tlb.rs crates/xxi-mem/src/trace.rs crates/xxi-mem/src/wear.rs
+
+/root/repo/target/release/deps/libxxi_mem-8ac0e4aa11e42f60.rmeta: crates/xxi-mem/src/lib.rs crates/xxi-mem/src/cache.rs crates/xxi-mem/src/coherence.rs crates/xxi-mem/src/compress.rs crates/xxi-mem/src/dram.rs crates/xxi-mem/src/energy.rs crates/xxi-mem/src/hierarchy.rs crates/xxi-mem/src/hybrid.rs crates/xxi-mem/src/nvm.rs crates/xxi-mem/src/prefetch.rs crates/xxi-mem/src/tlb.rs crates/xxi-mem/src/trace.rs crates/xxi-mem/src/wear.rs
+
+crates/xxi-mem/src/lib.rs:
+crates/xxi-mem/src/cache.rs:
+crates/xxi-mem/src/coherence.rs:
+crates/xxi-mem/src/compress.rs:
+crates/xxi-mem/src/dram.rs:
+crates/xxi-mem/src/energy.rs:
+crates/xxi-mem/src/hierarchy.rs:
+crates/xxi-mem/src/hybrid.rs:
+crates/xxi-mem/src/nvm.rs:
+crates/xxi-mem/src/prefetch.rs:
+crates/xxi-mem/src/tlb.rs:
+crates/xxi-mem/src/trace.rs:
+crates/xxi-mem/src/wear.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/xxi_noc-4dcbed9458605c20.d: crates/xxi-noc/src/lib.rs crates/xxi-noc/src/analysis.rs crates/xxi-noc/src/crossbar.rs crates/xxi-noc/src/link.rs crates/xxi-noc/src/sim.rs crates/xxi-noc/src/topology.rs crates/xxi-noc/src/traffic.rs
+
+/root/repo/target/release/deps/libxxi_noc-4dcbed9458605c20.rlib: crates/xxi-noc/src/lib.rs crates/xxi-noc/src/analysis.rs crates/xxi-noc/src/crossbar.rs crates/xxi-noc/src/link.rs crates/xxi-noc/src/sim.rs crates/xxi-noc/src/topology.rs crates/xxi-noc/src/traffic.rs
+
+/root/repo/target/release/deps/libxxi_noc-4dcbed9458605c20.rmeta: crates/xxi-noc/src/lib.rs crates/xxi-noc/src/analysis.rs crates/xxi-noc/src/crossbar.rs crates/xxi-noc/src/link.rs crates/xxi-noc/src/sim.rs crates/xxi-noc/src/topology.rs crates/xxi-noc/src/traffic.rs
+
+crates/xxi-noc/src/lib.rs:
+crates/xxi-noc/src/analysis.rs:
+crates/xxi-noc/src/crossbar.rs:
+crates/xxi-noc/src/link.rs:
+crates/xxi-noc/src/sim.rs:
+crates/xxi-noc/src/topology.rs:
+crates/xxi-noc/src/traffic.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/xxi_rel-a5279470978987a9.d: crates/xxi-rel/src/lib.rs crates/xxi-rel/src/checkpoint.rs crates/xxi-rel/src/ecc.rs crates/xxi-rel/src/failsafe.rs crates/xxi-rel/src/inject.rs crates/xxi-rel/src/invariant.rs crates/xxi-rel/src/scrub.rs crates/xxi-rel/src/tmr.rs
+
+/root/repo/target/release/deps/libxxi_rel-a5279470978987a9.rlib: crates/xxi-rel/src/lib.rs crates/xxi-rel/src/checkpoint.rs crates/xxi-rel/src/ecc.rs crates/xxi-rel/src/failsafe.rs crates/xxi-rel/src/inject.rs crates/xxi-rel/src/invariant.rs crates/xxi-rel/src/scrub.rs crates/xxi-rel/src/tmr.rs
+
+/root/repo/target/release/deps/libxxi_rel-a5279470978987a9.rmeta: crates/xxi-rel/src/lib.rs crates/xxi-rel/src/checkpoint.rs crates/xxi-rel/src/ecc.rs crates/xxi-rel/src/failsafe.rs crates/xxi-rel/src/inject.rs crates/xxi-rel/src/invariant.rs crates/xxi-rel/src/scrub.rs crates/xxi-rel/src/tmr.rs
+
+crates/xxi-rel/src/lib.rs:
+crates/xxi-rel/src/checkpoint.rs:
+crates/xxi-rel/src/ecc.rs:
+crates/xxi-rel/src/failsafe.rs:
+crates/xxi-rel/src/inject.rs:
+crates/xxi-rel/src/invariant.rs:
+crates/xxi-rel/src/scrub.rs:
+crates/xxi-rel/src/tmr.rs:

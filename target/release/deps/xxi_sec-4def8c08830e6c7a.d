@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/xxi_sec-4def8c08830e6c7a.d: crates/xxi-sec/src/lib.rs crates/xxi-sec/src/ift.rs crates/xxi-sec/src/protection.rs crates/xxi-sec/src/sidechannel.rs
+
+/root/repo/target/release/deps/libxxi_sec-4def8c08830e6c7a.rlib: crates/xxi-sec/src/lib.rs crates/xxi-sec/src/ift.rs crates/xxi-sec/src/protection.rs crates/xxi-sec/src/sidechannel.rs
+
+/root/repo/target/release/deps/libxxi_sec-4def8c08830e6c7a.rmeta: crates/xxi-sec/src/lib.rs crates/xxi-sec/src/ift.rs crates/xxi-sec/src/protection.rs crates/xxi-sec/src/sidechannel.rs
+
+crates/xxi-sec/src/lib.rs:
+crates/xxi-sec/src/ift.rs:
+crates/xxi-sec/src/protection.rs:
+crates/xxi-sec/src/sidechannel.rs:

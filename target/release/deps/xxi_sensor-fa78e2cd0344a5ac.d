@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/xxi_sensor-fa78e2cd0344a5ac.d: crates/xxi-sensor/src/lib.rs crates/xxi-sensor/src/intermittent.rs crates/xxi-sensor/src/mcu.rs crates/xxi-sensor/src/node.rs crates/xxi-sensor/src/power.rs crates/xxi-sensor/src/radio.rs
+
+/root/repo/target/release/deps/libxxi_sensor-fa78e2cd0344a5ac.rlib: crates/xxi-sensor/src/lib.rs crates/xxi-sensor/src/intermittent.rs crates/xxi-sensor/src/mcu.rs crates/xxi-sensor/src/node.rs crates/xxi-sensor/src/power.rs crates/xxi-sensor/src/radio.rs
+
+/root/repo/target/release/deps/libxxi_sensor-fa78e2cd0344a5ac.rmeta: crates/xxi-sensor/src/lib.rs crates/xxi-sensor/src/intermittent.rs crates/xxi-sensor/src/mcu.rs crates/xxi-sensor/src/node.rs crates/xxi-sensor/src/power.rs crates/xxi-sensor/src/radio.rs
+
+crates/xxi-sensor/src/lib.rs:
+crates/xxi-sensor/src/intermittent.rs:
+crates/xxi-sensor/src/mcu.rs:
+crates/xxi-sensor/src/node.rs:
+crates/xxi-sensor/src/power.rs:
+crates/xxi-sensor/src/radio.rs:

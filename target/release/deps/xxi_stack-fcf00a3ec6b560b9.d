@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/xxi_stack-fcf00a3ec6b560b9.d: crates/xxi-stack/src/lib.rs crates/xxi-stack/src/deque.rs crates/xxi-stack/src/governor.rs crates/xxi-stack/src/intent.rs crates/xxi-stack/src/locality.rs crates/xxi-stack/src/offload.rs crates/xxi-stack/src/pool.rs crates/xxi-stack/src/stm.rs
+
+/root/repo/target/release/deps/libxxi_stack-fcf00a3ec6b560b9.rlib: crates/xxi-stack/src/lib.rs crates/xxi-stack/src/deque.rs crates/xxi-stack/src/governor.rs crates/xxi-stack/src/intent.rs crates/xxi-stack/src/locality.rs crates/xxi-stack/src/offload.rs crates/xxi-stack/src/pool.rs crates/xxi-stack/src/stm.rs
+
+/root/repo/target/release/deps/libxxi_stack-fcf00a3ec6b560b9.rmeta: crates/xxi-stack/src/lib.rs crates/xxi-stack/src/deque.rs crates/xxi-stack/src/governor.rs crates/xxi-stack/src/intent.rs crates/xxi-stack/src/locality.rs crates/xxi-stack/src/offload.rs crates/xxi-stack/src/pool.rs crates/xxi-stack/src/stm.rs
+
+crates/xxi-stack/src/lib.rs:
+crates/xxi-stack/src/deque.rs:
+crates/xxi-stack/src/governor.rs:
+crates/xxi-stack/src/intent.rs:
+crates/xxi-stack/src/locality.rs:
+crates/xxi-stack/src/offload.rs:
+crates/xxi-stack/src/pool.rs:
+crates/xxi-stack/src/stm.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/xxi_tech-82abc8adf6683072.d: crates/xxi-tech/src/lib.rs crates/xxi-tech/src/aging.rs crates/xxi-tech/src/dark.rs crates/xxi-tech/src/freq.rs crates/xxi-tech/src/node.rs crates/xxi-tech/src/nre.rs crates/xxi-tech/src/ntv.rs crates/xxi-tech/src/ops.rs crates/xxi-tech/src/scaling.rs crates/xxi-tech/src/ser.rs crates/xxi-tech/src/thermal.rs
+
+/root/repo/target/release/deps/libxxi_tech-82abc8adf6683072.rlib: crates/xxi-tech/src/lib.rs crates/xxi-tech/src/aging.rs crates/xxi-tech/src/dark.rs crates/xxi-tech/src/freq.rs crates/xxi-tech/src/node.rs crates/xxi-tech/src/nre.rs crates/xxi-tech/src/ntv.rs crates/xxi-tech/src/ops.rs crates/xxi-tech/src/scaling.rs crates/xxi-tech/src/ser.rs crates/xxi-tech/src/thermal.rs
+
+/root/repo/target/release/deps/libxxi_tech-82abc8adf6683072.rmeta: crates/xxi-tech/src/lib.rs crates/xxi-tech/src/aging.rs crates/xxi-tech/src/dark.rs crates/xxi-tech/src/freq.rs crates/xxi-tech/src/node.rs crates/xxi-tech/src/nre.rs crates/xxi-tech/src/ntv.rs crates/xxi-tech/src/ops.rs crates/xxi-tech/src/scaling.rs crates/xxi-tech/src/ser.rs crates/xxi-tech/src/thermal.rs
+
+crates/xxi-tech/src/lib.rs:
+crates/xxi-tech/src/aging.rs:
+crates/xxi-tech/src/dark.rs:
+crates/xxi-tech/src/freq.rs:
+crates/xxi-tech/src/node.rs:
+crates/xxi-tech/src/nre.rs:
+crates/xxi-tech/src/ntv.rs:
+crates/xxi-tech/src/ops.rs:
+crates/xxi-tech/src/scaling.rs:
+crates/xxi-tech/src/ser.rs:
+crates/xxi-tech/src/thermal.rs:

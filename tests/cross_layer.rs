@@ -2,9 +2,9 @@
 //! tells must hold when the models are composed, not just in isolation.
 
 use xxi::accel::ladder::{efficiency_factor, ImplKind, Kernel};
+use xxi::core::units::{gops_per_watt, Power, Seconds, Volts};
 use xxi::cpu::chip::{Chip, ChipConfig};
 use xxi::cpu::CoreKind;
-use xxi::core::units::{gops_per_watt, Power, Seconds, Volts};
 use xxi::mem::energy::MemEnergyTable;
 use xxi::stack::intent::{Intent, Platform};
 use xxi::tech::ops::OpEnergies;
@@ -20,10 +20,12 @@ fn the_three_levers_compose() {
 
     // Lever 1: small cores vs big cores on a full chip.
     let big = Chip::compose(ChipConfig::desktop(node.clone(), CoreKind::OoOBig)).unwrap();
-    let small =
-        Chip::compose(ChipConfig::desktop(node.clone(), CoreKind::InOrderSmall)).unwrap();
+    let small = Chip::compose(ChipConfig::desktop(node.clone(), CoreKind::InOrderSmall)).unwrap();
     let parallelism_gain = small.efficiency() / big.efficiency();
-    assert!(parallelism_gain > 2.0, "parallelism gain {parallelism_gain}");
+    assert!(
+        parallelism_gain > 2.0,
+        "parallelism gain {parallelism_gain}"
+    );
 
     // Lever 2: specialization on a regular kernel.
     let specialization_gain = efficiency_factor(node, ImplKind::FixedFunction, Kernel::Fir);
@@ -64,10 +66,7 @@ fn mobile_efficiency_anchor_and_gap() {
     // Calibration: one Hill–Marty perf unit ≈ 8 Gops (a 2-wide base core
     // at ~2 GHz effective mobile clocks, 2 ops/instruction SIMD-ish mix).
     let gops = chip.throughput() * 8.0;
-    let eff = gops_per_watt(
-        xxi::core::units::Frequency(gops * 1e9),
-        chip.power(),
-    );
+    let eff = gops_per_watt(xxi::core::units::Frequency(gops * 1e9), chip.power());
     assert!(
         (2.0..50.0).contains(&eff),
         "2012-class mobile efficiency should be ~10 GOPS/W, got {eff}"

@@ -52,7 +52,10 @@ fn pool_scaling_is_amdahl_shaped() {
         measured > 2.0,
         "4-thread speedup {measured} too low (t1={t1:.3}s t4={t4:.3}s)"
     );
-    assert!(measured < ideal * 1.3, "speedup {measured} exceeds ideal {ideal}");
+    assert!(
+        measured < ideal * 1.3,
+        "speedup {measured} exceeds ideal {ideal}"
+    );
 }
 
 #[test]

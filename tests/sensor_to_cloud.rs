@@ -48,7 +48,7 @@ fn wearable_fleet_meets_lifetime_and_the_cloud_meets_latency() {
     // Filtering is data-heavy relative to its compute: shipping raw ECG to
     // the cloud must lose.
     let filter_stage = AppProfile {
-        ops: 1e6,          // cheap threshold filter
+        ops: 1e6,           // cheap threshold filter
         input_bytes: 375e3, // 250 Hz × 12 bit × 1000 s of signal
         output_bytes: 4e3,  // detected events only
         split_bytes: 100e3,
