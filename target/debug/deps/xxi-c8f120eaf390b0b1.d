@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xxi-c8f120eaf390b0b1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libxxi-c8f120eaf390b0b1.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xxi_accel-894c6714c0b35e99.d: crates/xxi-accel/src/lib.rs crates/xxi-accel/src/cgra.rs crates/xxi-accel/src/fpga.rs crates/xxi-accel/src/ladder.rs crates/xxi-accel/src/nre.rs crates/xxi-accel/src/offload.rs
+
+/root/repo/target/debug/deps/libxxi_accel-894c6714c0b35e99.rmeta: crates/xxi-accel/src/lib.rs crates/xxi-accel/src/cgra.rs crates/xxi-accel/src/fpga.rs crates/xxi-accel/src/ladder.rs crates/xxi-accel/src/nre.rs crates/xxi-accel/src/offload.rs
+
+crates/xxi-accel/src/lib.rs:
+crates/xxi-accel/src/cgra.rs:
+crates/xxi-accel/src/fpga.rs:
+crates/xxi-accel/src/ladder.rs:
+crates/xxi-accel/src/nre.rs:
+crates/xxi-accel/src/offload.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xxi_approx-e933e7aa61906afd.d: crates/xxi-approx/src/lib.rs crates/xxi-approx/src/memo.rs crates/xxi-approx/src/number.rs crates/xxi-approx/src/pareto.rs crates/xxi-approx/src/perforation.rs crates/xxi-approx/src/quality.rs crates/xxi-approx/src/signal.rs
+
+/root/repo/target/debug/deps/libxxi_approx-e933e7aa61906afd.rmeta: crates/xxi-approx/src/lib.rs crates/xxi-approx/src/memo.rs crates/xxi-approx/src/number.rs crates/xxi-approx/src/pareto.rs crates/xxi-approx/src/perforation.rs crates/xxi-approx/src/quality.rs crates/xxi-approx/src/signal.rs
+
+crates/xxi-approx/src/lib.rs:
+crates/xxi-approx/src/memo.rs:
+crates/xxi-approx/src/number.rs:
+crates/xxi-approx/src/pareto.rs:
+crates/xxi-approx/src/perforation.rs:
+crates/xxi-approx/src/quality.rs:
+crates/xxi-approx/src/signal.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xxi_cloud-3e081465d1d020d0.d: crates/xxi-cloud/src/lib.rs crates/xxi-cloud/src/fanout.rs crates/xxi-cloud/src/hedge.rs crates/xxi-cloud/src/latency.rs crates/xxi-cloud/src/obs.rs crates/xxi-cloud/src/power.rs crates/xxi-cloud/src/qos.rs crates/xxi-cloud/src/queueing.rs crates/xxi-cloud/src/replication.rs
+
+/root/repo/target/debug/deps/libxxi_cloud-3e081465d1d020d0.rmeta: crates/xxi-cloud/src/lib.rs crates/xxi-cloud/src/fanout.rs crates/xxi-cloud/src/hedge.rs crates/xxi-cloud/src/latency.rs crates/xxi-cloud/src/obs.rs crates/xxi-cloud/src/power.rs crates/xxi-cloud/src/qos.rs crates/xxi-cloud/src/queueing.rs crates/xxi-cloud/src/replication.rs
+
+crates/xxi-cloud/src/lib.rs:
+crates/xxi-cloud/src/fanout.rs:
+crates/xxi-cloud/src/hedge.rs:
+crates/xxi-cloud/src/latency.rs:
+crates/xxi-cloud/src/obs.rs:
+crates/xxi-cloud/src/power.rs:
+crates/xxi-cloud/src/qos.rs:
+crates/xxi-cloud/src/queueing.rs:
+crates/xxi-cloud/src/replication.rs:

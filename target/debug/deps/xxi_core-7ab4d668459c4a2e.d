@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/xxi_core-7ab4d668459c4a2e.d: crates/xxi-core/src/lib.rs crates/xxi-core/src/des.rs crates/xxi-core/src/error.rs crates/xxi-core/src/metrics.rs crates/xxi-core/src/obs/mod.rs crates/xxi-core/src/obs/hist.rs crates/xxi-core/src/obs/ledger.rs crates/xxi-core/src/obs/trace.rs crates/xxi-core/src/rng.rs crates/xxi-core/src/stats.rs crates/xxi-core/src/table.rs crates/xxi-core/src/time.rs crates/xxi-core/src/units.rs
+
+/root/repo/target/debug/deps/libxxi_core-7ab4d668459c4a2e.rmeta: crates/xxi-core/src/lib.rs crates/xxi-core/src/des.rs crates/xxi-core/src/error.rs crates/xxi-core/src/metrics.rs crates/xxi-core/src/obs/mod.rs crates/xxi-core/src/obs/hist.rs crates/xxi-core/src/obs/ledger.rs crates/xxi-core/src/obs/trace.rs crates/xxi-core/src/rng.rs crates/xxi-core/src/stats.rs crates/xxi-core/src/table.rs crates/xxi-core/src/time.rs crates/xxi-core/src/units.rs
+
+crates/xxi-core/src/lib.rs:
+crates/xxi-core/src/des.rs:
+crates/xxi-core/src/error.rs:
+crates/xxi-core/src/metrics.rs:
+crates/xxi-core/src/obs/mod.rs:
+crates/xxi-core/src/obs/hist.rs:
+crates/xxi-core/src/obs/ledger.rs:
+crates/xxi-core/src/obs/trace.rs:
+crates/xxi-core/src/rng.rs:
+crates/xxi-core/src/stats.rs:
+crates/xxi-core/src/table.rs:
+crates/xxi-core/src/time.rs:
+crates/xxi-core/src/units.rs:

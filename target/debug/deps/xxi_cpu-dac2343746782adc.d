@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xxi_cpu-dac2343746782adc.d: crates/xxi-cpu/src/lib.rs crates/xxi-cpu/src/chip.rs crates/xxi-cpu/src/core.rs crates/xxi-cpu/src/cpudb.rs crates/xxi-cpu/src/hetero.rs crates/xxi-cpu/src/hillmarty.rs crates/xxi-cpu/src/pipeline.rs
+
+/root/repo/target/debug/deps/libxxi_cpu-dac2343746782adc.rmeta: crates/xxi-cpu/src/lib.rs crates/xxi-cpu/src/chip.rs crates/xxi-cpu/src/core.rs crates/xxi-cpu/src/cpudb.rs crates/xxi-cpu/src/hetero.rs crates/xxi-cpu/src/hillmarty.rs crates/xxi-cpu/src/pipeline.rs
+
+crates/xxi-cpu/src/lib.rs:
+crates/xxi-cpu/src/chip.rs:
+crates/xxi-cpu/src/core.rs:
+crates/xxi-cpu/src/cpudb.rs:
+crates/xxi-cpu/src/hetero.rs:
+crates/xxi-cpu/src/hillmarty.rs:
+crates/xxi-cpu/src/pipeline.rs:

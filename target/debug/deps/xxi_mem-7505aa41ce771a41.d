@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/xxi_mem-7505aa41ce771a41.d: crates/xxi-mem/src/lib.rs crates/xxi-mem/src/cache.rs crates/xxi-mem/src/coherence.rs crates/xxi-mem/src/compress.rs crates/xxi-mem/src/dram.rs crates/xxi-mem/src/energy.rs crates/xxi-mem/src/hierarchy.rs crates/xxi-mem/src/hybrid.rs crates/xxi-mem/src/nvm.rs crates/xxi-mem/src/prefetch.rs crates/xxi-mem/src/tlb.rs crates/xxi-mem/src/trace.rs crates/xxi-mem/src/wear.rs
+
+/root/repo/target/debug/deps/libxxi_mem-7505aa41ce771a41.rmeta: crates/xxi-mem/src/lib.rs crates/xxi-mem/src/cache.rs crates/xxi-mem/src/coherence.rs crates/xxi-mem/src/compress.rs crates/xxi-mem/src/dram.rs crates/xxi-mem/src/energy.rs crates/xxi-mem/src/hierarchy.rs crates/xxi-mem/src/hybrid.rs crates/xxi-mem/src/nvm.rs crates/xxi-mem/src/prefetch.rs crates/xxi-mem/src/tlb.rs crates/xxi-mem/src/trace.rs crates/xxi-mem/src/wear.rs
+
+crates/xxi-mem/src/lib.rs:
+crates/xxi-mem/src/cache.rs:
+crates/xxi-mem/src/coherence.rs:
+crates/xxi-mem/src/compress.rs:
+crates/xxi-mem/src/dram.rs:
+crates/xxi-mem/src/energy.rs:
+crates/xxi-mem/src/hierarchy.rs:
+crates/xxi-mem/src/hybrid.rs:
+crates/xxi-mem/src/nvm.rs:
+crates/xxi-mem/src/prefetch.rs:
+crates/xxi-mem/src/tlb.rs:
+crates/xxi-mem/src/trace.rs:
+crates/xxi-mem/src/wear.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xxi_noc-150c6626fb0c3c62.d: crates/xxi-noc/src/lib.rs crates/xxi-noc/src/analysis.rs crates/xxi-noc/src/crossbar.rs crates/xxi-noc/src/link.rs crates/xxi-noc/src/sim.rs crates/xxi-noc/src/topology.rs crates/xxi-noc/src/traffic.rs
+
+/root/repo/target/debug/deps/libxxi_noc-150c6626fb0c3c62.rmeta: crates/xxi-noc/src/lib.rs crates/xxi-noc/src/analysis.rs crates/xxi-noc/src/crossbar.rs crates/xxi-noc/src/link.rs crates/xxi-noc/src/sim.rs crates/xxi-noc/src/topology.rs crates/xxi-noc/src/traffic.rs
+
+crates/xxi-noc/src/lib.rs:
+crates/xxi-noc/src/analysis.rs:
+crates/xxi-noc/src/crossbar.rs:
+crates/xxi-noc/src/link.rs:
+crates/xxi-noc/src/sim.rs:
+crates/xxi-noc/src/topology.rs:
+crates/xxi-noc/src/traffic.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xxi_rel-ec51358896f7d0a5.d: crates/xxi-rel/src/lib.rs crates/xxi-rel/src/checkpoint.rs crates/xxi-rel/src/ecc.rs crates/xxi-rel/src/failsafe.rs crates/xxi-rel/src/inject.rs crates/xxi-rel/src/invariant.rs crates/xxi-rel/src/scrub.rs crates/xxi-rel/src/tmr.rs
+
+/root/repo/target/debug/deps/libxxi_rel-ec51358896f7d0a5.rmeta: crates/xxi-rel/src/lib.rs crates/xxi-rel/src/checkpoint.rs crates/xxi-rel/src/ecc.rs crates/xxi-rel/src/failsafe.rs crates/xxi-rel/src/inject.rs crates/xxi-rel/src/invariant.rs crates/xxi-rel/src/scrub.rs crates/xxi-rel/src/tmr.rs
+
+crates/xxi-rel/src/lib.rs:
+crates/xxi-rel/src/checkpoint.rs:
+crates/xxi-rel/src/ecc.rs:
+crates/xxi-rel/src/failsafe.rs:
+crates/xxi-rel/src/inject.rs:
+crates/xxi-rel/src/invariant.rs:
+crates/xxi-rel/src/scrub.rs:
+crates/xxi-rel/src/tmr.rs:

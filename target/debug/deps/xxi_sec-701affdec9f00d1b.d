@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xxi_sec-701affdec9f00d1b.d: crates/xxi-sec/src/lib.rs crates/xxi-sec/src/ift.rs crates/xxi-sec/src/protection.rs crates/xxi-sec/src/sidechannel.rs
+
+/root/repo/target/debug/deps/libxxi_sec-701affdec9f00d1b.rmeta: crates/xxi-sec/src/lib.rs crates/xxi-sec/src/ift.rs crates/xxi-sec/src/protection.rs crates/xxi-sec/src/sidechannel.rs
+
+crates/xxi-sec/src/lib.rs:
+crates/xxi-sec/src/ift.rs:
+crates/xxi-sec/src/protection.rs:
+crates/xxi-sec/src/sidechannel.rs:

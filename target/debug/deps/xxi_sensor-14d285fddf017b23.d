@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xxi_sensor-14d285fddf017b23.d: crates/xxi-sensor/src/lib.rs crates/xxi-sensor/src/intermittent.rs crates/xxi-sensor/src/mcu.rs crates/xxi-sensor/src/node.rs crates/xxi-sensor/src/power.rs crates/xxi-sensor/src/radio.rs
+
+/root/repo/target/debug/deps/libxxi_sensor-14d285fddf017b23.rmeta: crates/xxi-sensor/src/lib.rs crates/xxi-sensor/src/intermittent.rs crates/xxi-sensor/src/mcu.rs crates/xxi-sensor/src/node.rs crates/xxi-sensor/src/power.rs crates/xxi-sensor/src/radio.rs
+
+crates/xxi-sensor/src/lib.rs:
+crates/xxi-sensor/src/intermittent.rs:
+crates/xxi-sensor/src/mcu.rs:
+crates/xxi-sensor/src/node.rs:
+crates/xxi-sensor/src/power.rs:
+crates/xxi-sensor/src/radio.rs:

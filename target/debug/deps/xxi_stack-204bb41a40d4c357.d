@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xxi_stack-204bb41a40d4c357.d: crates/xxi-stack/src/lib.rs crates/xxi-stack/src/deque.rs crates/xxi-stack/src/governor.rs crates/xxi-stack/src/intent.rs crates/xxi-stack/src/locality.rs crates/xxi-stack/src/offload.rs crates/xxi-stack/src/pool.rs crates/xxi-stack/src/stm.rs
+
+/root/repo/target/debug/deps/libxxi_stack-204bb41a40d4c357.rmeta: crates/xxi-stack/src/lib.rs crates/xxi-stack/src/deque.rs crates/xxi-stack/src/governor.rs crates/xxi-stack/src/intent.rs crates/xxi-stack/src/locality.rs crates/xxi-stack/src/offload.rs crates/xxi-stack/src/pool.rs crates/xxi-stack/src/stm.rs
+
+crates/xxi-stack/src/lib.rs:
+crates/xxi-stack/src/deque.rs:
+crates/xxi-stack/src/governor.rs:
+crates/xxi-stack/src/intent.rs:
+crates/xxi-stack/src/locality.rs:
+crates/xxi-stack/src/offload.rs:
+crates/xxi-stack/src/pool.rs:
+crates/xxi-stack/src/stm.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/xxi_tech-5d83badaee636d58.d: crates/xxi-tech/src/lib.rs crates/xxi-tech/src/aging.rs crates/xxi-tech/src/dark.rs crates/xxi-tech/src/freq.rs crates/xxi-tech/src/node.rs crates/xxi-tech/src/nre.rs crates/xxi-tech/src/ntv.rs crates/xxi-tech/src/ops.rs crates/xxi-tech/src/scaling.rs crates/xxi-tech/src/ser.rs crates/xxi-tech/src/thermal.rs
+
+/root/repo/target/debug/deps/libxxi_tech-5d83badaee636d58.rmeta: crates/xxi-tech/src/lib.rs crates/xxi-tech/src/aging.rs crates/xxi-tech/src/dark.rs crates/xxi-tech/src/freq.rs crates/xxi-tech/src/node.rs crates/xxi-tech/src/nre.rs crates/xxi-tech/src/ntv.rs crates/xxi-tech/src/ops.rs crates/xxi-tech/src/scaling.rs crates/xxi-tech/src/ser.rs crates/xxi-tech/src/thermal.rs
+
+crates/xxi-tech/src/lib.rs:
+crates/xxi-tech/src/aging.rs:
+crates/xxi-tech/src/dark.rs:
+crates/xxi-tech/src/freq.rs:
+crates/xxi-tech/src/node.rs:
+crates/xxi-tech/src/nre.rs:
+crates/xxi-tech/src/ntv.rs:
+crates/xxi-tech/src/ops.rs:
+crates/xxi-tech/src/scaling.rs:
+crates/xxi-tech/src/ser.rs:
+crates/xxi-tech/src/thermal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_layer-3f54e7cf72979671.d: tests/cross_layer.rs
+
+/root/repo/target/release/deps/cross_layer-3f54e7cf72979671: tests/cross_layer.rs
+
+tests/cross_layer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-61a3eb18170d20cd.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-61a3eb18170d20cd: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runtime_scaling-bc994910e60796b6.d: tests/runtime_scaling.rs
+
+/root/repo/target/release/deps/runtime_scaling-bc994910e60796b6: tests/runtime_scaling.rs
+
+tests/runtime_scaling.rs:

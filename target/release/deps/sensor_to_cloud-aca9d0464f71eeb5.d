@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sensor_to_cloud-aca9d0464f71eeb5.d: tests/sensor_to_cloud.rs
+
+/root/repo/target/release/deps/sensor_to_cloud-aca9d0464f71eeb5: tests/sensor_to_cloud.rs
+
+tests/sensor_to_cloud.rs:

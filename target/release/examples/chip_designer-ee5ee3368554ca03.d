@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chip_designer-ee5ee3368554ca03.d: examples/chip_designer.rs
+
+/root/repo/target/release/examples/chip_designer-ee5ee3368554ca03: examples/chip_designer.rs
+
+examples/chip_designer.rs:

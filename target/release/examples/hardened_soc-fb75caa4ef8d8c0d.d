@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/hardened_soc-fb75caa4ef8d8c0d.d: examples/hardened_soc.rs
+
+/root/repo/target/release/examples/hardened_soc-fb75caa4ef8d8c0d: examples/hardened_soc.rs
+
+examples/hardened_soc.rs:

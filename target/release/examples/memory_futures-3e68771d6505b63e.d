@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/memory_futures-3e68771d6505b63e.d: examples/memory_futures.rs
+
+/root/repo/target/release/examples/memory_futures-3e68771d6505b63e: examples/memory_futures.rs
+
+examples/memory_futures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-9198f82b679f89b9.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-9198f82b679f89b9: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/search_frontend-154ea0dc326c16f3.d: examples/search_frontend.rs
+
+/root/repo/target/release/examples/search_frontend-154ea0dc326c16f3: examples/search_frontend.rs
+
+examples/search_frontend.rs:

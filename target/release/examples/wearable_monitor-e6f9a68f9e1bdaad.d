@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/wearable_monitor-e6f9a68f9e1bdaad.d: examples/wearable_monitor.rs
+
+/root/repo/target/release/examples/wearable_monitor-e6f9a68f9e1bdaad: examples/wearable_monitor.rs
+
+examples/wearable_monitor.rs:
