@@ -1,0 +1,98 @@
+//! The `xxi-check` command-line tool.
+//!
+//! ```text
+//! xxi-check lint [--json] [--rule <id>] [--ledger <path>] [--list]
+//! ```
+//!
+//! Runs the cross-layer model linter over the shipped model constructors
+//! (the same configurations experiments E10/E17/E18 use) and exits 0 when
+//! clean, 2 when any error-severity diagnostic fired, 1 on usage errors.
+//! `--json` switches to machine-readable output, `--rule` restricts to one
+//! rule, `--ledger` additionally checks an energy-ledger dump file for
+//! conservation, `--list` prints the rule registry.
+
+use std::process::ExitCode;
+
+use xxi_check::lint::{check_ledger_text, LintReport, Registry, Severity};
+
+const USAGE: &str = "usage: xxi-check lint [--json] [--rule <id>] [--ledger <path>] [--list]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut list = false;
+    let mut rule: Option<String> = None;
+    let mut ledgers: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--list" => list = true,
+            "--rule" => match it.next() {
+                Some(id) => rule = Some(id.clone()),
+                None => return usage_error("--rule needs an id"),
+            },
+            "--ledger" => match it.next() {
+                Some(p) => ledgers.push(p.clone()),
+                None => return usage_error("--ledger needs a path"),
+            },
+            other => return usage_error(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let registry = Registry::standard();
+    if list {
+        for (id, desc) in registry.list() {
+            println!("{id:<20} {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(id) = &rule {
+        if !registry.list().iter().any(|(rid, _)| rid == id) {
+            return usage_error(&format!("unknown rule {id:?} (see --list)"));
+        }
+    }
+
+    let mut report: LintReport = registry.run(rule.as_deref());
+    for path in &ledgers {
+        match std::fs::read_to_string(path) {
+            Ok(text) => report.diags.extend(check_ledger_text(path, &text)),
+            Err(e) => report.diags.push(xxi_check::lint::Diagnostic {
+                rule: "ledger-conservation",
+                severity: Severity::Error,
+                source: path.clone(),
+                message: format!("cannot read ledger file: {e}"),
+            }),
+        }
+    }
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("{msg}\n{USAGE}");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,318 @@
+//! Shadow atomics: drop-in replacements for `std::sync::atomic` types.
+//!
+//! Inside a [`crate::Checker`] execution, every operation is a scheduling
+//! point and goes through the happens-before model in [`crate::sched`];
+//! outside one (no execution context, or while unwinding during abort
+//! teardown) every operation delegates to the embedded real atomic with
+//! the caller's ordering, so the same binary runs tests both ways.
+//!
+//! The real atomic always mirrors the model's latest store, which keeps
+//! destructors that run during teardown (e.g. a ring buffer freeing its
+//! remaining boxed slots) reading coherent values.
+
+use std::sync::atomic as real;
+use std::sync::atomic::Ordering as StdOrdering;
+
+use crate::sched::{self, Meta};
+
+pub use std::sync::atomic::Ordering;
+
+#[inline]
+fn u64_raw(v: u64) -> u64 {
+    v
+}
+#[inline]
+fn u64_val(r: u64) -> u64 {
+    r
+}
+#[inline]
+fn usize_raw(v: usize) -> u64 {
+    v as u64
+}
+#[inline]
+fn usize_val(r: u64) -> usize {
+    r as usize
+}
+#[inline]
+fn isize_raw(v: isize) -> u64 {
+    v as i64 as u64
+}
+#[inline]
+fn isize_val(r: u64) -> isize {
+    r as i64 as isize
+}
+#[inline]
+fn bool_raw(v: bool) -> u64 {
+    v as u64
+}
+#[inline]
+fn bool_val(r: u64) -> bool {
+    r != 0
+}
+
+macro_rules! int_atomic {
+    ($name:ident, $t:ty, $std:ty, $kind:literal, $raw:ident, $val:ident) => {
+        /// Shadow version of the `std` atomic of the same name.
+        #[derive(Debug)]
+        pub struct $name {
+            real: $std,
+            meta: Meta,
+        }
+
+        impl $name {
+            pub const fn new(v: $t) -> $name {
+                $name {
+                    real: <$std>::new(v),
+                    meta: Meta::new(),
+                }
+            }
+
+            #[inline]
+            fn init(&self) -> u64 {
+                $raw(self.real.load(StdOrdering::Relaxed))
+            }
+
+            pub fn load(&self, ord: Ordering) -> $t {
+                match sched::op_load(&self.meta, self.init(), $kind, ord, false) {
+                    Some(r) => $val(r),
+                    None => self.real.load(ord),
+                }
+            }
+
+            pub fn store(&self, v: $t, ord: Ordering) {
+                if sched::op_store(&self.meta, self.init(), $kind, $raw(v), ord) {
+                    self.real.store(v, StdOrdering::SeqCst);
+                } else {
+                    self.real.store(v, ord);
+                }
+            }
+
+            pub fn swap(&self, v: $t, ord: Ordering) -> $t {
+                match sched::op_rmw(&self.meta, self.init(), $kind, ord, "swap", |_| $raw(v)) {
+                    Some((old, new)) => {
+                        self.real.store($val(new), StdOrdering::SeqCst);
+                        $val(old)
+                    }
+                    None => self.real.swap(v, ord),
+                }
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $t,
+                new: $t,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$t, $t> {
+                match sched::op_cas(
+                    &self.meta,
+                    self.init(),
+                    $kind,
+                    $raw(current),
+                    $raw(new),
+                    success,
+                    failure,
+                ) {
+                    Some(Ok(old)) => {
+                        self.real.store(new, StdOrdering::SeqCst);
+                        Ok($val(old))
+                    }
+                    Some(Err(old)) => Err($val(old)),
+                    None => self.real.compare_exchange(current, new, success, failure),
+                }
+            }
+
+            pub fn compare_exchange_weak(
+                &self,
+                current: $t,
+                new: $t,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$t, $t> {
+                // The model has no spurious failures; weak == strong here.
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            int_atomic!(@arith $name, $t, $kind, $raw, $val);
+        }
+    };
+
+    (@arith AtomicBool, $t:ty, $kind:literal, $raw:ident, $val:ident) => {
+        pub fn fetch_and(&self, v: $t, ord: Ordering) -> $t {
+            match sched::op_rmw(&self.meta, self.init(), $kind, ord, "fetch_and", |o| {
+                $raw($val(o) & v)
+            }) {
+                Some((old, new)) => {
+                    self.real.store($val(new), StdOrdering::SeqCst);
+                    $val(old)
+                }
+                None => self.real.fetch_and(v, ord),
+            }
+        }
+
+        pub fn fetch_or(&self, v: $t, ord: Ordering) -> $t {
+            match sched::op_rmw(&self.meta, self.init(), $kind, ord, "fetch_or", |o| {
+                $raw($val(o) | v)
+            }) {
+                Some((old, new)) => {
+                    self.real.store($val(new), StdOrdering::SeqCst);
+                    $val(old)
+                }
+                None => self.real.fetch_or(v, ord),
+            }
+        }
+    };
+
+    (@arith $name:ident, $t:ty, $kind:literal, $raw:ident, $val:ident) => {
+        pub fn fetch_add(&self, v: $t, ord: Ordering) -> $t {
+            match sched::op_rmw(&self.meta, self.init(), $kind, ord, "fetch_add", |o| {
+                $raw($val(o).wrapping_add(v))
+            }) {
+                Some((old, new)) => {
+                    self.real.store($val(new), StdOrdering::SeqCst);
+                    $val(old)
+                }
+                None => self.real.fetch_add(v, ord),
+            }
+        }
+
+        pub fn fetch_sub(&self, v: $t, ord: Ordering) -> $t {
+            match sched::op_rmw(&self.meta, self.init(), $kind, ord, "fetch_sub", |o| {
+                $raw($val(o).wrapping_sub(v))
+            }) {
+                Some((old, new)) => {
+                    self.real.store($val(new), StdOrdering::SeqCst);
+                    $val(old)
+                }
+                None => self.real.fetch_sub(v, ord),
+            }
+        }
+
+        pub fn fetch_and(&self, v: $t, ord: Ordering) -> $t {
+            match sched::op_rmw(&self.meta, self.init(), $kind, ord, "fetch_and", |o| {
+                $raw($val(o) & v)
+            }) {
+                Some((old, new)) => {
+                    self.real.store($val(new), StdOrdering::SeqCst);
+                    $val(old)
+                }
+                None => self.real.fetch_and(v, ord),
+            }
+        }
+
+        pub fn fetch_or(&self, v: $t, ord: Ordering) -> $t {
+            match sched::op_rmw(&self.meta, self.init(), $kind, ord, "fetch_or", |o| {
+                $raw($val(o) | v)
+            }) {
+                Some((old, new)) => {
+                    self.real.store($val(new), StdOrdering::SeqCst);
+                    $val(old)
+                }
+                None => self.real.fetch_or(v, ord),
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicU64, u64, real::AtomicU64, "u64", u64_raw, u64_val);
+int_atomic!(
+    AtomicUsize,
+    usize,
+    real::AtomicUsize,
+    "usize",
+    usize_raw,
+    usize_val
+);
+int_atomic!(
+    AtomicIsize,
+    isize,
+    real::AtomicIsize,
+    "isize",
+    isize_raw,
+    isize_val
+);
+int_atomic!(
+    AtomicBool,
+    bool,
+    real::AtomicBool,
+    "bool",
+    bool_raw,
+    bool_val
+);
+
+/// Shadow `AtomicPtr`. Loads always observe the latest store even at weak
+/// orderings: letting the model hand out stale pointers would make the
+/// harness itself unsound (use-after-free in destructors), not merely
+/// reveal bugs in the code under test. Ordering *races* on pointers still
+/// surface through the happens-before clocks and the lost-update detector.
+#[derive(Debug)]
+pub struct AtomicPtr<T> {
+    real: real::AtomicPtr<T>,
+    meta: Meta,
+}
+
+impl<T> AtomicPtr<T> {
+    pub const fn new(p: *mut T) -> AtomicPtr<T> {
+        AtomicPtr {
+            real: real::AtomicPtr::new(p),
+            meta: Meta::new(),
+        }
+    }
+
+    #[inline]
+    fn init(&self) -> u64 {
+        self.real.load(StdOrdering::Relaxed) as usize as u64
+    }
+
+    pub fn load(&self, ord: Ordering) -> *mut T {
+        match sched::op_load(&self.meta, self.init(), "ptr", ord, true) {
+            Some(r) => r as usize as *mut T,
+            None => self.real.load(ord),
+        }
+    }
+
+    pub fn store(&self, p: *mut T, ord: Ordering) {
+        if sched::op_store(&self.meta, self.init(), "ptr", p as usize as u64, ord) {
+            self.real.store(p, StdOrdering::SeqCst);
+        } else {
+            self.real.store(p, ord);
+        }
+    }
+
+    pub fn swap(&self, p: *mut T, ord: Ordering) -> *mut T {
+        match sched::op_rmw(&self.meta, self.init(), "ptr", ord, "swap", |_| {
+            p as usize as u64
+        }) {
+            Some((old, new)) => {
+                self.real.store(new as usize as *mut T, StdOrdering::SeqCst);
+                old as usize as *mut T
+            }
+            None => self.real.swap(p, ord),
+        }
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        match sched::op_cas(
+            &self.meta,
+            self.init(),
+            "ptr",
+            current as usize as u64,
+            new as usize as u64,
+            success,
+            failure,
+        ) {
+            Some(Ok(old)) => {
+                self.real.store(new, StdOrdering::SeqCst);
+                Ok(old as usize as *mut T)
+            }
+            Some(Err(old)) => Err(old as usize as *mut T),
+            None => self.real.compare_exchange(current, new, success, failure),
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Shadow `std::sync`: Mutex/Condvar that participate in the scheduler.
+//!
+//! Under a [`crate::Checker`] execution, lock acquisition order and
+//! condvar wakeups are scheduling decisions the checker explores; outside
+//! one, everything delegates to the real `std` primitives. Blocking is
+//! always *virtual*: a thread never parks on the real OS mutex while the
+//! model says the lock is held, so a descheduled guard holder cannot wedge
+//! the exploration.
+
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
+use std::sync::{LockResult, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError};
+use std::time::Duration;
+
+use crate::sched::{self, Meta};
+
+pub mod atomic;
+
+pub use std::sync::Arc;
+
+/// Shadow `std::sync::Mutex`.
+#[derive(Debug)]
+pub struct Mutex<T: ?Sized> {
+    meta: Meta,
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Mutex<T> {
+        Mutex {
+            meta: Meta::new(),
+            inner: StdMutex::new(t),
+        }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if sched::mutex_lock(&self.meta) {
+            // Model granted the lock: the real mutex is necessarily free
+            // (only the single active virtual thread can hold it).
+            let g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+            Ok(MutexGuard {
+                lock: self,
+                inner: ManuallyDrop::new(g),
+                managed: true,
+            })
+        } else {
+            match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock: self,
+                    inner: ManuallyDrop::new(g),
+                    managed: false,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    inner: ManuallyDrop::new(p.into_inner()),
+                    managed: false,
+                })),
+            }
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+/// Guard for [`Mutex`]; releases the model lock on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: ManuallyDrop<StdMutexGuard<'a, T>>,
+    managed: bool,
+}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    /// Take the guard apart without running its Drop (for condvar waits).
+    fn disassemble(mut self) -> (&'a Mutex<T>, StdMutexGuard<'a, T>, bool) {
+        let lock = self.lock;
+        let managed = self.managed;
+        // SAFETY: `self` is forgotten immediately after, so the inner
+        // guard is dropped exactly once (by the caller).
+        let g = unsafe { ManuallyDrop::take(&mut self.inner) };
+        std::mem::forget(self);
+        (lock, g, managed)
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.managed && !std::thread::panicking() {
+            sched::mutex_unlock(&self.lock.meta);
+        }
+        // SAFETY: drop runs once; the only other taker (`disassemble`)
+        // forgets `self` first.
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+    }
+}
+
+/// Result of [`Condvar::wait_timeout`]. The model abstracts time away, so
+/// a managed wait never reports a timeout; unmanaged waits report the real
+/// outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Shadow `std::sync::Condvar`.
+#[derive(Debug)]
+pub struct Condvar {
+    meta: Meta,
+    inner: std::sync::Condvar,
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar {
+            meta: Meta::new(),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let (lock, std_guard, managed) = guard.disassemble();
+        if managed && sched::is_managed() {
+            sched::cv_wait(&self.meta, &lock.meta, false, move || drop(std_guard));
+            let g = lock.inner.lock().unwrap_or_else(|p| p.into_inner());
+            Ok(MutexGuard {
+                lock,
+                inner: ManuallyDrop::new(g),
+                managed: true,
+            })
+        } else {
+            match self.inner.wait(std_guard) {
+                Ok(g) => Ok(MutexGuard {
+                    lock,
+                    inner: ManuallyDrop::new(g),
+                    managed: false,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    lock,
+                    inner: ManuallyDrop::new(p.into_inner()),
+                    managed: false,
+                })),
+            }
+        }
+    }
+
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let (lock, std_guard, managed) = guard.disassemble();
+        if managed && sched::is_managed() {
+            sched::cv_wait(&self.meta, &lock.meta, true, move || drop(std_guard));
+            let g = lock.inner.lock().unwrap_or_else(|p| p.into_inner());
+            Ok((
+                MutexGuard {
+                    lock,
+                    inner: ManuallyDrop::new(g),
+                    managed: true,
+                },
+                WaitTimeoutResult { timed_out: false },
+            ))
+        } else {
+            match self.inner.wait_timeout(std_guard, dur) {
+                Ok((g, r)) => Ok((
+                    MutexGuard {
+                        lock,
+                        inner: ManuallyDrop::new(g),
+                        managed: false,
+                    },
+                    WaitTimeoutResult {
+                        timed_out: r.timed_out(),
+                    },
+                )),
+                Err(p) => {
+                    let (g, r) = p.into_inner();
+                    Err(PoisonError::new((
+                        MutexGuard {
+                            lock,
+                            inner: ManuallyDrop::new(g),
+                            managed: false,
+                        },
+                        WaitTimeoutResult {
+                            timed_out: r.timed_out(),
+                        },
+                    )))
+                }
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        if !sched::cv_notify(&self.meta, false) {
+            self.inner.notify_one();
+        }
+    }
+
+    pub fn notify_all(&self) {
+        if !sched::cv_notify(&self.meta, true) {
+            self.inner.notify_all();
+        }
+    }
+}

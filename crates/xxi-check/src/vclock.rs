@@ -1,0 +1,179 @@
+//! Vector clocks: the happens-before core of the concurrency checker.
+//!
+//! Every virtual thread carries a [`VClock`]; every shadow-atomic store is
+//! stamped with the storing thread's clock. A load may only observe stores
+//! consistent with the happens-before partial order those clocks encode,
+//! and the race/lost-update detector is a handful of clock comparisons.
+//!
+//! The representation is a dense `Vec<u64>` indexed by virtual-thread id —
+//! executions have a handful of threads, so dense beats sparse here.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::fmt;
+
+/// A vector clock over virtual-thread ids.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock {
+    ticks: Vec<u64>,
+}
+
+impl VClock {
+    /// The zero clock (happens-before everything).
+    pub fn new() -> VClock {
+        VClock::default()
+    }
+
+    /// The component for thread `tid` (zero if never ticked).
+    #[inline]
+    pub fn get(&self, tid: usize) -> u64 {
+        self.ticks.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advance thread `tid`'s own component by one.
+    pub fn tick(&mut self, tid: usize) {
+        if self.ticks.len() <= tid {
+            self.ticks.resize(tid + 1, 0);
+        }
+        self.ticks[tid] += 1;
+    }
+
+    /// Pointwise maximum: after `a.join(&b)`, everything ordered before
+    /// either input is ordered before `a`.
+    pub fn join(&mut self, other: &VClock) {
+        if self.ticks.len() < other.ticks.len() {
+            self.ticks.resize(other.ticks.len(), 0);
+        }
+        for (i, &t) in other.ticks.iter().enumerate() {
+            if self.ticks[i] < t {
+                self.ticks[i] = t;
+            }
+        }
+    }
+
+    /// `self ≤ other` in the pointwise partial order: every event `self`
+    /// knows about, `other` knows about too (`self` happens-before-or-equals
+    /// `other`).
+    pub fn le(&self, other: &VClock) -> bool {
+        self.ticks
+            .iter()
+            .enumerate()
+            .all(|(i, &t)| t <= other.get(i))
+    }
+
+    /// Strict happens-before: `self ≤ other` and they differ.
+    pub fn lt(&self, other: &VClock) -> bool {
+        self.le(other) && self != other
+    }
+
+    /// Neither `self ≤ other` nor `other ≤ self`: the events are
+    /// concurrent, which is exactly when a pair of conflicting accesses is
+    /// a race.
+    pub fn concurrent(&self, other: &VClock) -> bool {
+        !self.le(other) && !other.le(self)
+    }
+
+    /// Partial-order comparison (`None` when concurrent).
+    pub fn partial_cmp(&self, other: &VClock) -> Option<CmpOrdering> {
+        match (self.le(other), other.le(self)) {
+            (true, true) => Some(CmpOrdering::Equal),
+            (true, false) => Some(CmpOrdering::Less),
+            (false, true) => Some(CmpOrdering::Greater),
+            (false, false) => None,
+        }
+    }
+
+    /// Number of tracked components.
+    pub fn len(&self) -> usize {
+        self.ticks.len()
+    }
+
+    /// True when no component has ever ticked.
+    pub fn is_empty(&self) -> bool {
+        self.ticks.iter().all(|&t| t == 0)
+    }
+}
+
+impl fmt::Display for VClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, t) in self.ticks.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_clock_precedes_everything() {
+        let z = VClock::new();
+        let mut a = VClock::new();
+        a.tick(3);
+        assert!(z.le(&a));
+        assert!(z.lt(&a));
+        assert!(!a.le(&z));
+        assert!(z.is_empty());
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn tick_orders_successive_events_of_one_thread() {
+        let mut a = VClock::new();
+        a.tick(0);
+        let early = a.clone();
+        a.tick(0);
+        assert!(early.lt(&a));
+        assert_eq!(a.get(0), 2);
+    }
+
+    #[test]
+    fn unsynchronized_threads_are_concurrent() {
+        let mut a = VClock::new();
+        let mut b = VClock::new();
+        a.tick(0);
+        b.tick(1);
+        assert!(a.concurrent(&b));
+        assert_eq!(a.partial_cmp(&b), None);
+    }
+
+    #[test]
+    fn join_creates_happens_before() {
+        let mut a = VClock::new();
+        a.tick(0);
+        let mut b = VClock::new();
+        b.tick(1);
+        // b receives a message from a.
+        b.join(&a);
+        b.tick(1);
+        assert!(a.lt(&b));
+        assert!(!b.le(&a));
+    }
+
+    #[test]
+    fn join_is_upper_bound() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::new();
+        b.tick(1);
+        let mut j = a.clone();
+        j.join(&b);
+        assert!(a.le(&j) && b.le(&j));
+        assert_eq!(j.get(0), 2);
+        assert_eq!(j.get(1), 1);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(2);
+        assert_eq!(format!("{a}"), "⟨1,0,1⟩");
+    }
+}

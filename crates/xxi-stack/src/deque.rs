@@ -15,8 +15,9 @@
 
 use std::marker::PhantomData;
 use std::ptr;
-use std::sync::atomic::{AtomicIsize, AtomicPtr, Ordering};
 use std::sync::Arc;
+
+use crate::sync::atomic::{AtomicIsize, AtomicPtr, Ordering};
 
 struct Ring<T> {
     slots: Box<[AtomicPtr<T>]>,
@@ -25,7 +26,16 @@ struct Ring<T> {
     bottom: AtomicIsize,
 }
 
+// SAFETY: `Ring` owns `T` values only through raw pointers parked in the
+// atomic slots; moving the ring to another thread moves those boxed values
+// with it, which is sound exactly when `T: Send`. No `&T` is ever handed
+// out, so `T: Sync` is not required.
 unsafe impl<T: Send> Send for Ring<T> {}
+// SAFETY: shared access to `Ring` only touches the atomic words (`slots`,
+// `top`, `bottom`) plus the immutable `mask`. A `T` is transferred between
+// threads solely by moving its box through an atomic pointer swap (each
+// pointer is consumed by exactly one `Box::from_raw`, enforced by the
+// null-swap protocol), so cross-thread sharing needs only `T: Send`.
 unsafe impl<T: Send> Sync for Ring<T> {}
 
 impl<T> Ring<T> {
@@ -57,6 +67,12 @@ impl<T> Drop for Ring<T> {
         for i in t..b {
             let p = self.slot(i).load(Ordering::Relaxed);
             if !p.is_null() {
+                // SAFETY: `drop` takes `&mut self`, so no other handle to
+                // this ring exists and no pop/steal can race us. Every
+                // non-null pointer in `[top, bottom)` was created by
+                // `Box::into_raw` in `push` and not yet consumed (pop and
+                // steal null the slot before calling `Box::from_raw`), so
+                // each box is freed exactly once.
                 drop(unsafe { Box::from_raw(p) });
             }
         }
@@ -72,6 +88,11 @@ pub struct Worker<T> {
     _not_sync: PhantomData<*mut ()>,
 }
 
+// SAFETY: `Worker` is a handle to an `Arc<Ring<T>>` (Send+Sync for
+// `T: Send`, see above) plus a `PhantomData<*mut ()>` used only to strip
+// `Sync`; moving the handle to another thread is sound for `T: Send`.
+// The single-owner discipline (push/pop from one thread at a time) is
+// preserved because `Worker` is neither `Clone` nor `Sync`.
 unsafe impl<T: Send> Send for Worker<T> {}
 
 /// A thief handle: steal from the top. Cloneable and shareable.
@@ -148,6 +169,9 @@ impl<T: Send> Worker<T> {
             if p.is_null() {
                 return None;
             }
+            // SAFETY: we won the SeqCst CAS on `top`, so no thief claimed
+            // index `b`; the pointer came from `push`'s `Box::into_raw`
+            // and the null swap above makes this the unique consumer.
             return Some(*unsafe { Box::from_raw(p) });
         }
         // More than one element: safe to take without CAS (SC ordering of
@@ -157,6 +181,11 @@ impl<T: Send> Worker<T> {
         if p.is_null() {
             return None;
         }
+        // SAFETY: `t < b` after the SeqCst store/load pair, so every thief
+        // (which claims indices via the `top` CAS before touching a slot)
+        // is confined to indices `< b`; index `b` is exclusively ours. The
+        // pointer came from `push`'s `Box::into_raw`, and the null swap
+        // above makes this the unique consumer.
         Some(*unsafe { Box::from_raw(p) })
     }
 
@@ -206,6 +235,11 @@ impl<T: Send> Stealer<T> {
         if p.is_null() {
             return None;
         }
+        // SAFETY: winning the `top` CAS grants exclusive claim to index
+        // `t`: other thieves lose the CAS, the owner's pop abandons any
+        // index a thief claimed, and `push`'s wraparound guard refuses to
+        // reuse the slot until we null it. The pointer came from `push`'s
+        // `Box::into_raw`; the null swap makes this the unique consumer.
         Some(*unsafe { Box::from_raw(p) })
     }
 

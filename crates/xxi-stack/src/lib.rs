@@ -31,6 +31,10 @@
 //! * [`stm`] — a TL2-style software transactional memory, the programmability
 //!   mechanism §2.4 singles out ("TM ... is now entering the commercial
 //!   mainstream"), with serializability verified under concurrency.
+//! * [`sync`] — the synchronization facade: `std::sync` in production,
+//!   `xxi-check`'s shadow primitives under `--features check`, so the
+//!   deterministic concurrency checker can explore this crate's
+//!   interleavings without changing production code.
 
 pub mod deque;
 pub mod governor;
@@ -39,6 +43,7 @@ pub mod locality;
 pub mod offload;
 pub mod pool;
 pub mod stm;
+pub mod sync;
 
 pub use deque::Worker;
 pub use governor::{Governor, GovernorPolicy};

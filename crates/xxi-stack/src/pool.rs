@@ -7,11 +7,10 @@
 //! runtime of §2.2 in ~250 lines; experiment E18 measures its scaling.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread;
 
 use crate::deque::{deque, Stealer, Worker};
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::{thread, Arc, Condvar, Mutex};
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 

@@ -21,7 +21,8 @@
 //! arbitrary concurrency — is what the tests check.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 /// A transactional array of `u64` cells.
 ///
@@ -127,7 +128,13 @@ impl TxArray {
                 }
             }
             self.aborts.fetch_add(1, Ordering::Relaxed);
-            std::hint::spin_loop();
+            // Yield rather than spin: a conflicting transaction cannot make
+            // progress until the lock holder runs, and a pure spin loop
+            // livelocks under an adversarial scheduler (found by xxi-check:
+            // with the holder descheduled, the spinner retries forever).
+            // Under `check` this also tells the model scheduler to hand
+            // control to another thread.
+            crate::sync::thread::yield_now();
         }
     }
 }
@@ -172,11 +179,25 @@ impl<'a> Tx<'a> {
         let mut held: Vec<usize> = Vec::with_capacity(order.len());
         for &i in &order {
             let cur = arr.locks[i].load(Ordering::SeqCst);
+            #[cfg(not(feature = "seeded_race"))]
             let ok = cur & 1 == 0
                 && (cur >> 1) <= self.read_version
                 && arr.locks[i]
                     .compare_exchange(cur, cur | 1, Ordering::SeqCst, Ordering::SeqCst)
                     .is_ok();
+            // The planted bug for the checker regression suite: acquire
+            // the versioned lock with a check-then-act (separate load and
+            // store) instead of a CAS. Two committers can then both
+            // observe the lock free and both "acquire" it, committing over
+            // each other — a lost update xxi-check must catch.
+            #[cfg(feature = "seeded_race")]
+            let ok = {
+                let free = cur & 1 == 0 && (cur >> 1) <= self.read_version;
+                if free {
+                    arr.locks[i].store(cur | 1, Ordering::SeqCst);
+                }
+                free
+            };
             if !ok {
                 for &h in &held {
                     arr.locks[h].fetch_and(!1, Ordering::SeqCst);

@@ -44,6 +44,7 @@
 
 pub use xxi_accel as accel;
 pub use xxi_approx as approx;
+pub use xxi_check as check;
 pub use xxi_cloud as cloud;
 pub use xxi_core as core;
 pub use xxi_cpu as cpu;

@@ -491,3 +491,89 @@ fn thermal_monotone_in_power() {
         }
     });
 }
+
+/// Build a random vector clock by ticking random components.
+fn random_vclock(rng: &mut xxi::core::rng::Rng64, threads: u64) -> xxi::check::vclock::VClock {
+    let mut c = xxi::check::vclock::VClock::new();
+    for _ in 0..rng.range_u64(0, 12) {
+        c.tick(rng.below(threads) as usize);
+    }
+    c
+}
+
+/// Vector clocks: `join` is the least upper bound — it dominates both
+/// inputs, is commutative, idempotent, and adds nothing beyond the
+/// pointwise max.
+#[test]
+fn vclock_join_is_least_upper_bound() {
+    cases(20, |rng| {
+        let a = random_vclock(rng, 4);
+        let b = random_vclock(rng, 4);
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        assert!(a.le(&ab) && b.le(&ab), "join must dominate both inputs");
+        assert_eq!(ab, ba, "join must be commutative");
+        let mut twice = ab.clone();
+        twice.join(&b);
+        assert_eq!(twice, ab, "join must be idempotent");
+        for tid in 0..4 {
+            assert_eq!(ab.get(tid), a.get(tid).max(b.get(tid)), "pointwise max");
+        }
+    });
+}
+
+/// Vector clocks: the happens-before relation is a partial order —
+/// reflexive, antisymmetric, transitive — and `concurrent` is exactly
+/// its incomparability.
+#[test]
+fn vclock_happens_before_is_a_partial_order() {
+    use std::cmp::Ordering as CmpOrdering;
+    cases(21, |rng| {
+        let a = random_vclock(rng, 4);
+        let b = random_vclock(rng, 4);
+        let c = random_vclock(rng, 4);
+        assert!(a.le(&a), "reflexive");
+        if a.le(&b) && b.le(&a) {
+            assert_eq!(a, b, "antisymmetric");
+        }
+        if a.le(&b) && b.le(&c) {
+            assert!(a.le(&c), "transitive");
+        }
+        assert_eq!(
+            a.concurrent(&b),
+            a.partial_cmp(&b).is_none(),
+            "concurrent == incomparable"
+        );
+        assert_eq!(
+            a.concurrent(&b),
+            b.concurrent(&a),
+            "concurrent is symmetric"
+        );
+        match a.partial_cmp(&b) {
+            Some(CmpOrdering::Less) => assert!(a.lt(&b) && !b.lt(&a)),
+            Some(CmpOrdering::Greater) => assert!(b.lt(&a) && !a.lt(&b)),
+            Some(CmpOrdering::Equal) => assert_eq!(a, b),
+            None => assert!(!a.lt(&b) && !b.lt(&a)),
+        }
+    });
+}
+
+/// Vector clocks: a message hand-off (`join` then `tick`) puts the sender
+/// strictly before the receiver, and a third party that never
+/// synchronizes stays concurrent with both.
+#[test]
+fn vclock_message_passing_orders_sender_before_receiver() {
+    cases(22, |rng| {
+        let mut sender = random_vclock(rng, 2);
+        sender.tick(0);
+        let mut receiver = random_vclock(rng, 2);
+        receiver.join(&sender);
+        receiver.tick(1);
+        assert!(sender.lt(&receiver), "send must happen-before receive");
+        let mut loner = xxi::check::vclock::VClock::new();
+        loner.tick(3);
+        assert!(loner.concurrent(&sender) && loner.concurrent(&receiver));
+    });
+}
