@@ -6,6 +6,7 @@
 //! rotating order. This is the "orchestrate fine-grain multitasking"
 //! runtime of §2.2 in ~250 lines; experiment E18 measures its scaling.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 
 use crate::deque::{deque, Stealer, Worker};
@@ -14,11 +15,58 @@ use crate::sync::{thread, Arc, Condvar, Mutex};
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
+std::thread_local! {
+    /// The worker this OS thread runs, if any: the identity of its pool's
+    /// `Shared` (for matching spawns to the right pool) and a pointer to
+    /// the `Worker` deque owned by the `worker_loop` frame on this thread.
+    /// Registered for the lifetime of `worker_loop`; see `WorkerReg`.
+    static CURRENT_WORKER: Cell<(usize, *const Worker<Task>)> =
+        const { Cell::new((0, std::ptr::null())) };
+}
+
+/// Registers the running worker thread in `CURRENT_WORKER` for the scope
+/// of `worker_loop`, and unregisters on drop (including unwinds).
+struct WorkerReg;
+
+impl WorkerReg {
+    fn new(shared: &Arc<Shared>, worker: &Worker<Task>) -> WorkerReg {
+        let key = Arc::as_ptr(shared) as usize;
+        CURRENT_WORKER.with(|c| c.set((key, worker as *const _)));
+        WorkerReg
+    }
+}
+
+impl Drop for WorkerReg {
+    fn drop(&mut self) {
+        CURRENT_WORKER.with(|c| c.set((0, std::ptr::null())));
+    }
+}
+
+/// The worker deque of the calling thread, when the caller is a worker of
+/// the pool identified by `shared`.
+fn local_worker(shared: &Arc<Shared>) -> Option<&Worker<Task>> {
+    let (key, ptr) = CURRENT_WORKER.with(|c| c.get());
+    if key == Arc::as_ptr(shared) as usize && !ptr.is_null() {
+        // SAFETY: the pointer was registered by `WorkerReg::new` on this
+        // same thread and is cleared before `worker_loop`'s frame (which
+        // owns the `Worker`) is torn down; the key check guarantees it
+        // belongs to this pool. `Worker` is only touched from its own
+        // thread, which is exactly the calling thread here.
+        Some(unsafe { &*ptr })
+    } else {
+        None
+    }
+}
+
 struct Shared {
     injector: Mutex<VecDeque<Task>>,
     stealers: Vec<Stealer<Task>>,
     pending: AtomicUsize,
     shutdown: AtomicBool,
+    /// Tasks that took the global-injector path (cross-thread submission
+    /// or local-deque overflow). Diagnostic: worker-side spawns should
+    /// stay local, and the contention regression test asserts they do.
+    injected: AtomicUsize,
     idle: Mutex<()>,
     idle_cv: Condvar,
     done: Mutex<()>,
@@ -47,6 +95,7 @@ impl Pool {
             stealers,
             pending: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            injected: AtomicUsize::new(0),
             idle: Mutex::new(()),
             idle_cv: Condvar::new(),
             done: Mutex::new(()),
@@ -73,9 +122,35 @@ impl Pool {
 
     /// Submit a task.
     pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
+        self.inject(Box::new(f));
+    }
+
+    /// Submission path shared by [`Pool::spawn`] and the scoped APIs:
+    /// local-first (the submitting worker's own deque, no lock), with the
+    /// global injector as the cross-thread / overflow route.
+    fn inject(&self, task: Task) {
         self.shared.pending.fetch_add(1, Ordering::SeqCst);
-        self.shared.injector.lock().unwrap().push_back(Box::new(f));
+        let task = match local_worker(&self.shared) {
+            Some(w) => match w.push(task) {
+                Ok(()) => {
+                    self.shared.idle_cv.notify_one();
+                    return;
+                }
+                // Local deque full: overflow to the injector.
+                Err(task) => task,
+            },
+            None => task,
+        };
+        self.shared.injected.fetch_add(1, Ordering::Relaxed);
+        self.shared.injector.lock().unwrap().push_back(task);
         self.shared.idle_cv.notify_one();
+    }
+
+    /// How many tasks took the global-injector path (cross-thread
+    /// submissions and local-deque overflows). Diagnostic counter; spawns
+    /// from worker threads should not contribute.
+    pub fn injector_pushes(&self) -> usize {
+        self.shared.injected.load(Ordering::Relaxed)
     }
 
     /// Block until every spawned task has completed.
@@ -156,6 +231,7 @@ impl Drop for Pool {
 }
 
 fn worker_loop(id: usize, worker: Worker<Task>, shared: Arc<Shared>) {
+    let _reg = WorkerReg::new(&shared, &worker);
     let n = shared.stealers.len();
     loop {
         // 1. Own deque (LIFO).
@@ -289,6 +365,79 @@ mod tests {
         }
         pool.wait();
         assert!(ids.lock().unwrap().len() >= 2, "no parallelism observed");
+    }
+
+    #[test]
+    fn worker_spawns_stay_off_the_injector() {
+        // The module docs promise "spawned tasks go to the submitting
+        // worker's deque when possible". Regression: every task used to
+        // pay the global injector mutex. Fan a root task out into many
+        // children from inside a worker; only cross-thread submissions
+        // (the root) may touch the injector.
+        let pool = Arc::new(Pool::new(2));
+        let counter = Arc::new(AtomicU64::new(0));
+        let p2 = Arc::clone(&pool);
+        let c2 = Arc::clone(&counter);
+        pool.spawn(move || {
+            for _ in 0..1_000 {
+                let c = Arc::clone(&c2);
+                p2.spawn(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        pool.wait();
+        assert_eq!(counter.load(Ordering::SeqCst), 1_000);
+        let injected = pool.injector_pushes();
+        // The root task came from this (non-worker) thread; children were
+        // spawned on a worker and must have gone to its own deque. The
+        // deque holds 8192 entries, so none of the 1000 may overflow.
+        assert_eq!(
+            injected, 1,
+            "worker-side spawns hit the injector: {injected}"
+        );
+    }
+
+    #[test]
+    fn cross_thread_spawns_still_run_via_injector() {
+        // Submissions from threads outside the pool take the injector
+        // path and must still execute.
+        let pool = Pool::new(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.spawn(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        assert_eq!(pool.injector_pushes(), 100);
+    }
+
+    #[test]
+    fn local_overflow_falls_back_to_injector() {
+        // A worker that spawns more than its deque holds (2^13) must
+        // overflow the excess to the injector, not drop or deadlock.
+        let pool = Arc::new(Pool::new(1));
+        let counter = Arc::new(AtomicU64::new(0));
+        let p2 = Arc::clone(&pool);
+        let c2 = Arc::clone(&counter);
+        let n = (1 << 13) + 500u64;
+        pool.spawn(move || {
+            for _ in 0..n {
+                let c = Arc::clone(&c2);
+                p2.spawn(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        pool.wait();
+        assert_eq!(counter.load(Ordering::SeqCst), n);
+        assert!(
+            pool.injector_pushes() > 1,
+            "overflow should have reached the injector"
+        );
     }
 
     #[test]
