@@ -10,7 +10,7 @@ use std::cell::Cell;
 use std::collections::VecDeque;
 
 use crate::deque::{deque, Stealer, Worker};
-use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use crate::sync::{thread, Arc, Condvar, Mutex};
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
@@ -67,10 +67,45 @@ struct Shared {
     /// or local-deque overflow). Diagnostic: worker-side spawns should
     /// stay local, and the contention regression test asserts they do.
     injected: AtomicUsize,
+    /// Wakeup epoch of the event-counted parking protocol: bumped after
+    /// every task is made visible (and on shutdown). A worker records the
+    /// epoch *before* its final emptiness re-check and sleeps only while
+    /// the epoch is unchanged, so a task enqueued between the re-check and
+    /// the wait is never missed.
+    epoch: AtomicU64,
+    /// Workers currently parked (or committed to parking) on `idle_cv`.
+    /// Incremented under the `idle` lock; lets `notify` skip the lock
+    /// entirely when nobody is asleep.
+    sleepers: AtomicUsize,
+    /// Times any worker returned from a park (diagnostic; an idle pool
+    /// must not accumulate these — there is no polling).
+    unparked: AtomicUsize,
     idle: Mutex<()>,
     idle_cv: Condvar,
     done: Mutex<()>,
     done_cv: Condvar,
+}
+
+impl Shared {
+    /// Wake (at most) one parked worker after making a task visible.
+    ///
+    /// The epoch bump publishes "new work exists" to any worker that is
+    /// between its emptiness re-check and its wait; the sleeper count
+    /// keeps the common case (all workers busy) lock-free.
+    fn notify_one(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _g = self.idle.lock().unwrap();
+            self.idle_cv.notify_one();
+        }
+    }
+
+    /// Wake every parked worker (shutdown).
+    fn notify_all(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        let _g = self.idle.lock().unwrap();
+        self.idle_cv.notify_all();
+    }
 }
 
 /// The work-stealing pool.
@@ -96,6 +131,9 @@ impl Pool {
             pending: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             injected: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            sleepers: AtomicUsize::new(0),
+            unparked: AtomicUsize::new(0),
             idle: Mutex::new(()),
             idle_cv: Condvar::new(),
             done: Mutex::new(()),
@@ -133,7 +171,7 @@ impl Pool {
         let task = match local_worker(&self.shared) {
             Some(w) => match w.push(task) {
                 Ok(()) => {
-                    self.shared.idle_cv.notify_one();
+                    self.shared.notify_one();
                     return;
                 }
                 // Local deque full: overflow to the injector.
@@ -143,7 +181,7 @@ impl Pool {
         };
         self.shared.injected.fetch_add(1, Ordering::Relaxed);
         self.shared.injector.lock().unwrap().push_back(task);
-        self.shared.idle_cv.notify_one();
+        self.shared.notify_one();
     }
 
     /// How many tasks took the global-injector path (cross-thread
@@ -151,6 +189,14 @@ impl Pool {
     /// from worker threads should not contribute.
     pub fn injector_pushes(&self) -> usize {
         self.shared.injected.load(Ordering::Relaxed)
+    }
+
+    /// How many times any worker has returned from a park. Diagnostic:
+    /// with event-counted parking an *idle* pool does not wake at all, so
+    /// this stays flat while no work is submitted (the old 1 ms poll
+    /// accumulated ~1000/s per worker).
+    pub fn idle_wakeups(&self) -> usize {
+        self.shared.unparked.load(Ordering::Relaxed)
     }
 
     /// Block until every spawned task has completed.
@@ -223,7 +269,7 @@ impl Pool {
 impl Drop for Pool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.idle_cv.notify_all();
+        self.shared.notify_all();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -280,23 +326,29 @@ fn worker_loop(id: usize, worker: Worker<Task>, shared: Arc<Shared>) {
             run(t, &shared);
             continue;
         }
-        // 4. Nothing anywhere: sleep unless shutting down.
+        // 4. Nothing anywhere: park until the epoch moves (no polling).
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let guard = shared.idle.lock().unwrap();
-        // Re-check under the lock to avoid lost wakeups.
+        // Event-counted parking: record the epoch, then re-check every
+        // queue. Any task made visible after this load bumps the epoch
+        // (see `notify_one`), so either the re-check sees the task or the
+        // wait loop below sees the bump — a wakeup can't be lost.
+        let epoch = shared.epoch.load(Ordering::SeqCst);
         let injector_empty = shared.injector.lock().unwrap().is_empty();
-        if injector_empty
-            && worker.is_empty()
-            && !shared.shutdown.load(Ordering::SeqCst)
-            && shared.stealers.iter().all(|s| s.is_empty())
-        {
-            let _ = shared
-                .idle_cv
-                .wait_timeout(guard, std::time::Duration::from_millis(1))
-                .unwrap();
+        if !injector_empty || !worker.is_empty() || shared.stealers.iter().any(|s| !s.is_empty()) {
+            continue;
         }
+        let mut guard = shared.idle.lock().unwrap();
+        shared.sleepers.fetch_add(1, Ordering::SeqCst);
+        while shared.epoch.load(Ordering::SeqCst) == epoch
+            && !shared.shutdown.load(Ordering::SeqCst)
+        {
+            guard = shared.idle_cv.wait(guard).unwrap();
+        }
+        shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+        drop(guard);
+        shared.unparked.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -438,6 +490,38 @@ mod tests {
             pool.injector_pushes() > 1,
             "overflow should have reached the injector"
         );
+    }
+
+    #[test]
+    fn idle_pool_parks_without_polling() {
+        // With the 1 ms poll, 4 idle workers accumulated ~4 wakeups per
+        // millisecond; event-counted parking must show none at all while
+        // no work arrives.
+        let pool = Pool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..16 {
+            let c = Arc::clone(&counter);
+            pool.spawn(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait();
+        // Let every worker finish draining and park.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let settled = pool.idle_wakeups();
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        assert_eq!(
+            pool.idle_wakeups(),
+            settled,
+            "idle workers woke up with no work submitted (polling?)"
+        );
+        // And the pool still works afterwards.
+        let c = Arc::clone(&counter);
+        pool.spawn(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.wait();
+        assert_eq!(counter.load(Ordering::SeqCst), 17);
     }
 
     #[test]

@@ -234,6 +234,36 @@ fn pool_runs_all_tasks_under_random_schedules() {
     assert!(report.failure.is_none(), "{report}");
 }
 
+/// Park/notify litmus for the event-counted parking protocol: a single
+/// worker racing a single spawn is the minimal lost-wakeup shape — the
+/// spawn's epoch bump may land anywhere between the worker's emptiness
+/// re-check and its untimed wait. DFS at preemption bound 2 explores the
+/// dangerous interleavings; a lost wakeup hangs the `wait()` and is
+/// reported as a deadlock. (The body is too large to finish exhaustively;
+/// we bound schedules and assert no failure was found.)
+#[cfg(not(feature = "seeded_race"))]
+#[test]
+fn pool_park_notify_loses_no_wakeup() {
+    use xxi_check::sync::atomic::{AtomicU64, Ordering};
+    let report = Checker::new()
+        .name("pool-park-notify")
+        .preemption_bound(2)
+        .max_schedules(400)
+        .max_steps(200_000)
+        .run(|| {
+            let pool = xxi_stack::pool::Pool::new(1);
+            let counter = Arc::new(AtomicU64::new(0));
+            let c = Arc::clone(&counter);
+            pool.spawn(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+            pool.wait();
+            assert_eq!(counter.load(Ordering::SeqCst), 1, "task lost");
+            drop(pool);
+        });
+    assert!(report.failure.is_none(), "{report}");
+}
+
 /// Regression: the planted check-then-act lock acquisition (`seeded_race`)
 /// must be caught within the 10k-schedule budget, with a deterministic,
 /// replayable interleaving trace.
