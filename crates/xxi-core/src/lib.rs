@@ -24,6 +24,10 @@
 //! * [`rng`] — deterministic, splittable pseudo-random generation plus the
 //!   distributions the workload generators need (exponential, log-normal,
 //!   Pareto, Zipf, normal).
+//! * [`par`] — the executor seam for the Monte Carlo hot loops: the
+//!   [`par::Parallelism`] trait (implemented by `xxi-stack`'s pool), the
+//!   [`par::Serial`] default, and the fixed-grain [`par::mc_chunks`]
+//!   chunking that keeps parallel runs byte-identical to serial ones.
 //! * [`table`] — plain-text table rendering used by every `exp_*` experiment
 //!   binary so that reproduced tables look like the paper's.
 //! * [`metrics`] — a lightweight named-counter registry shared by simulators.
@@ -44,6 +48,7 @@ pub mod des;
 pub mod error;
 pub mod metrics;
 pub mod obs;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod table;
@@ -53,6 +58,7 @@ pub mod units;
 pub use des::Sim;
 pub use error::{Result, XxiError};
 pub use obs::{EnergyLedger, Layer, LogHistogram, SpanId, Trace};
+pub use par::{Parallelism, Serial};
 pub use rng::Rng64;
 pub use stats::{Histogram, P2Quantile, Streaming, Summary};
 pub use table::Table;

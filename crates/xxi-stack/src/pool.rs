@@ -6,8 +6,11 @@
 //! rotating order. This is the "orchestrate fine-grain multitasking"
 //! runtime of §2.2 in ~250 lines; experiment E18 measures its scaling.
 
+use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 use crate::deque::{deque, Stealer, Worker};
 use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -108,6 +111,36 @@ impl Shared {
     }
 }
 
+/// Completion state of one `run_scoped` call: how many chunk tasks are
+/// still outstanding, the first panic payload (if any), and the condvar an
+/// external waiter parks on. Chunk tasks hold it via `Arc` so it outlives
+/// the scope even if a task is still unwinding when the counter drops.
+struct ScopeState {
+    remaining: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+/// A raw pointer that may cross threads when the pointee transfer is safe
+/// (`T: Send`) and access is to disjoint regions. Used by the scoped APIs
+/// to hand each chunk task its own slice of the result buffer.
+struct RawSlots<T>(*mut T);
+
+impl<T> RawSlots<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `Sync` wrapper, not the bare `*mut` field.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+// SAFETY: `RawSlots` is only ever used by the scoped APIs below, which
+// hand each task exclusive access to a disjoint index range of the
+// allocation and join every task before the buffer is read or freed.
+unsafe impl<T: Send> Send for RawSlots<T> {}
+unsafe impl<T: Send> Sync for RawSlots<T> {}
+
 /// The work-stealing pool.
 pub struct Pool {
     shared: Arc<Shared>,
@@ -207,62 +240,223 @@ impl Pool {
         }
     }
 
+    /// Run `f(i)` for every `i in 0..tasks` on the pool and block until
+    /// all invocations complete. Scoped: `f` may borrow from the caller's
+    /// stack — no `'static` bound. A panic in any invocation is re-raised
+    /// here (first one wins) after every task has finished.
+    ///
+    /// Safe to call from inside a pool task: the waiting thread *helps*
+    /// (drains its own deque, the injector, then steals), so nested scopes
+    /// make progress even on a one-worker pool.
+    pub fn run_scoped(&self, tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if let Err(payload) = self.try_run_scoped(tasks, f) {
+            resume_unwind(payload);
+        }
+    }
+
+    fn try_run_scoped(
+        &self,
+        tasks: usize,
+        f: &(dyn Fn(usize) + Sync),
+    ) -> Result<(), Box<dyn Any + Send>> {
+        if tasks == 0 {
+            return Ok(());
+        }
+        // SAFETY: the reference is only lifetime-erased, never retyped.
+        // We do not return until `remaining` reaches zero, i.e. until
+        // every task wrapper (each of which holds the erased reference)
+        // has finished running — so the erased `'static` never actually
+        // outlives the caller's borrow.
+        let f: &'static (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+        };
+        let scope = Arc::new(ScopeState {
+            remaining: AtomicUsize::new(tasks),
+            panic: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        for i in 0..tasks {
+            let scope = Arc::clone(&scope);
+            self.inject(Box::new(move || {
+                // Catch so a panicking chunk still counts down (the scope
+                // would otherwise wait forever) and the payload reaches
+                // the scoped caller instead of killing a worker.
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    let mut slot = scope.panic.lock().unwrap();
+                    if slot.is_none() {
+                        *slot = Some(p);
+                    }
+                }
+                if scope.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    let mut done = scope.done.lock().unwrap();
+                    *done = true;
+                    scope.done_cv.notify_all();
+                }
+            }));
+        }
+        // Help while waiting; park only when every queue is empty, which
+        // means the remaining chunks are already running on other threads.
+        while scope.remaining.load(Ordering::SeqCst) != 0 {
+            if self.help_one() {
+                continue;
+            }
+            let done = scope.done.lock().unwrap();
+            if !*done {
+                drop(scope.done_cv.wait(done).unwrap());
+            }
+        }
+        let payload = scope.panic.lock().unwrap().take();
+        match payload {
+            Some(p) => Err(p),
+            None => Ok(()),
+        }
+    }
+
+    /// Run one queued task on the calling thread, if any is available:
+    /// the caller's own deque (when it is a worker), then the injector,
+    /// then a steal. Returns whether a task was run.
+    fn help_one(&self) -> bool {
+        let shared = &self.shared;
+        if let Some(w) = local_worker(shared) {
+            if let Some(t) = w.pop() {
+                run(t, shared);
+                return true;
+            }
+        }
+        let t = shared.injector.lock().unwrap().pop_front();
+        if let Some(t) = t {
+            run(t, shared);
+            return true;
+        }
+        for s in &shared.stealers {
+            if let Some(t) = s.steal() {
+                run(t, shared);
+                return true;
+            }
+        }
+        false
+    }
+
     /// Apply `f` to every index in `0..n` in parallel; returns the results
-    /// in order.
+    /// in order. Scoped: `f` may borrow from the caller's stack. Each
+    /// chunk task writes its results straight into a disjoint range of the
+    /// output buffer — no lock on the result path.
     pub fn parallel_map<R, F>(&self, n: usize, f: F) -> Vec<R>
     where
-        R: Send + 'static,
-        F: Fn(usize) -> R + Send + Sync + 'static,
+        R: Send,
+        F: Fn(usize) -> R + Sync,
     {
         if n == 0 {
             return Vec::new();
         }
-        let f = Arc::new(f);
-        let results: Arc<Mutex<Vec<Option<R>>>> =
-            Arc::new(Mutex::new((0..n).map(|_| None).collect()));
         // Chunk so task count ~ 8× threads (grain control).
         let chunks = (self.threads() * 8).min(n).max(1);
         let chunk = n.div_ceil(chunks);
-        for c in 0..chunks {
+        let mut slots: Vec<MaybeUninit<R>> = (0..n).map(|_| MaybeUninit::uninit()).collect();
+        // Per-chunk count of initialized slots, kept current so the panic
+        // path below knows exactly which results exist and must be dropped.
+        let progress: Vec<AtomicUsize> = (0..chunks).map(|_| AtomicUsize::new(0)).collect();
+        let base = RawSlots(slots.as_mut_ptr());
+        let outcome = self.try_run_scoped(chunks, &|c| {
             let lo = c * chunk;
             let hi = ((c + 1) * chunk).min(n);
-            if lo >= hi {
-                break;
+            for i in lo..hi {
+                let v = f(i);
+                // SAFETY: chunk `c` exclusively owns slots `lo..hi`; the
+                // ranges of distinct chunks are disjoint and the buffer
+                // outlives the scope (try_run_scoped joins all tasks).
+                unsafe { (*base.get().add(i)).write(v) };
+                progress[c].store(i - lo + 1, Ordering::Release);
             }
-            let f = Arc::clone(&f);
-            let results = Arc::clone(&results);
-            self.spawn(move || {
-                let vals: Vec<(usize, R)> = (lo..hi).map(|i| (i, f(i))).collect();
-                let mut g = results.lock().unwrap();
-                for (i, v) in vals {
-                    g[i] = Some(v);
+        });
+        match outcome {
+            Ok(()) => {
+                let mut slots = ManuallyDrop::new(slots);
+                // SAFETY: the scope completed without panic, so every
+                // chunk ran to `hi` and all `n` slots are initialized;
+                // `MaybeUninit<R>` has the same layout as `R`.
+                unsafe { Vec::from_raw_parts(slots.as_mut_ptr().cast::<R>(), n, n) }
+            }
+            Err(payload) => {
+                // Drop exactly the initialized prefix of each chunk, then
+                // re-raise. All tasks have finished, so `progress` is
+                // final and no slot is concurrently written.
+                for (c, p) in progress.iter().enumerate() {
+                    let lo = c * chunk;
+                    let initialized = p.load(Ordering::Acquire);
+                    for slot in slots.iter_mut().skip(lo).take(initialized) {
+                        // SAFETY: slots `lo..lo+progress[c]` were
+                        // initialized by chunk `c` and are dropped once.
+                        unsafe { slot.assume_init_drop() };
+                    }
                 }
-            });
+                resume_unwind(payload)
+            }
         }
-        self.wait();
-        let mut g = results.lock().unwrap();
-        g.drain(..).map(|o| o.expect("task completed")).collect()
+    }
+
+    /// Process `data` in parallel as disjoint `grain`-sized chunks:
+    /// `f(chunk_index, chunk)` gets exclusive access to
+    /// `data[chunk_index*grain ..]` (at most `grain` elements). Scoped:
+    /// `f` may borrow. Chunk boundaries depend only on `data.len()` and
+    /// `grain`, never on the thread count — callers that seed per-chunk
+    /// RNG substreams get thread-count-independent results.
+    pub fn parallel_chunks<T, F>(&self, data: &mut [T], grain: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(grain > 0, "grain must be positive");
+        let n = data.len();
+        if n == 0 {
+            return;
+        }
+        let tasks = n.div_ceil(grain);
+        let base = RawSlots(data.as_mut_ptr());
+        self.run_scoped(tasks, &|c| {
+            let lo = c * grain;
+            let hi = ((c + 1) * grain).min(n);
+            // SAFETY: chunk `c` exclusively covers `lo..hi`; ranges of
+            // distinct chunks are disjoint, and the borrow of `data`
+            // outlives the scope (run_scoped joins all tasks).
+            let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo) };
+            f(c, chunk);
+        });
     }
 
     /// Parallel sum of `f(i)` over `0..n` (reduction helper).
     pub fn parallel_sum<F>(&self, n: usize, f: F) -> f64
     where
-        F: Fn(usize) -> f64 + Send + Sync + 'static,
+        F: Fn(usize) -> f64 + Sync,
     {
-        self.parallel_map(self.threads().min(n.max(1)), {
-            let threads = self.threads().min(n.max(1));
-            move |t| {
-                let mut acc = 0.0;
-                let mut i = t;
-                while i < n {
-                    acc += f(i);
-                    i += threads;
-                }
-                acc
+        let threads = self.threads().min(n.max(1));
+        self.parallel_map(threads, |t| {
+            let mut acc = 0.0;
+            let mut i = t;
+            while i < n {
+                acc += f(i);
+                i += threads;
             }
+            acc
         })
         .into_iter()
         .sum()
+    }
+}
+
+/// The pool is the multi-threaded implementation of the executor seam the
+/// Monte Carlo loops in `xxi-cloud` are written against ([`Serial`] being
+/// the other one).
+///
+/// [`Serial`]: xxi_core::par::Serial
+impl xxi_core::par::Parallelism for Pool {
+    fn threads(&self) -> usize {
+        Pool::threads(self)
+    }
+
+    fn for_tasks(&self, tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        self.run_scoped(tasks, f);
     }
 }
 
@@ -490,6 +684,110 @@ mod tests {
             pool.injector_pushes() > 1,
             "overflow should have reached the injector"
         );
+    }
+
+    #[test]
+    fn parallel_map_borrows_from_the_stack() {
+        // The scoped API's point: no 'static bound, captures may borrow.
+        let pool = Pool::new(2);
+        let data: Vec<u64> = (0..100).collect();
+        let out = pool.parallel_map(100, |i| data[i] * 2);
+        assert_eq!(out[7], 14);
+        assert_eq!(out.len(), 100);
+        assert_eq!(data.len(), 100); // still borrowed, still alive
+    }
+
+    #[test]
+    fn parallel_chunks_writes_disjoint_slices() {
+        let pool = Pool::new(4);
+        let mut data = vec![0u64; 10_000];
+        pool.parallel_chunks(&mut data, 256, |c, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (c * 256 + k) as u64;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u64);
+        }
+    }
+
+    #[test]
+    fn parallel_map_propagates_panics_and_pool_survives() {
+        let pool = Pool::new(2);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_map(64, |i| {
+                if i == 17 {
+                    panic!("boom at 17");
+                }
+                i
+            })
+        }));
+        let payload = r.expect_err("panic must propagate to the caller");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(msg.contains("boom"), "wrong payload: {msg:?}");
+        // The panic was contained to the scope: workers are alive and the
+        // pool still runs work.
+        let out = pool.parallel_map(10, |i| i + 1);
+        assert_eq!(out[9], 10);
+    }
+
+    #[test]
+    fn parallel_map_panic_drops_each_result_exactly_once() {
+        static CREATED: AtomicU64 = AtomicU64::new(0);
+        static DROPPED: AtomicU64 = AtomicU64::new(0);
+        struct Counted;
+        impl Counted {
+            fn new() -> Counted {
+                CREATED.fetch_add(1, Ordering::SeqCst);
+                Counted
+            }
+        }
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPPED.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let pool = Pool::new(2);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_map(100, |i| {
+                if i == 99 {
+                    panic!("last index");
+                }
+                Counted::new()
+            })
+        }));
+        assert!(r.is_err());
+        // Every result that was constructed must have been dropped by the
+        // cleanup path — no leaks, no double drops.
+        assert_eq!(
+            CREATED.load(Ordering::SeqCst),
+            DROPPED.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn nested_scopes_on_one_worker_do_not_deadlock() {
+        // A worker that opens a scope must help run its own chunks; with a
+        // single worker there is no one else to do it.
+        let pool = Pool::new(1);
+        let out = pool.parallel_map(4, |i| {
+            let inner = pool.parallel_map(4, |j| i * 10 + j);
+            inner.into_iter().sum::<usize>()
+        });
+        assert_eq!(out, vec![6, 46, 86, 126]);
+    }
+
+    #[test]
+    fn scoped_wait_from_external_thread_completes() {
+        // run_scoped from a non-worker thread parks on the scope condvar
+        // (it may help via the injector); completion must wake it.
+        let pool = Pool::new(2);
+        let hits = AtomicU64::new(0);
+        pool.run_scoped(32, &|_| {
+            std::thread::sleep(std::time::Duration::from_micros(100));
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 32);
     }
 
     #[test]
