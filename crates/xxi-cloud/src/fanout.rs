@@ -11,6 +11,7 @@
 use serde::Serialize;
 
 use crate::latency::LatencyDist;
+use xxi_core::par::{mc_chunks, Parallelism, Serial};
 use xxi_core::rng::Rng64;
 use xxi_core::stats::Summary;
 
@@ -45,22 +46,48 @@ pub struct FanoutResult {
 
 /// Simulate `trials` requests, each the max of `fanout` leaf draws.
 pub fn fanout_latency(dist: LatencyDist, fanout: u32, trials: usize, seed: u64) -> FanoutResult {
+    fanout_latency_on(dist, fanout, trials, seed, &Serial)
+}
+
+/// [`fanout_latency`] on an explicit executor. Chunked via [`mc_chunks`]:
+/// the result is a pure function of the arguments — byte-identical for
+/// every executor and thread count.
+pub fn fanout_latency_on(
+    dist: LatencyDist,
+    fanout: u32,
+    trials: usize,
+    seed: u64,
+    exec: &dyn Parallelism,
+) -> FanoutResult {
     assert!(fanout >= 1 && trials > 0);
-    let mut rng = Rng64::new(seed);
+    // Domain-separated sub-seeds: the p99 calibration and the measured
+    // trials draw from disjoint substream families.
+    let mut root = Rng64::new(seed);
+    let calib_seed = root.next_u64();
+    let trial_seed = root.next_u64();
     // Estimate the single-leaf p99 first.
-    let leaf = dist.sample_summary(200_000, &mut rng);
+    let leaf = dist.sample_summary_on(200_000, calib_seed, exec);
     let leaf_p99 = leaf.percentile(99.0);
 
+    let per_chunk = mc_chunks(exec, trials, trial_seed, |r, rng| {
+        let mut maxima = Vec::with_capacity(r.len());
+        let mut hit = 0usize;
+        for _ in r {
+            let worst = (0..fanout)
+                .map(|_| dist.sample(rng))
+                .fold(f64::MIN, f64::max);
+            if worst > leaf_p99 {
+                hit += 1;
+            }
+            maxima.push(worst);
+        }
+        (maxima, hit)
+    });
     let mut maxima = Vec::with_capacity(trials);
     let mut hit = 0usize;
-    for _ in 0..trials {
-        let worst = (0..fanout)
-            .map(|_| dist.sample(&mut rng))
-            .fold(f64::MIN, f64::max);
-        if worst > leaf_p99 {
-            hit += 1;
-        }
-        maxima.push(worst);
+    for (m, h) in per_chunk {
+        maxima.extend(m);
+        hit += h;
     }
     let s = Summary::from_slice(&maxima);
     FanoutResult {
@@ -79,9 +106,22 @@ pub fn fanout_sweep(
     trials: usize,
     seed: u64,
 ) -> Vec<FanoutResult> {
+    fanout_sweep_on(dist, fanouts, trials, seed, &Serial)
+}
+
+/// [`fanout_sweep`] on an explicit executor: each degree's Monte Carlo
+/// runs its chunks on `exec`; the sweep order (and every number) is
+/// executor-independent.
+pub fn fanout_sweep_on(
+    dist: LatencyDist,
+    fanouts: &[u32],
+    trials: usize,
+    seed: u64,
+    exec: &dyn Parallelism,
+) -> Vec<FanoutResult> {
     fanouts
         .iter()
-        .map(|&f| fanout_latency(dist, f, trials, seed ^ f as u64))
+        .map(|&f| fanout_latency_on(dist, f, trials, seed ^ f as u64, exec))
         .collect()
 }
 

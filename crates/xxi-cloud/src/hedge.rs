@@ -13,6 +13,7 @@
 use serde::Serialize;
 
 use crate::latency::LatencyDist;
+use xxi_core::par::{mc_chunks, Parallelism, Serial};
 use xxi_core::rng::Rng64;
 use xxi_core::stats::Summary;
 
@@ -52,16 +53,44 @@ pub fn hedge_experiment(
     trials: usize,
     seed: u64,
 ) -> HedgeOutcome {
+    hedge_experiment_on(dist, deadline_quantile, trials, seed, &Serial)
+}
+
+/// [`hedge_experiment`] on an explicit executor; byte-identical output
+/// for every executor and thread count.
+///
+/// The deadline calibration draws from its own sub-seed, independent of
+/// the measured trials. (The original implementation calibrated from
+/// 200k draws of the *same* `Rng64` stream that then drove the trials,
+/// correlating the deadline estimate with the measurement.)
+pub fn hedge_experiment_on(
+    dist: LatencyDist,
+    deadline_quantile: f64,
+    trials: usize,
+    seed: u64,
+    exec: &dyn Parallelism,
+) -> HedgeOutcome {
     assert!((0.0..1.0).contains(&deadline_quantile));
-    let mut rng = Rng64::new(seed);
-    let base = dist.sample_summary(200_000, &mut rng);
+    let mut root = Rng64::new(seed);
+    let calib_seed = root.next_u64();
+    let trial_seed = root.next_u64();
+    let base = dist.sample_summary_on(200_000, calib_seed, exec);
     let deadline = base.percentile(deadline_quantile * 100.0);
+    let per_chunk = mc_chunks(exec, trials, trial_seed, |r, rng| {
+        let mut xs = Vec::with_capacity(r.len());
+        let mut hedged = 0usize;
+        for _ in r {
+            let (t, h) = hedged_request(&dist, deadline, rng);
+            xs.push(t);
+            hedged += h as usize;
+        }
+        (xs, hedged)
+    });
     let mut xs = Vec::with_capacity(trials);
     let mut hedged = 0usize;
-    for _ in 0..trials {
-        let (t, h) = hedged_request(&dist, deadline, &mut rng);
-        xs.push(t);
-        hedged += h as usize;
+    for (x, h) in per_chunk {
+        xs.extend(x);
+        hedged += h;
     }
     let s = Summary::from_slice(&xs);
     HedgeOutcome {
@@ -99,10 +128,24 @@ pub fn tied_experiment(
     trials: usize,
     seed: u64,
 ) -> (f64, f64, f64) {
-    let mut rng = Rng64::new(seed);
-    let xs: Vec<f64> = (0..trials)
-        .map(|_| tied_request(&dist, queue_mean_ms, cancel_ms, &mut rng))
-        .collect();
+    tied_experiment_on(dist, queue_mean_ms, cancel_ms, trials, seed, &Serial)
+}
+
+/// [`tied_experiment`] on an explicit executor; byte-identical output
+/// for every executor and thread count.
+pub fn tied_experiment_on(
+    dist: LatencyDist,
+    queue_mean_ms: f64,
+    cancel_ms: f64,
+    trials: usize,
+    seed: u64,
+    exec: &dyn Parallelism,
+) -> (f64, f64, f64) {
+    let chunks = mc_chunks(exec, trials, seed, |r, rng| {
+        r.map(|_| tied_request(&dist, queue_mean_ms, cancel_ms, rng))
+            .collect::<Vec<f64>>()
+    });
+    let xs: Vec<f64> = chunks.into_iter().flatten().collect();
     let s = Summary::from_slice(&xs);
     (s.median(), s.percentile(99.0), s.percentile(99.9))
 }
@@ -167,6 +210,28 @@ mod tests {
             "tied p999={p999} single={}",
             s.percentile(99.9)
         );
+    }
+
+    #[test]
+    fn measured_trials_never_touch_the_calibration_stream() {
+        // Regression: the deadline used to be calibrated from 200k draws
+        // of the same Rng64 stream that then drove the measured trials,
+        // so the measurement depended on the calibration. With disjoint
+        // sub-seeds the trial draws are reproducible without performing a
+        // single calibration draw.
+        let dist = LatencyDist::typical_leaf();
+        let out = hedge_experiment(dist, 0.95, 20_000, 13);
+        let mut root = Rng64::new(13);
+        let _calib_seed = root.next_u64();
+        let trial_seed = root.next_u64();
+        let chunks = mc_chunks(&Serial, 20_000, trial_seed, |r, rng| {
+            r.map(|_| hedged_request(&dist, out.deadline_ms, rng).0)
+                .collect::<Vec<f64>>()
+        });
+        let xs: Vec<f64> = chunks.into_iter().flatten().collect();
+        let s = Summary::from_slice(&xs);
+        assert_eq!(s.median().to_bits(), out.p50.to_bits());
+        assert_eq!(s.percentile(99.9).to_bits(), out.p999.to_bits());
     }
 
     #[test]

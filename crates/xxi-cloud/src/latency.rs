@@ -6,6 +6,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use xxi_core::par::{mc_chunks, Parallelism};
 use xxi_core::rng::Rng64;
 use xxi_core::stats::Summary;
 
@@ -77,6 +78,20 @@ impl LatencyDist {
     /// Draw `n` samples into a [`Summary`].
     pub fn sample_summary(&self, n: usize, rng: &mut Rng64) -> Summary {
         let xs: Vec<f64> = (0..n).map(|_| self.sample(rng)).collect();
+        Summary::from_slice(&xs)
+    }
+
+    /// Draw `n` samples seeded by `seed` into a [`Summary`], on `exec`.
+    ///
+    /// Chunked through [`mc_chunks`]: the result is a pure function of
+    /// `(self, n, seed)` — identical for every executor and thread count.
+    /// (It differs from [`LatencyDist::sample_summary`] on a fresh
+    /// generator with the same seed; the substream layout is different.)
+    pub fn sample_summary_on(&self, n: usize, seed: u64, exec: &dyn Parallelism) -> Summary {
+        let chunks = mc_chunks(exec, n, seed, |r, rng| {
+            r.map(|_| self.sample(rng)).collect::<Vec<f64>>()
+        });
+        let xs: Vec<f64> = chunks.into_iter().flatten().collect();
         Summary::from_slice(&xs)
     }
 }

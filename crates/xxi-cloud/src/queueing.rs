@@ -7,10 +7,13 @@
 //! this to connect "run your servers hotter" to "your fan-out tail gets
 //! worse".
 
+use std::sync::Mutex;
+
 use serde::Serialize;
 
 use crate::latency::LatencyDist;
 use xxi_core::des::Sim;
+use xxi_core::par::Parallelism;
 use xxi_core::rng::Rng64;
 use xxi_core::stats::Summary;
 use xxi_core::time::SimTime;
@@ -110,6 +113,26 @@ impl MG1Queue {
     }
 }
 
+/// Run one [`MG1Queue::run`] per configuration on `exec`; results come
+/// back in input order. Each run is the sequential DES with its own seed,
+/// so the numbers are independent of the executor — only the wall clock
+/// changes when configurations run concurrently.
+pub fn mg1_sweep_on(
+    queues: &[MG1Queue],
+    requests: usize,
+    seed: u64,
+    exec: &dyn Parallelism,
+) -> Vec<QueueResult> {
+    let slots: Vec<Mutex<Option<QueueResult>>> = queues.iter().map(|_| Mutex::new(None)).collect();
+    exec.for_tasks(queues.len(), &|i| {
+        *slots[i].lock().unwrap() = Some(queues[i].run(requests, seed));
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("sweep task completed"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +188,19 @@ mod tests {
         let mm_tail = mm.p99 / 1.0;
         let mg_tail = mg.p99 / mean_s;
         assert!(mg_tail > mm_tail, "mg={mg_tail} mm={mm_tail}");
+    }
+
+    #[test]
+    fn sweep_on_serial_matches_individual_runs() {
+        let qs = [mm1(0.3), mm1(0.6)];
+        let sweep = mg1_sweep_on(&qs, 50_000, 9, &xxi_core::par::Serial);
+        assert_eq!(sweep.len(), 2);
+        for (r, q) in sweep.iter().zip(&qs) {
+            let solo = q.run(50_000, 9);
+            assert_eq!(r.mean_ms.to_bits(), solo.mean_ms.to_bits());
+            assert_eq!(r.p99.to_bits(), solo.p99.to_bits());
+            assert_eq!(r.completed, solo.completed);
+        }
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Parallel Monte Carlo must be *byte-identical* to serial.
+//!
+//! The experiment loops in `xxi-cloud` run on the `xxi_core::par`
+//! executor seam with fixed-grain chunking and per-chunk RNG substreams;
+//! `xxi-stack`'s pool is the multi-threaded implementation. These tests
+//! pin the whole contract: every number an experiment prints is the same
+//! for `Serial` and for pools of any size — the thread count changes the
+//! wall clock and nothing else.
+
+use xxi::cloud::fanout::{fanout_latency_on, fanout_sweep_on};
+use xxi::cloud::hedge::{hedge_experiment_on, tied_experiment_on};
+use xxi::cloud::latency::LatencyDist;
+use xxi::cloud::queueing::{mg1_sweep_on, MG1Queue};
+use xxi::core::par::Serial;
+use xxi::stack::Pool;
+
+#[test]
+fn fanout_pool_matches_serial_bit_for_bit() {
+    let dist = LatencyDist::typical_leaf();
+    let serial = fanout_latency_on(dist, 50, 30_000, 42, &Serial);
+    for threads in [1, 4] {
+        let pool = Pool::new(threads);
+        let par = fanout_latency_on(dist, 50, 30_000, 42, &pool);
+        assert_eq!(par.p50.to_bits(), serial.p50.to_bits());
+        assert_eq!(par.p99.to_bits(), serial.p99.to_bits());
+        assert_eq!(par.mean.to_bits(), serial.mean.to_bits());
+        assert_eq!(par.frac_hit_by_leaf_p99, serial.frac_hit_by_leaf_p99);
+    }
+}
+
+#[test]
+fn fanout_sweep_pool_matches_serial_bit_for_bit() {
+    let dist = LatencyDist::typical_leaf();
+    let fanouts = [1u32, 10, 100];
+    let serial = fanout_sweep_on(dist, &fanouts, 10_000, 7, &Serial);
+    let pool = Pool::new(4);
+    let par = fanout_sweep_on(dist, &fanouts, 10_000, 7, &pool);
+    assert_eq!(serial.len(), par.len());
+    for (s, p) in serial.iter().zip(&par) {
+        assert_eq!(s.fanout, p.fanout);
+        assert_eq!(s.p50.to_bits(), p.p50.to_bits());
+        assert_eq!(s.p99.to_bits(), p.p99.to_bits());
+    }
+}
+
+#[test]
+fn hedge_and_tied_pool_match_serial_bit_for_bit() {
+    let dist = LatencyDist::typical_leaf();
+    let hs = hedge_experiment_on(dist, 0.95, 50_000, 10, &Serial);
+    let ts = tied_experiment_on(dist, 4.0, 1.0, 50_000, 8, &Serial);
+    let pool = Pool::new(4);
+    let hp = hedge_experiment_on(dist, 0.95, 50_000, 10, &pool);
+    let tp = tied_experiment_on(dist, 4.0, 1.0, 50_000, 8, &pool);
+    assert_eq!(hs.deadline_ms.to_bits(), hp.deadline_ms.to_bits());
+    assert_eq!(hs.p50.to_bits(), hp.p50.to_bits());
+    assert_eq!(hs.p99.to_bits(), hp.p99.to_bits());
+    assert_eq!(hs.p999.to_bits(), hp.p999.to_bits());
+    assert_eq!(hs.extra_load, hp.extra_load);
+    assert_eq!(ts.0.to_bits(), tp.0.to_bits());
+    assert_eq!(ts.1.to_bits(), tp.1.to_bits());
+    assert_eq!(ts.2.to_bits(), tp.2.to_bits());
+}
+
+#[test]
+fn mg1_sweep_pool_matches_serial_bit_for_bit() {
+    let queues: Vec<MG1Queue> = [0.3, 0.6, 0.85]
+        .iter()
+        .map(|&rho| MG1Queue {
+            lambda_per_ms: rho,
+            service: LatencyDist::Exp { mean_ms: 1.0 },
+        })
+        .collect();
+    let serial = mg1_sweep_on(&queues, 30_000, 8, &Serial);
+    let pool = Pool::new(4);
+    let par = mg1_sweep_on(&queues, 30_000, 8, &pool);
+    for (s, p) in serial.iter().zip(&par) {
+        assert_eq!(s.rho.to_bits(), p.rho.to_bits());
+        assert_eq!(s.mean_ms.to_bits(), p.mean_ms.to_bits());
+        assert_eq!(s.p99.to_bits(), p.p99.to_bits());
+        assert_eq!(s.completed, p.completed);
+    }
+}
+
+#[test]
+fn trial_prefix_property_of_fixed_grain_chunks() {
+    // Fixed-grain substreams mean a longer run's first chunks equal a
+    // shorter run's chunks: growing an experiment never rewrites history.
+    use xxi::core::par::{mc_chunks, MC_GRAIN};
+    let long = mc_chunks(&Serial, 3 * MC_GRAIN, 5, |r, rng| {
+        r.map(|_| rng.next_u64()).collect::<Vec<u64>>()
+    });
+    let short = mc_chunks(&Serial, 2 * MC_GRAIN, 5, |r, rng| {
+        r.map(|_| rng.next_u64()).collect::<Vec<u64>>()
+    });
+    assert_eq!(long[..2], short[..]);
+}
