@@ -1,7 +1,15 @@
 //! E17 — Table A.2 "Always Online": five-nines availability from
 //! checkpoint/restart and replication, at what cost.
+//!
+//! Accepts `--threads <N>`: the checkpoint interval sweep (5 intervals
+//! x 8 seeds, each a 100 h simulated job) fans out on the work-stealing
+//! pool; every printed number is byte-identical for every `N`.
 
-use xxi_bench::{banner, quantile_row, quantile_table, save_trace, section, trace_arg};
+use std::sync::Mutex;
+
+use xxi_bench::{
+    banner, executor, quantile_row, quantile_table, save_trace, section, threads_arg, trace_arg,
+};
 use xxi_cloud::obs::ObservedFanout;
 use xxi_core::obs::Trace;
 use xxi_core::table::fnum;
@@ -12,6 +20,7 @@ use xxi_rel::checkpoint::{availability, efficiency, nines, young_daly_interval, 
 fn main() {
     banner("E17", "Table A.2: 'Always Online' — five 9s at every scale");
     let trace_path = trace_arg();
+    let exec = executor(threads_arg());
 
     let delta = Seconds(30.0);
     let restart = Seconds(120.0);
@@ -33,21 +42,31 @@ fn main() {
     let mtbf = Seconds::from_hours(4.0);
     let yd = young_daly_interval(delta, mtbf);
     let mut t = Table::new(&["tau / tau*", "efficiency", "failures survived"]);
-    for mult in [0.0625, 0.25, 1.0, 4.0, 16.0] {
+    let mults = [0.0625, 0.25, 1.0, 4.0, 16.0];
+    // All (interval, seed) pairs fan out together; each slot holds one
+    // run's (efficiency, failures). Aggregation below walks the slots in
+    // a fixed order, so the table is executor-independent.
+    let slots: Vec<Mutex<Option<(f64, u64)>>> =
+        (0..mults.len() * 8).map(|_| Mutex::new(None)).collect();
+    exec.for_tasks(slots.len(), &|k| {
         let sim = CheckpointSim {
-            tau: Seconds(yd.value() * mult),
+            tau: Seconds(yd.value() * mults[k / 8]),
             delta,
             restart,
             mtbf,
         };
+        let o = sim.run(Seconds::from_hours(100.0), (k % 8) as u64);
+        *slots[k].lock().unwrap() = Some((o.efficiency, o.failures));
+    });
+    for (m, mult) in mults.iter().enumerate() {
         let mut eff = 0.0;
         let mut fails = 0u64;
         for s in 0..8 {
-            let o = sim.run(Seconds::from_hours(100.0), s);
-            eff += o.efficiency / 8.0;
-            fails += o.failures / 8;
+            let (e, f) = slots[m * 8 + s].lock().unwrap().expect("sweep task ran");
+            eff += e / 8.0;
+            fails += f / 8;
         }
-        t.row(&[fnum(mult), fnum(eff), fails.to_string()]);
+        t.row(&[fnum(*mult), fnum(eff), fails.to_string()]);
     }
     t.print();
 

@@ -1,13 +1,15 @@
 //! E9 — §2.1: "if 100 systems must jointly respond, 63% of requests incur
 //! the 99th-percentile delay" — plus why tails exist and how to cut them.
+//!
+//! Accepts `--threads <N>`: the Monte Carlo runs on the work-stealing
+//! pool, and the printed tables are byte-identical for every `N`.
 
-use xxi_bench::{banner, section};
-use xxi_cloud::fanout::{analytic_straggler_prob, fanout_sweep};
-use xxi_cloud::hedge::hedge_experiment;
+use xxi_bench::{banner, executor, section, threads_arg};
+use xxi_cloud::fanout::{analytic_straggler_prob, fanout_sweep_on};
+use xxi_cloud::hedge::hedge_experiment_on;
 use xxi_cloud::latency::LatencyDist;
-use xxi_cloud::queueing::MG1Queue;
+use xxi_cloud::queueing::{mg1_sweep_on, MG1Queue};
 use xxi_core::table::fnum;
-use xxi_core::Rng64;
 use xxi_core::Table;
 
 fn main() {
@@ -15,6 +17,8 @@ fn main() {
         "E9",
         "§2.1: 'if 100 systems must jointly respond ... 63% of requests'",
     );
+    let exec = executor(threads_arg());
+    let exec = &*exec;
 
     let leaf = LatencyDist::typical_leaf();
 
@@ -27,7 +31,7 @@ fn main() {
         "p99 (ms)",
         "mean (ms)",
     ]);
-    for r in fanout_sweep(leaf, &[1, 10, 50, 100, 500, 1000], 20_000, 42) {
+    for r in fanout_sweep_on(leaf, &[1, 10, 50, 100, 500, 1000], 20_000, 42, exec) {
         t.row(&[
             r.fanout.to_string(),
             fnum(analytic_straggler_prob(r.fanout, 0.99)),
@@ -40,22 +44,25 @@ fn main() {
     t.print();
 
     section("Where the leaf tail comes from: utilization (M/G/1, straggler service)");
-    let mut rng = Rng64::new(7);
-    let mean_s = leaf.sample_summary(100_000, &mut rng).mean();
-    let mut t = Table::new(&["utilization", "mean (ms)", "p99 (ms)"]);
-    for rho in [0.3, 0.5, 0.7, 0.85] {
-        let r = MG1Queue {
+    let mean_s = leaf.sample_summary_on(100_000, 7, exec).mean();
+    let queues: Vec<MG1Queue> = [0.3, 0.5, 0.7, 0.85]
+        .iter()
+        .map(|&rho| MG1Queue {
             lambda_per_ms: rho / mean_s,
             service: leaf,
-        }
-        .run(150_000, 8);
-        t.row(&[fnum(rho), fnum(r.mean_ms), fnum(r.p99)]);
+        })
+        .collect();
+    let mut t = Table::new(&["utilization", "mean (ms)", "p99 (ms)"]);
+    for (rho, r) in [0.3, 0.5, 0.7, 0.85]
+        .iter()
+        .zip(mg1_sweep_on(&queues, 150_000, 8, exec))
+    {
+        t.row(&[fnum(*rho), fnum(r.mean_ms), fnum(r.p99)]);
     }
     t.print();
 
     section("Mitigation: hedged requests (duplicate after a deadline quantile)");
-    let mut rng = Rng64::new(9);
-    let base = leaf.sample_summary(300_000, &mut rng);
+    let base = leaf.sample_summary_on(300_000, 9, exec);
     let mut t = Table::new(&["policy", "p50", "p99", "p99.9", "extra load"]);
     t.row(&[
         "no hedge".into(),
@@ -65,7 +72,7 @@ fn main() {
         "0%".into(),
     ]);
     for q in [0.90, 0.95, 0.99] {
-        let h = hedge_experiment(leaf, q, 300_000, 10);
+        let h = hedge_experiment_on(leaf, q, 300_000, 10, exec);
         t.row(&[
             format!("hedge @ p{:.0}", q * 100.0),
             fnum(h.p50),

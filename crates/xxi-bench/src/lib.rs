@@ -38,6 +38,51 @@ pub fn trace_arg() -> Option<PathBuf> {
     None
 }
 
+/// Parse `--threads <N>` (or `--threads=<N>`) from the command line.
+/// Returns 1 when absent; exits with usage on a missing or invalid value.
+///
+/// Experiment output is byte-identical for every thread count (fixed
+/// Monte Carlo grain + per-chunk RNG substreams); `--threads` only
+/// changes the wall clock.
+pub fn threads_arg() -> usize {
+    fn parse(v: &str) -> usize {
+        match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("usage: --threads <N>   (N >= 1 worker threads; output is identical)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            match args.next() {
+                Some(v) => return parse(&v),
+                None => {
+                    eprintln!(
+                        "usage: --threads <N>   (N >= 1 worker threads; output is identical)"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            return parse(v);
+        }
+    }
+    1
+}
+
+/// The executor for `threads` workers: the work-stealing pool when
+/// parallelism was requested, [`xxi_core::par::Serial`] otherwise.
+pub fn executor(threads: usize) -> Box<dyn xxi_core::par::Parallelism> {
+    if threads > 1 {
+        Box::new(xxi_stack::pool::Pool::new(threads))
+    } else {
+        Box::new(xxi_core::par::Serial)
+    }
+}
+
 /// Write `trace` as Chrome `trace_event` JSON and print a confirmation.
 /// Load the file in chrome://tracing or https://ui.perfetto.dev.
 pub fn save_trace(trace: &Trace, path: &PathBuf) {

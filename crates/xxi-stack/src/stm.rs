@@ -377,8 +377,13 @@ mod tests {
         }
         assert_eq!(arr.read_direct(0), threads * per);
         // High contention must have caused real aborts (the TM is doing
-        // work, not secretly serializing through one lock).
-        assert!(arr.aborts() > 0, "no contention observed?");
+        // work, not secretly serializing through one lock). On a one-core
+        // host the OS can timeslice the threads so they never overlap, so
+        // only require contention when the hardware can run them together.
+        let cores = thread::available_parallelism().map_or(1, |n| n.get());
+        if cores > 1 {
+            assert!(arr.aborts() > 0, "no contention observed?");
+        }
     }
 
     #[test]
