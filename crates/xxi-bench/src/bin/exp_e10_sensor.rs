@@ -1,142 +1,6 @@
-//! E10 — §2.1 sensors: "the energy required to communicate data often
-//! outweighs that of computation."
-
-use xxi_bench::{banner, quantile_row, quantile_table, save_trace, section, trace_arg};
-use xxi_core::obs::Trace;
-use xxi_core::table::fnum;
-use xxi_core::units::{Energy, Power, Seconds};
-use xxi_core::Table;
-use xxi_sensor::mcu::Mcu;
-use xxi_sensor::node::{NodePolicy, SensorNode, SensorNodeConfig};
-use xxi_sensor::power::{Battery, HarvestProfile, Harvester};
-use xxi_sensor::radio::{Radio, RadioTech};
+//! Experiment E10, as a shim over the registry:
+//! `exp_e10_sensor [flags]` is `xxi run e10 [flags]`.
 
 fn main() {
-    banner(
-        "E10",
-        "§2.1: 'energy required to communicate often outweighs computation'",
-    );
-    let trace_path = trace_arg();
-
-    section("The raw asymmetry (per bit vs per op)");
-    let mcu = Mcu::cortex_m_class();
-    let mut t = Table::new(&["cost item", "energy", "vs one MCU op"]);
-    t.row(&[
-        "MCU op".into(),
-        format!("{} pJ", fnum(mcu.energy_per_op.pj())),
-        "1x".into(),
-    ]);
-    for tech in [
-        RadioTech::WifiClass,
-        RadioTech::BleClass,
-        RadioTech::ZigbeeClass,
-        RadioTech::LoraClass,
-    ] {
-        let r = Radio::new(tech);
-        t.row(&[
-            format!("{tech:?} bit"),
-            format!("{} nJ", fnum(r.tx_per_bit.nj())),
-            format!(
-                "{}x",
-                fnum(r.tx_per_bit.value() / mcu.energy_per_op.value())
-            ),
-        ]);
-    }
-    t.print();
-
-    section("Node lifetime: policy x radio (1 J budget; scale linearly for real cells)");
-    let horizon = Seconds::from_hours(100_000.0);
-    let mut t = Table::new(&[
-        "radio",
-        "send-raw (h)",
-        "compress (h)",
-        "filter (h)",
-        "filter gain",
-        "filter recall",
-    ]);
-    for tech in [
-        RadioTech::BleClass,
-        RadioTech::ZigbeeClass,
-        RadioTech::LoraClass,
-        RadioTech::WifiClass,
-    ] {
-        let node = SensorNode::new(
-            SensorNodeConfig::default(),
-            Mcu::cortex_m_class(),
-            Radio::new(tech),
-        );
-        let b = || Battery::new(Energy(1.0));
-        let raw = node.run(NodePolicy::SendRaw, b(), horizon, 1);
-        let comp = node.run(NodePolicy::CompressThenSend, b(), horizon, 1);
-        let filt = node.run(NodePolicy::FilterThenSend, b(), horizon, 1);
-        t.row(&[
-            format!("{tech:?}"),
-            fnum(raw.lifetime.hours()),
-            fnum(comp.lifetime.hours()),
-            fnum(filt.lifetime.hours()),
-            format!("{}x", fnum(filt.lifetime.value() / raw.lifetime.value())),
-            fnum(filt.recall),
-        ]);
-    }
-    t.print();
-
-    section("Energy breakdown under send-raw (BLE)");
-    let node = SensorNode::new(
-        SensorNodeConfig::default(),
-        Mcu::cortex_m_class(),
-        Radio::new(RadioTech::BleClass),
-    );
-    let raw = node.run(NodePolicy::SendRaw, Battery::new(Energy(1.0)), horizon, 2);
-    println!(
-        "radio: {:.3} J   compute: {:.4} J   (radio is {:.0}x compute)",
-        raw.radio_energy.value(),
-        raw.compute_energy.value(),
-        raw.radio_energy.value() / raw.compute_energy.value()
-    );
-
-    section("Observed node (BLE, filter policy, solar harvesting): energy ledger");
-    // The same node with full telemetry: every epoch charged to a ledger
-    // (harvest income vs compute/radio/sleep spend) and a per-epoch energy
-    // histogram; --trace adds epoch spans + tx instants on the sim clock.
-    let cfg = SensorNodeConfig::default();
-    let epoch_dt = Seconds(cfg.epoch_samples as f64 / cfg.sample_hz);
-    let node = SensorNode::new(cfg, Mcu::cortex_m_class(), Radio::new(RadioTech::BleClass));
-    // A small indoor-solar cell: 150 uW peak on a 24 h cycle.
-    let day_epochs = (24.0 * 3600.0 / epoch_dt.value()) as u64;
-    let harvester = Harvester::new(
-        HarvestProfile::Solar,
-        Power::from_uw(150.0),
-        day_epochs.max(1),
-        3,
-    );
-    let (out, obs) = node.run_observed(
-        NodePolicy::FilterThenSend,
-        Battery::new(Energy(1.0)),
-        Some(harvester),
-        Seconds::from_hours(500.0),
-        3,
-        if trace_path.is_some() {
-            Trace::enabled()
-        } else {
-            Trace::disabled()
-        },
-    );
-    println!(
-        "lifetime {} h (500 h horizon), recall {}",
-        fnum(out.lifetime.hours()),
-        fnum(out.recall)
-    );
-    obs.ledger.table().print();
-    let mut t = quantile_table("epoch energy (J)");
-    t.row(&quantile_row("per-epoch draw", &obs.epoch_energy));
-    t.print();
-
-    if let Some(path) = &trace_path {
-        save_trace(&obs.trace, path);
-    }
-
-    println!("\nHeadline: on-sensor filtering extends lifetime 3-40x depending on the");
-    println!("radio, with >90% event recall — computing where the data is generated");
-    println!("wins exactly as §2.1 asserts; the ledger shows the sleep floor and the");
-    println!("radio, not the MCU's ops, are what the harvester has to pay for.");
+    xxi_bench::cli::run_shim("e10");
 }

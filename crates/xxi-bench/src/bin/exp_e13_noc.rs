@@ -1,95 +1,6 @@
-//! E13 — §1.2/§2.3: photonics and 3D stacking "change communication costs
-//! radically enough to affect the entire system design."
-
-use xxi_bench::{banner, section};
-use xxi_core::table::fnum;
-use xxi_core::units::Seconds;
-use xxi_core::Table;
-use xxi_noc::analysis::ideal_uniform_saturation;
-use xxi_noc::link::{Link, LinkKind};
-use xxi_noc::sim::load_sweep;
-use xxi_noc::topology::Mesh;
-use xxi_noc::traffic::Pattern;
-use xxi_tech::NodeDb;
+//! Experiment E13, as a shim over the registry:
+//! `exp_e13_noc [flags]` is `xxi run e13 [flags]`.
 
 fn main() {
-    banner(
-        "E13",
-        "§2.3: 'Photonics ... 3D chip stacking change communication costs radically'",
-    );
-
-    let db = NodeDb::standard();
-    let node = db.by_name("22nm").unwrap();
-
-    section("64 nodes: planar 8x8 vs stacked 4x4x4 (uniform traffic)");
-    let rates = [0.02, 0.1, 0.2, 0.3, 0.4];
-    let planar = load_sweep(Mesh::new_2d(8, 8), Pattern::Uniform, &rates, 5);
-    let stacked = load_sweep(Mesh::new_3d(4, 4, 4), Pattern::Uniform, &rates, 5);
-    let mut t = Table::new(&[
-        "injection rate",
-        "2D latency (cyc)",
-        "3D latency (cyc)",
-        "2D throughput",
-        "3D throughput",
-    ]);
-    for ((r, l2, t2), (_, l3, t3)) in planar.iter().zip(&stacked) {
-        t.row(&[fnum(*r), fnum(*l2), fnum(*l3), fnum(*t2), fnum(*t3)]);
-    }
-    t.print();
-    println!(
-        "mean hops: 2D {:.2} vs 3D {:.2}; bisection bound: 2D {:.2} vs 3D {:.2} flits/node/cyc",
-        Mesh::new_2d(8, 8).mean_hops_uniform(),
-        Mesh::new_3d(4, 4, 4).mean_hops_uniform(),
-        ideal_uniform_saturation(&Mesh::new_2d(8, 8)),
-        ideal_uniform_saturation(&Mesh::new_3d(4, 4, 4)),
-    );
-
-    section("Traffic patterns on the 8x8 mesh at rate 0.25");
-    let mut t = Table::new(&["pattern", "mean latency (cyc)", "throughput"]);
-    for (name, p) in [
-        ("uniform", Pattern::Uniform),
-        ("neighbor", Pattern::Neighbor),
-        ("transpose", Pattern::Transpose),
-        (
-            "hotspot 20%",
-            Pattern::Hotspot {
-                node: 27,
-                permille: 200,
-            },
-        ),
-    ] {
-        let r = load_sweep(Mesh::new_2d(8, 8), p, &[0.25], 6)[0];
-        t.row(&[name.to_string(), fnum(r.1), fnum(r.2)]);
-    }
-    t.print();
-
-    section("Photonic vs electrical link energy (20 mm span, 22nm)");
-    let photonic = Link::on(node, LinkKind::Photonic);
-    let electrical = Link::on(node, LinkKind::Electrical { mm: 20.0 });
-    let crossover = photonic
-        .energy_crossover_bits_per_sec(&electrical)
-        .expect("crossover exists");
-    let mut t = Table::new(&[
-        "utilization (Gb/s)",
-        "electrical (mJ/s)",
-        "photonic (mJ/s)",
-        "winner",
-    ]);
-    for gbps in [0.1, 1.0, 5.0, 20.0, 100.0] {
-        let bits = (gbps * 1e9) as u64;
-        let e = electrical.total_energy(bits, Seconds(1.0)).mj();
-        let p = photonic.total_energy(bits, Seconds(1.0)).mj();
-        t.row(&[
-            fnum(gbps),
-            fnum(e),
-            fnum(p),
-            if p < e { "photonic" } else { "electrical" }.to_string(),
-        ]);
-    }
-    t.print();
-    println!("energy crossover: {:.2} Gb/s", crossover / 1e9);
-
-    println!("\nHeadline: stacking cuts mean hops 28% and raises the bisection bound 2x;");
-    println!("photonics wins long links only above a utilization threshold (standing");
-    println!("laser power) — both 'change the system design' rather than one number.");
+    xxi_bench::cli::run_shim("e13");
 }

@@ -1,63 +1,6 @@
-//! E14 — §2.1/§2.4: approximate computing — "sensor data is inherently
-//! approximate … significant energy savings."
-
-use xxi_approx::pareto::{pareto_frontier, sweep_fir};
-use xxi_bench::{banner, section};
-use xxi_core::table::{fnum, xfactor};
-use xxi_core::Table;
+//! Experiment E14, as a shim over the registry:
+//! `exp_e14_approx [flags]` is `xxi run e14 [flags]`.
 
 fn main() {
-    banner(
-        "E14",
-        "§2.1: approximate computing -> 'significant energy savings'",
-    );
-
-    let points = sweep_fir(20_000, 14);
-    let full = points
-        .iter()
-        .find(|p| p.bits == 52 && p.perforation == 1)
-        .unwrap();
-
-    section("Full (bits x perforation) sweep on the FIR workload");
-    let mut t = Table::new(&["bits", "perforation", "energy vs exact", "RMSE"]);
-    for p in &points {
-        t.row(&[
-            p.bits.to_string(),
-            p.perforation.to_string(),
-            fnum(p.energy.value() / full.energy.value()),
-            fnum(p.error),
-        ]);
-    }
-    t.print();
-
-    section("Pareto frontier (energy vs error)");
-    let frontier = pareto_frontier(&points);
-    let mut t = Table::new(&["bits", "perforation", "energy saving", "RMSE"]);
-    for p in &frontier {
-        t.row(&[
-            p.bits.to_string(),
-            p.perforation.to_string(),
-            xfactor(full.energy.value() / p.energy.value()),
-            fnum(p.error),
-        ]);
-    }
-    t.print();
-
-    let cheap_good = points
-        .iter()
-        .filter(|p| p.error < 0.05)
-        .max_by(|a, b| {
-            (full.energy.value() / a.energy.value())
-                .partial_cmp(&(full.energy.value() / b.energy.value()))
-                .unwrap()
-        })
-        .unwrap();
-    println!(
-        "\nHeadline: the best <5%-RMSE configuration ({} bits, perforation {}) saves {}\n\
-         in kernel energy — graceful quality-energy trading, as the paper's\n\
-         approximate-computing agenda claims.",
-        cheap_good.bits,
-        cheap_good.perforation,
-        xfactor(full.energy.value() / cheap_good.energy.value())
-    );
+    xxi_bench::cli::run_shim("e14");
 }

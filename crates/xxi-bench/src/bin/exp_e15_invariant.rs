@@ -1,70 +1,6 @@
-//! E15 — §2.4: "lower-overhead approaches that employ dynamic (hardware)
-//! checking of invariants supplied by software" vs full redundancy.
-
-use xxi_bench::{banner, section};
-use xxi_core::rng::Rng64;
-use xxi_core::table::fnum;
-use xxi_core::units::Energy;
-use xxi_core::Table;
-use xxi_rel::invariant::{dmr_coverage_and_overhead, CheckedRegion, CheckerConfig};
-
-fn run_with_period(period: u64) -> (f64, f64, f64) {
-    let cfg = CheckerConfig {
-        check_period: period,
-        e_update: Energy::from_pj(100.0),
-        e_check: Energy::from_pj(150.0),
-    };
-    let mut r = CheckedRegion::new(64, cfg, 15);
-    let mut rng = Rng64::new(16);
-    let rounds = 400;
-    for round in 0..rounds {
-        // Corrupt state the app will not overwrite, once per window.
-        r.corrupt(50 + (round % 14), 1 << (round % 60));
-        for i in 0..60 {
-            r.update(i % 50, rng.next_u64());
-        }
-    }
-    (
-        r.detected() as f64 / r.injected() as f64,
-        r.energy_overhead(),
-        r.mean_detection_latency(),
-    )
-}
+//! Experiment E15, as a shim over the registry:
+//! `exp_e15_invariant [flags]` is `xxi run e15 [flags]`.
 
 fn main() {
-    banner(
-        "E15",
-        "§2.4: 'dynamic (hardware) checking of invariants supplied by software'",
-    );
-
-    section("Invariant checker vs DMR: coverage per joule");
-    let mut t = Table::new(&[
-        "design",
-        "fault coverage",
-        "energy overhead",
-        "detect latency (updates)",
-    ]);
-    let (dmr_cov, dmr_oh) = dmr_coverage_and_overhead();
-    t.row(&[
-        "DMR (full redundancy)".into(),
-        fnum(dmr_cov),
-        format!("{:.0}%", dmr_oh * 100.0),
-        "~1".into(),
-    ]);
-    for period in [5u64, 10, 20, 50, 100] {
-        let (cov, oh, lat) = run_with_period(period);
-        t.row(&[
-            format!("checker, period {period}"),
-            fnum(cov),
-            format!("{:.1}%", oh * 100.0),
-            fnum(lat),
-        ]);
-    }
-    t.print();
-
-    println!("\nHeadline: software-supplied invariants checked every 10-50 updates reach");
-    println!("~100% coverage of state corruption at 3-15% energy overhead vs DMR's");
-    println!("100% — a 7-30x cheaper detection channel, with bounded (not unit)");
-    println!("detection latency as the price; stretching the period to 100 starts");
-    println!("missing multi-corruption windows. Exactly the trade §2.4 recommends.");
+    xxi_bench::cli::run_shim("e15");
 }

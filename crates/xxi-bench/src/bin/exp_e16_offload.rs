@@ -1,97 +1,6 @@
-//! E16 — §2.1 eco-system architecture: "divide effort between the portable
-//! platform and the cloud while responding dynamically to changes in the
-//! … cloud uplink."
-
-use xxi_bench::{banner, section};
-use xxi_core::table::fnum;
-use xxi_core::units::Seconds;
-use xxi_core::Table;
-use xxi_stack::offload::{plan_offload, AppProfile, Decision, DeviceModel, Uplink};
-
-fn decision_char(d: Decision) -> String {
-    match d {
-        Decision::Local => "L".into(),
-        Decision::Remote => "R".into(),
-        Decision::Split { local_fraction } => format!("S{:.0}", local_fraction * 10.0),
-    }
-}
+//! Experiment E16, as a shim over the registry:
+//! `exp_e16_offload [flags]` is `xxi run e16 [flags]`.
 
 fn main() {
-    banner(
-        "E16",
-        "§2.1: 'How should computation be split between the nodes and cloud?'",
-    );
-
-    let dev = DeviceModel::phone_vs_rack();
-    let bws = [0.2e6, 1e6, 5e6, 20e6, 100e6];
-    let rtts = [10.0, 50.0, 200.0, 1000.0];
-
-    for (name, app, lambda) in [
-        (
-            "compute-heavy stage (speech-class), latency objective",
-            AppProfile::compute_heavy(),
-            0.0,
-        ),
-        (
-            "compute-heavy stage, battery-weighted objective",
-            AppProfile::compute_heavy(),
-            10.0,
-        ),
-        (
-            "data-heavy stage (video-class), latency objective",
-            AppProfile::data_heavy(),
-            0.0,
-        ),
-    ] {
-        section(&format!(
-            "Decision map: {name} (L=local, R=remote, S*=split)"
-        ));
-        let mut t = Table::new(&["bandwidth \\ RTT", "10 ms", "50 ms", "200 ms", "1000 ms"]);
-        for &bps in &bws {
-            let mut row = vec![format!("{} Mb/s", bps / 1e6)];
-            for &rtt in &rtts {
-                let plan = plan_offload(
-                    &app,
-                    &dev,
-                    &Uplink {
-                        bps,
-                        rtt: Seconds::from_ms(rtt),
-                    },
-                    lambda,
-                );
-                row.push(decision_char(plan.decision));
-            }
-            t.row(&row);
-        }
-        t.print();
-    }
-
-    section("Costed plans for the compute-heavy stage (latency objective)");
-    let mut t = Table::new(&["uplink", "decision", "latency (ms)", "device energy (mJ)"]);
-    for (name, bps, rtt) in [
-        ("broadband", 100e6, 10.0),
-        ("good LTE", 20e6, 50.0),
-        ("edge of coverage", 0.5e6, 300.0),
-    ] {
-        let plan = plan_offload(
-            &AppProfile::compute_heavy(),
-            &dev,
-            &Uplink {
-                bps,
-                rtt: Seconds::from_ms(rtt),
-            },
-            0.0,
-        );
-        t.row(&[
-            name.to_string(),
-            decision_char(plan.decision),
-            fnum(plan.latency.ms()),
-            fnum(plan.device_energy.mj()),
-        ]);
-    }
-    t.print();
-
-    println!("\nHeadline: the split flips from Remote to Local as bandwidth falls or RTT");
-    println!("rises, data-heavy stages never leave the device, and weighting battery");
-    println!("moves the boundary — the dynamic eco-system behaviour §2.1 asks for.");
+    xxi_bench::cli::run_shim("e16");
 }

@@ -1,129 +1,6 @@
-//! E19 — §2.4: security "from the ground up": information-flow tracking,
-//! fine-grain protection, and the cache side channel those defenses target.
-
-use xxi_bench::{banner, section};
-use xxi_core::table::fnum;
-use xxi_core::Table;
-use xxi_mem::cache::{Cache, CacheConfig, Replacement};
-use xxi_sec::ift::{Instr, Machine, Policy};
-use xxi_sec::protection::{AccessKind, DomainId, Perms, ProtectionMatrix, RegionId};
-use xxi_sec::sidechannel::{prime_probe_attack, prime_probe_attack_partitioned, PartitionedCache};
-
-fn shared_cfg() -> CacheConfig {
-    CacheConfig {
-        size_bytes: 32 * 1024,
-        line_bytes: 64,
-        ways: 8,
-        replacement: Replacement::Lru,
-        write_allocate: true,
-    }
-}
+//! Experiment E19, as a shim over the registry:
+//! `exp_e19_security [flags]` is `xxi run e19 [flags]`.
 
 fn main() {
-    banner(
-        "E19",
-        "§2.4: 'information flow tracking (reducing side-channel attacks)' + fine-grain protection",
-    );
-
-    section("DIFT: attack programs vs the tracking policy");
-    let mut t = Table::new(&["scenario", "policy", "outcome"]);
-    // Control-flow hijack.
-    let mut m = Machine::new(Policy::integrity(), 16, vec![0xDEAD]);
-    let hijack = [
-        Instr::In { d: 0 },
-        Instr::Const { d: 1, imm: 4 },
-        Instr::Add { d: 2, a: 0, b: 1 },
-        Instr::JmpReg { a: 2 },
-        Instr::Halt,
-    ];
-    t.row(&[
-        "input -> jump target".into(),
-        "integrity".into(),
-        format!("{:?}", m.run(&hijack, 100)),
-    ]);
-    // Exfiltration through memory.
-    let mut m = Machine::new(Policy::confidentiality(), 16, vec![42]);
-    let leak = [
-        Instr::In { d: 0 },
-        Instr::Const { d: 1, imm: 3 },
-        Instr::Store { a: 1, v: 0 },
-        Instr::Load { d: 2, a: 1 },
-        Instr::Out { v: 2 },
-        Instr::Halt,
-    ];
-    t.row(&[
-        "secret -> memory -> output".into(),
-        "confidentiality".into(),
-        format!("{:?}", m.run(&leak, 100)),
-    ]);
-    // Sanctioned declassification.
-    let mut m = Machine::new(Policy::confidentiality(), 16, vec![42]);
-    let ok = [
-        Instr::In { d: 0 },
-        Instr::Declassify { v: 0 },
-        Instr::Out { v: 0 },
-        Instr::Halt,
-    ];
-    t.row(&[
-        "secret -> declassify -> output".into(),
-        "confidentiality".into(),
-        format!("{:?}", m.run(&ok, 100)),
-    ]);
-    t.print();
-
-    section("Prime+probe against a shared 32 KiB L1 (secret = table index)");
-    let mut t = Table::new(&["secret set", "inferred (shared)", "inferred (partitioned)"]);
-    for secret in [3usize, 17, 42, 63] {
-        let mut shared = Cache::new(shared_cfg()).unwrap();
-        let r = prime_probe_attack(&mut shared, secret);
-        let mut pc = PartitionedCache::new(shared_cfg(), 2);
-        let rp = prime_probe_attack_partitioned(&mut pc, secret);
-        t.row(&[
-            secret.to_string(),
-            format!("{} ({} miss)", r.inferred_set, r.signal_misses),
-            format!(
-                "{} ({} miss)",
-                if rp.signal_misses == 0 {
-                    "blind".to_string()
-                } else {
-                    rp.inferred_set.to_string()
-                },
-                rp.signal_misses
-            ),
-        ]);
-    }
-    t.print();
-
-    section("Fine-grain protection: crypto/parser compartment demo");
-    let mut pm = ProtectionMatrix::new();
-    let crypto = DomainId(1);
-    let parser = DomainId(2);
-    pm.define_region(RegionId(10), 0, 64).unwrap(); // keys
-    pm.define_region(RegionId(11), 64, 256).unwrap(); // input
-    pm.grant(crypto, RegionId(10), Perms::RW);
-    pm.grant(parser, RegionId(11), Perms::RW);
-    let mut t = Table::new(&["access", "verdict"]);
-    for (name, dom, addr) in [
-        ("crypto reads keys", crypto, 5usize),
-        ("parser reads input", parser, 100),
-        ("parser reads KEYS", parser, 5),
-        ("crypto reads raw input", crypto, 100),
-    ] {
-        let verdict = match pm.check(dom, addr, AccessKind::Read) {
-            Ok(()) => "allowed".to_string(),
-            Err(_) => "FAULT".to_string(),
-        };
-        t.row(&[name.to_string(), verdict]);
-    }
-    t.print();
-    println!(
-        "protection-check energy for 1M checked loads: {} uJ (vs ~100 uJ of work: <1%)",
-        fnum(pm.check_energy().value() * 1e6 * 1_000_000.0 / 4.0)
-    );
-
-    println!("\nHeadline: DIFT stops both canonical attacks and admits audited");
-    println!("declassification; prime+probe recovers the secret set bit-exactly from a");
-    println!("shared cache and is fully blinded by way-partitioning (at a measured");
-    println!("capacity cost); word-granular compartments fault the Heartbleed-shaped");
-    println!("access for sub-1% checking energy — §2.4's mechanisms, demonstrated.");
+    xxi_bench::cli::run_shim("e19");
 }

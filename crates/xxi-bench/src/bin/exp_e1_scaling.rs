@@ -1,67 +1,6 @@
-//! E1 — Table 1 rows 1–2: Moore continues, Dennard is gone.
-
-use xxi_bench::{banner, section};
-use xxi_core::table::{fnum, xfactor};
-use xxi_core::units::Power;
-use xxi_core::Table;
-use xxi_tech::{DarkSilicon, NodeDb, ScalingRule, ScalingTrajectory};
+//! Experiment E1, as a shim over the registry:
+//! `exp_e1_scaling [flags]` is `xxi run e1 [flags]`.
 
 fn main() {
-    banner(
-        "E1",
-        "Table 1: 'Transistor count still 2x every 18-24 months' / 'Dennard: Gone'",
-    );
-
-    let db = NodeDb::standard();
-    let dennard = ScalingTrajectory::compute(&db, ScalingRule::Dennard);
-    let real = ScalingTrajectory::compute(&db, ScalingRule::PostDennard);
-
-    section("Generational scaling for a fixed-area die (relative to 180nm)");
-    let mut t = Table::new(&[
-        "node",
-        "year",
-        "transistors",
-        "freq (Dennard)",
-        "freq (obs)",
-        "P/chip (Dennard)",
-        "P/chip (obs)",
-        "E/gate (obs)",
-    ]);
-    for (d, r) in dennard.points.iter().zip(&real.points) {
-        t.row(&[
-            d.node.to_string(),
-            d.year.to_string(),
-            xfactor(d.transistors_rel),
-            xfactor(d.freq_rel),
-            xfactor(r.freq_rel),
-            xfactor(d.full_power_rel),
-            xfactor(r.full_power_rel),
-            fnum(r.gate_energy_rel),
-        ]);
-    }
-    t.print();
-
-    section("Consequence: dark silicon (200 mm^2 die, 100 W package)");
-    let calc = DarkSilicon::new(200.0, Power(100.0));
-    let mut t = Table::new(&[
-        "node",
-        "full-die power (W)",
-        "active fraction",
-        "dark fraction",
-    ]);
-    for p in calc.sweep(&db) {
-        t.row(&[
-            p.node.to_string(),
-            fnum(p.full_power.value()),
-            fnum(p.active_fraction),
-            fnum(p.dark_fraction),
-        ]);
-    }
-    t.print();
-
-    println!(
-        "\nHeadline: powering a full 7nm die at nominal V/f needs {} the 180nm\n\
-         power — Table 1's 'not viable for power/chip to double' made concrete.",
-        xfactor(real.final_power_growth())
-    );
+    xxi_bench::cli::run_shim("e1");
 }

@@ -1,102 +1,6 @@
-//! E20 — §2.4 programmability: transactional memory "seeks to
-//! significantly simplify parallelization and synchronization … now
-//! entering the commercial mainstream."
-
-use std::sync::Arc;
-use std::time::Instant;
-
-use xxi_bench::{banner, section};
-use xxi_core::rng::Rng64;
-use xxi_core::table::fnum;
-use xxi_core::Table;
-use xxi_stack::stm::{transfer, TxArray};
-
-fn run_bank(threads: usize, accounts: usize, transfers_per_thread: usize) -> (f64, u64, u64, bool) {
-    let arr = Arc::new(TxArray::new(accounts));
-    for i in 0..accounts {
-        arr.write_direct(i, 1_000);
-    }
-    let t0 = Instant::now();
-    let mut handles = Vec::new();
-    for t in 0..threads {
-        let arr = Arc::clone(&arr);
-        handles.push(std::thread::spawn(move || {
-            let mut rng = Rng64::new(t as u64 + 1);
-            for _ in 0..transfers_per_thread {
-                let from = rng.below(accounts as u64) as usize;
-                let mut to = rng.below(accounts as u64) as usize;
-                if to == from {
-                    to = (to + 1) % accounts;
-                }
-                transfer(&arr, from, to, rng.below(20) + 1);
-            }
-        }));
-    }
-    for h in handles {
-        h.join().unwrap();
-    }
-    let dt = t0.elapsed().as_secs_f64();
-    let total: u64 = (0..accounts).map(|i| arr.read_direct(i)).sum();
-    let conserved = total == 1_000 * accounts as u64;
-    (dt, arr.commits(), arr.aborts(), conserved)
-}
+//! Experiment E20, as a shim over the registry:
+//! `exp_e20_tm [flags]` is `xxi run e20 [flags]`.
 
 fn main() {
-    banner(
-        "E20",
-        "§2.4: 'Transactional memory ... simplify parallelization and synchronization'",
-    );
-
-    section("Concurrent bank: throughput, aborts, and the conservation invariant");
-    let transfers = 20_000usize;
-    let mut t = Table::new(&[
-        "threads",
-        "accounts",
-        "commits/s",
-        "abort ratio",
-        "money conserved",
-    ]);
-    for (threads, accounts) in [(1usize, 64usize), (2, 64), (4, 64), (4, 256)] {
-        let (dt, commits, aborts, conserved) = run_bank(threads, accounts, transfers);
-        t.row(&[
-            threads.to_string(),
-            accounts.to_string(),
-            fnum(commits as f64 / dt),
-            fnum(aborts as f64 / (commits + aborts).max(1) as f64),
-            conserved.to_string(),
-        ]);
-    }
-    t.print();
-
-    section("No false conflicts: disjoint working sets");
-    let arr = Arc::new(TxArray::new(64));
-    let mut handles = Vec::new();
-    for t in 0..2usize {
-        let arr = Arc::clone(&arr);
-        handles.push(std::thread::spawn(move || {
-            let mut rng = Rng64::new(t as u64 + 1);
-            let base = t * 32;
-            for _ in 0..20_000 {
-                let from = base + rng.below(32) as usize;
-                let to = base + ((from - base + 1 + rng.below(30) as usize) % 32);
-                transfer(&arr, from, to, 1);
-            }
-        }));
-    }
-    for h in handles {
-        h.join().unwrap();
-    }
-    println!(
-        "2 threads on disjoint halves: commits={} aborts={} (a correct STM must\n\
-         abort ONLY on genuine overlap)",
-        arr.commits(),
-        arr.aborts()
-    );
-
-    println!("\nHeadline: the invariant ('total money constant') holds at every thread");
-    println!("count without one explicit lock in application code, and disjoint");
-    println!("workloads run abort-free (no false conflicts). Aborts under sharing are");
-    println!("the price of optimistic concurrency — and they are retries, never");
-    println!("deadlocks or corruption. That is the programmability trade §2.4 credits");
-    println!("TM with, measured.");
+    xxi_bench::cli::run_shim("e20");
 }

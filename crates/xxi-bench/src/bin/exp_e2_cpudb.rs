@@ -1,63 +1,6 @@
-//! E2 — §1: "architecture credited with ~80× improvement since 1985"
-//! (Danowitz et al., CPU DB).
-
-use xxi_bench::{banner, section};
-use xxi_core::table::{fnum, xfactor};
-use xxi_core::Table;
-use xxi_cpu::cpudb::{attribution, overall, CPU_DB};
+//! Experiment E2, as a shim over the registry:
+//! `exp_e2_cpudb [flags]` is `xxi run e2 [flags]`.
 
 fn main() {
-    banner(
-        "E2",
-        "§1: CPU DB apportions growth ~equally; architecture ~80x since 1985",
-    );
-
-    section("The stylized generational table");
-    let mut t = Table::new(&[
-        "year",
-        "design",
-        "feature (nm)",
-        "freq (MHz)",
-        "IPC",
-        "perf (rel)",
-    ]);
-    let base = CPU_DB[0].freq_mhz * CPU_DB[0].ipc;
-    for e in CPU_DB {
-        t.row(&[
-            e.year.to_string(),
-            e.name.to_string(),
-            fnum(e.feature_nm),
-            fnum(e.freq_mhz),
-            fnum(e.ipc),
-            xfactor(e.freq_mhz * e.ipc / base),
-        ]);
-    }
-    t.print();
-
-    section("Attribution per era (technology = gate speed; architecture = rest)");
-    let mut t = Table::new(&["span", "total", "technology", "architecture"]);
-    for w in CPU_DB.windows(2) {
-        let a = attribution(&w[0], &w[1]);
-        t.row(&[
-            format!("{}-{}", w[0].year, w[1].year),
-            xfactor(a.total),
-            xfactor(a.technology),
-            xfactor(a.architecture),
-        ]);
-    }
-    let all = overall();
-    t.row(&[
-        "1985-2012 (total)".to_string(),
-        xfactor(all.total),
-        xfactor(all.technology),
-        xfactor(all.architecture),
-    ]);
-    t.print();
-
-    println!(
-        "\nHeadline: architecture contributes {} vs the paper's '~80x'; the split\n\
-         is 'roughly equal' in log terms (sqrt(total) = {}).",
-        xfactor(all.architecture),
-        xfactor(all.total.sqrt())
-    );
+    xxi_bench::cli::run_shim("e2");
 }

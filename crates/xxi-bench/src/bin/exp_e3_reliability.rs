@@ -1,80 +1,6 @@
-//! E3 — Table 1 row 3: transistor reliability worsening, "no longer easy
-//! to hide" behind ECC.
-
-use xxi_bench::{banner, section};
-use xxi_core::table::fnum;
-use xxi_core::units::{Seconds, Volts};
-use xxi_core::Table;
-use xxi_rel::inject::FaultInjector;
-use xxi_rel::scrub::ScrubModel;
-use xxi_tech::{NodeDb, SoftErrorModel};
+//! Experiment E3, as a shim over the registry:
+//! `exp_e3_reliability [flags]` is `xxi run e3 [flags]`.
 
 fn main() {
-    banner(
-        "E3",
-        "Table 1 row 3: 'Transistor reliability worsening, no longer easy to hide'",
-    );
-
-    let db = NodeDb::standard();
-
-    section("Per-chip soft-error rate for an equal-area die (100 mm^2, 10% SRAM)");
-    let mut t = Table::new(&[
-        "node",
-        "SRAM (Mbit)",
-        "chip FIT",
-        "MTBU (days)",
-        "MTBU at 0.7x Vdd (days)",
-    ]);
-    for n in db.all() {
-        let mbits = n.transistors(100.0) * 0.1 / 6.0 / 1e6;
-        let m = SoftErrorModel::new(n.clone(), mbits);
-        let low_v = Volts(n.vdd.value() * 0.7);
-        t.row(&[
-            n.name.to_string(),
-            fnum(mbits),
-            fnum(m.fit_chip(n.vdd)),
-            fnum(m.mtbu_hours(n.vdd) / 24.0),
-            fnum(m.mtbu_hours(low_v) / 24.0),
-        ]);
-    }
-    t.print();
-
-    section("Can ECC still hide it? SECDED fault injection (4096 words)");
-    let mut t = Table::new(&["injected flips", "corrected", "DUE", "SDC"]);
-    for flips in [8u64, 64, 512, 4096] {
-        let mut fi = FaultInjector::new(4096, 3);
-        fi.inject(flips);
-        let (_, corrected, due, sdc) = fi.scrub_pass();
-        t.row(&[
-            flips.to_string(),
-            corrected.to_string(),
-            due.to_string(),
-            sdc.to_string(),
-        ]);
-    }
-    t.print();
-    println!("(DUEs appear once multiple flips land in one word — density kills SECDED)");
-
-    section("Scrub-interval engineering (22nm-class rates, elevated 1000x for flight/NTV)");
-    let node22 = db.by_name("22nm").unwrap();
-    let per_bit_per_sec = node22.ser_fit_per_mbit / 1e6 / (1e9 * 3600.0) * 1000.0;
-    let m = ScrubModel::secded(per_bit_per_sec);
-    let mut t = Table::new(&[
-        "scrub interval",
-        "P(word DUE)/interval",
-        "DUE rate (/word/s)",
-    ]);
-    for hours in [0.1, 1.0, 10.0, 100.0] {
-        let iv = Seconds::from_hours(hours);
-        t.row(&[
-            format!("{hours} h"),
-            fnum(m.p_due_per_interval(iv)),
-            fnum(m.due_rate(iv)),
-        ]);
-    }
-    t.print();
-
-    println!("\nHeadline: per-chip upset rates climb every generation and explode at low");
-    println!("voltage; SECDED holds only with active scrubbing — reliability is now a");
-    println!("managed budget, not a free property.");
+    xxi_bench::cli::run_shim("e3");
 }

@@ -1,85 +1,6 @@
-//! E4 — Table 1 row 4 / §2.2: communication costs more than computation;
-//! operand fetch is 1–2 orders of magnitude above the FP op.
-
-use xxi_bench::{banner, section};
-use xxi_core::table::{fnum, xfactor};
-use xxi_core::Table;
-use xxi_mem::energy::MemEnergyTable;
-use xxi_noc::link::{Link, LinkKind};
-use xxi_tech::ops::OpEnergies;
-use xxi_tech::NodeDb;
+//! Experiment E4, as a shim over the registry:
+//! `exp_e4_comm_energy [flags]` is `xxi run e4 [flags]`.
 
 fn main() {
-    banner(
-        "E4",
-        "Table 1 row 4: 'communication more expensive than computation'",
-    );
-
-    let db = NodeDb::standard();
-
-    section("The energy ladder per 64-bit access (pJ), across nodes");
-    let mut t = Table::new(&[
-        "node",
-        "FMA",
-        "RF",
-        "L1",
-        "L2",
-        "L3",
-        "10mm wire",
-        "chip-to-chip",
-        "DRAM",
-    ]);
-    for name in ["90nm", "45nm", "22nm", "14nm", "7nm"] {
-        let node = db.by_name(name).unwrap();
-        let e = MemEnergyTable::at(node);
-        let ops = OpEnergies::at(node);
-        t.row(&[
-            name.to_string(),
-            fnum(ops.fp_fma.pj()),
-            fnum(e.rf.pj()),
-            fnum(e.l1.pj()),
-            fnum(e.l2.pj()),
-            fnum(e.l3.pj()),
-            fnum(e.wire_10mm.pj()),
-            fnum(e.chip_to_chip.pj()),
-            fnum(e.dram.pj()),
-        ]);
-    }
-    t.print();
-
-    section("Operand fetch vs the operation itself (the §2.2 claim)");
-    let mut t = Table::new(&["node", "DRAM/FMA ratio", "3-operand L2 traffic vs FMA"]);
-    for node in db.all() {
-        let e = MemEnergyTable::at(node);
-        let ops = OpEnergies::at(node);
-        t.row(&[
-            node.name.to_string(),
-            xfactor(e.dram_to_fma_ratio(&ops)),
-            xfactor(e.operand_traffic(xxi_mem::energy::Level::L2).value() / ops.fp_fma.value()),
-        ]);
-    }
-    t.print();
-
-    section("Link technologies at 22nm (per bit)");
-    let node = db.by_name("22nm").unwrap();
-    let mut t = Table::new(&["link", "pJ/bit", "standing power (mW)"]);
-    for (name, kind) in [
-        ("on-chip 1mm", LinkKind::Electrical { mm: 1.0 }),
-        ("on-chip 10mm", LinkKind::Electrical { mm: 10.0 }),
-        ("TSV (3D)", LinkKind::Tsv),
-        ("photonic", LinkKind::Photonic),
-        ("off-chip SerDes", LinkKind::OffChip),
-    ] {
-        let l = Link::on(node, kind);
-        t.row(&[
-            name.to_string(),
-            fnum(l.energy_per_bit.pj()),
-            fnum(l.standing_power.mw()),
-        ]);
-    }
-    t.print();
-
-    println!("\nHeadline: at 45nm a DRAM operand fetch costs ~240x the FMA; the ratio");
-    println!("grows every node because logic scales (C*V^2) while wires and interfaces");
-    println!("barely do — the quantitative root of 'energy first'.");
+    xxi_bench::cli::run_shim("e4");
 }

@@ -1,70 +1,6 @@
-//! E5 — Table 1 row 5: NRE costs growing, amortization squeezing
-//! specialized-market platforms.
-
-use xxi_accel::nre::{asic_over_fpga, asic_over_software, cheapest_style};
-use xxi_bench::{banner, section};
-use xxi_core::table::fnum;
-use xxi_core::Table;
-use xxi_tech::nre::{cost_model, ImplStyle};
-use xxi_tech::NodeDb;
+//! Experiment E5, as a shim over the registry:
+//! `exp_e5_nre [flags]` is `xxi run e5 [flags]`.
 
 fn main() {
-    banner(
-        "E5",
-        "Table 1 row 5: 'Expensive to design, verify, fabricate, and test'",
-    );
-
-    let db = NodeDb::standard();
-
-    section("Cost per part (USD) vs volume, 22nm accelerator block");
-    let node = db.by_name("22nm").unwrap();
-    let mut t = Table::new(&["volume", "software/CPU", "FPGA", "ASIC", "cheapest"]);
-    for v in [
-        1_000u64,
-        10_000,
-        100_000,
-        1_000_000,
-        10_000_000,
-        100_000_000,
-    ] {
-        let sw = cost_model(node, ImplStyle::CpuSoftware).cost_per_part(v);
-        let fpga = cost_model(node, ImplStyle::Fpga).cost_per_part(v);
-        let asic = cost_model(node, ImplStyle::Asic).cost_per_part(v);
-        t.row(&[
-            v.to_string(),
-            fnum(sw),
-            fnum(fpga),
-            fnum(asic),
-            format!("{:?}", cheapest_style(node, v)),
-        ]);
-    }
-    t.print();
-
-    section("Breakeven volumes per node (ASIC catches ...)");
-    let mut t = Table::new(&[
-        "node",
-        "masks (M$)",
-        "ASIC NRE (M$)",
-        "vs FPGA",
-        "vs software",
-    ]);
-    for node in db.all() {
-        let asic = cost_model(node, ImplStyle::Asic);
-        t.row(&[
-            node.name.to_string(),
-            fnum(node.mask_cost_musd),
-            fnum(asic.nre_musd),
-            asic_over_fpga(node)
-                .map(|v| v.to_string())
-                .unwrap_or("never".into()),
-            asic_over_software(node)
-                .map(|v| v.to_string())
-                .unwrap_or("never".into()),
-        ]);
-    }
-    t.print();
-
-    println!("\nHeadline: the ASIC-over-FPGA breakeven rises from tens of thousands of");
-    println!("units (180nm) to millions (7nm) — exactly the squeeze that motivates the");
-    println!("paper's call for reconfigurable coarse-grain fabrics and better synthesis.");
+    xxi_bench::cli::run_shim("e5");
 }

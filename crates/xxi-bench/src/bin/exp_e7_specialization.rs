@@ -1,91 +1,6 @@
-//! E7 — §2.2: "Specialization can give 100× higher energy efficiency."
-
-use xxi_accel::cgra::{Cgra, DataflowGraph};
-use xxi_accel::ladder::{efficiency_factor, ladder_energy_per_op, ImplKind, Kernel};
-use xxi_bench::{banner, section};
-use xxi_core::table::{fnum, xfactor};
-use xxi_core::Table;
-use xxi_tech::NodeDb;
+//! Experiment E7, as a shim over the registry:
+//! `exp_e7_specialization [flags]` is `xxi run e7 [flags]`.
 
 fn main() {
-    banner(
-        "E7",
-        "§2.2: 'Specialization can give 100x higher energy efficiency'",
-    );
-
-    let db = NodeDb::standard();
-    let node = db.by_name("45nm").unwrap();
-
-    section("Energy per useful op (pJ) on the specialization ladder, 45nm");
-    let kernels = [
-        Kernel::Fir,
-        Kernel::AesRound,
-        Kernel::Fft,
-        Kernel::Stencil,
-        Kernel::Irregular,
-    ];
-    let impls: [(&str, ImplKind); 5] = [
-        ("OoO scalar", ImplKind::ScalarOoO),
-        ("in-order scalar", ImplKind::ScalarInOrder),
-        ("SIMD x16", ImplKind::Simd { lanes: 16 }),
-        ("manycore w32", ImplKind::Manycore { warp: 32 }),
-        ("fixed-function", ImplKind::FixedFunction),
-    ];
-    let mut t = Table::new(&[
-        "kernel", impls[0].0, impls[1].0, impls[2].0, impls[3].0, impls[4].0,
-    ]);
-    for k in kernels {
-        let cells: Vec<String> = impls
-            .iter()
-            .map(|(_, i)| fnum(ladder_energy_per_op(node, *i, k).pj()))
-            .collect();
-        let mut row = vec![format!("{k:?}")];
-        row.extend(cells);
-        t.row(&row);
-    }
-    t.print();
-
-    section("Efficiency factors vs the OoO baseline");
-    let mut t = Table::new(&[
-        "kernel",
-        "in-order",
-        "SIMD x16",
-        "manycore w32",
-        "fixed-function",
-    ]);
-    for k in kernels {
-        t.row(&[
-            format!("{k:?}"),
-            xfactor(efficiency_factor(node, ImplKind::ScalarInOrder, k)),
-            xfactor(efficiency_factor(node, ImplKind::Simd { lanes: 16 }, k)),
-            xfactor(efficiency_factor(node, ImplKind::Manycore { warp: 32 }, k)),
-            xfactor(efficiency_factor(node, ImplKind::FixedFunction, k)),
-        ]);
-    }
-    t.print();
-
-    section("The middle ground: a CGRA (8x8 FUs) on a 32-input reduction");
-    let cgra = Cgra::new(8, 8, node.clone());
-    let g = DataflowGraph::reduction_tree(32);
-    let m = cgra.map(&g).unwrap();
-    let cpu = cgra.cpu_energy_per_execution(&g);
-    let mut t = Table::new(&[
-        "iterations of one config",
-        "CGRA energy/exec (pJ)",
-        "vs CPU",
-    ]);
-    for iters in [1u64, 10, 1_000, 100_000] {
-        let e = cgra.energy_per_execution(&g, &m, iters);
-        t.row(&[
-            iters.to_string(),
-            fnum(e.pj()),
-            xfactor(cpu.value() / e.value()),
-        ]);
-    }
-    t.print();
-    println!("routing hops in the mapping: {}", m.total_hops);
-
-    println!("\nHeadline: fixed-function reaches 26-105x on regular kernels (AES-like at");
-    println!("the top, as published); SIMD/manycore land at 6-11x; a CGRA sits between");
-    println!("once its configuration cost is amortized; irregular code defeats them all.");
+    xxi_bench::cli::run_shim("e7");
 }

@@ -1,89 +1,6 @@
-//! E9 — §2.1: "if 100 systems must jointly respond, 63% of requests incur
-//! the 99th-percentile delay" — plus why tails exist and how to cut them.
-//!
-//! Accepts `--threads <N>`: the Monte Carlo runs on the work-stealing
-//! pool, and the printed tables are byte-identical for every `N`.
-
-use xxi_bench::{banner, executor, section, threads_arg};
-use xxi_cloud::fanout::{analytic_straggler_prob, fanout_sweep_on};
-use xxi_cloud::hedge::hedge_experiment_on;
-use xxi_cloud::latency::LatencyDist;
-use xxi_cloud::queueing::{mg1_sweep_on, MG1Queue};
-use xxi_core::table::fnum;
-use xxi_core::Table;
+//! Experiment E9, as a shim over the registry:
+//! `exp_e9_tail [flags]` is `xxi run e9 [flags]`.
 
 fn main() {
-    banner(
-        "E9",
-        "§2.1: 'if 100 systems must jointly respond ... 63% of requests'",
-    );
-    let exec = executor(threads_arg());
-    let exec = &*exec;
-
-    let leaf = LatencyDist::typical_leaf();
-
-    section("Fan-out amplification (Monte Carlo, 20k requests/row)");
-    let mut t = Table::new(&[
-        "fan-out",
-        "analytic 1-0.99^n",
-        "simulated",
-        "p50 (ms)",
-        "p99 (ms)",
-        "mean (ms)",
-    ]);
-    for r in fanout_sweep_on(leaf, &[1, 10, 50, 100, 500, 1000], 20_000, 42, exec) {
-        t.row(&[
-            r.fanout.to_string(),
-            fnum(analytic_straggler_prob(r.fanout, 0.99)),
-            fnum(r.frac_hit_by_leaf_p99),
-            fnum(r.p50),
-            fnum(r.p99),
-            fnum(r.mean),
-        ]);
-    }
-    t.print();
-
-    section("Where the leaf tail comes from: utilization (M/G/1, straggler service)");
-    let mean_s = leaf.sample_summary_on(100_000, 7, exec).mean();
-    let queues: Vec<MG1Queue> = [0.3, 0.5, 0.7, 0.85]
-        .iter()
-        .map(|&rho| MG1Queue {
-            lambda_per_ms: rho / mean_s,
-            service: leaf,
-        })
-        .collect();
-    let mut t = Table::new(&["utilization", "mean (ms)", "p99 (ms)"]);
-    for (rho, r) in [0.3, 0.5, 0.7, 0.85]
-        .iter()
-        .zip(mg1_sweep_on(&queues, 150_000, 8, exec))
-    {
-        t.row(&[fnum(*rho), fnum(r.mean_ms), fnum(r.p99)]);
-    }
-    t.print();
-
-    section("Mitigation: hedged requests (duplicate after a deadline quantile)");
-    let base = leaf.sample_summary_on(300_000, 9, exec);
-    let mut t = Table::new(&["policy", "p50", "p99", "p99.9", "extra load"]);
-    t.row(&[
-        "no hedge".into(),
-        fnum(base.median()),
-        fnum(base.percentile(99.0)),
-        fnum(base.percentile(99.9)),
-        "0%".into(),
-    ]);
-    for q in [0.90, 0.95, 0.99] {
-        let h = hedge_experiment_on(leaf, q, 300_000, 10, exec);
-        t.row(&[
-            format!("hedge @ p{:.0}", q * 100.0),
-            fnum(h.p50),
-            fnum(h.p99),
-            fnum(h.p999),
-            format!("{:.1}%", h.extra_load * 100.0),
-        ]);
-    }
-    t.print();
-
-    println!("\nHeadline: the 63% claim reproduces exactly (0.634 analytic, ~0.63-0.65");
-    println!("simulated); hedging at p95 collapses p99.9 by >3x for ~5% extra load —");
-    println!("the Tail-at-Scale shape the paper's §2.1 agenda builds on.");
+    xxi_bench::cli::run_shim("e9");
 }

@@ -1,0 +1,96 @@
+//! `xxi` — the experiment driver.
+//!
+//! ```text
+//! xxi list                     every experiment: id, capabilities, title
+//! xxi run <id>... [flags]      run experiments by id (e1 .. e20)
+//! xxi run --all [flags]        run the whole registry in id order
+//! xxi validate <file>          validate a JSON report file (one doc/line)
+//! ```
+//!
+//! `xxi run e9` prints exactly what the historical `exp_e9_tail` binary
+//! printed; `--format json` emits the schema-version-1 report documents.
+
+use xxi_bench::cli::{self, FLAG_USAGE};
+use xxi_bench::experiments;
+
+const USAGE: &str = "\
+usage: xxi <command> [args]
+
+commands:
+  list                 list all experiments
+  run <id>... [flags]  run experiments by id (e1 .. e20)
+  run --all [flags]    run every experiment in id order
+  validate <file>      validate a JSON report file (one document per line)
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("list") => list(),
+        Some("run") => run(&args[1..]),
+        Some("validate") => validate(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            print!("{USAGE}\n{FLAG_USAGE}\n");
+            0
+        }
+        Some(other) => {
+            eprintln!("error: unknown command: {other}\n\n{USAGE}");
+            2
+        }
+        None => {
+            eprintln!("{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn list() -> i32 {
+    println!("{:<5} {:<7} title", "id", "flags");
+    for e in experiments::registry() {
+        let mut caps = String::new();
+        if e.parallel() {
+            caps.push('P');
+        }
+        if e.emits_trace() {
+            caps.push('T');
+        }
+        println!("{:<5} {:<7} {}", e.id(), caps, e.title());
+    }
+    println!("\nP = --threads speeds it up   T = accepts --trace <path>");
+    0
+}
+
+fn run(args: &[String]) -> i32 {
+    let flags = match cli::parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}\n{FLAG_USAGE}");
+            return 2;
+        }
+    };
+    let exps = match cli::select(&flags) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let rendered = cli::render_reports(&exps, &flags);
+    cli::deliver(&rendered, &flags)
+}
+
+fn validate(args: &[String]) -> i32 {
+    let [path] = args else {
+        eprintln!("usage: xxi validate <file>");
+        return 2;
+    };
+    let (ok, msg) = cli::validate_file(std::path::Path::new(path));
+    if ok {
+        println!("{msg}");
+        0
+    } else {
+        eprintln!("error: {msg}");
+        1
+    }
+}

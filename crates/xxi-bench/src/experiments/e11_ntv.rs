@@ -1,0 +1,97 @@
+//! E11 — §2.3: near-threshold voltage: "tremendous potential to reduce
+//! power but at the cost of reliability, driving … resiliency-centered
+//! design."
+
+use xxi_core::table::{fnum, xfactor};
+use xxi_core::units::{Energy, Power};
+use xxi_core::{Report, Table};
+use xxi_tech::{NodeDb, NtvModel, SoftErrorModel};
+
+use super::{Experiment, RunCtx};
+
+pub struct E11Ntv;
+
+impl Experiment for E11Ntv {
+    fn id(&self) -> &'static str {
+        "e11"
+    }
+
+    fn title(&self) -> &'static str {
+        "Near-threshold voltage: the minimum-energy point vs resilience"
+    }
+
+    fn paper_claim(&self) -> &'static str {
+        "§2.3: NTV 'tremendous potential ... at the cost of reliability'"
+    }
+
+    fn fill(&self, _ctx: &RunCtx, r: &mut Report) {
+        let db = NodeDb::standard();
+        let node = db.by_name("22nm").unwrap();
+        let m = NtvModel::new(node.clone(), Energy::from_pj(10.0), Power::from_mw(50.0));
+        let ser = SoftErrorModel::new(node.clone(), 10.0);
+
+        r.section("Voltage sweep (22nm block: 10 pJ/op dynamic, 50 mW leak at nominal)");
+        let mut t = Table::new(&[
+            "Vdd (V)",
+            "f (GHz)",
+            "E/op (pJ)",
+            "timing err rate",
+            "E/op resilient (pJ)",
+            "SER boost",
+        ]);
+        for p in m.sweep(12) {
+            t.row(&[
+                fnum(p.v.value()),
+                fnum(p.freq_ghz),
+                fnum(p.e_op.pj()),
+                fnum(p.error_rate),
+                fnum(p.e_op_resilient.pj()),
+                xfactor(ser.fit_chip(p.v) / ser.fit_chip(node.vdd)),
+            ]);
+        }
+        r.table(t);
+
+        r.section("Optima");
+        let (mep_v, mep_e) = m.minimum_energy_point();
+        let (res_v, res_e) = m.resilient_optimum();
+        let e_nom = m.e_op(node.vdd);
+        let mut t = Table::new(&[
+            "operating point",
+            "Vdd (V)",
+            "E/op (pJ)",
+            "saving vs nominal",
+        ]);
+        t.row(&[
+            "nominal".into(),
+            fnum(node.vdd.value()),
+            fnum(e_nom.pj()),
+            "1.00x".into(),
+        ]);
+        t.row(&[
+            "raw minimum-energy point".into(),
+            fnum(mep_v.value()),
+            fnum(mep_e.pj()),
+            xfactor(e_nom.value() / mep_e.value()),
+        ]);
+        t.row(&[
+            "resilient optimum (detect+re-exec)".into(),
+            fnum(res_v.value()),
+            fnum(res_e.pj()),
+            xfactor(m.e_op_resilient(node.vdd, 0.05).value() / res_e.value()),
+        ]);
+        r.table(t);
+
+        r.finding("raw_mep_saving", e_nom.value() / mep_e.value(), "x");
+        r.finding(
+            "resilient_saving",
+            m.e_op_resilient(node.vdd, 0.05).value() / res_e.value(),
+            "x",
+        );
+        r.text(
+            "\nHeadline: the raw MEP sits near threshold but is unusable (error rates\n\
+             percent-level, SER boosted); pricing in detection + re-execution moves\n\
+             the optimum up in voltage yet still nets a multi-x energy win — the\n\
+             quantitative content of 'resiliency-centered design'.",
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! E18 — §2.2: "1,000-way parallelism … communication energy will outgrow
+//! computation energy." Real scaling on the work-stealing runtime, plus
+//! the modeled 1000-way energy balance.
+//!
+//! The strong-scaling table reports wall-clock times on real threads, so
+//! it is marked volatile: the golden harness pins its shape but not its
+//! machine-dependent numbers.
+
+use xxi_core::table::fnum;
+use xxi_core::{Report, Table};
+use xxi_mem::energy::MemEnergyTable;
+use xxi_noc::link::{Link, LinkKind};
+use xxi_noc::sim::{NocConfig, NocSim};
+use xxi_noc::topology::Mesh;
+use xxi_noc::traffic::Pattern;
+use xxi_stack::Pool;
+use xxi_tech::ops::OpEnergies;
+use xxi_tech::NodeDb;
+
+use crate::{quantile_row, quantile_table};
+
+use super::{Experiment, RunCtx};
+
+fn kernel(i: usize) -> f64 {
+    let mut x = i as f64 + 1.0;
+    for _ in 0..1_500 {
+        x = (x * 1.0000001).sqrt() + 0.25;
+    }
+    x
+}
+
+pub struct E18Scaling;
+
+impl Experiment for E18Scaling {
+    fn id(&self) -> &'static str {
+        "e18"
+    }
+
+    fn title(&self) -> &'static str {
+        "1000-way parallelism: real scaling and the communication-energy wall"
+    }
+
+    fn paper_claim(&self) -> &'static str {
+        "§2.2: 'communication energy will outgrow computation energy'"
+    }
+
+    fn emits_trace(&self) -> bool {
+        true
+    }
+
+    fn fill(&self, ctx: &RunCtx, r: &mut Report) {
+        r.section("Real strong scaling on the work-stealing pool (this machine)");
+        let hw = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let n = 150_000usize;
+        let base = {
+            let pool = Pool::new(1);
+            pool.parallel_sum(1000, kernel);
+            let t0 = std::time::Instant::now();
+            pool.parallel_sum(n, kernel);
+            t0.elapsed().as_secs_f64()
+        };
+        let mut t = Table::new(&["threads", "time (s)", "speedup", "efficiency"]);
+        let mut threads = 1usize;
+        while threads <= hw.min(16) {
+            let pool = Pool::new(threads);
+            pool.parallel_sum(1000, kernel);
+            let t0 = std::time::Instant::now();
+            pool.parallel_sum(n, kernel);
+            let dt = t0.elapsed().as_secs_f64();
+            t.row(&[
+                threads.to_string(),
+                fnum(dt),
+                fnum(base / dt),
+                fnum(base / dt / threads as f64),
+            ]);
+            threads *= 2;
+        }
+        r.volatile_table(t);
+
+        r.section("Modeled 1000-way stencil: compute vs communication energy per sweep");
+        // A 1000-core 22nm chip runs a 2D stencil: each core owns a tile of
+        // 256x256 points (f64), computes 5 FMA/point, and exchanges halos
+        // (4 edges x 256 points x 8 B) with neighbors each sweep.
+        let db = NodeDb::standard();
+        let mut t = Table::new(&[
+            "node",
+            "compute/core (uJ)",
+            "halo comms/core (uJ)",
+            "comm/compute",
+        ]);
+        let mesh = Mesh::new_2d(32, 32); // ~1000 cores
+        for name in ["90nm", "45nm", "22nm", "7nm"] {
+            let node = db.by_name(name).unwrap();
+            let ops = OpEnergies::at(node);
+            let compute = ops.fp_fma * (256.0 * 256.0 * 5.0);
+            // Halo exchange crosses ~1 mesh hop of 2 mm wire per neighbor.
+            let link = Link::on(node, LinkKind::Electrical { mm: 2.0 });
+            let halo_bits = 4.0 * 256.0 * 8.0 * 8.0;
+            let comm = link.transfer_energy(halo_bits as u64) * mesh.mean_hops_uniform().max(1.0);
+            t.row(&[
+                name.to_string(),
+                fnum(compute.value() * 1e6),
+                fnum(comm.value() * 1e6),
+                fnum(comm.value() / compute.value()),
+            ]);
+        }
+        r.table(t);
+        r.text(
+            "(halo traffic priced at mean-hop distance; a locality-aware mapping\n \
+             from xxi-stack::locality pays 1 hop instead — see the ablation bench)",
+        );
+
+        r.section("All-to-all instead of neighbor halos (the locality-hostile case)");
+        let node = db.by_name("22nm").unwrap();
+        let ops = OpEnergies::at(node);
+        let l3 = MemEnergyTable::at(node).l3;
+        let compute = ops.fp_fma * (256.0 * 256.0 * 5.0);
+        let shuffle_bytes = 256.0 * 256.0 * 8.0; // whole tile shuffled
+        let link = Link::on(node, LinkKind::Electrical { mm: 2.0 });
+        let comm = link.transfer_energy((shuffle_bytes * 8.0) as u64)
+            * Mesh::new_2d(32, 32).mean_hops_uniform()
+            + l3 * (shuffle_bytes / 8.0);
+        r.finding(
+            "all_to_all_comm_ratio_22nm",
+            comm.value() / compute.value(),
+            "x",
+        );
+        r.text(format!(
+            "22nm: compute {:.1} uJ vs all-to-all comm {:.1} uJ — ratio {:.1}",
+            compute.value() * 1e6,
+            comm.value() * 1e6,
+            comm.value() / compute.value()
+        ));
+
+        r.section("Observed 8x8 mesh under the halo traffic: packet-latency tail + energy");
+        // The fabric carrying those halos, observed: per-packet latency
+        // histograms at a moderate and a near-saturation load, link/router
+        // energy on the ledger.
+        let mut t = quantile_table("packet latency (cycles)");
+        let mut traced = None;
+        for rate in [0.1, 0.4] {
+            let mut sim = NocSim::new(NocConfig::mesh8x8(Pattern::Uniform, rate, ctx.seed_or(18)));
+            // Trace the heavier load (the interesting one to look at).
+            if rate > 0.3 {
+                sim.trace = ctx.trace();
+            }
+            let obs = sim.run_observed(2_000, 8_000);
+            t.row(&quantile_row(&format!("load {rate}"), &obs.latency));
+            if rate > 0.3 {
+                traced = Some(obs);
+            }
+        }
+        r.table(t);
+        let heavy = traced.expect("0.4 run present");
+        r.text(format!(
+            "throughput at load 0.4: {} flits/node/cycle; throttled injections: {}",
+            fnum(heavy.result.throughput),
+            heavy.result.throttled
+        ));
+        r.section("NoC energy ledger (measured phase, load 0.4)");
+        r.table(heavy.ledger.table());
+
+        ctx.emit_trace(r, &heavy.trace);
+
+        r.text(
+            "\nHeadline: the runtime scales near-linearly on real cores; in the model,\n\
+             neighbor-only communication stays affordable but its share grows every\n\
+             node, and communication-oblivious (all-to-all) patterns already cost\n\
+             multiples of compute at 22nm — 'rethink how we design for 1,000-way\n\
+             parallelism' is an energy statement, not a scheduling one.",
+        );
+    }
+}

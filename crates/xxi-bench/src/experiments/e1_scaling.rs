@@ -1,0 +1,80 @@
+//! E1 — Table 1 rows 1–2: Moore continues, Dennard is gone.
+
+use xxi_core::table::{fnum, xfactor};
+use xxi_core::units::Power;
+use xxi_core::{Report, Table};
+use xxi_tech::{DarkSilicon, NodeDb, ScalingRule, ScalingTrajectory};
+
+use super::{Experiment, RunCtx};
+
+pub struct E1Scaling;
+
+impl Experiment for E1Scaling {
+    fn id(&self) -> &'static str {
+        "e1"
+    }
+
+    fn title(&self) -> &'static str {
+        "Moore continues, Dennard is gone"
+    }
+
+    fn paper_claim(&self) -> &'static str {
+        "Table 1: 'Transistor count still 2x every 18-24 months' / 'Dennard: Gone'"
+    }
+
+    fn fill(&self, _ctx: &RunCtx, r: &mut Report) {
+        let db = NodeDb::standard();
+        let dennard = ScalingTrajectory::compute(&db, ScalingRule::Dennard);
+        let real = ScalingTrajectory::compute(&db, ScalingRule::PostDennard);
+
+        r.section("Generational scaling for a fixed-area die (relative to 180nm)");
+        let mut t = Table::new(&[
+            "node",
+            "year",
+            "transistors",
+            "freq (Dennard)",
+            "freq (obs)",
+            "P/chip (Dennard)",
+            "P/chip (obs)",
+            "E/gate (obs)",
+        ]);
+        for (d, o) in dennard.points.iter().zip(&real.points) {
+            t.row(&[
+                d.node.to_string(),
+                d.year.to_string(),
+                xfactor(d.transistors_rel),
+                xfactor(d.freq_rel),
+                xfactor(o.freq_rel),
+                xfactor(d.full_power_rel),
+                xfactor(o.full_power_rel),
+                fnum(o.gate_energy_rel),
+            ]);
+        }
+        r.table(t);
+
+        r.section("Consequence: dark silicon (200 mm^2 die, 100 W package)");
+        let calc = DarkSilicon::new(200.0, Power(100.0));
+        let mut t = Table::new(&[
+            "node",
+            "full-die power (W)",
+            "active fraction",
+            "dark fraction",
+        ]);
+        for p in calc.sweep(&db) {
+            t.row(&[
+                p.node.to_string(),
+                fnum(p.full_power.value()),
+                fnum(p.active_fraction),
+                fnum(p.dark_fraction),
+            ]);
+        }
+        r.table(t);
+
+        r.finding("full_die_power_growth", real.final_power_growth(), "x");
+        r.text(format!(
+            "\nHeadline: powering a full 7nm die at nominal V/f needs {} the 180nm\n\
+             power — Table 1's 'not viable for power/chip to double' made concrete.",
+            xfactor(real.final_power_growth())
+        ));
+    }
+}

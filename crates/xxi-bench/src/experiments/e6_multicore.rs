@@ -1,0 +1,116 @@
+//! E6 — §2.2 parallelism: Hill–Marty multicore speedup (symmetric /
+//! asymmetric / dynamic) and the dark-silicon variant.
+
+use xxi_core::table::fnum;
+use xxi_core::units::Power;
+use xxi_core::{Report, Table};
+use xxi_cpu::chip::{Chip, ChipConfig};
+use xxi_cpu::hillmarty::{
+    best_symmetric_r, speedup_asymmetric, speedup_dynamic, speedup_symmetric,
+    speedup_symmetric_power_limited,
+};
+use xxi_cpu::CoreKind;
+use xxi_tech::{DarkSilicon, NodeDb};
+
+use super::{Experiment, RunCtx};
+
+pub struct E6Multicore;
+
+impl Experiment for E6Multicore {
+    fn id(&self) -> &'static str {
+        "e6"
+    }
+
+    fn title(&self) -> &'static str {
+        "Hill-Marty multicore speedup under dark silicon"
+    }
+
+    fn paper_claim(&self) -> &'static str {
+        "§2.2: 'massive on-chip parallelism with simpler, low-power cores'"
+    }
+
+    fn fill(&self, _ctx: &RunCtx, r: &mut Report) {
+        r.section("Hill-Marty speedup, n = 256 BCE, vs core size r (f = 0.975)");
+        let n = 256.0;
+        let f = 0.975;
+        let mut t = Table::new(&["r (BCE/core)", "symmetric", "asymmetric", "dynamic"]);
+        for rr in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0] {
+            t.row(&[
+                fnum(rr),
+                fnum(speedup_symmetric(f, n, rr)),
+                fnum(speedup_asymmetric(f, n, rr)),
+                fnum(speedup_dynamic(f, n, rr)),
+            ]);
+        }
+        r.table(t);
+        r.text(format!(
+            "best symmetric r at f=0.975: {} (paper's figure peaks near r≈7, S≈51)",
+            best_symmetric_r(f, n)
+        ));
+
+        r.section("Optimal core size vs parallel fraction (symmetric, n = 256)");
+        let mut t = Table::new(&["f", "best r", "speedup at best r"]);
+        for f in [0.5, 0.9, 0.95, 0.975, 0.99, 0.999] {
+            let rr = best_symmetric_r(f, n);
+            t.row(&[fnum(f), fnum(rr), fnum(speedup_symmetric(f, n, rr))]);
+        }
+        r.table(t);
+
+        r.section("Dark silicon erodes the parallel term (f = 0.99, r = 1)");
+        let db = NodeDb::standard();
+        let calc = DarkSilicon::new(200.0, Power(100.0));
+        let mut t = Table::new(&[
+            "node",
+            "active fraction",
+            "speedup (powered)",
+            "speedup (if fully lit)",
+        ]);
+        for name in ["90nm", "45nm", "22nm", "7nm"] {
+            let node = db.by_name(name).unwrap();
+            let active = calc.active_fraction(&db, node);
+            t.row(&[
+                name.to_string(),
+                fnum(active),
+                fnum(speedup_symmetric_power_limited(0.99, n, 1.0, active)),
+                fnum(speedup_symmetric(0.99, n, 1.0)),
+            ]);
+        }
+        r.table(t);
+
+        r.section("Composed chips at 22nm (200 mm^2 / 95 W): core-mix shootout");
+        let mut t = Table::new(&[
+            "core kind",
+            "fit",
+            "powered",
+            "S(f=0.5)",
+            "S(f=0.99)",
+            "throughput/W",
+        ]);
+        for kind in [
+            CoreKind::InOrderSmall,
+            CoreKind::OoOMedium,
+            CoreKind::OoOBig,
+        ] {
+            let chip = Chip::compose(ChipConfig::desktop(
+                db.by_name("22nm").unwrap().clone(),
+                kind,
+            ))
+            .unwrap();
+            t.row(&[
+                format!("{kind:?}"),
+                chip.cores_fit.to_string(),
+                chip.cores_powered.to_string(),
+                fnum(chip.speedup(0.5)),
+                fnum(chip.speedup(0.99)),
+                fnum(chip.efficiency()),
+            ]);
+        }
+        r.table(t);
+
+        r.text(
+            "\nHeadline: serial code wants one big core, parallel code wants many small\n\
+             ones, and dark silicon taxes everything — the quantitative case for the\n\
+             paper's heterogeneous 'clusters of simple cores + custom units'.",
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! E9 — §2.1: "if 100 systems must jointly respond, 63% of requests incur
+//! the 99th-percentile delay" — plus why tails exist and how to cut them.
+//!
+//! The Monte Carlo runs on the executor from [`RunCtx`]; the tables are
+//! byte-identical for every `--threads` count.
+
+use xxi_cloud::fanout::{analytic_straggler_prob, fanout_sweep_on};
+use xxi_cloud::hedge::hedge_experiment_on;
+use xxi_cloud::latency::LatencyDist;
+use xxi_cloud::queueing::{mg1_sweep_on, MG1Queue};
+use xxi_core::table::fnum;
+use xxi_core::{Report, Table};
+
+use super::{Experiment, RunCtx};
+
+pub struct E9Tail;
+
+impl Experiment for E9Tail {
+    fn id(&self) -> &'static str {
+        "e9"
+    }
+
+    fn title(&self) -> &'static str {
+        "Tail at scale: fan-out amplification, M/G/1 tails, hedged requests"
+    }
+
+    fn paper_claim(&self) -> &'static str {
+        "§2.1: 'if 100 systems must jointly respond ... 63% of requests'"
+    }
+
+    fn parallel(&self) -> bool {
+        true
+    }
+
+    fn fill(&self, ctx: &RunCtx, r: &mut Report) {
+        let exec = ctx.exec();
+        let leaf = LatencyDist::typical_leaf();
+
+        r.section("Fan-out amplification (Monte Carlo, 20k requests/row)");
+        let mut t = Table::new(&[
+            "fan-out",
+            "analytic 1-0.99^n",
+            "simulated",
+            "p50 (ms)",
+            "p99 (ms)",
+            "mean (ms)",
+        ]);
+        for row in fanout_sweep_on(
+            leaf,
+            &[1, 10, 50, 100, 500, 1000],
+            20_000,
+            ctx.seed_or(42),
+            exec,
+        ) {
+            if row.fanout == 100 {
+                r.finding(
+                    "straggler_frac_fanout_100",
+                    row.frac_hit_by_leaf_p99,
+                    "frac",
+                );
+            }
+            t.row(&[
+                row.fanout.to_string(),
+                fnum(analytic_straggler_prob(row.fanout, 0.99)),
+                fnum(row.frac_hit_by_leaf_p99),
+                fnum(row.p50),
+                fnum(row.p99),
+                fnum(row.mean),
+            ]);
+        }
+        r.table(t);
+
+        r.section("Where the leaf tail comes from: utilization (M/G/1, straggler service)");
+        let mean_s = leaf.sample_summary_on(100_000, ctx.seed_or(7), exec).mean();
+        let queues: Vec<MG1Queue> = [0.3, 0.5, 0.7, 0.85]
+            .iter()
+            .map(|&rho| MG1Queue {
+                lambda_per_ms: rho / mean_s,
+                service: leaf,
+            })
+            .collect();
+        let mut t = Table::new(&["utilization", "mean (ms)", "p99 (ms)"]);
+        for (rho, q) in
+            [0.3, 0.5, 0.7, 0.85]
+                .iter()
+                .zip(mg1_sweep_on(&queues, 150_000, ctx.seed_or(8), exec))
+        {
+            t.row(&[fnum(*rho), fnum(q.mean_ms), fnum(q.p99)]);
+        }
+        r.table(t);
+
+        r.section("Mitigation: hedged requests (duplicate after a deadline quantile)");
+        let base = leaf.sample_summary_on(300_000, ctx.seed_or(9), exec);
+        let mut t = Table::new(&["policy", "p50", "p99", "p99.9", "extra load"]);
+        t.row(&[
+            "no hedge".into(),
+            fnum(base.median()),
+            fnum(base.percentile(99.0)),
+            fnum(base.percentile(99.9)),
+            "0%".into(),
+        ]);
+        for q in [0.90, 0.95, 0.99] {
+            let h = hedge_experiment_on(leaf, q, 300_000, ctx.seed_or(10), exec);
+            t.row(&[
+                format!("hedge @ p{:.0}", q * 100.0),
+                fnum(h.p50),
+                fnum(h.p99),
+                fnum(h.p999),
+                format!("{:.1}%", h.extra_load * 100.0),
+            ]);
+        }
+        r.table(t);
+
+        r.finding(
+            "analytic_straggler_fanout_100",
+            analytic_straggler_prob(100, 0.99),
+            "frac",
+        );
+        r.text(
+            "\nHeadline: the 63% claim reproduces exactly (0.634 analytic, ~0.63-0.65\n\
+             simulated); hedging at p95 collapses p99.9 by >3x for ~5% extra load —\n\
+             the Tail-at-Scale shape the paper's §2.1 agenda builds on.",
+        );
+    }
+}

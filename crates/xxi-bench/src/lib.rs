@@ -1,109 +1,20 @@
-//! Shared helpers for the experiment binaries (`exp_e1` … `exp_e18`).
+//! The experiment suite: every experiment from DESIGN.md's index behind
+//! the [`experiments::Experiment`] trait, the unified [`cli`], and the
+//! `xxi` driver binary (`xxi list` / `xxi run` / `xxi validate`).
 //!
-//! Every binary regenerates one experiment from DESIGN.md's index and
-//! prints paper-style tables; EXPERIMENTS.md records the outputs. Keep the
-//! binaries deterministic: fixed seeds only.
+//! The per-experiment `exp_*` binaries are thin shims over
+//! [`cli::run_shim`]; their stdout is byte-identical to the historical
+//! stand-alone implementations and is pinned by `tests/golden.rs`. Keep
+//! experiments deterministic: canonical seeds via `RunCtx::seed_or`.
 
-use std::path::PathBuf;
-
-use xxi_core::obs::{LogHistogram, Trace};
+use xxi_core::obs::LogHistogram;
 use xxi_core::table::fnum;
 use xxi_core::Table;
 
+pub mod cli;
+pub mod experiments;
 pub mod harness;
 pub use harness::Bench;
-
-/// Print a section header in a consistent style.
-pub fn section(title: &str) {
-    println!("\n== {title} ==\n");
-}
-
-/// Parse `--trace <path>` (or `--trace=<path>`) from the command line.
-/// Returns `None` when absent; exits with usage on a missing value.
-pub fn trace_arg() -> Option<PathBuf> {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--trace" {
-            match args.next() {
-                Some(p) => return Some(PathBuf::from(p)),
-                None => {
-                    eprintln!("usage: --trace <path>   (write a Chrome trace_event JSON file)");
-                    std::process::exit(2);
-                }
-            }
-        } else if let Some(p) = a.strip_prefix("--trace=") {
-            return Some(PathBuf::from(p));
-        }
-    }
-    None
-}
-
-/// Parse `--threads <N>` (or `--threads=<N>`) from the command line.
-/// Returns 1 when absent; exits with usage on a missing or invalid value.
-///
-/// Experiment output is byte-identical for every thread count (fixed
-/// Monte Carlo grain + per-chunk RNG substreams); `--threads` only
-/// changes the wall clock.
-pub fn threads_arg() -> usize {
-    fn parse(v: &str) -> usize {
-        match v.parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => {
-                eprintln!("usage: --threads <N>   (N >= 1 worker threads; output is identical)");
-                std::process::exit(2);
-            }
-        }
-    }
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--threads" {
-            match args.next() {
-                Some(v) => return parse(&v),
-                None => {
-                    eprintln!(
-                        "usage: --threads <N>   (N >= 1 worker threads; output is identical)"
-                    );
-                    std::process::exit(2);
-                }
-            }
-        } else if let Some(v) = a.strip_prefix("--threads=") {
-            return parse(v);
-        }
-    }
-    1
-}
-
-/// The executor for `threads` workers: the work-stealing pool when
-/// parallelism was requested, [`xxi_core::par::Serial`] otherwise.
-pub fn executor(threads: usize) -> Box<dyn xxi_core::par::Parallelism> {
-    if threads > 1 {
-        Box::new(xxi_stack::pool::Pool::new(threads))
-    } else {
-        Box::new(xxi_core::par::Serial)
-    }
-}
-
-/// Write `trace` as Chrome `trace_event` JSON and print a confirmation.
-/// Load the file in chrome://tracing or https://ui.perfetto.dev.
-pub fn save_trace(trace: &Trace, path: &PathBuf) {
-    match trace.save_chrome_json(path) {
-        Ok(()) => {
-            print!(
-                "\ntrace: {} events -> {} (chrome://tracing)",
-                trace.len(),
-                path.display()
-            );
-            if trace.dropped() > 0 {
-                print!("  [{} events dropped at the cap]", trace.dropped());
-            }
-            println!();
-        }
-        Err(e) => {
-            eprintln!("failed to write trace {}: {e}", path.display());
-            std::process::exit(1);
-        }
-    }
-}
 
 /// One table row of tail quantiles from a [`LogHistogram`]:
 /// `[label, n, mean, p50, p90, p99, p99.9, max]`.
@@ -132,12 +43,4 @@ pub fn quantile_table(value_label: &str) -> Table {
         "p99.9",
         "max",
     ])
-}
-
-/// Print the experiment banner.
-pub fn banner(id: &str, anchor: &str) {
-    println!("######################################################################");
-    println!("# Experiment {id}");
-    println!("# Paper anchor: {anchor}");
-    println!("######################################################################");
 }

@@ -28,8 +28,11 @@
 //!   [`par::Parallelism`] trait (implemented by `xxi-stack`'s pool), the
 //!   [`par::Serial`] default, and the fixed-grain [`par::mc_chunks`]
 //!   chunking that keeps parallel runs byte-identical to serial ones.
-//! * [`table`] — plain-text table rendering used by every `exp_*` experiment
-//!   binary so that reproduced tables look like the paper's.
+//! * [`table`] — plain-text table rendering used by every experiment so
+//!   that reproduced tables look like the paper's.
+//! * [`report`] — the structured experiment report (sections of tables,
+//!   free text, scalar findings) behind the `xxi` driver: renders the
+//!   classic text output byte-identically and a stable JSON schema.
 //! * [`metrics`] — a lightweight named-counter registry shared by simulators.
 //! * [`obs`] — cross-layer observability: a zero-cost-when-disabled trace
 //!   recorder hooked into the DES engine (Chrome `trace_event` export), a
@@ -49,6 +52,7 @@ pub mod error;
 pub mod metrics;
 pub mod obs;
 pub mod par;
+pub mod report;
 pub mod rng;
 pub mod stats;
 pub mod table;
@@ -59,6 +63,7 @@ pub use des::Sim;
 pub use error::{Result, XxiError};
 pub use obs::{EnergyLedger, Layer, LogHistogram, SpanId, Trace};
 pub use par::{Parallelism, Serial};
+pub use report::{Finding, Item, ItemBody, Report};
 pub use rng::Rng64;
 pub use stats::{Histogram, P2Quantile, Streaming, Summary};
 pub use table::Table;

@@ -1,0 +1,539 @@
+//! Structured experiment reports: named sections of [`Table`]s, free text,
+//! and scalar findings, rendered both as the classic plain-text experiment
+//! output (byte-identical to what the historical `exp_*` binaries printed)
+//! and as a stable JSON document.
+//!
+//! The text renderer is the source of truth for golden-output regression
+//! tests; the JSON renderer is the scriptable surface (`xxi run --format
+//! json`). Items that depend on the host machine (wall-clock timings, real
+//! thread races) are flagged *volatile* so the golden renderer can mask
+//! them while still pinning their shape.
+//!
+//! ## JSON schema (version 1)
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "experiment": "e9",
+//!   "paper_claim": "…",
+//!   "seed": 0,
+//!   "params": {"threads": "1"},
+//!   "findings": [{"name": "straggler_frac", "value": 0.652, "unit": "frac"}],
+//!   "items": [
+//!     {"kind": "section", "title": "…"},
+//!     {"kind": "table", "volatile": false, "caption": null,
+//!      "headers": ["fan-out", "p99 (ms)"],
+//!      "rows": [[{"text": "100", "value": 100.0}, {"text": "63.4", "value": 63.4}]]},
+//!     {"kind": "text", "volatile": false, "text": "…"}
+//!   ]
+//! }
+//! ```
+//!
+//! `seed` is the user's `--seed` override, or `0` meaning "the experiment's
+//! canonical per-call-site seeds" (the values every number in
+//! EXPERIMENTS.md was produced with). Cells carry `value` only when the
+//! rendered text is a plain finite number.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use crate::table::Table;
+
+pub mod json;
+
+use json::Json;
+
+/// Version of the JSON document layout. Bump on any breaking change.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A named scalar result, e.g. the headline number of an experiment.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Short snake_case name, stable across runs.
+    pub name: String,
+    /// The measured value.
+    pub value: f64,
+    /// Unit label (`"x"`, `"ms"`, `"frac"`, `""` for dimensionless).
+    pub unit: String,
+}
+
+/// The payload of one report item, in document order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ItemBody {
+    /// A section header (`== title ==`).
+    Section(String),
+    /// A rendered table.
+    Table(Table),
+    /// One free-text block, printed followed by a newline.
+    Text(String),
+}
+
+/// One item plus its volatility flag.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Item {
+    pub body: ItemBody,
+    /// True when the content depends on the host machine (wall-clock
+    /// timings, real thread interleavings); masked in golden renderings.
+    pub volatile: bool,
+}
+
+/// A structured experiment report.
+///
+/// Built incrementally by an experiment (sections, tables, text,
+/// findings), then rendered with [`Report::render_text`] (the classic
+/// stdout format) or [`Report::render_json`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Lowercase experiment id (`"e9"`).
+    pub id: String,
+    /// The paper claim this experiment reproduces (the banner anchor).
+    pub paper_claim: String,
+    /// `--seed` override, or 0 for the canonical per-call-site seeds.
+    pub seed: u64,
+    /// Run parameters (`threads`, `trace`, …) as ordered key/value pairs.
+    pub params: Vec<(String, String)>,
+    /// Items in document order.
+    pub items: Vec<Item>,
+    /// Scalar findings.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Start an empty report for experiment `id`.
+    pub fn new(id: impl Into<String>, paper_claim: impl Into<String>) -> Report {
+        Report {
+            id: id.into(),
+            paper_claim: paper_claim.into(),
+            seed: 0,
+            params: Vec::new(),
+            items: Vec::new(),
+            findings: Vec::new(),
+        }
+    }
+
+    /// Record a run parameter.
+    pub fn param(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.params.push((key.into(), value.into()));
+    }
+
+    /// Append a section header.
+    pub fn section(&mut self, title: impl Into<String>) {
+        self.items.push(Item {
+            body: ItemBody::Section(title.into()),
+            volatile: false,
+        });
+    }
+
+    /// Append a table.
+    pub fn table(&mut self, t: Table) {
+        self.items.push(Item {
+            body: ItemBody::Table(t),
+            volatile: false,
+        });
+    }
+
+    /// Append a machine-dependent table (masked in golden renderings).
+    pub fn volatile_table(&mut self, t: Table) {
+        self.items.push(Item {
+            body: ItemBody::Table(t),
+            volatile: true,
+        });
+    }
+
+    /// Append a text block (rendered as the string plus a newline).
+    pub fn text(&mut self, s: impl Into<String>) {
+        self.items.push(Item {
+            body: ItemBody::Text(s.into()),
+            volatile: false,
+        });
+    }
+
+    /// Append a machine-dependent text block (masked in golden renderings).
+    pub fn volatile_text(&mut self, s: impl Into<String>) {
+        self.items.push(Item {
+            body: ItemBody::Text(s.into()),
+            volatile: true,
+        });
+    }
+
+    /// Record a scalar finding.
+    pub fn finding(&mut self, name: impl Into<String>, value: f64, unit: impl Into<String>) {
+        self.findings.push(Finding {
+            name: name.into(),
+            value,
+            unit: unit.into(),
+        });
+    }
+
+    /// Render the classic experiment stdout: banner, then every item.
+    ///
+    /// Byte-identical to what the historical stand-alone binaries printed
+    /// (`banner()` + `section()` + `Table::render` + `println!`).
+    pub fn render_text(&self) -> String {
+        self.render_text_with(false)
+    }
+
+    /// Render for golden-output comparison: identical to
+    /// [`Report::render_text`] except volatile items are replaced by a
+    /// deterministic placeholder that still pins their shape (a volatile
+    /// table keeps its caption and headers; volatile text collapses to a
+    /// marker line).
+    pub fn render_text_golden(&self) -> String {
+        self.render_text_with(true)
+    }
+
+    fn render_text_with(&self, golden: bool) -> String {
+        let mut out = String::new();
+        let rule = "#".repeat(70);
+        let _ = writeln!(out, "{rule}");
+        let _ = writeln!(out, "# Experiment {}", self.id.to_uppercase());
+        let _ = writeln!(out, "# Paper anchor: {}", self.paper_claim);
+        let _ = writeln!(out, "{rule}");
+        for item in &self.items {
+            match (&item.body, golden && item.volatile) {
+                (ItemBody::Section(t), _) => {
+                    let _ = writeln!(out, "\n== {t} ==\n");
+                }
+                (ItemBody::Table(t), false) => out.push_str(&t.render()),
+                (ItemBody::Table(t), true) => {
+                    if let Some(c) = t.caption_text() {
+                        let _ = writeln!(out, "{c}");
+                    }
+                    let _ = writeln!(out, "<volatile table: {}>", t.headers().join(" | "));
+                }
+                (ItemBody::Text(s), false) => {
+                    let _ = writeln!(out, "{s}");
+                }
+                (ItemBody::Text(s), true) => {
+                    let _ = writeln!(out, "<volatile text: {} line(s)>", s.lines().count());
+                }
+            }
+        }
+        out
+    }
+
+    /// Render the schema-version-1 JSON document (see the module docs).
+    pub fn render_json(&self) -> String {
+        let mut s = String::new();
+        s.push('{');
+        let _ = write!(s, "\"schema_version\":{SCHEMA_VERSION}");
+        let _ = write!(s, ",\"experiment\":\"{}\"", json::escape(&self.id));
+        let _ = write!(
+            s,
+            ",\"paper_claim\":\"{}\"",
+            json::escape(&self.paper_claim)
+        );
+        let _ = write!(s, ",\"seed\":{}", self.seed);
+        s.push_str(",\"params\":{");
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\":\"{}\"", json::escape(k), json::escape(v));
+        }
+        s.push_str("},\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"value\":{},\"unit\":\"{}\"}}",
+                json::escape(&f.name),
+                json::number(f.value),
+                json::escape(&f.unit)
+            );
+        }
+        s.push_str("],\"items\":[");
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            match &item.body {
+                ItemBody::Section(t) => {
+                    let _ = write!(
+                        s,
+                        "{{\"kind\":\"section\",\"title\":\"{}\"}}",
+                        json::escape(t)
+                    );
+                }
+                ItemBody::Text(txt) => {
+                    let _ = write!(
+                        s,
+                        "{{\"kind\":\"text\",\"volatile\":{},\"text\":\"{}\"}}",
+                        item.volatile,
+                        json::escape(txt)
+                    );
+                }
+                ItemBody::Table(t) => {
+                    let _ = write!(s, "{{\"kind\":\"table\",\"volatile\":{}", item.volatile);
+                    match t.caption_text() {
+                        Some(c) => {
+                            let _ = write!(s, ",\"caption\":\"{}\"", json::escape(c));
+                        }
+                        None => s.push_str(",\"caption\":null"),
+                    }
+                    s.push_str(",\"headers\":[");
+                    for (j, h) in t.headers().iter().enumerate() {
+                        if j > 0 {
+                            s.push(',');
+                        }
+                        let _ = write!(s, "\"{}\"", json::escape(h));
+                    }
+                    s.push_str("],\"rows\":[");
+                    for (j, row) in t.rows().iter().enumerate() {
+                        if j > 0 {
+                            s.push(',');
+                        }
+                        s.push('[');
+                        for (k, cell) in row.iter().enumerate() {
+                            if k > 0 {
+                                s.push(',');
+                            }
+                            let _ = write!(s, "{{\"text\":\"{}\"", json::escape(&cell.text));
+                            if let Some(v) = cell.value {
+                                let _ = write!(s, ",\"value\":{}", json::number(v));
+                            }
+                            s.push('}');
+                        }
+                        s.push(']');
+                    }
+                    s.push_str("]}");
+                }
+            }
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Parse a schema-version-1 JSON document back into a [`Report`].
+    ///
+    /// The inverse of [`Report::render_json`]: `parse_json(render_json(r))
+    /// == r` for every report (the round-trip is tested over all golden
+    /// reports). Also the validator behind `xxi validate`.
+    pub fn parse_json(text: &str) -> Result<Report, String> {
+        let v = json::parse(text)?;
+        Report::from_json(&v)
+    }
+
+    /// Build a report from a parsed JSON value, validating the schema.
+    pub fn from_json(v: &Json) -> Result<Report, String> {
+        let obj = v.as_object().ok_or("report: expected an object")?;
+        let version = json::get(obj, "schema_version")?
+            .as_u64()
+            .ok_or("schema_version: expected a number")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {version} (expected {SCHEMA_VERSION})"
+            ));
+        }
+        let mut r = Report::new(
+            json::get_str(obj, "experiment")?,
+            json::get_str(obj, "paper_claim")?,
+        );
+        r.seed = json::get(obj, "seed")?
+            .as_u64()
+            .ok_or("seed: expected an unsigned integer")?;
+        for (k, v) in json::get(obj, "params")?
+            .as_object()
+            .ok_or("params: expected an object")?
+        {
+            r.param(k.clone(), v.as_str().ok_or("param: expected a string")?);
+        }
+        for f in json::get(obj, "findings")?
+            .as_array()
+            .ok_or("findings: expected an array")?
+        {
+            let fo = f.as_object().ok_or("finding: expected an object")?;
+            r.finding(
+                json::get_str(fo, "name")?,
+                json::get(fo, "value")?
+                    .as_f64()
+                    .ok_or("finding value: expected a number")?,
+                json::get_str(fo, "unit")?,
+            );
+        }
+        for item in json::get(obj, "items")?
+            .as_array()
+            .ok_or("items: expected an array")?
+        {
+            let io = item.as_object().ok_or("item: expected an object")?;
+            let volatile = json::find(io, "volatile")
+                .and_then(Json::as_bool)
+                .unwrap_or(false);
+            let body = match json::get_str(io, "kind")?.as_str() {
+                "section" => ItemBody::Section(json::get_str(io, "title")?),
+                "text" => ItemBody::Text(json::get_str(io, "text")?),
+                "table" => {
+                    let headers: Vec<String> = json::get(io, "headers")?
+                        .as_array()
+                        .ok_or("headers: expected an array")?
+                        .iter()
+                        .map(|h| h.as_str().ok_or("header: expected a string"))
+                        .collect::<Result<_, _>>()?;
+                    let hrefs: Vec<&str> = headers.iter().map(|h| h.as_str()).collect();
+                    let mut t = Table::new(&hrefs);
+                    if let Some(c) = json::get(io, "caption")?.as_str() {
+                        t = t.caption(c);
+                    }
+                    for row in json::get(io, "rows")?
+                        .as_array()
+                        .ok_or("rows: expected an array")?
+                    {
+                        let cells: Vec<String> = row
+                            .as_array()
+                            .ok_or("row: expected an array")?
+                            .iter()
+                            .map(|c| {
+                                c.as_object()
+                                    .and_then(|o| json::find(o, "text"))
+                                    .and_then(Json::as_str)
+                                    .ok_or("cell: expected an object with text")
+                            })
+                            .collect::<Result<_, _>>()?;
+                        t.row(&cells);
+                    }
+                    ItemBody::Table(t)
+                }
+                k => return Err(format!("item: unknown kind {k:?}")),
+            };
+            r.items.push(Item { body, volatile });
+        }
+        Ok(r)
+    }
+
+    /// Tables in document order (with their volatility flags).
+    pub fn tables(&self) -> impl Iterator<Item = (&Table, bool)> {
+        self.items.iter().filter_map(|i| match &i.body {
+            ItemBody::Table(t) => Some((t, i.volatile)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+    use crate::table::fnum;
+
+    fn sample() -> Report {
+        let mut r = Report::new("e0", "Table 0: a \"quoted\" claim");
+        r.seed = 7;
+        r.param("threads", "4");
+        r.section("First section");
+        let mut t = Table::new(&["node", "pJ"]).caption("cap");
+        t.row(&["180nm".into(), "45.0".into()]);
+        t.row(&["90nm".into(), "12.5".into()]);
+        r.table(t);
+        r.text("a free\nmultiline block");
+        let mut v = Table::new(&["threads", "time (s)"]);
+        v.row(&["1".into(), "0.123".into()]);
+        r.volatile_table(v);
+        r.volatile_text("took 0.5 s");
+        r.finding("ratio", 3.6, "x");
+        r
+    }
+
+    #[test]
+    fn text_render_matches_legacy_layout() {
+        let s = sample().render_text();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "#".repeat(70));
+        assert_eq!(lines[1], "# Experiment E0");
+        assert!(lines[2].starts_with("# Paper anchor: Table 0"));
+        assert!(s.contains("\n== First section ==\n\n"));
+        assert!(s.contains("cap\nnode"));
+        assert!(s.contains("a free\nmultiline block\n"));
+        // Non-golden render includes volatile content verbatim.
+        assert!(s.contains("0.123"));
+        assert!(s.contains("took 0.5 s"));
+    }
+
+    #[test]
+    fn golden_render_masks_volatile_items_only() {
+        let r = sample();
+        let g = r.render_text_golden();
+        assert!(g.contains("45.0"), "deterministic table kept");
+        assert!(!g.contains("0.123"), "volatile table masked");
+        assert!(g.contains("<volatile table: threads | time (s)>"));
+        assert!(!g.contains("took 0.5 s"));
+        assert!(g.contains("<volatile text: 1 line(s)>"));
+        // Identical up to the first volatile item.
+        let t = r.render_text();
+        assert_eq!(
+            &g[..g.find("<volatile table").unwrap()],
+            &t[..t.find("threads  time (s)").unwrap()]
+        );
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample();
+        let j = r.render_json();
+        let back = Report::parse_json(&j).expect("parses");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn json_has_typed_cells_and_schema_fields() {
+        let j = sample().render_json();
+        assert!(j.starts_with("{\"schema_version\":1,\"experiment\":\"e0\""));
+        assert!(j.contains("{\"text\":\"45.0\",\"value\":45}"));
+        assert!(j.contains("{\"text\":\"180nm\"}"));
+        assert!(j.contains("\"findings\":[{\"name\":\"ratio\",\"value\":3.6,\"unit\":\"x\"}]"));
+        assert!(j.contains("\"volatile\":true"));
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_version() {
+        let j = sample()
+            .render_json()
+            .replacen("\"schema_version\":1", "\"schema_version\":99", 1);
+        assert!(Report::parse_json(&j).is_err());
+    }
+
+    /// Property: for seeded-random reports, (a) `render_text` embeds every
+    /// table exactly as `Table::render` produces it (the pre-Report
+    /// format), and (b) the JSON round-trip is lossless.
+    #[test]
+    fn random_reports_render_tables_verbatim_and_round_trip() {
+        let mut rng = Rng64::new(0x5EED_0001);
+        for case in 0..50 {
+            let mut r = Report::new(format!("e{case}"), "claim");
+            r.seed = rng.next_u64();
+            let mut tables = Vec::new();
+            for _ in 0..rng.below(4) + 1 {
+                r.section(format!("s{}", rng.below(1000)));
+                let ncols = rng.below(4) as usize + 1;
+                let headers: Vec<String> = (0..ncols).map(|c| format!("col{c}")).collect();
+                let hrefs: Vec<&str> = headers.iter().map(|h| h.as_str()).collect();
+                let mut t = Table::new(&hrefs);
+                for _ in 0..rng.below(5) {
+                    let row: Vec<String> =
+                        (0..ncols).map(|_| fnum(rng.range_f64(-1e4, 1e4))).collect();
+                    t.row(&row);
+                }
+                r.table(t.clone());
+                tables.push(t);
+                if rng.chance(0.5) {
+                    r.text(format!("note {}", rng.below(100)));
+                }
+                if rng.chance(0.3) {
+                    r.finding(format!("f{}", rng.below(10)), rng.next_f64(), "");
+                }
+            }
+            let text = r.render_text();
+            for t in &tables {
+                assert!(
+                    text.contains(&t.render()),
+                    "case {case}: table block not rendered verbatim"
+                );
+            }
+            assert_eq!(text, r.render_text_golden(), "no volatile items => equal");
+            let back = Report::parse_json(&r.render_json()).expect("parses");
+            assert_eq!(back, r, "case {case}: JSON round-trip");
+        }
+    }
+}

@@ -7,6 +7,28 @@
 
 use std::fmt::Write as _;
 
+/// One table cell: the exact text that is rendered, plus the numeric
+/// value behind it when the text is a plain finite number. The text is
+/// authoritative for rendering (byte-identical output); the value is what
+/// the JSON emitter exports as a typed cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cell {
+    /// Preformatted cell text, rendered verbatim.
+    pub text: String,
+    /// The cell parsed as a finite `f64`, when it is one (`"45.0"`,
+    /// `"1999"`); decorated values (`"12.3x"`, `"180nm"`) stay text-only.
+    pub value: Option<f64>,
+}
+
+impl Cell {
+    /// Build a cell from preformatted text, deriving the typed value.
+    pub fn new(text: impl Into<String>) -> Cell {
+        let text = text.into();
+        let value = text.trim().parse::<f64>().ok().filter(|v| v.is_finite());
+        Cell { text, value }
+    }
+}
+
 /// A simple column-aligned text table.
 ///
 /// ```
@@ -17,10 +39,10 @@ use std::fmt::Write as _;
 /// assert!(s.contains("node"));
 /// assert!(s.contains("180nm"));
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Table {
     headers: Vec<String>,
-    rows: Vec<Vec<String>>,
+    rows: Vec<Vec<Cell>>,
     caption: Option<String>,
 }
 
@@ -49,8 +71,8 @@ impl Table {
             cells.len(),
             self.headers.len()
         );
-        let mut r: Vec<String> = cells.to_vec();
-        r.resize(self.headers.len(), String::new());
+        let mut r: Vec<Cell> = cells.iter().map(Cell::new).collect();
+        r.resize(self.headers.len(), Cell::new(""));
         self.rows.push(r);
     }
 
@@ -70,6 +92,21 @@ impl Table {
         self.rows.is_empty()
     }
 
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows as typed cells.
+    pub fn rows(&self) -> &[Vec<Cell>] {
+        &self.rows
+    }
+
+    /// The caption, when one was attached.
+    pub fn caption_text(&self) -> Option<&str> {
+        self.caption.as_deref()
+    }
+
     /// Render to a string. The first column is left-aligned; all other
     /// columns are right-aligned (they are almost always numeric).
     pub fn render(&self) -> String {
@@ -77,7 +114,7 @@ impl Table {
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.len());
+                widths[i] = widths[i].max(cell.text.len());
             }
         }
 
@@ -102,9 +139,9 @@ impl Table {
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
                 if i == 0 {
-                    let _ = write!(out, "{:<w$}", cell, w = widths[i]);
+                    let _ = write!(out, "{:<w$}", cell.text, w = widths[i]);
                 } else {
-                    let _ = write!(out, "  {:>w$}", cell, w = widths[i]);
+                    let _ = write!(out, "  {:>w$}", cell.text, w = widths[i]);
                 }
             }
             out.push('\n');
@@ -211,6 +248,19 @@ mod tests {
         assert_eq!(xfactor(123.4), "123x");
         assert_eq!(xfactor(12.34), "12.3x");
         assert_eq!(xfactor(1.234), "1.23x");
+    }
+
+    #[test]
+    fn cells_are_typed_when_numeric() {
+        let mut t = Table::new(&["k", "v", "decorated"]);
+        t.row(&["180nm".into(), "45.0".into(), "12.3x".into()]);
+        let row = &t.rows()[0];
+        assert_eq!(row[0].value, None);
+        assert_eq!(row[1].value, Some(45.0));
+        assert_eq!(row[2].value, None);
+        assert_eq!(Cell::new("inf").value, None);
+        assert_eq!(Cell::new("NaN").value, None);
+        assert_eq!(Cell::new("1.000e-9").value, Some(1.0e-9));
     }
 
     #[test]
