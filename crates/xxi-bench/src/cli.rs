@@ -42,6 +42,12 @@ pub struct Flags {
     pub trace: Option<PathBuf>,
     pub format: Format,
     pub out: Option<PathBuf>,
+    /// `--iters` (xxi bench only; `None` = flag not given).
+    pub iters: Option<u64>,
+    /// `--warmup` (xxi bench only).
+    pub warmup: Option<u64>,
+    /// `--threshold` percent (xxi compare only).
+    pub threshold: Option<f64>,
 }
 
 impl Default for Flags {
@@ -54,6 +60,25 @@ impl Default for Flags {
             trace: None,
             format: Format::Text,
             out: None,
+            iters: None,
+            warmup: None,
+            threshold: None,
+        }
+    }
+}
+
+impl Flags {
+    /// The first bench/compare-only flag present, for contexts (`xxi run`,
+    /// the shim binaries) that must reject them.
+    pub fn bench_only_flag(&self) -> Option<&'static str> {
+        if self.iters.is_some() {
+            Some("--iters")
+        } else if self.warmup.is_some() {
+            Some("--warmup")
+        } else if self.threshold.is_some() {
+            Some("--threshold")
+        } else {
+            None
         }
     }
 }
@@ -106,6 +131,35 @@ pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 };
             }
             "--trace" => f.trace = Some(PathBuf::from(value(&mut it)?)),
+            "--iters" => {
+                let v = value(&mut it)?;
+                f.iters = match v.parse::<u64>() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => {
+                        return Err(format!(
+                            "invalid value for --iters: {v} (need an integer >= 1)"
+                        ))
+                    }
+                };
+            }
+            "--warmup" => {
+                let v = value(&mut it)?;
+                f.warmup = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("invalid value for --warmup: {v} (need a u64)"))?,
+                );
+            }
+            "--threshold" => {
+                let v = value(&mut it)?;
+                f.threshold = match v.parse::<f64>() {
+                    Ok(t) if t >= 0.0 && t.is_finite() => Some(t),
+                    _ => {
+                        return Err(format!(
+                            "invalid value for --threshold: {v} (need a percentage >= 0)"
+                        ))
+                    }
+                };
+            }
             "--format" => {
                 let v = value(&mut it)?;
                 f.format = match v.as_str() {
@@ -201,11 +255,21 @@ pub fn deliver(rendered: &str, flags: &Flags) -> i32 {
 
 /// Validate a file of JSON reports (one document per line, as written by
 /// `xxi run --format json`): each line must parse, round-trip, and carry
-/// the current schema version. Returns (ok, message).
+/// the current schema version. The path `-` reads the documents from
+/// stdin (`xxi run --all --format json | xxi validate -`). Returns
+/// (ok, message).
 pub fn validate_file(path: &std::path::Path) -> (bool, String) {
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => return (false, format!("cannot read {}: {e}", path.display())),
+    let (text, name) = if path == std::path::Path::new("-") {
+        let mut buf = String::new();
+        match std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut buf) {
+            Ok(_) => (buf, "<stdin>".to_string()),
+            Err(e) => return (false, format!("cannot read stdin: {e}")),
+        }
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(t) => (t, path.display().to_string()),
+            Err(e) => return (false, format!("cannot read {}: {e}", path.display())),
+        }
     };
     let mut n = 0usize;
     for (lineno, line) in text.lines().enumerate() {
@@ -242,9 +306,15 @@ pub fn validate_file(path: &std::path::Path) -> (bool, String) {
         n += 1;
     }
     if n == 0 {
-        return (false, format!("{}: no reports found", path.display()));
+        return (false, format!("{name}: no reports found"));
     }
-    (true, format!("{n} report(s) valid, schema version 1"))
+    (
+        true,
+        format!(
+            "{n} report(s) valid, schema version {}",
+            xxi_core::report::SCHEMA_VERSION
+        ),
+    )
 }
 
 /// The whole main() of an `exp_*` shim binary: parse the unified flags,
@@ -272,6 +342,13 @@ pub fn run_shim(id: &str) -> ! {
     if flags.all || !flags.ids.is_empty() {
         eprintln!(
             "error: {prog} runs exactly one experiment (use the `xxi` driver for sets)\n\n\
+             usage: {prog} [flags]\n{FLAG_USAGE}"
+        );
+        std::process::exit(2);
+    }
+    if let Some(flag) = flags.bench_only_flag() {
+        eprintln!(
+            "error: {flag} is only valid with `xxi bench`/`xxi compare`\n\n\
              usage: {prog} [flags]\n{FLAG_USAGE}"
         );
         std::process::exit(2);
@@ -332,6 +409,27 @@ mod tests {
         assert!(parse_flags(&args(&["--threads", "x"])).is_err());
         assert!(parse_flags(&args(&["--seed"])).is_err());
         assert!(parse_flags(&args(&["--format", "xml"])).is_err());
+    }
+
+    #[test]
+    fn parses_and_fences_bench_only_flags() {
+        let f = parse_flags(&args(&[
+            "e9",
+            "--iters",
+            "7",
+            "--warmup=2",
+            "--threshold",
+            "12.5",
+        ]))
+        .unwrap();
+        assert_eq!(f.iters, Some(7));
+        assert_eq!(f.warmup, Some(2));
+        assert_eq!(f.threshold, Some(12.5));
+        assert_eq!(f.bench_only_flag(), Some("--iters"));
+        assert_eq!(parse_flags(&args(&["e9"])).unwrap().bench_only_flag(), None);
+        assert!(parse_flags(&args(&["--iters", "0"])).is_err());
+        assert!(parse_flags(&args(&["--warmup", "x"])).is_err());
+        assert!(parse_flags(&args(&["--threshold", "-1"])).is_err());
     }
 
     #[test]

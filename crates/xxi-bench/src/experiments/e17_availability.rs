@@ -41,6 +41,11 @@ impl Experiment for E17Availability {
         true
     }
 
+    // 40 checkpoint sims x 100 simulated hours each dominate the run.
+    fn work_units(&self) -> Option<(&'static str, f64)> {
+        Some(("sim_hours", 4_000.0))
+    }
+
     fn fill(&self, ctx: &RunCtx, r: &mut Report) {
         let exec = ctx.exec();
         let delta = Seconds(30.0);
@@ -80,6 +85,7 @@ impl Experiment for E17Availability {
             let o = sim.run(Seconds::from_hours(100.0), seeds[k % 8]);
             *slots[k].lock().unwrap() = Some((o.efficiency, o.failures));
         });
+        ctx.count("ckpt.sims", slots.len() as u64);
         for (m, mult) in mults.iter().enumerate() {
             let mut eff = 0.0;
             let mut fails = 0u64;
@@ -88,6 +94,8 @@ impl Experiment for E17Availability {
                 eff += e / 8.0;
                 fails += f / 8;
             }
+            ctx.observe("ckpt.efficiency", eff);
+            ctx.count("ckpt.failures_survived", fails);
             t.row(&[fnum(*mult), fnum(eff), fails.to_string()]);
         }
         r.table(t);
@@ -143,6 +151,13 @@ impl Experiment for E17Availability {
         r.table(t);
         let extra_load = 100.0 * hedged.metrics.counter("hedges") as f64
             / hedged.metrics.counter("leaves") as f64;
+        ctx.count("fanout.requests", 2 * 2_000);
+        ctx.count("fanout.hedges", hedged.metrics.counter("hedges"));
+        ctx.count("fanout.leaves", hedged.metrics.counter("leaves"));
+        ctx.observe(
+            "fanout.request_p99_ms",
+            hedged.request_latency.percentile(99.0),
+        );
         r.finding("hedge_extra_load_pct", extra_load, "%");
         r.text(format!(
             "hedges sent: {} ({:.1}% extra load)",

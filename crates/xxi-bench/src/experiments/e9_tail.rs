@@ -32,6 +32,12 @@ impl Experiment for E9Tail {
         true
     }
 
+    // 120k fan-out + 100k calibration + 600k M/G/1 + 300k baseline +
+    // 900k hedged trials — the counters recorded in `fill` sum to this.
+    fn work_units(&self) -> Option<(&'static str, f64)> {
+        Some(("mc_trials", 2_020_000.0))
+    }
+
     fn fill(&self, ctx: &RunCtx, r: &mut Report) {
         let exec = ctx.exec();
         let leaf = LatencyDist::typical_leaf();
@@ -52,6 +58,8 @@ impl Experiment for E9Tail {
             ctx.seed_or(42),
             exec,
         ) {
+            ctx.count("mc.fanout_trials", 20_000);
+            ctx.observe("fanout.p99_ms", row.p99);
             if row.fanout == 100 {
                 r.finding(
                     "straggler_frac_fanout_100",
@@ -72,6 +80,8 @@ impl Experiment for E9Tail {
 
         r.section("Where the leaf tail comes from: utilization (M/G/1, straggler service)");
         let mean_s = leaf.sample_summary_on(100_000, ctx.seed_or(7), exec).mean();
+        ctx.count("mc.calibration_trials", 100_000);
+        ctx.gauge("mg1.mean_service_ms", mean_s);
         let queues: Vec<MG1Queue> = [0.3, 0.5, 0.7, 0.85]
             .iter()
             .map(|&rho| MG1Queue {
@@ -85,12 +95,15 @@ impl Experiment for E9Tail {
                 .iter()
                 .zip(mg1_sweep_on(&queues, 150_000, ctx.seed_or(8), exec))
         {
+            ctx.count("mc.mg1_trials", 150_000);
+            ctx.observe("mg1.p99_ms", q.p99);
             t.row(&[fnum(*rho), fnum(q.mean_ms), fnum(q.p99)]);
         }
         r.table(t);
 
         r.section("Mitigation: hedged requests (duplicate after a deadline quantile)");
         let base = leaf.sample_summary_on(300_000, ctx.seed_or(9), exec);
+        ctx.count("mc.hedge_trials", 300_000);
         let mut t = Table::new(&["policy", "p50", "p99", "p99.9", "extra load"]);
         t.row(&[
             "no hedge".into(),
@@ -101,6 +114,8 @@ impl Experiment for E9Tail {
         ]);
         for q in [0.90, 0.95, 0.99] {
             let h = hedge_experiment_on(leaf, q, 300_000, ctx.seed_or(10), exec);
+            ctx.count("mc.hedge_trials", 300_000);
+            ctx.observe("hedge.p999_ms", h.p999);
             t.row(&[
                 format!("hedge @ p{:.0}", q * 100.0),
                 fnum(h.p50),

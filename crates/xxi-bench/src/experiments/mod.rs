@@ -8,10 +8,13 @@
 //! module; the golden-output tests run it in-process.
 
 use std::path::PathBuf;
+use std::sync::Mutex;
 
+use xxi_core::metrics::Metrics;
 use xxi_core::obs::Trace;
 use xxi_core::par::Parallelism;
 use xxi_core::Report;
+use xxi_stack::pool::Pool;
 
 mod e10_sensor;
 mod e11_ntv;
@@ -35,7 +38,8 @@ mod e8_pyramid;
 mod e9_tail;
 
 /// Run configuration shared by every experiment: deterministic seeding,
-/// the executor seam, and tracing, parsed once by the unified CLI.
+/// the executor seam, tracing, and the run's metrics sink, parsed once by
+/// the unified CLI.
 pub struct RunCtx {
     /// `--seed` override; `None` means each call site's canonical seed
     /// (the values all EXPERIMENTS.md numbers were produced with).
@@ -46,29 +50,68 @@ pub struct RunCtx {
     /// `--trace` output path, for experiments that declare
     /// [`Experiment::emits_trace`].
     pub trace_path: Option<PathBuf>,
-    exec: Box<dyn Parallelism>,
+    /// The work-stealing pool behind [`RunCtx::exec`] when `threads > 1` —
+    /// kept concrete so its scheduler stats are reachable.
+    pool: Option<Pool>,
+    /// Metrics recorded by the experiment's `fill` (interior-mutable
+    /// because `fill` takes `&RunCtx`; contention is nil — experiments
+    /// record from the driving thread, between parallel regions).
+    metrics: Mutex<Metrics>,
 }
 
 impl RunCtx {
     /// Build a context; spins up the work-stealing pool when `threads > 1`.
     pub fn new(seed: Option<u64>, threads: usize, trace_path: Option<PathBuf>) -> RunCtx {
-        let exec: Box<dyn Parallelism> = if threads > 1 {
-            Box::new(xxi_stack::pool::Pool::new(threads))
-        } else {
-            Box::new(xxi_core::par::Serial)
-        };
         RunCtx {
             seed,
             threads,
             trace_path,
-            exec,
+            pool: (threads > 1).then(|| Pool::new(threads)),
+            metrics: Mutex::new(Metrics::new()),
         }
     }
 
     /// The executor for Monte Carlo fan-out: the pool when `--threads N>1`
     /// was given, [`xxi_core::par::Serial`] otherwise.
     pub fn exec(&self) -> &dyn Parallelism {
-        &*self.exec
+        match &self.pool {
+            Some(p) => p,
+            None => &xxi_core::par::Serial,
+        }
+    }
+
+    /// The work-stealing pool, when one exists ([`Pool::stats`] is the
+    /// scheduler-stats source for reports and `xxi bench`).
+    pub fn pool(&self) -> Option<&Pool> {
+        self.pool.as_ref()
+    }
+
+    /// Add `n` to run counter `name` (creating it at zero).
+    pub fn count(&self, name: &'static str, n: u64) {
+        self.metrics.lock().unwrap().count(name, n);
+    }
+
+    /// Increment run counter `name` by one.
+    pub fn incr(&self, name: &'static str) {
+        self.count(name, 1);
+    }
+
+    /// Set run gauge `name` (keep it finite; see
+    /// [`xxi_core::report::RunMetrics`]).
+    pub fn gauge(&self, name: &'static str, value: f64) {
+        self.metrics.lock().unwrap().gauge(name, value);
+    }
+
+    /// Record sample `x` into run histogram `name`.
+    pub fn observe(&self, name: &'static str, x: f64) {
+        self.metrics.lock().unwrap().observe(name, x);
+    }
+
+    /// Drain the metrics recorded since the last take (used by
+    /// [`Experiment::run`] to build the report's Runtime section, and by
+    /// `xxi bench` to reset between iterations).
+    pub fn take_metrics(&self) -> Metrics {
+        std::mem::take(&mut *self.metrics.lock().unwrap())
     }
 
     /// The seed for a call site whose canonical seed is `default`.
@@ -152,10 +195,19 @@ pub trait Experiment: Sync {
         false
     }
 
+    /// Throughput declaration for `xxi bench`: the unit name and how many
+    /// units one `fill` completes (e.g. Monte Carlo trials), or `None`
+    /// when wall-clock is the only meaningful number.
+    fn work_units(&self) -> Option<(&'static str, f64)> {
+        None
+    }
+
     /// Append the experiment's sections, tables, text, and findings.
     fn fill(&self, ctx: &RunCtx, r: &mut Report);
 
-    /// Run the experiment under `ctx`, producing a structured report.
+    /// Run the experiment under `ctx`, producing a structured report. The
+    /// metrics `fill` recorded through `ctx`, plus the pool's scheduler
+    /// stats when one is running, become the report's Runtime section.
     fn run(&self, ctx: &RunCtx) -> Report {
         let mut r = Report::new(self.id(), self.paper_claim());
         r.seed = ctx.seed.unwrap_or(0);
@@ -164,6 +216,13 @@ pub trait Experiment: Sync {
             r.param("trace", p.display().to_string());
         }
         self.fill(ctx, &mut r);
+        let mut m = ctx.take_metrics();
+        if let Some(pool) = ctx.pool() {
+            // Cumulative over the context's lifetime; windowed views are
+            // `xxi bench`'s job (PoolStats::since).
+            pool.stats().record(&mut m);
+        }
+        r.set_runtime(&m);
         r
     }
 }
@@ -233,6 +292,56 @@ mod tests {
             .map(|e| e.id())
             .collect();
         assert_eq!(par, ["e9", "e17"]);
+    }
+
+    #[test]
+    fn run_attaches_recorded_metrics_and_pool_stats() {
+        struct Probe;
+        impl Experiment for Probe {
+            fn id(&self) -> &'static str {
+                "e0"
+            }
+            fn title(&self) -> &'static str {
+                "probe"
+            }
+            fn paper_claim(&self) -> &'static str {
+                "claim"
+            }
+            fn fill(&self, ctx: &RunCtx, _r: &mut Report) {
+                ctx.incr("probe.calls");
+                ctx.count("probe.items", 7);
+                ctx.observe("probe.x", 2.0);
+                ctx.exec().for_tasks(64, &|_| {});
+            }
+        }
+        let serial = Probe.run(&RunCtx::new(None, 1, None));
+        let rt = serial.runtime.expect("recorded metrics attach");
+        assert_eq!(rt.counter("probe.calls"), 1);
+        assert_eq!(rt.counter("probe.items"), 7);
+        assert_eq!(
+            rt.counter("pool.tasks_executed"),
+            0,
+            "no pool stats at --threads 1"
+        );
+
+        let parallel = Probe.run(&RunCtx::new(None, 2, None));
+        let rt = parallel.runtime.expect("recorded metrics attach");
+        assert!(
+            rt.counter("pool.tasks_executed") > 0,
+            "pool stats folded in: {rt:?}"
+        );
+        assert!(rt
+            .gauges
+            .iter()
+            .any(|(k, v)| k == "pool.threads" && *v == 2.0));
+    }
+
+    #[test]
+    fn take_metrics_drains_the_sink() {
+        let ctx = RunCtx::new(None, 1, None);
+        ctx.incr("a");
+        assert_eq!(ctx.take_metrics().counter("a"), 1);
+        assert!(ctx.take_metrics().is_empty(), "second take sees a reset");
     }
 
     #[test]

@@ -150,7 +150,9 @@ fn time_once<R>(f: &mut impl FnMut() -> R) -> f64 {
     t0.elapsed().as_secs_f64()
 }
 
-fn fmt_secs(s: f64) -> String {
+/// Human-readable duration with an auto-picked unit (shared with
+/// `xxi bench`'s progress lines and `xxi compare`'s table).
+pub(crate) fn fmt_secs(s: f64) -> String {
     if s < 1e-6 {
         format!("{:.1} ns", s * 1e9)
     } else if s < 1e-3 {

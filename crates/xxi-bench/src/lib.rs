@@ -1,6 +1,7 @@
 //! The experiment suite: every experiment from DESIGN.md's index behind
 //! the [`experiments::Experiment`] trait, the unified [`cli`], and the
-//! `xxi` driver binary (`xxi list` / `xxi run` / `xxi validate`).
+//! `xxi` driver binary (`xxi list` / `xxi run` / `xxi validate` /
+//! `xxi bench` / `xxi compare`).
 //!
 //! The per-experiment `exp_*` binaries are thin shims over
 //! [`cli::run_shim`]; their stdout is byte-identical to the historical
@@ -11,6 +12,7 @@ use xxi_core::obs::LogHistogram;
 use xxi_core::table::fnum;
 use xxi_core::Table;
 
+pub mod bench;
 pub mod cli;
 pub mod experiments;
 pub mod harness;

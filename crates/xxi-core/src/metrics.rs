@@ -27,6 +27,12 @@ impl Metrics {
         Metrics::default()
     }
 
+    /// True when nothing has been recorded (no counters, gauges, or
+    /// histograms exist — a counter created at zero still counts).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
     /// Add `n` to counter `name` (creating it at zero).
     #[inline]
     pub fn count(&mut self, name: &'static str, n: u64) {
@@ -139,6 +145,17 @@ impl fmt::Display for Metrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn is_empty_tracks_any_kind() {
+        let mut m = Metrics::new();
+        assert!(m.is_empty());
+        m.count("zero", 0);
+        assert!(!m.is_empty(), "a created counter is recorded state");
+        let mut m = Metrics::new();
+        m.observe("h", 1.0);
+        assert!(!m.is_empty());
+    }
 
     #[test]
     fn counters_accumulate() {

@@ -9,11 +9,11 @@
 //! thread races) are flagged *volatile* so the golden renderer can mask
 //! them while still pinning their shape.
 //!
-//! ## JSON schema (version 1)
+//! ## JSON schema (version 2)
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "experiment": "e9",
 //!   "paper_claim": "…",
 //!   "seed": 0,
@@ -25,7 +25,13 @@
 //!      "headers": ["fan-out", "p99 (ms)"],
 //!      "rows": [[{"text": "100", "value": 100.0}, {"text": "63.4", "value": 63.4}]]},
 //!     {"kind": "text", "volatile": false, "text": "…"}
-//!   ]
+//!   ],
+//!   "runtime": {
+//!     "counters": {"mc.trials": 1020000, "pool.steals": 37},
+//!     "gauges": {"pool.threads": 4.0},
+//!     "hists": {"fanout.p99_ms": {"count": 6, "mean": 41.0, "min": 11.2,
+//!               "p50": 38.0, "p90": 63.0, "p99": 63.0, "p999": 63.0, "max": 63.4}}
+//!   }
 //! }
 //! ```
 //!
@@ -33,11 +39,21 @@
 //! canonical per-call-site seeds" (the values every number in
 //! EXPERIMENTS.md was produced with). Cells carry `value` only when the
 //! rendered text is a plain finite number.
+//!
+//! `runtime` (version 2, `null` when the run recorded no telemetry) is the
+//! run's [`RunMetrics`]: counters/gauges/histogram summaries snapshotted
+//! from the experiment's metrics sink and the thread pool's scheduler
+//! stats. It renders as a trailing "Runtime" text section that is always
+//! treated as *volatile* — masked in golden renderings — because scheduler
+//! counters and timings depend on the host. Version-1 documents (no
+//! `runtime` key) still parse.
 
 use std::fmt::Write as _;
 
 use serde::{Deserialize, Serialize};
 
+use crate::metrics::Metrics;
+use crate::obs::LogHistogram;
 use crate::table::Table;
 
 pub mod json;
@@ -45,7 +61,9 @@ pub mod json;
 use json::Json;
 
 /// Version of the JSON document layout. Bump on any breaking change.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Version history: 1 = initial report model; 2 = added the `runtime`
+/// telemetry member (older documents still parse).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// A named scalar result, e.g. the headline number of an experiment.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -56,6 +74,95 @@ pub struct Finding {
     pub value: f64,
     /// Unit label (`"x"`, `"ms"`, `"frac"`, `""` for dimensionless).
     pub unit: String,
+}
+
+/// Fixed-quantile summary of one runtime histogram — the serializable
+/// projection of a [`LogHistogram`] (the full bucket array is not part of
+/// the report schema).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HistSummary {
+    pub count: u64,
+    pub mean: f64,
+    pub min: f64,
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+    pub p999: f64,
+    pub max: f64,
+}
+
+impl HistSummary {
+    /// Summarize a histogram. Callers only build summaries for histograms
+    /// that received at least one sample, so every field is finite.
+    pub fn of(h: &LogHistogram) -> HistSummary {
+        HistSummary {
+            count: h.count(),
+            mean: h.mean(),
+            min: h.min(),
+            p50: h.p50(),
+            p90: h.p90(),
+            p99: h.p99(),
+            p999: h.p999(),
+            max: h.max(),
+        }
+    }
+
+    /// One-line rendering mirroring [`LogHistogram::summary_line`].
+    pub fn summary_line(&self) -> String {
+        if self.count == 0 {
+            return "n=0".to_string();
+        }
+        format!(
+            "n={} mean={:.4} p50={:.4} p90={:.4} p99={:.4} p99.9={:.4} max={:.4}",
+            self.count, self.mean, self.p50, self.p90, self.p99, self.p999, self.max
+        )
+    }
+}
+
+/// Runtime telemetry attached to a report: the run's [`Metrics`] flattened
+/// into serializable, name-ordered lists. Always rendered as a *volatile*
+/// trailing "Runtime" section — scheduler counters and timing histograms
+/// depend on the host and thread count, so golden renderings mask the
+/// values while pinning the member counts.
+#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Monotonic counters, name-ordered.
+    pub counters: Vec<(String, u64)>,
+    /// Last-write-wins gauges, name-ordered. Keep values finite: JSON has
+    /// no NaN/inf lexeme, so non-finite gauges serialize as `null` and
+    /// fail to round-trip.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries, name-ordered.
+    pub hists: Vec<(String, HistSummary)>,
+}
+
+impl RunMetrics {
+    /// Snapshot a metrics registry.
+    pub fn of(m: &Metrics) -> RunMetrics {
+        RunMetrics {
+            counters: m.counters().map(|(k, v)| (k.to_string(), v)).collect(),
+            gauges: m.gauges().map(|(k, v)| (k.to_string(), v)).collect(),
+            hists: m
+                .hists()
+                .map(|(k, h)| (k.to_string(), HistSummary::of(h)))
+                .collect(),
+        }
+    }
+
+    /// True when nothing was recorded (the runtime section is omitted).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Read a counter back (zero if absent) — convenience for tests and
+    /// `xxi compare`.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
 }
 
 /// The payload of one report item, in document order.
@@ -97,6 +204,8 @@ pub struct Report {
     pub items: Vec<Item>,
     /// Scalar findings.
     pub findings: Vec<Finding>,
+    /// Runtime telemetry (schema v2); `None` when the run recorded none.
+    pub runtime: Option<RunMetrics>,
 }
 
 impl Report {
@@ -109,7 +218,15 @@ impl Report {
             params: Vec::new(),
             items: Vec::new(),
             findings: Vec::new(),
+            runtime: None,
         }
+    }
+
+    /// Attach the run's metrics as the trailing Runtime section. Empty
+    /// registries are dropped (no section, `"runtime":null` in JSON).
+    pub fn set_runtime(&mut self, m: &Metrics) {
+        let rt = RunMetrics::of(m);
+        self.runtime = if rt.is_empty() { None } else { Some(rt) };
     }
 
     /// Record a run parameter.
@@ -210,10 +327,45 @@ impl Report {
                 }
             }
         }
+        if let Some(rt) = &self.runtime {
+            if !rt.is_empty() {
+                let _ = writeln!(out, "\n== Runtime ==\n");
+                if golden {
+                    // Host-dependent values are masked; the member counts
+                    // pin the section's shape (a lost counter still fails
+                    // the golden diff).
+                    let _ = writeln!(
+                        out,
+                        "<volatile runtime: {} counter(s), {} gauge(s), {} histogram(s)>",
+                        rt.counters.len(),
+                        rt.gauges.len(),
+                        rt.hists.len()
+                    );
+                } else {
+                    let width = rt
+                        .counters
+                        .iter()
+                        .map(|(k, _)| k.len())
+                        .chain(rt.gauges.iter().map(|(k, _)| k.len()))
+                        .chain(rt.hists.iter().map(|(k, _)| k.len()))
+                        .max()
+                        .unwrap_or(0);
+                    for (k, v) in &rt.counters {
+                        let _ = writeln!(out, "{k:<width$}  {v}");
+                    }
+                    for (k, v) in &rt.gauges {
+                        let _ = writeln!(out, "{k:<width$}  {v}");
+                    }
+                    for (k, h) in &rt.hists {
+                        let _ = writeln!(out, "{k:<width$}  {}", h.summary_line());
+                    }
+                }
+            }
+        }
         out
     }
 
-    /// Render the schema-version-1 JSON document (see the module docs).
+    /// Render the schema-version-2 JSON document (see the module docs).
     pub fn render_json(&self) -> String {
         let mut s = String::new();
         s.push('{');
@@ -303,15 +455,59 @@ impl Report {
                 }
             }
         }
-        s.push_str("]}");
+        s.push_str("],\"runtime\":");
+        match &self.runtime {
+            None => s.push_str("null"),
+            Some(rt) => {
+                s.push_str("{\"counters\":{");
+                for (i, (k, v)) in rt.counters.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    // Counters stay raw u64 (json::number would squeeze
+                    // them through f64 and lose precision past 2^53).
+                    let _ = write!(s, "\"{}\":{v}", json::escape(k));
+                }
+                s.push_str("},\"gauges\":{");
+                for (i, (k, v)) in rt.gauges.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "\"{}\":{}", json::escape(k), json::number(*v));
+                }
+                s.push_str("},\"hists\":{");
+                for (i, (k, h)) in rt.hists.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(
+                        s,
+                        "\"{}\":{{\"count\":{},\"mean\":{},\"min\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"max\":{}}}",
+                        json::escape(k),
+                        h.count,
+                        json::number(h.mean),
+                        json::number(h.min),
+                        json::number(h.p50),
+                        json::number(h.p90),
+                        json::number(h.p99),
+                        json::number(h.p999),
+                        json::number(h.max)
+                    );
+                }
+                s.push_str("}}");
+            }
+        }
+        s.push('}');
         s
     }
 
-    /// Parse a schema-version-1 JSON document back into a [`Report`].
+    /// Parse a JSON document (schema version 1 or 2) back into a
+    /// [`Report`].
     ///
     /// The inverse of [`Report::render_json`]: `parse_json(render_json(r))
     /// == r` for every report (the round-trip is tested over all golden
-    /// reports). Also the validator behind `xxi validate`.
+    /// reports). Also the validator behind `xxi validate`. Version-1
+    /// documents (pre-telemetry) parse with `runtime: None`.
     pub fn parse_json(text: &str) -> Result<Report, String> {
         let v = json::parse(text)?;
         Report::from_json(&v)
@@ -323,9 +519,9 @@ impl Report {
         let version = json::get(obj, "schema_version")?
             .as_u64()
             .ok_or("schema_version: expected a number")?;
-        if version != SCHEMA_VERSION {
+        if !(1..=SCHEMA_VERSION).contains(&version) {
             return Err(format!(
-                "unsupported schema_version {version} (expected {SCHEMA_VERSION})"
+                "unsupported schema_version {version} (expected 1..={SCHEMA_VERSION})"
             ));
         }
         let mut r = Report::new(
@@ -400,6 +596,60 @@ impl Report {
             };
             r.items.push(Item { body, volatile });
         }
+        // `runtime` arrived with schema v2; absent (v1) and null both mean
+        // "no telemetry recorded".
+        match json::find(obj, "runtime") {
+            None | Some(Json::Null) => {}
+            Some(rv) => {
+                let ro = rv.as_object().ok_or("runtime: expected an object")?;
+                let mut rt = RunMetrics::default();
+                for (k, v) in json::get(ro, "counters")?
+                    .as_object()
+                    .ok_or("runtime counters: expected an object")?
+                {
+                    rt.counters.push((
+                        k.clone(),
+                        v.as_u64().ok_or("runtime counter: expected a u64")?,
+                    ));
+                }
+                for (k, v) in json::get(ro, "gauges")?
+                    .as_object()
+                    .ok_or("runtime gauges: expected an object")?
+                {
+                    rt.gauges.push((
+                        k.clone(),
+                        v.as_f64().ok_or("runtime gauge: expected a number")?,
+                    ));
+                }
+                for (k, v) in json::get(ro, "hists")?
+                    .as_object()
+                    .ok_or("runtime hists: expected an object")?
+                {
+                    let ho = v.as_object().ok_or("runtime hist: expected an object")?;
+                    let num = |key: &str| -> Result<f64, String> {
+                        json::get(ho, key)?
+                            .as_f64()
+                            .ok_or_else(|| format!("runtime hist {key}: expected a number"))
+                    };
+                    rt.hists.push((
+                        k.clone(),
+                        HistSummary {
+                            count: json::get(ho, "count")?
+                                .as_u64()
+                                .ok_or("runtime hist count: expected a u64")?,
+                            mean: num("mean")?,
+                            min: num("min")?,
+                            p50: num("p50")?,
+                            p90: num("p90")?,
+                            p99: num("p99")?,
+                            p999: num("p999")?,
+                            max: num("max")?,
+                        },
+                    ));
+                }
+                r.runtime = Some(rt);
+            }
+        }
         Ok(r)
     }
 
@@ -433,6 +683,13 @@ mod tests {
         r.volatile_table(v);
         r.volatile_text("took 0.5 s");
         r.finding("ratio", 3.6, "x");
+        let mut m = Metrics::new();
+        m.count("pool.steals", 37);
+        m.count("mc.trials", 1 << 55); // u64 precision must survive JSON
+        m.gauge("pool.threads", 4.0);
+        m.observe("op_ms", 1.5);
+        m.observe("op_ms", 3.0);
+        r.set_runtime(&m);
         r
     }
 
@@ -449,6 +706,11 @@ mod tests {
         // Non-golden render includes volatile content verbatim.
         assert!(s.contains("0.123"));
         assert!(s.contains("took 0.5 s"));
+        // Runtime telemetry renders as an aligned trailing section.
+        assert!(s.contains("\n== Runtime ==\n\n"));
+        assert!(s.contains("pool.steals   37"));
+        assert!(s.contains("pool.threads  4"));
+        assert!(s.contains("op_ms         n=2 mean=2.25"));
     }
 
     #[test]
@@ -460,6 +722,10 @@ mod tests {
         assert!(g.contains("<volatile table: threads | time (s)>"));
         assert!(!g.contains("took 0.5 s"));
         assert!(g.contains("<volatile text: 1 line(s)>"));
+        // The runtime section is always masked, but its shape is pinned.
+        assert!(g.contains("\n== Runtime ==\n\n"));
+        assert!(!g.contains("pool.steals"));
+        assert!(g.contains("<volatile runtime: 2 counter(s), 1 gauge(s), 1 histogram(s)>"));
         // Identical up to the first volatile item.
         let t = r.render_text();
         assert_eq!(
@@ -479,19 +745,58 @@ mod tests {
     #[test]
     fn json_has_typed_cells_and_schema_fields() {
         let j = sample().render_json();
-        assert!(j.starts_with("{\"schema_version\":1,\"experiment\":\"e0\""));
+        assert!(j.starts_with("{\"schema_version\":2,\"experiment\":\"e0\""));
         assert!(j.contains("{\"text\":\"45.0\",\"value\":45}"));
         assert!(j.contains("{\"text\":\"180nm\"}"));
         assert!(j.contains("\"findings\":[{\"name\":\"ratio\",\"value\":3.6,\"unit\":\"x\"}]"));
         assert!(j.contains("\"volatile\":true"));
+        // Runtime telemetry: counters stay integer (2^55 > f64 mantissa),
+        // histograms carry the fixed quantile set.
+        assert!(j.contains(&format!("\"mc.trials\":{}", 1u64 << 55)));
+        assert!(j.contains("\"gauges\":{\"pool.threads\":4}"));
+        assert!(j.contains("\"op_ms\":{\"count\":2,\"mean\":2.25,"));
     }
 
     #[test]
     fn parse_rejects_wrong_schema_version() {
         let j = sample()
             .render_json()
-            .replacen("\"schema_version\":1", "\"schema_version\":99", 1);
+            .replacen("\"schema_version\":2", "\"schema_version\":99", 1);
         assert!(Report::parse_json(&j).is_err());
+    }
+
+    #[test]
+    fn parse_accepts_version_1_documents() {
+        // A pre-telemetry (v1) document: no `runtime` member at all.
+        let mut r = sample();
+        r.runtime = None;
+        let j = r
+            .render_json()
+            .replacen("\"schema_version\":2", "\"schema_version\":1", 1)
+            .replace(",\"runtime\":null", "");
+        let back = Report::parse_json(&j).expect("v1 parses");
+        assert_eq!(back.runtime, None);
+        assert_eq!(back.items, r.items);
+    }
+
+    #[test]
+    fn runtime_json_round_trips() {
+        let r = sample();
+        let back = Report::parse_json(&r.render_json()).expect("parses");
+        assert_eq!(back.runtime, r.runtime);
+        let rt = back.runtime.unwrap();
+        assert_eq!(rt.counter("mc.trials"), 1 << 55);
+        assert_eq!(rt.counter("absent"), 0);
+        assert_eq!(rt.hists[0].1.count, 2);
+    }
+
+    #[test]
+    fn empty_metrics_attach_nothing() {
+        let mut r = Report::new("e0", "claim");
+        r.set_runtime(&Metrics::new());
+        assert_eq!(r.runtime, None);
+        assert!(!r.render_text().contains("Runtime"));
+        assert!(r.render_json().contains("\"runtime\":null"));
     }
 
     /// Property: for seeded-random reports, (a) `render_text` embeds every

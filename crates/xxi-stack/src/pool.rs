@@ -12,6 +12,8 @@ use std::collections::VecDeque;
 use std::mem::{ManuallyDrop, MaybeUninit};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
+use xxi_core::metrics::Metrics;
+
 use crate::deque::{deque, Stealer, Worker};
 use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use crate::sync::{thread, Arc, Condvar, Mutex};
@@ -20,11 +22,13 @@ type Task = Box<dyn FnOnce() + Send + 'static>;
 
 std::thread_local! {
     /// The worker this OS thread runs, if any: the identity of its pool's
-    /// `Shared` (for matching spawns to the right pool) and a pointer to
-    /// the `Worker` deque owned by the `worker_loop` frame on this thread.
-    /// Registered for the lifetime of `worker_loop`; see `WorkerReg`.
-    static CURRENT_WORKER: Cell<(usize, *const Worker<Task>)> =
-        const { Cell::new((0, std::ptr::null())) };
+    /// `Shared` (for matching spawns to the right pool), the worker's id
+    /// (its index into `Shared::stealers` and `Shared::counters`), and a
+    /// pointer to the `Worker` deque owned by the `worker_loop` frame on
+    /// this thread. Registered for the lifetime of `worker_loop`; see
+    /// `WorkerReg`.
+    static CURRENT_WORKER: Cell<(usize, usize, *const Worker<Task>)> =
+        const { Cell::new((0, 0, std::ptr::null())) };
 }
 
 /// Registers the running worker thread in `CURRENT_WORKER` for the scope
@@ -32,32 +36,142 @@ std::thread_local! {
 struct WorkerReg;
 
 impl WorkerReg {
-    fn new(shared: &Arc<Shared>, worker: &Worker<Task>) -> WorkerReg {
+    fn new(shared: &Arc<Shared>, id: usize, worker: &Worker<Task>) -> WorkerReg {
         let key = Arc::as_ptr(shared) as usize;
-        CURRENT_WORKER.with(|c| c.set((key, worker as *const _)));
+        CURRENT_WORKER.with(|c| c.set((key, id, worker as *const _)));
         WorkerReg
     }
 }
 
 impl Drop for WorkerReg {
     fn drop(&mut self) {
-        CURRENT_WORKER.with(|c| c.set((0, std::ptr::null())));
+        CURRENT_WORKER.with(|c| c.set((0, 0, std::ptr::null())));
     }
 }
 
-/// The worker deque of the calling thread, when the caller is a worker of
-/// the pool identified by `shared`.
-fn local_worker(shared: &Arc<Shared>) -> Option<&Worker<Task>> {
-    let (key, ptr) = CURRENT_WORKER.with(|c| c.get());
+/// The worker id and deque of the calling thread, when the caller is a
+/// worker of the pool identified by `shared`.
+fn local_worker(shared: &Arc<Shared>) -> Option<(usize, &Worker<Task>)> {
+    let (key, id, ptr) = CURRENT_WORKER.with(|c| c.get());
     if key == Arc::as_ptr(shared) as usize && !ptr.is_null() {
         // SAFETY: the pointer was registered by `WorkerReg::new` on this
         // same thread and is cleared before `worker_loop`'s frame (which
         // owns the `Worker`) is torn down; the key check guarantees it
         // belongs to this pool. `Worker` is only touched from its own
         // thread, which is exactly the calling thread here.
-        Some(unsafe { &*ptr })
+        Some((id, unsafe { &*ptr }))
     } else {
         None
+    }
+}
+
+/// Per-worker scheduling counters, updated lock-free with relaxed adds by
+/// the owning thread only (each worker has its own cache-line-aligned
+/// slot, plus one shared slot for external helper threads — see
+/// `Shared::counters`). `Pool::stats()` sums the slots into a
+/// [`PoolStats`] snapshot.
+#[repr(align(64))]
+struct WorkerCounters {
+    executed: AtomicU64,
+    local_pops: AtomicU64,
+    steals: AtomicU64,
+    failed_steals: AtomicU64,
+    injector_pops: AtomicU64,
+    parks: AtomicU64,
+    wakeups: AtomicU64,
+    scope_helps: AtomicU64,
+}
+
+impl WorkerCounters {
+    const fn new() -> WorkerCounters {
+        WorkerCounters {
+            executed: AtomicU64::new(0),
+            local_pops: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            failed_steals: AtomicU64::new(0),
+            injector_pops: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
+            scope_helps: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn bump(c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A consistent snapshot of the pool's scheduling behaviour, taken by
+/// [`Pool::stats`]. All counters are cumulative since `Pool::new`.
+///
+/// Task-source accounting is exact: every executed task was obtained by
+/// exactly one of a local pop, a steal, or a direct injector pop, so
+/// `executed == local_pops + steals + injector_pops` whenever the pool is
+/// quiescent (e.g. after [`Pool::wait`]). Tasks batch-moved from the
+/// injector into a worker's own deque count as local pops when they later
+/// run; the injector's push side is visible via `injector_pushes`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads in the pool.
+    pub threads: usize,
+    /// Tasks that finished executing.
+    pub executed: u64,
+    /// Tasks a thread popped from its own deque (LIFO fast path).
+    pub local_pops: u64,
+    /// Tasks stolen from another worker's deque.
+    pub steals: u64,
+    /// Steal probes that found the victim's deque empty or lost the race.
+    pub failed_steals: u64,
+    /// Tasks pushed to the global injector (cross-thread submissions and
+    /// local-deque overflows); worker-side spawns should stay local.
+    pub injector_pushes: u64,
+    /// Tasks executed straight off the global injector.
+    pub injector_pops: u64,
+    /// Times a worker committed to parking on the idle condvar.
+    pub parks: u64,
+    /// Times a worker returned from a park. With event-counted parking an
+    /// *idle* pool does not wake at all, so this stays flat while no work
+    /// is submitted (the old 1 ms poll accumulated ~1000/s per worker).
+    pub wakeups: u64,
+    /// Tasks run by a thread while it waited inside a scope
+    /// (`run_scoped`'s helping-wait), rather than by the worker loop.
+    pub scope_helps: u64,
+}
+
+impl PoolStats {
+    /// Counter-wise difference `self - earlier`, for windowed measurement
+    /// (e.g. one bench iteration). Saturates at zero so a stale `earlier`
+    /// cannot underflow.
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            threads: self.threads,
+            executed: self.executed.saturating_sub(earlier.executed),
+            local_pops: self.local_pops.saturating_sub(earlier.local_pops),
+            steals: self.steals.saturating_sub(earlier.steals),
+            failed_steals: self.failed_steals.saturating_sub(earlier.failed_steals),
+            injector_pushes: self.injector_pushes.saturating_sub(earlier.injector_pushes),
+            injector_pops: self.injector_pops.saturating_sub(earlier.injector_pops),
+            parks: self.parks.saturating_sub(earlier.parks),
+            wakeups: self.wakeups.saturating_sub(earlier.wakeups),
+            scope_helps: self.scope_helps.saturating_sub(earlier.scope_helps),
+        }
+    }
+
+    /// Snapshot the counters into a [`Metrics`] registry under the
+    /// `pool.` prefix (counters add on merge, so windowed snapshots can
+    /// be rolled up).
+    pub fn record(&self, m: &mut Metrics) {
+        m.gauge("pool.threads", self.threads as f64);
+        m.count("pool.tasks_executed", self.executed);
+        m.count("pool.local_pops", self.local_pops);
+        m.count("pool.steals", self.steals);
+        m.count("pool.failed_steals", self.failed_steals);
+        m.count("pool.injector_pushes", self.injector_pushes);
+        m.count("pool.injector_pops", self.injector_pops);
+        m.count("pool.parks", self.parks);
+        m.count("pool.wakeups", self.wakeups);
+        m.count("pool.scope_helps", self.scope_helps);
     }
 }
 
@@ -70,6 +184,9 @@ struct Shared {
     /// or local-deque overflow). Diagnostic: worker-side spawns should
     /// stay local, and the contention regression test asserts they do.
     injected: AtomicUsize,
+    /// Per-worker scheduling counters; slot `i` belongs to worker `i`,
+    /// the extra last slot to external threads helping from `run_scoped`.
+    counters: Vec<WorkerCounters>,
     /// Wakeup epoch of the event-counted parking protocol: bumped after
     /// every task is made visible (and on shutdown). A worker records the
     /// epoch *before* its final emptiness re-check and sleeps only while
@@ -80,9 +197,6 @@ struct Shared {
     /// Incremented under the `idle` lock; lets `notify` skip the lock
     /// entirely when nobody is asleep.
     sleepers: AtomicUsize,
-    /// Times any worker returned from a park (diagnostic; an idle pool
-    /// must not accumulate these — there is no polling).
-    unparked: AtomicUsize,
     idle: Mutex<()>,
     idle_cv: Condvar,
     done: Mutex<()>,
@@ -164,9 +278,10 @@ impl Pool {
             pending: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             injected: AtomicUsize::new(0),
+            // One slot per worker plus the shared external-helper slot.
+            counters: (0..=threads).map(|_| WorkerCounters::new()).collect(),
             epoch: AtomicU64::new(0),
             sleepers: AtomicUsize::new(0),
-            unparked: AtomicUsize::new(0),
             idle: Mutex::new(()),
             idle_cv: Condvar::new(),
             done: Mutex::new(()),
@@ -202,7 +317,7 @@ impl Pool {
     fn inject(&self, task: Task) {
         self.shared.pending.fetch_add(1, Ordering::SeqCst);
         let task = match local_worker(&self.shared) {
-            Some(w) => match w.push(task) {
+            Some((_, w)) => match w.push(task) {
                 Ok(()) => {
                     self.shared.notify_one();
                     return;
@@ -217,19 +332,29 @@ impl Pool {
         self.shared.notify_one();
     }
 
-    /// How many tasks took the global-injector path (cross-thread
-    /// submissions and local-deque overflows). Diagnostic counter; spawns
-    /// from worker threads should not contribute.
-    pub fn injector_pushes(&self) -> usize {
-        self.shared.injected.load(Ordering::Relaxed)
-    }
-
-    /// How many times any worker has returned from a park. Diagnostic:
-    /// with event-counted parking an *idle* pool does not wake at all, so
-    /// this stays flat while no work is submitted (the old 1 ms poll
-    /// accumulated ~1000/s per worker).
-    pub fn idle_wakeups(&self) -> usize {
-        self.shared.unparked.load(Ordering::Relaxed)
+    /// Snapshot the pool's scheduling counters (see [`PoolStats`]).
+    ///
+    /// Lock-free: sums each worker's relaxed per-slot counters. A snapshot
+    /// taken while tasks are in flight is a consistent *lower bound* per
+    /// counter; taken while the pool is quiescent (after [`Pool::wait`] or
+    /// a scoped call) it is exact.
+    pub fn stats(&self) -> PoolStats {
+        let mut s = PoolStats {
+            threads: self.threads(),
+            injector_pushes: self.shared.injected.load(Ordering::Relaxed) as u64,
+            ..PoolStats::default()
+        };
+        for c in &self.shared.counters {
+            s.executed += c.executed.load(Ordering::Relaxed);
+            s.local_pops += c.local_pops.load(Ordering::Relaxed);
+            s.steals += c.steals.load(Ordering::Relaxed);
+            s.failed_steals += c.failed_steals.load(Ordering::Relaxed);
+            s.injector_pops += c.injector_pops.load(Ordering::Relaxed);
+            s.parks += c.parks.load(Ordering::Relaxed);
+            s.wakeups += c.wakeups.load(Ordering::Relaxed);
+            s.scope_helps += c.scope_helps.load(Ordering::Relaxed);
+        }
+        s
     }
 
     /// Block until every spawned task has completed.
@@ -318,22 +443,36 @@ impl Pool {
     /// then a steal. Returns whether a task was run.
     fn help_one(&self) -> bool {
         let shared = &self.shared;
-        if let Some(w) = local_worker(shared) {
+        let local = local_worker(shared);
+        // Helping runs are charged to the calling worker's slot, or to the
+        // shared external slot for non-worker threads waiting on a scope.
+        let c = match local {
+            Some((id, _)) => &shared.counters[id],
+            None => shared.counters.last().expect("external counter slot"),
+        };
+        if let Some((_, w)) = local {
             if let Some(t) = w.pop() {
-                run(t, shared);
+                WorkerCounters::bump(&c.local_pops);
+                WorkerCounters::bump(&c.scope_helps);
+                run(t, shared, c);
                 return true;
             }
         }
         let t = shared.injector.lock().unwrap().pop_front();
         if let Some(t) = t {
-            run(t, shared);
+            WorkerCounters::bump(&c.injector_pops);
+            WorkerCounters::bump(&c.scope_helps);
+            run(t, shared, c);
             return true;
         }
         for s in &shared.stealers {
             if let Some(t) = s.steal() {
-                run(t, shared);
+                WorkerCounters::bump(&c.steals);
+                WorkerCounters::bump(&c.scope_helps);
+                run(t, shared, c);
                 return true;
             }
+            WorkerCounters::bump(&c.failed_steals);
         }
         false
     }
@@ -471,12 +610,14 @@ impl Drop for Pool {
 }
 
 fn worker_loop(id: usize, worker: Worker<Task>, shared: Arc<Shared>) {
-    let _reg = WorkerReg::new(&shared, &worker);
+    let _reg = WorkerReg::new(&shared, id, &worker);
     let n = shared.stealers.len();
+    let c = &shared.counters[id];
     loop {
         // 1. Own deque (LIFO).
         if let Some(task) = worker.pop() {
-            run(task, &shared);
+            WorkerCounters::bump(&c.local_pops);
+            run(task, &shared, c);
             continue;
         }
         // 2. Global injector: take a batch into the local deque.
@@ -501,7 +642,8 @@ fn worker_loop(id: usize, worker: Worker<Task>, shared: Arc<Shared>) {
                 }
             }
             if let Some(t) = overflow {
-                run(t, &shared);
+                WorkerCounters::bump(&c.injector_pops);
+                run(t, &shared, c);
             }
             if moved {
                 continue;
@@ -515,9 +657,11 @@ fn worker_loop(id: usize, worker: Worker<Task>, shared: Arc<Shared>) {
                 stolen = Some(t);
                 break;
             }
+            WorkerCounters::bump(&c.failed_steals);
         }
         if let Some(t) = stolen {
-            run(t, &shared);
+            WorkerCounters::bump(&c.steals);
+            run(t, &shared, c);
             continue;
         }
         // 4. Nothing anywhere: park until the epoch moves (no polling).
@@ -535,6 +679,7 @@ fn worker_loop(id: usize, worker: Worker<Task>, shared: Arc<Shared>) {
         }
         let mut guard = shared.idle.lock().unwrap();
         shared.sleepers.fetch_add(1, Ordering::SeqCst);
+        WorkerCounters::bump(&c.parks);
         while shared.epoch.load(Ordering::SeqCst) == epoch
             && !shared.shutdown.load(Ordering::SeqCst)
         {
@@ -542,12 +687,13 @@ fn worker_loop(id: usize, worker: Worker<Task>, shared: Arc<Shared>) {
         }
         shared.sleepers.fetch_sub(1, Ordering::SeqCst);
         drop(guard);
-        shared.unparked.fetch_add(1, Ordering::Relaxed);
+        WorkerCounters::bump(&c.wakeups);
     }
 }
 
-fn run(task: Task, shared: &Shared) {
+fn run(task: Task, shared: &Shared, c: &WorkerCounters) {
     task();
+    WorkerCounters::bump(&c.executed);
     if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
         let _g = shared.done.lock().unwrap();
         shared.done_cv.notify_all();
@@ -634,7 +780,7 @@ mod tests {
         });
         pool.wait();
         assert_eq!(counter.load(Ordering::SeqCst), 1_000);
-        let injected = pool.injector_pushes();
+        let injected = pool.stats().injector_pushes;
         // The root task came from this (non-worker) thread; children were
         // spawned on a worker and must have gone to its own deque. The
         // deque holds 8192 entries, so none of the 1000 may overflow.
@@ -658,7 +804,7 @@ mod tests {
         }
         pool.wait();
         assert_eq!(counter.load(Ordering::SeqCst), 100);
-        assert_eq!(pool.injector_pushes(), 100);
+        assert_eq!(pool.stats().injector_pushes, 100);
     }
 
     #[test]
@@ -681,7 +827,7 @@ mod tests {
         pool.wait();
         assert_eq!(counter.load(Ordering::SeqCst), n);
         assert!(
-            pool.injector_pushes() > 1,
+            pool.stats().injector_pushes > 1,
             "overflow should have reached the injector"
         );
     }
@@ -806,10 +952,10 @@ mod tests {
         pool.wait();
         // Let every worker finish draining and park.
         std::thread::sleep(std::time::Duration::from_millis(50));
-        let settled = pool.idle_wakeups();
+        let settled = pool.stats().wakeups;
         std::thread::sleep(std::time::Duration::from_millis(200));
         assert_eq!(
-            pool.idle_wakeups(),
+            pool.stats().wakeups,
             settled,
             "idle workers woke up with no work submitted (polling?)"
         );
@@ -848,6 +994,65 @@ mod tests {
         }
         pool.wait();
         assert_eq!(counter.load(Ordering::SeqCst), 200);
+    }
+
+    #[test]
+    fn stats_source_accounting_is_exact_when_quiescent() {
+        let pool = Pool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..5_000 {
+            let c = Arc::clone(&counter);
+            pool.spawn(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait();
+        let s = pool.stats();
+        assert_eq!(s.threads, 4);
+        assert_eq!(s.executed, 5_000, "every spawned task executed: {s:?}");
+        assert_eq!(
+            s.local_pops + s.steals + s.injector_pops,
+            s.executed,
+            "each executed task has exactly one source: {s:?}"
+        );
+        // All 5000 came from this non-worker thread.
+        assert_eq!(s.injector_pushes, 5_000, "{s:?}");
+    }
+
+    #[test]
+    fn stats_since_gives_a_windowed_view() {
+        let pool = Pool::new(2);
+        pool.run_scoped(64, &|_| {});
+        let before = pool.stats();
+        pool.run_scoped(10, &|_| {});
+        let window = pool.stats().since(&before);
+        assert_eq!(window.executed, 10, "{window:?}");
+        assert_eq!(
+            window.local_pops + window.steals + window.injector_pops,
+            10,
+            "{window:?}"
+        );
+        // `since` against a *later* snapshot saturates instead of wrapping.
+        let zeroed = before.since(&pool.stats());
+        assert_eq!(zeroed.executed, 0);
+    }
+
+    #[test]
+    fn stats_count_scope_helps_and_record_into_metrics() {
+        // A one-worker pool opening a nested scope must help; external
+        // waiters may help through the injector as well.
+        let pool = Pool::new(1);
+        let out = pool.parallel_map(8, |i| {
+            pool.parallel_map(4, |j| i + j).into_iter().sum::<usize>()
+        });
+        assert_eq!(out.len(), 8);
+        let s = pool.stats();
+        assert!(s.scope_helps > 0, "nested scopes must have helped: {s:?}");
+        let mut m = xxi_core::metrics::Metrics::new();
+        s.record(&mut m);
+        assert_eq!(m.counter("pool.tasks_executed"), s.executed);
+        assert_eq!(m.counter("pool.scope_helps"), s.scope_helps);
+        assert_eq!(m.gauge_value("pool.threads"), 1.0);
     }
 
     #[test]

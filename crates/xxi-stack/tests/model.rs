@@ -264,6 +264,46 @@ fn pool_park_notify_loses_no_wakeup() {
     assert!(report.failure.is_none(), "{report}");
 }
 
+/// PoolStats snapshot consistency under the model scheduler: after
+/// `wait()` quiesces the pool, the per-worker counters must account for
+/// every task exactly once (`executed == local_pops + steals +
+/// injector_pops`), external spawns must all have crossed the injector,
+/// and no worker can record a wakeup it never parked for — in randomly
+/// explored interleavings, not just the ones the wall clock happens to
+/// produce.
+#[cfg(not(feature = "seeded_race"))]
+#[test]
+fn pool_stats_accounting_holds_under_random_schedules() {
+    use xxi_check::sync::atomic::{AtomicU64, Ordering};
+    let report = Checker::new()
+        .name("pool-stats")
+        .random_walk()
+        .max_schedules(40)
+        .max_steps(200_000)
+        .run(|| {
+            let pool = xxi_stack::pool::Pool::new(2);
+            let counter = Arc::new(AtomicU64::new(0));
+            for _ in 0..4 {
+                let c = Arc::clone(&counter);
+                pool.spawn(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            pool.wait();
+            let s = pool.stats();
+            assert_eq!(s.executed, 4, "{s:?}");
+            assert_eq!(s.injector_pushes, 4, "external spawns inject: {s:?}");
+            assert_eq!(
+                s.executed,
+                s.local_pops + s.steals + s.injector_pops,
+                "task-source accounting: {s:?}"
+            );
+            assert!(s.wakeups <= s.parks, "wakeup without a park: {s:?}");
+            drop(pool);
+        });
+    assert!(report.failure.is_none(), "{report}");
+}
+
 /// Regression: the planted check-then-act lock acquisition (`seeded_race`)
 /// must be caught within the 10k-schedule budget, with a deterministic,
 /// replayable interleaving trace.

@@ -577,3 +577,111 @@ fn vclock_message_passing_orders_sender_before_receiver() {
         assert!(loner.concurrent(&sender) && loner.concurrent(&receiver));
     });
 }
+
+/// Build a metrics registry with random counters, gauges, and histogram
+/// samples over a small shared name pool (so merges actually collide).
+fn random_metrics(rng: &mut Rng64) -> xxi::core::metrics::Metrics {
+    const NAMES: [&str; 6] = ["alpha", "beta", "gamma", "delta", "eps", "zeta"];
+    let mut m = xxi::core::metrics::Metrics::new();
+    for _ in 0..rng.range_u64(1, 14) {
+        let name = NAMES[rng.below(NAMES.len() as u64) as usize];
+        match rng.below(3) {
+            0 => m.count(name, rng.below(1_000)),
+            1 => m.gauge(name, rng.range_f64(-10.0, 10.0)),
+            _ => m.observe(name, rng.range_f64(0.01, 1e4)),
+        }
+    }
+    m
+}
+
+/// Histogram equality for merge laws: bucket-derived quantiles and exact
+/// extremes must match exactly (integer bucket counts, min/max via
+/// fmin/fmax); the mean may differ by float-summation order only.
+fn assert_metrics_hists_match(x: &xxi::core::metrics::Metrics, y: &xxi::core::metrics::Metrics) {
+    let xs: Vec<_> = x.hists().collect();
+    let ys: Vec<_> = y.hists().collect();
+    assert_eq!(
+        xs.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+        ys.iter().map(|(k, _)| *k).collect::<Vec<_>>()
+    );
+    for ((k, hx), (_, hy)) in xs.iter().zip(&ys) {
+        assert_eq!(hx.count(), hy.count(), "{k}: counts");
+        assert_eq!(hx.min(), hy.min(), "{k}: min");
+        assert_eq!(hx.max(), hy.max(), "{k}: max");
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(hx.quantile(q), hy.quantile(q), "{k}: q{q}");
+        }
+        let tol = 1e-9 * hx.mean().abs().max(1.0);
+        assert!((hx.mean() - hy.mean()).abs() <= tol, "{k}: means");
+    }
+}
+
+/// Metrics::merge commutes on counters and histograms: shard roll-up
+/// order cannot change totals or distributions. (Gauges are exempt by
+/// contract — last write wins; see the dedicated property below.)
+#[test]
+fn metrics_merge_counters_and_hists_commute() {
+    cases(23, |rng| {
+        let a = random_metrics(rng);
+        let b = random_metrics(rng);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(
+            ab.counters().collect::<Vec<_>>(),
+            ba.counters().collect::<Vec<_>>()
+        );
+        for (name, v) in ab.counters() {
+            assert_eq!(v, a.counter(name) + b.counter(name), "{name}: sums");
+        }
+        assert_metrics_hists_match(&ab, &ba);
+    });
+}
+
+/// Metrics::merge is associative across all three kinds — merging shards
+/// pairwise or in one pass lands on the same registry (gauges resolve to
+/// the rightmost writer either way).
+#[test]
+fn metrics_merge_is_associative() {
+    cases(24, |rng| {
+        let a = random_metrics(rng);
+        let b = random_metrics(rng);
+        let c = random_metrics(rng);
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(
+            left.counters().collect::<Vec<_>>(),
+            right.counters().collect::<Vec<_>>()
+        );
+        let lg: Vec<_> = left.gauges().collect();
+        let rg: Vec<_> = right.gauges().collect();
+        assert_eq!(lg, rg, "gauges resolve identically");
+        assert_metrics_hists_match(&left, &right);
+    });
+}
+
+/// Gauges are last-write-wins by contract: whichever operand of the merge
+/// is `other` supplies the surviving value.
+#[test]
+fn metrics_merge_gauges_take_the_latest_writer() {
+    cases(25, |rng| {
+        let va = rng.next_f64();
+        let vb = rng.next_f64();
+        let mut a = xxi::core::metrics::Metrics::new();
+        a.gauge("g", va);
+        let mut b = xxi::core::metrics::Metrics::new();
+        b.gauge("g", vb);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab.gauge_value("g"), vb);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ba.gauge_value("g"), va);
+    });
+}
