@@ -54,9 +54,9 @@ pub fn cheapest_style(node: &TechNode, volume: u64) -> ImplStyle {
             cost_model(node, *a)
                 .cost_per_part(volume)
                 .partial_cmp(&cost_model(node, *b).cost_per_part(volume))
-                .unwrap()
+                .unwrap() // xxi-allow: panic-path -- part costs are finite
         })
-        .unwrap()
+        .unwrap() // xxi-allow: panic-path -- the volume ladder is non-empty
 }
 
 #[cfg(test)]

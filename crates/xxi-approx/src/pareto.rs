@@ -69,7 +69,7 @@ pub fn pareto_frontier(points: &[SweepPoint]) -> Vec<SweepPoint> {
         })
         .copied()
         .collect();
-    frontier.sort_by(|a, b| a.energy.value().partial_cmp(&b.energy.value()).unwrap());
+    frontier.sort_by(|a, b| a.energy.value().partial_cmp(&b.energy.value()).unwrap()); // xxi-allow: panic-path -- energies are finite by construction
     frontier
 }
 

@@ -12,6 +12,8 @@
 //! live here and not in the golden reports: the bench file pins the
 //! *schema*, the baseline comparison pins the *trend*.
 
+// xxi-allow-file: determinism -- whole-experiment wall timing and host
+// metadata are this module's purpose; results are volatile by schema.
 use std::time::{Instant, SystemTime};
 
 use xxi_core::report::json::{self, Json};
@@ -138,7 +140,7 @@ pub fn run_bench(
                 .map(|(unit, n)| (unit.to_string(), n / wall.p50_s)),
             pool: ctx
                 .pool()
-                .map(|p| p.stats().since(&pool_before.expect("pool existed before"))),
+                .map(|p| p.stats().since(&pool_before.expect("pool existed before"))), // xxi-allow: panic-path -- see the expect message
             wall,
         };
         progress(&format!(

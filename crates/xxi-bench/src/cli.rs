@@ -321,7 +321,7 @@ pub fn validate_file(path: &std::path::Path) -> (bool, String) {
 /// run the one registered experiment, print/save the report. Never
 /// returns.
 pub fn run_shim(id: &str) -> ! {
-    let exp = experiments::find(id).expect("shim id is registered");
+    let exp = experiments::find(id).expect("shim id is registered"); // xxi-allow: panic-path -- see the expect message
     let prog = std::env::args()
         .next()
         .map(|p| {

@@ -26,7 +26,7 @@ impl Experiment for E11Ntv {
 
     fn fill(&self, _ctx: &RunCtx, r: &mut Report) {
         let db = NodeDb::standard();
-        let node = db.by_name("22nm").unwrap();
+        let node = db.by_name("22nm").unwrap(); // xxi-allow: panic-path -- ladder name is a fixed constant
         let m = NtvModel::new(node.clone(), Energy::from_pj(10.0), Power::from_mw(50.0));
         let ser = SoftErrorModel::new(node.clone(), 10.0);
 

@@ -30,7 +30,7 @@ impl Experiment for E13Noc {
 
     fn fill(&self, ctx: &RunCtx, r: &mut Report) {
         let db = NodeDb::standard();
-        let node = db.by_name("22nm").unwrap();
+        let node = db.by_name("22nm").unwrap(); // xxi-allow: panic-path -- ladder name is a fixed constant
 
         r.section("64 nodes: planar 8x8 vs stacked 4x4x4 (uniform traffic)");
         let rates = [0.02, 0.1, 0.2, 0.3, 0.4];
@@ -84,7 +84,7 @@ impl Experiment for E13Noc {
         let electrical = Link::on(node, LinkKind::Electrical { mm: 20.0 });
         let crossover = photonic
             .energy_crossover_bits_per_sec(&electrical)
-            .expect("crossover exists");
+            .expect("crossover exists"); // xxi-allow: panic-path -- see the expect message
         let mut t = Table::new(&[
             "utilization (Gb/s)",
             "electrical (mJ/s)",

@@ -27,7 +27,7 @@ impl Experiment for E14Approx {
         let full = points
             .iter()
             .find(|p| p.bits == 52 && p.perforation == 1)
-            .unwrap();
+            .unwrap(); // xxi-allow: panic-path -- the 52-bit exact point is always swept
 
         r.section("Full (bits x perforation) sweep on the FIR workload");
         let mut t = Table::new(&["bits", "perforation", "energy vs exact", "RMSE"]);
@@ -60,9 +60,9 @@ impl Experiment for E14Approx {
             .max_by(|a, b| {
                 (full.energy.value() / a.energy.value())
                     .partial_cmp(&(full.energy.value() / b.energy.value()))
-                    .unwrap()
+                    .unwrap() // xxi-allow: panic-path -- energy ratios are finite
             })
-            .unwrap();
+            .unwrap(); // xxi-allow: panic-path -- the sweep is non-empty
         r.finding(
             "best_sub5pct_saving",
             full.energy.value() / cheap_good.energy.value(),

@@ -90,7 +90,7 @@ impl Experiment for E17Availability {
             let mut eff = 0.0;
             let mut fails = 0u64;
             for s in 0..8 {
-                let (e, f) = slots[m * 8 + s].lock().unwrap().expect("sweep task ran");
+                let (e, f) = slots[m * 8 + s].lock().unwrap().expect("sweep task ran"); // xxi-allow: panic-path -- see the expect message
                 eff += e / 8.0;
                 fails += f / 8;
             }

@@ -57,6 +57,7 @@ impl Experiment for E18Scaling {
         let base = {
             let pool = Pool::new(1);
             pool.parallel_sum(1000, kernel);
+            // xxi-allow: determinism -- measures real speedup; reported as volatile
             let t0 = std::time::Instant::now();
             pool.parallel_sum(n, kernel);
             t0.elapsed().as_secs_f64()
@@ -66,6 +67,7 @@ impl Experiment for E18Scaling {
         while threads <= hw.min(16) {
             let pool = Pool::new(threads);
             pool.parallel_sum(1000, kernel);
+            // xxi-allow: determinism -- measures real speedup; reported as volatile
             let t0 = std::time::Instant::now();
             pool.parallel_sum(n, kernel);
             let dt = t0.elapsed().as_secs_f64();
@@ -92,7 +94,7 @@ impl Experiment for E18Scaling {
         ]);
         let mesh = Mesh::new_2d(32, 32); // ~1000 cores
         for name in ["90nm", "45nm", "22nm", "7nm"] {
-            let node = db.by_name(name).unwrap();
+            let node = db.by_name(name).unwrap(); // xxi-allow: panic-path -- ladder name is a fixed constant
             let ops = OpEnergies::at(node);
             let compute = ops.fp_fma * (256.0 * 256.0 * 5.0);
             // Halo exchange crosses ~1 mesh hop of 2 mm wire per neighbor.
@@ -113,7 +115,7 @@ impl Experiment for E18Scaling {
         );
 
         r.section("All-to-all instead of neighbor halos (the locality-hostile case)");
-        let node = db.by_name("22nm").unwrap();
+        let node = db.by_name("22nm").unwrap(); // xxi-allow: panic-path -- ladder name is a fixed constant
         let ops = OpEnergies::at(node);
         let l3 = MemEnergyTable::at(node).l3;
         let compute = ops.fp_fma * (256.0 * 256.0 * 5.0);
@@ -153,7 +155,7 @@ impl Experiment for E18Scaling {
             }
         }
         r.table(t);
-        let heavy = traced.expect("0.4 run present");
+        let heavy = traced.expect("0.4 run present"); // xxi-allow: panic-path -- see the expect message
         r.text(format!(
             "throughput at load 0.4: {} flits/node/cycle; throttled injections: {}",
             fnum(heavy.result.throughput),

@@ -85,7 +85,7 @@ impl Experiment for E19Security {
         r.section("Prime+probe against a shared 32 KiB L1 (secret = table index)");
         let mut t = Table::new(&["secret set", "inferred (shared)", "inferred (partitioned)"]);
         for secret in [3usize, 17, 42, 63] {
-            let mut shared = Cache::new(shared_cfg()).unwrap();
+            let mut shared = Cache::new(shared_cfg()).unwrap(); // xxi-allow: panic-path -- shared_cfg is a valid fixed geometry
             let atk = prime_probe_attack(&mut shared, secret);
             let mut pc = PartitionedCache::new(shared_cfg(), 2);
             let rp = prime_probe_attack_partitioned(&mut pc, secret);
@@ -109,8 +109,8 @@ impl Experiment for E19Security {
         let mut pm = ProtectionMatrix::new();
         let crypto = DomainId(1);
         let parser = DomainId(2);
-        pm.define_region(RegionId(10), 0, 64).unwrap(); // keys
-        pm.define_region(RegionId(11), 64, 256).unwrap(); // input
+        pm.define_region(RegionId(10), 0, 64).unwrap(); // keys // xxi-allow: panic-path -- region args are fixed and valid
+        pm.define_region(RegionId(11), 64, 256).unwrap(); // input // xxi-allow: panic-path -- region args are fixed and valid
         pm.grant(crypto, RegionId(10), Perms::RW);
         pm.grant(parser, RegionId(11), Perms::RW);
         let mut t = Table::new(&["access", "verdict"]);

@@ -26,6 +26,7 @@ fn run_bank(
     for i in 0..accounts {
         arr.write_direct(i, 1_000);
     }
+    // xxi-allow: determinism -- measures real STM throughput; volatile output
     let t0 = Instant::now();
     let mut handles = Vec::new();
     for &seed in seeds.iter().take(threads) {

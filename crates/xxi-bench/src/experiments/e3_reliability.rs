@@ -67,7 +67,7 @@ impl Experiment for E3Reliability {
         r.text("(DUEs appear once multiple flips land in one word — density kills SECDED)");
 
         r.section("Scrub-interval engineering (22nm-class rates, elevated 1000x for flight/NTV)");
-        let node22 = db.by_name("22nm").unwrap();
+        let node22 = db.by_name("22nm").unwrap(); // xxi-allow: panic-path -- ladder name is a fixed constant
         let per_bit_per_sec = node22.ser_fit_per_mbit / 1e6 / (1e9 * 3600.0) * 1000.0;
         let m = ScrubModel::secded(per_bit_per_sec);
         let mut t = Table::new(&[

@@ -41,7 +41,7 @@ impl Experiment for E4CommEnergy {
             "DRAM",
         ]);
         for name in ["90nm", "45nm", "22nm", "14nm", "7nm"] {
-            let node = db.by_name(name).unwrap();
+            let node = db.by_name(name).unwrap(); // xxi-allow: panic-path -- ladder name is a fixed constant
             let e = MemEnergyTable::at(node);
             let ops = OpEnergies::at(node);
             t.row(&[
@@ -72,7 +72,7 @@ impl Experiment for E4CommEnergy {
         r.table(t);
 
         r.section("Link technologies at 22nm (per bit)");
-        let node = db.by_name("22nm").unwrap();
+        let node = db.by_name("22nm").unwrap(); // xxi-allow: panic-path -- ladder name is a fixed constant
         let mut t = Table::new(&["link", "pJ/bit", "standing power (mW)"]);
         for (name, kind) in [
             ("on-chip 1mm", LinkKind::Electrical { mm: 1.0 }),
@@ -90,7 +90,7 @@ impl Experiment for E4CommEnergy {
         }
         r.table(t);
 
-        let node45 = db.by_name("45nm").unwrap();
+        let node45 = db.by_name("45nm").unwrap(); // xxi-allow: panic-path -- ladder name is a fixed constant
         r.finding(
             "dram_to_fma_45nm",
             MemEnergyTable::at(node45).dram_to_fma_ratio(&OpEnergies::at(node45)),

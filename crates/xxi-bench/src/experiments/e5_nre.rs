@@ -28,7 +28,7 @@ impl Experiment for E5Nre {
         let db = NodeDb::standard();
 
         r.section("Cost per part (USD) vs volume, 22nm accelerator block");
-        let node = db.by_name("22nm").unwrap();
+        let node = db.by_name("22nm").unwrap(); // xxi-allow: panic-path -- ladder name is a fixed constant
         let mut t = Table::new(&["volume", "software/CPU", "FPGA", "ASIC", "cheapest"]);
         for v in [
             1_000u64,

@@ -66,7 +66,7 @@ impl Experiment for E6Multicore {
             "speedup (if fully lit)",
         ]);
         for name in ["90nm", "45nm", "22nm", "7nm"] {
-            let node = db.by_name(name).unwrap();
+            let node = db.by_name(name).unwrap(); // xxi-allow: panic-path -- ladder name is a fixed constant
             let active = calc.active_fraction(&db, node);
             t.row(&[
                 name.to_string(),
@@ -92,10 +92,10 @@ impl Experiment for E6Multicore {
             CoreKind::OoOBig,
         ] {
             let chip = Chip::compose(ChipConfig::desktop(
-                db.by_name("22nm").unwrap().clone(),
+                db.by_name("22nm").unwrap().clone(), // xxi-allow: panic-path -- ladder name is a fixed constant
                 kind,
             ))
-            .unwrap();
+            .unwrap(); // xxi-allow: panic-path -- desktop composition is valid for every ladder node
             t.row(&[
                 format!("{kind:?}"),
                 chip.cores_fit.to_string(),

@@ -52,7 +52,7 @@ impl Experiment for E8Pyramid {
 
         r.section("What 2012-era technology achieves (ops/J)");
         let db = NodeDb::standard();
-        let node = db.by_name("22nm").unwrap();
+        let node = db.by_name("22nm").unwrap(); // xxi-allow: panic-path -- ladder name is a fixed constant
         let ops22 = OpEnergies::at(node);
 
         // A commodity datacenter.

@@ -19,6 +19,8 @@
 //! `--quick` runs a single sample per bench (used to smoke-test the
 //! targets without paying full measurement time).
 
+// xxi-allow-file: determinism -- the bench harness times host execution;
+// nothing here feeds golden output.
 use std::time::Instant;
 
 use xxi_core::obs::LogHistogram;

@@ -1,6 +1,6 @@
 //! `xxi-check`: correctness tooling for the xxi workspace.
 //!
-//! Two pillars, matching the paper's cross-layer dependability agenda:
+//! Three pillars, matching the paper's cross-layer dependability agenda:
 //!
 //! 1. **A deterministic concurrency checker** (loom-style). Test bodies
 //!    run under a virtual-thread scheduler that explores interleavings —
@@ -19,6 +19,16 @@
 //!    sanity, NoC topology well-formedness, and the shipped experiment
 //!    configurations. Diagnostics carry a rule id, severity, and source
 //!    tag, and can be emitted as machine-readable JSON.
+//!
+//! 3. **A workspace source linter** ([`srclint`], the `xxi-check src`
+//!    subcommand). A hand-rolled lexer + item/block scanner that enforces
+//!    the repo's code-level invariants statically: deterministic
+//!    experiments (no wall-clock time or unseeded randomness), justified
+//!    atomic orderings (`// ORDERING:`), audited unsafe code
+//!    (`// SAFETY:`), synchronization routed through the `xxi-stack`
+//!    `sync` facade, and ordered iteration on report paths. Findings are
+//!    suppressible per line (`// xxi-allow: <rule>`), baseline-aware, and
+//!    deterministic in both text and JSON form.
 //!
 //! ```
 //! use xxi_check::sync::atomic::{AtomicU64, Ordering};
@@ -49,6 +59,7 @@
 
 pub mod lint;
 mod sched;
+pub mod srclint;
 pub mod sync;
 pub mod thread;
 pub mod vclock;

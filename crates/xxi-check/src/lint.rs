@@ -282,7 +282,7 @@ impl fmt::Display for LintReport {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -1085,7 +1085,7 @@ impl Rule for ModelConstructors {
     fn run(&self, s: &mut Sink) {
         // xxi-cpu: cores on the 45 nm anchor node.
         let db = xxi_tech::NodeDb::standard();
-        let node45 = db.by_name("45nm").expect("45nm in the standard ladder");
+        let node45 = db.by_name("45nm").expect("45nm in the standard ladder"); // xxi-allow: panic-path -- see the expect message
         let mut small_ppw = 0.0;
         for kind in [
             xxi_cpu::CoreKind::InOrderSmall,

@@ -2,33 +2,48 @@
 //!
 //! ```text
 //! xxi-check lint [--json] [--rule <id>] [--ledger <path>] [--list]
+//! xxi-check src  [--root <dir>] [--rule <id>] [--format text|json]
+//!                [--out <path>] [--deny warnings] [--no-baseline]
+//!                [--baseline <path>] [--list]
 //! ```
 //!
-//! Runs the cross-layer model linter over the shipped model constructors
-//! (the same configurations experiments E10/E17/E18 use) and exits 0 when
-//! clean, 2 when any error-severity diagnostic fired, 1 on usage errors.
-//! `--json` switches to machine-readable output, `--rule` restricts to one
-//! rule, `--ledger` additionally checks an energy-ledger dump file for
-//! conservation, `--list` prints the rule registry.
+//! `lint` runs the cross-layer model linter over the shipped model
+//! constructors (the same configurations experiments E10/E17/E18 use);
+//! `src` runs the workspace source linter over every `.rs` file.
+//!
+//! Exit codes follow the `xxi` driver's contract: **0** clean, **1** when
+//! findings fail the run (any error, or any warning under
+//! `--deny warnings`), **2** on usage errors (unknown subcommand, unknown
+//! flag, missing value).
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use xxi_check::lint::{check_ledger_text, LintReport, Registry, Severity};
+use xxi_check::srclint;
 
-const USAGE: &str = "usage: xxi-check lint [--json] [--rule <id>] [--ledger <path>] [--list]";
+const USAGE: &str = "\
+usage: xxi-check <command> [flags]
+
+commands:
+  lint   run the cross-layer model linter
+         [--json] [--rule <id>] [--ledger <path>] [--list]
+  src    run the workspace source linter
+         [--root <dir>] [--rule <id>] [--format text|json] [--out <path>]
+         [--deny warnings] [--baseline <path>] [--no-baseline] [--list]
+
+exit codes: 0 clean, 1 findings, 2 usage error";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
-        Some("--help") | Some("-h") | None => {
+        Some("src") => src(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") | None => {
             println!("{USAGE}");
             ExitCode::SUCCESS
         }
-        Some(other) => {
-            eprintln!("unknown command {other:?}\n{USAGE}");
-            ExitCode::FAILURE
-        }
+        Some(other) => usage_error(&format!("unknown command {other:?}")),
     }
 }
 
@@ -88,11 +103,139 @@ fn lint(args: &[String]) -> ExitCode {
     if report.is_clean() {
         ExitCode::SUCCESS
     } else {
-        ExitCode::from(2)
+        ExitCode::FAILURE
+    }
+}
+
+fn src(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut rule: Option<String> = None;
+    let mut format = "text".to_string();
+    let mut out: Option<PathBuf> = None;
+    let mut deny_warnings = false;
+    let mut baseline: Option<PathBuf> = None;
+    let mut no_baseline = false;
+    let mut list = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        // Accept both `--flag value` and `--flag=value`, like the xxi
+        // driver.
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (arg.as_str(), None),
+        };
+        let mut value = |name: &str| -> Result<String, ExitCode> {
+            inline
+                .clone()
+                .or_else(|| it.next().cloned())
+                .ok_or_else(|| usage_error(&format!("{name} needs a value")))
+        };
+        match flag {
+            "--root" => match value("--root") {
+                Ok(v) => root = Some(PathBuf::from(v)),
+                Err(e) => return e,
+            },
+            "--rule" => match value("--rule") {
+                Ok(v) => rule = Some(v),
+                Err(e) => return e,
+            },
+            "--format" => match value("--format") {
+                Ok(v) if v == "text" || v == "json" => format = v,
+                Ok(v) => return usage_error(&format!("--format must be text or json, got {v:?}")),
+                Err(e) => return e,
+            },
+            "--out" => match value("--out") {
+                Ok(v) => out = Some(PathBuf::from(v)),
+                Err(e) => return e,
+            },
+            "--deny" => match value("--deny") {
+                Ok(v) if v == "warnings" => deny_warnings = true,
+                Ok(v) => return usage_error(&format!("--deny only accepts warnings, got {v:?}")),
+                Err(e) => return e,
+            },
+            "--baseline" => match value("--baseline") {
+                Ok(v) => baseline = Some(PathBuf::from(v)),
+                Err(e) => return e,
+            },
+            "--no-baseline" => no_baseline = true,
+            "--list" => list = true,
+            other => return usage_error(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    if list {
+        for (id, desc) in srclint::rules::RULES {
+            println!("{id:<20} {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(id) = &rule {
+        if !srclint::rules::RULES.iter().any(|(rid, _)| rid == id) {
+            return usage_error(&format!("unknown rule {id:?} (see --list)"));
+        }
+    }
+
+    let root = root.unwrap_or_else(find_workspace_root);
+    let baseline = if no_baseline {
+        None
+    } else {
+        Some(baseline.unwrap_or_else(|| root.join("crates/xxi-check/srclint.baseline")))
+    };
+
+    let report = match srclint::run(&srclint::SrcOptions {
+        root,
+        rule,
+        deny_warnings,
+        baseline,
+    }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let rendered = if format == "json" {
+        report.to_json()
+    } else {
+        report.to_string()
+    };
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, rendered + "\n") {
+                eprintln!("error: writing {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        None => println!("{rendered}"),
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: walk up from the current directory to the first
+/// ancestor holding a `Cargo.toml` with a `[workspace]` table.
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
     }
 }
 
 fn usage_error(msg: &str) -> ExitCode {
     eprintln!("{msg}\n{USAGE}");
-    ExitCode::FAILURE
+    ExitCode::from(2)
 }

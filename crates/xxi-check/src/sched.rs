@@ -585,7 +585,7 @@ impl ExecState {
             let msg = format!(
                 "lost update on {kind}#{loc}: T{tid} stores {val} over T{}'s unobserved, \
                  unsynchronized store of {} (a compare-exchange would have failed here)",
-                latest.by.unwrap(),
+                latest.by.unwrap(), // xxi-allow: panic-path -- a lost-update report always names the overwriting thread
                 latest.val
             );
             self.trace_ev(
@@ -909,7 +909,7 @@ pub(crate) fn op_rmw(
     let (exec, tid) = current()?;
     let mut st = exec.yield_point(tid);
     let loc = st.loc_id(meta, init, kind);
-    let old = st.locs[loc].stores.last().expect("history nonempty").val;
+    let old = st.locs[loc].stores.last().expect("history nonempty").val; // xxi-allow: panic-path -- see the expect message
     let new = f(old);
     let old2 = st.do_rmw(tid, loc, new, ord, what);
     debug_assert_eq!(old, old2);
@@ -928,7 +928,7 @@ pub(crate) fn op_cas(
     let (exec, tid) = current()?;
     let mut st = exec.yield_point(tid);
     let loc = st.loc_id(meta, init, kind);
-    let latest = st.locs[loc].stores.last().expect("history nonempty").val;
+    let latest = st.locs[loc].stores.last().expect("history nonempty").val; // xxi-allow: panic-path -- see the expect message
     if latest == expected {
         let old = st.do_rmw(tid, loc, new, ord, "cas");
         Some(Ok(old))
@@ -1251,7 +1251,7 @@ impl Checker {
         let h = std::thread::Builder::new()
             .name(format!("xxi-check-{}", self.name))
             .spawn(move || runner(texec, 0, move || body()))
-            .expect("spawn checker thread");
+            .expect("spawn checker thread"); // xxi-allow: panic-path -- see the expect message
         {
             let mut st = lock_state(&exec);
             while !((st.done || st.abort) && st.live == 0) {

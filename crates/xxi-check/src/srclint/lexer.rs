@@ -1,0 +1,367 @@
+//! A hand-rolled Rust lexer for the source linter.
+//!
+//! Offline and zero-dependency: no `syn`, no `proc-macro2`. The linter's
+//! rules work on token streams, not ASTs, so all we need is a faithful
+//! split of a source file into idents, punctuation, literals, comments,
+//! and whitespace — with byte spans that **tile the file exactly** (every
+//! byte belongs to exactly one token, in order). That tiling property is
+//! what the property test in `tests/srclint.rs` pins over every `.rs`
+//! file in the workspace: it guarantees the scanner never sees phantom
+//! tokens and never drops a region (e.g. a raw string containing `unsafe`
+//! must lex as *one* string literal, not as code).
+//!
+//! Handled: line/block comments (nested), raw strings (`r#"..."#` with
+//! any number of hashes), byte and byte-raw strings, char literals vs
+//! lifetimes, raw identifiers (`r#match`), numeric literals, and `::` as
+//! a single path-separator token (which keeps path matching in the rules
+//! trivial).
+
+/// What a token is. The linter only dispatches on this coarse kind; the
+/// text is always recovered from the span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Spaces, tabs, newlines.
+    Ws,
+    /// `// ...` including doc comments `///` and `//!`.
+    LineComment,
+    /// `/* ... */`, nested, including doc block comments.
+    BlockComment,
+    /// Identifier or keyword (including raw identifiers `r#ident`).
+    Ident,
+    /// A lifetime such as `'a` (also `'static`).
+    Lifetime,
+    /// Char or byte-char literal: `'x'`, `b'\n'`.
+    Char,
+    /// String literal of any flavor: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    Str,
+    /// Numeric literal (integer or the leading part of a float).
+    Num,
+    /// `::` — kept as one token so path rules can match segments.
+    PathSep,
+    /// Any other single byte of punctuation.
+    Punct,
+}
+
+/// One token: kind plus the byte span `[start, end)` into the source.
+#[derive(Clone, Copy, Debug)]
+pub struct Token {
+    pub kind: TokKind,
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// The result of lexing one file: the token tiling plus any lexical
+/// errors (unterminated strings/comments). Errors never abort the tiling —
+/// the offending region is consumed to end-of-file so spans still tile.
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub errors: Vec<String>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src` into a token stream whose spans tile the file exactly.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut tokens = Vec::new();
+    let mut errors = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        let start = i;
+        let kind = match b[i] {
+            c if c.is_ascii_whitespace() => {
+                while i < n && b[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                TokKind::Ws
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+                TokKind::LineComment
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                i += 2;
+                let mut depth = 1usize;
+                while i < n && depth > 0 {
+                    if i + 1 < n && b[i] == b'/' && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < n && b[i] == b'*' && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                if depth > 0 {
+                    errors.push(format!("unterminated block comment at byte {start}"));
+                }
+                TokKind::BlockComment
+            }
+            b'r' | b'b' if raw_string_lookahead(b, i) => {
+                i = consume_raw_string(b, i, start, &mut errors);
+                TokKind::Str
+            }
+            b'b' if i + 1 < n && b[i + 1] == b'\'' => {
+                i = consume_char(b, i + 1, start, &mut errors);
+                TokKind::Char
+            }
+            b'b' if i + 1 < n && b[i + 1] == b'"' => {
+                i = consume_string(b, i + 1, start, &mut errors);
+                TokKind::Str
+            }
+            b'r' if i + 1 < n && b[i + 1] == b'#' && i + 2 < n && is_ident_start(b[i + 2]) => {
+                // Raw identifier r#ident.
+                i += 2;
+                while i < n && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                TokKind::Ident
+            }
+            c if is_ident_start(c) => {
+                while i < n && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                TokKind::Ident
+            }
+            c if c.is_ascii_digit() => {
+                while i < n && (is_ident_continue(b[i])) {
+                    i += 1;
+                }
+                // A fractional part only when followed by a digit, so the
+                // range `0..n` stays `0`, `..`, `n`.
+                if i + 1 < n && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < n && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                }
+                TokKind::Num
+            }
+            b'\'' => {
+                // Lifetime vs char literal: `'ident` not followed by a
+                // closing quote is a lifetime.
+                let mut j = i + 1;
+                if j < n && is_ident_start(b[j]) {
+                    while j < n && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                    if j < n && b[j] == b'\'' {
+                        i = consume_char(b, i, start, &mut errors);
+                        TokKind::Char
+                    } else {
+                        i = j;
+                        TokKind::Lifetime
+                    }
+                } else {
+                    i = consume_char(b, i, start, &mut errors);
+                    TokKind::Char
+                }
+            }
+            b'"' => {
+                i = consume_string(b, i, start, &mut errors);
+                TokKind::Str
+            }
+            b':' if i + 1 < n && b[i + 1] == b':' => {
+                i += 2;
+                TokKind::PathSep
+            }
+            _ => {
+                i += 1;
+                TokKind::Punct
+            }
+        };
+        tokens.push(Token {
+            kind,
+            start,
+            end: i,
+        });
+    }
+    Lexed { tokens, errors }
+}
+
+/// Does the stream at `i` begin a raw (possibly byte) string: `r"`,
+/// `r#…#"`, `br"`, `br#…#"`?
+fn raw_string_lookahead(b: &[u8], mut i: usize) -> bool {
+    if b[i] == b'b' {
+        i += 1;
+        if i >= b.len() || b[i] != b'r' {
+            return false;
+        }
+    }
+    if b[i] != b'r' {
+        return false;
+    }
+    i += 1;
+    while i < b.len() && b[i] == b'#' {
+        i += 1;
+    }
+    i < b.len() && b[i] == b'"'
+}
+
+/// Consume a raw string starting at `i` (at the `r` or `b`); returns the
+/// index one past the closing delimiter.
+fn consume_raw_string(b: &[u8], mut i: usize, start: usize, errors: &mut Vec<String>) -> usize {
+    if b[i] == b'b' {
+        i += 1;
+    }
+    i += 1; // the 'r'
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // the opening quote
+    while i < b.len() {
+        if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut h = 0usize;
+            while j < b.len() && h < hashes && b[j] == b'#' {
+                h += 1;
+                j += 1;
+            }
+            if h == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    errors.push(format!("unterminated raw string at byte {start}"));
+    i
+}
+
+/// Consume a quoted string starting at the `"` at `i`; returns the index
+/// one past the closing quote.
+fn consume_string(b: &[u8], mut i: usize, start: usize, errors: &mut Vec<String>) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    errors.push(format!("unterminated string at byte {start}"));
+    i
+}
+
+/// Consume a char (or byte-char) literal starting at the `'` at `i`;
+/// returns the index one past the closing quote.
+fn consume_char(b: &[u8], mut i: usize, start: usize, errors: &mut Vec<String>) -> usize {
+    i += 1;
+    let mut seen = 0usize;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => {
+                i += 2;
+                seen += 1;
+            }
+            b'\'' => return i + 1,
+            b'\n' => break,
+            _ => {
+                i += 1;
+                seen += 1;
+            }
+        }
+        if seen > 12 {
+            break; // malformed; don't eat the file
+        }
+    }
+    errors.push(format!("unterminated char literal at byte {start}"));
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile(src: &str) -> String {
+        let lexed = lex(src);
+        assert!(lexed.errors.is_empty(), "{:?}", lexed.errors);
+        lexed.tokens.iter().map(|t| t.text(src)).collect()
+    }
+
+    #[test]
+    fn spans_tile_simple_code() {
+        let src = "fn main() { let x = 1 + 2; }\n";
+        assert_eq!(tile(src), src);
+    }
+
+    #[test]
+    fn raw_strings_and_comments_are_single_tokens() {
+        let src = r##"let s = r#"has // unsafe "quotes""#; /* a /* nested */ one */ x"##;
+        let lexed = lex(src);
+        assert!(lexed.errors.is_empty());
+        let strs: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(strs, [r##"r#"has // unsafe "quotes""#"##]);
+        let blocks: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::BlockComment)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(blocks, ["/* a /* nested */ one */"]);
+        assert_eq!(tile(src), src);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        assert_eq!((lifetimes, chars), (2, 1));
+        assert_eq!(tile(src), src);
+    }
+
+    #[test]
+    fn path_sep_is_one_token_and_ranges_lex() {
+        let src = "std::time::Instant::now(); for i in 0..n {}";
+        let lexed = lex(src);
+        let seps = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::PathSep)
+            .count();
+        assert_eq!(seps, 3);
+        assert_eq!(tile(src), src);
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error_but_still_tiles() {
+        let src = "let s = \"oops";
+        let lexed = lex(src);
+        assert_eq!(lexed.errors.len(), 1);
+        let joined: String = lexed.tokens.iter().map(|t| t.text(src)).collect();
+        assert_eq!(joined, src);
+    }
+}

@@ -10,6 +10,9 @@
 //! destructors that run during teardown (e.g. a ring buffer freeing its
 //! remaining boxed slots) reading coherent values.
 
+// xxi-allow-file: atomics-discipline -- shadow atomics: the embedded real
+// atomic only mirrors the model's latest store for teardown coherence; the
+// happens-before model, not these orderings, provides synchronization.
 use std::sync::atomic as real;
 use std::sync::atomic::Ordering as StdOrdering;
 

@@ -77,7 +77,7 @@ impl<T> JoinHandle<T> {
                     .lock()
                     .unwrap_or_else(|p| p.into_inner())
                     .take()
-                    .expect("joined virtual thread stored its result");
+                    .expect("joined virtual thread stored its result"); // xxi-allow: panic-path -- see the expect message
                 Ok(v)
             }
         }
@@ -90,7 +90,7 @@ where
     F: FnOnce() -> T + Send + 'static,
     T: Send + 'static,
 {
-    Builder::new().spawn(f).expect("failed to spawn thread")
+    Builder::new().spawn(f).expect("failed to spawn thread") // xxi-allow: panic-path -- see the expect message
 }
 
 /// Shadow `std::thread::yield_now`: a pure scheduling point under the
@@ -109,6 +109,6 @@ pub fn sleep(dur: Duration) {
     if sched::is_managed() {
         sched::op_yield();
     } else {
-        std::thread::sleep(dur);
+        std::thread::sleep(dur); // xxi-allow: determinism -- unmanaged fallback outside the checker
     }
 }

@@ -1,0 +1,156 @@
+//! End-to-end tests of the `xxi-check` binary: the exit-code contract
+//! (0 clean, 1 findings, 2 usage), `src` output formats and determinism,
+//! the baseline workflow, and the acceptance run — the whole workspace is
+//! clean under `--deny warnings` with the committed (empty) baseline.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+fn xxi_check(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_xxi-check"))
+        .args(args)
+        .current_dir(workspace_root())
+        .output()
+        .expect("xxi-check runs")
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A per-test scratch file that cleans up after itself.
+struct TempFile(PathBuf);
+
+impl TempFile {
+    fn new(name: &str) -> TempFile {
+        TempFile(std::env::temp_dir().join(format!("xxi-check-cli-{}-{name}", std::process::id())))
+    }
+    fn path(&self) -> &str {
+        self.0.to_str().unwrap()
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn unknown_command_and_flags_exit_2_with_usage() {
+    let out = xxi_check(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert!(err.contains("unknown command \"frobnicate\""), "{err}");
+    assert!(err.contains("usage: xxi-check <command>"), "{err}");
+
+    let out = xxi_check(&["src", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("unknown flag"));
+
+    let out = xxi_check(&["lint", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = xxi_check(&["src", "--format", "yaml"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("--format must be text or json"));
+
+    let out = xxi_check(&["src", "--rule", "no-such-rule"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("unknown rule"));
+
+    // Missing value for a flag that needs one.
+    let out = xxi_check(&["src", "--rule"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn help_and_list_exit_0() {
+    let out = xxi_check(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout_of(&out).contains("exit codes: 0 clean, 1 findings, 2 usage error"));
+
+    let out = xxi_check(&["src", "--list"]);
+    assert_eq!(out.status.code(), Some(0));
+    let listing = stdout_of(&out);
+    for rule in [
+        "determinism",
+        "hashmap-order",
+        "atomics-discipline",
+        "unsafe-audit",
+        "sync-facade",
+        "panic-path",
+    ] {
+        assert!(listing.contains(rule), "missing {rule} in: {listing}");
+    }
+}
+
+/// The acceptance criterion: the whole workspace is clean under
+/// `--deny warnings` with the committed baseline — which is empty, so
+/// nothing is grandfathered.
+#[test]
+fn workspace_is_clean_under_deny_warnings() {
+    let out = xxi_check(&["src", "--deny", "warnings"]);
+    let text = stdout_of(&out);
+    assert_eq!(out.status.code(), Some(0), "findings:\n{text}");
+    assert!(text.contains("0 error(s), 0 warning(s)"), "{text}");
+    assert!(
+        !text.contains("baselined"),
+        "baseline must stay empty: {text}"
+    );
+}
+
+#[test]
+fn json_output_is_byte_deterministic() {
+    let a = TempFile::new("json-a");
+    let b = TempFile::new("json-b");
+    let out = xxi_check(&["src", "--format", "json", "--out", a.path()]);
+    assert_eq!(out.status.code(), Some(0));
+    let out = xxi_check(&["src", "--format=json", "--out", b.path()]);
+    assert_eq!(out.status.code(), Some(0));
+
+    let ja = std::fs::read(a.path()).expect("first json written");
+    let jb = std::fs::read(b.path()).expect("second json written");
+    assert_eq!(ja, jb, "two runs must serialize identically");
+
+    let text = String::from_utf8(ja).expect("utf-8 json");
+    assert!(text.contains("\"schema_version\": 1"), "{text}");
+    assert!(text.contains("\"errors\": 0"), "{text}");
+    assert!(text.contains("\"diagnostics\": []"), "{text}");
+}
+
+#[test]
+fn stale_baseline_entry_is_an_error() {
+    let baseline = TempFile::new("stale-baseline");
+    std::fs::write(
+        baseline.0.as_path(),
+        "# comment lines are ignored\nerror[determinism] crates/nowhere.rs:1: gone\n",
+    )
+    .expect("baseline written");
+    let out = xxi_check(&["src", "--baseline", baseline.path()]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stale entries must fail the run"
+    );
+    let text = stdout_of(&out);
+    assert!(text.contains("stale-baseline"), "{text}");
+    assert!(text.contains("no longer matches any finding"), "{text}");
+}
+
+#[test]
+fn single_rule_run_is_clean() {
+    let out = xxi_check(&["src", "--rule", "unsafe-audit", "--no-baseline"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout_of(&out));
+}

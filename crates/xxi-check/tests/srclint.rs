@@ -1,0 +1,198 @@
+//! Source-linter tests: fixture goldens plus lexer properties.
+//!
+//! Each `tests/srclint/fixtures/r*.rs` file plants violations for one
+//! rule *and* an `// xxi-allow:` suppression the linter must honor. The
+//! rendered diagnostics are pinned against a sibling `.expected` golden;
+//! re-bless with `XXI_BLESS=1 cargo test -p xxi-check --test srclint`.
+//!
+//! The property tests then run the lexer over **every** `.rs` file in the
+//! workspace (fixtures included) and assert the token spans tile each
+//! file exactly and that nothing trips a lexical error.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use xxi_check::srclint::{self, lexer};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/srclint/fixtures")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+/// Fixture files, sorted for deterministic iteration.
+fn fixture_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(fixtures_dir())
+        .expect("fixtures dir exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    files.sort();
+    assert_eq!(files.len(), 6, "one fixture per rule R1..R6");
+    files
+}
+
+/// The path a fixture is linted *as*: its `//@ lint-path:` directive if
+/// present (R5 needs to look like xxi-stack code), else `fixtures/<name>`.
+fn lint_path(fixture: &Path, src: &str) -> String {
+    if let Some(rest) = src
+        .lines()
+        .next()
+        .and_then(|l| l.strip_prefix("//@ lint-path:"))
+    {
+        return rest.trim().to_string();
+    }
+    format!(
+        "fixtures/{}",
+        fixture.file_name().unwrap().to_string_lossy()
+    )
+}
+
+/// Every workspace `.rs` file (fixtures included; build output excluded).
+fn workspace_rs_files() -> Vec<PathBuf> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+        for entry in fs::read_dir(dir).expect("readable dir") {
+            let entry = entry.expect("readable entry");
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy().into_owned();
+            if path.is_dir() {
+                if name != "target" && name != ".git" {
+                    walk(&path, out);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(&workspace_root(), &mut out);
+    out.sort();
+    assert!(
+        out.len() > 100,
+        "workspace walk looks truncated: {}",
+        out.len()
+    );
+    out
+}
+
+#[test]
+fn fixture_goldens() {
+    let bless = std::env::var_os("XXI_BLESS").is_some();
+    for fixture in fixture_files() {
+        let src = fs::read_to_string(&fixture).expect("readable fixture");
+        let rel = lint_path(&fixture, &src);
+        let diags = srclint::lint_source(&rel, &src, None);
+        let mut rendered = String::new();
+        for d in &diags {
+            rendered.push_str(&d.to_string());
+            rendered.push('\n');
+        }
+        let golden = fixture.with_extension("expected");
+        if bless {
+            fs::write(&golden, &rendered).expect("bless golden");
+            continue;
+        }
+        let want = fs::read_to_string(&golden).unwrap_or_else(|_| {
+            panic!(
+                "missing golden {} — run with XXI_BLESS=1 to create it",
+                golden.display()
+            )
+        });
+        assert_eq!(
+            rendered,
+            want,
+            "fixture {} diverged from its golden; re-bless with XXI_BLESS=1 if intended",
+            fixture.display()
+        );
+    }
+}
+
+#[test]
+fn each_fixture_catches_its_rule_and_honors_suppressions() {
+    let expect_rule = [
+        ("r1_", "determinism"),
+        ("r2_", "hashmap-order"),
+        ("r3_", "atomics-discipline"),
+        ("r4_", "unsafe-audit"),
+        ("r5_", "sync-facade"),
+        ("r6_", "panic-path"),
+    ];
+    for fixture in fixture_files() {
+        let name = fixture.file_name().unwrap().to_string_lossy().into_owned();
+        let (_, rule) = expect_rule
+            .iter()
+            .find(|(p, _)| name.starts_with(p))
+            .unwrap_or_else(|| panic!("fixture {name} matches no rN_ prefix"));
+        let src = fs::read_to_string(&fixture).expect("readable fixture");
+        let rel = lint_path(&fixture, &src);
+        let diags = srclint::lint_source(&rel, &src, None);
+
+        // The planted violation is caught…
+        assert!(
+            diags.iter().any(|d| d.rule == *rule),
+            "{name}: no {rule} finding among {diags:?}"
+        );
+        // …and every planted `xxi-allow:` absorbed a finding (an unused
+        // suppression would surface here as its own warning).
+        assert!(
+            diags.iter().all(|d| d.rule != "unused-suppression"),
+            "{name}: a planted xxi-allow was not honored: {diags:?}"
+        );
+        // Restricting to the fixture's rule yields the same count for
+        // that rule — the --rule filter does not change detection.
+        let only = srclint::lint_source(&rel, &src, Some(rule));
+        assert_eq!(
+            only.len(),
+            diags.iter().filter(|d| d.rule == *rule).count(),
+            "{name}: --rule {rule} filter disagrees with the full run"
+        );
+    }
+}
+
+#[test]
+fn token_spans_tile_every_workspace_file() {
+    for path in workspace_rs_files() {
+        let src = fs::read_to_string(&path).expect("readable source");
+        let lexed = lexer::lex(&src);
+        let mut pos = 0usize;
+        for t in &lexed.tokens {
+            assert_eq!(
+                t.start,
+                pos,
+                "{}: token {:?} starts at {} but previous ended at {pos}",
+                path.display(),
+                t.kind,
+                t.start
+            );
+            assert!(t.end > t.start, "{}: empty token {t:?}", path.display());
+            pos = t.end;
+        }
+        assert_eq!(
+            pos,
+            src.len(),
+            "{}: tokens cover {pos} of {} bytes",
+            path.display(),
+            src.len()
+        );
+    }
+}
+
+#[test]
+fn every_workspace_file_lexes_without_error() {
+    for path in workspace_rs_files() {
+        let src = fs::read_to_string(&path).expect("readable source");
+        let lexed = lexer::lex(&src);
+        assert!(
+            lexed.errors.is_empty(),
+            "{}: lexical errors {:?}",
+            path.display(),
+            lexed.errors
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! Fixture for R1 (determinism): planted wall-clock, sleep, and entropy
+//! violations, plus an honored suppression. Never compiled — lexed and
+//! linted only.
+
+use std::time::Instant;
+
+pub fn timed_section() -> f64 {
+    let t0 = Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn entropy_seed() -> u64 {
+    thread_rng.next_u64()
+}
+
+pub fn sanctioned_timing() -> Instant {
+    // xxi-allow: determinism -- fixture: sanctioned bench-style timing
+    Instant::now()
+}

@@ -1,0 +1,30 @@
+//! Fixture for R2 (hashmap-order): iteration over HashMap state feeding
+//! rendered output, plus an honored order-independent suppression.
+
+use std::collections::HashMap;
+
+pub struct Tally {
+    counts: HashMap<String, u64>,
+}
+
+impl Tally {
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counts {
+            out.push_str(k);
+            out.push(' ');
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+pub fn total(counts: &HashMap<String, u64>) -> u64 {
+    let mut t = 0;
+    // xxi-allow: hashmap-order -- fixture: summation is order-independent
+    for v in counts.values() {
+        t += v;
+    }
+    t
+}

@@ -1,0 +1,26 @@
+//! Fixture for R3 (atomics-discipline): an undocumented SeqCst, a
+//! non-counter Relaxed, the sanctioned Relaxed-counter idiom, a
+//! documented ordering, and an honored suppression.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish(flag: &AtomicU64) {
+    flag.store(1, Ordering::SeqCst);
+}
+
+pub fn drain(slot: &AtomicU64) -> u64 {
+    slot.swap(0, Ordering::Relaxed)
+}
+
+pub fn count(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn documented(flag: &AtomicU64) -> u64 {
+    // ORDERING: acquire-equivalent; pairs with the store in publish
+    flag.load(Ordering::SeqCst)
+}
+
+pub fn allowed(flag: &AtomicU64) -> u64 {
+    flag.load(Ordering::SeqCst) // xxi-allow: atomics-discipline -- fixture
+}

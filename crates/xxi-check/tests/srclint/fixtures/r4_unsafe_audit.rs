@@ -1,0 +1,19 @@
+//! Fixture for R4 (unsafe-audit): an unjustified unsafe block and fn, a
+//! documented one, and an honored suppression.
+
+pub fn deref(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub unsafe fn raw_read(p: *const u8) -> u8 {
+    *p
+}
+
+pub fn deref_documented(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid and aligned
+    unsafe { *p }
+}
+
+pub fn deref_allowed(p: *const u8) -> u8 {
+    unsafe { *p } // xxi-allow: unsafe-audit -- fixture: audited elsewhere
+}

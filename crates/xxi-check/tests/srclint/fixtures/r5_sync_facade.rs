@@ -1,0 +1,13 @@
+//@ lint-path: crates/xxi-stack/src/r5_fixture.rs
+//! Fixture for R5 (sync-facade): direct std::sync::atomic / std::thread
+//! in what the linter sees as xxi-stack library code (see the lint-path
+//! directive above), plus an honored suppression.
+
+use std::sync::atomic::AtomicUsize;
+
+pub fn spawn_direct() {
+    std::thread::yield_now();
+}
+
+// xxi-allow: sync-facade -- fixture: sanctioned direct re-export
+pub use std::thread as threads;

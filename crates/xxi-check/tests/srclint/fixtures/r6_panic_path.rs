@@ -1,0 +1,20 @@
+//! Fixture for R6 (panic-path): unwrap/expect in library code (warning),
+//! the exempt lock-poisoning idiom, and an honored suppression.
+
+use std::sync::Mutex;
+
+pub fn head(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+pub fn named(v: &[u64]) -> u64 {
+    *v.first().expect("fixture: empty input")
+}
+
+pub fn guarded(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap()
+}
+
+pub fn allowed(v: &[u64]) -> u64 {
+    *v.first().unwrap() // xxi-allow: panic-path -- fixture: caller checked
+}

@@ -129,7 +129,7 @@ pub fn mg1_sweep_on(
     });
     slots
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("sweep task completed"))
+        .map(|m| m.into_inner().unwrap().expect("sweep task completed")) // xxi-allow: panic-path -- see the expect message
         .collect()
 }
 

@@ -305,8 +305,8 @@ impl Trace {
                 s.push_str(",\n");
             }
             s.push('{');
-            write!(s, "\"name\":\"{}\"", escape(ev.name)).unwrap();
-            write!(s, ",\"cat\":\"{}\"", escape(ev.cat)).unwrap();
+            write!(s, "\"name\":\"{}\"", escape(ev.name)).unwrap(); // xxi-allow: panic-path -- fmt::Write to String is infallible
+            write!(s, ",\"cat\":\"{}\"", escape(ev.cat)).unwrap(); // xxi-allow: panic-path -- fmt::Write to String is infallible
             match ev.phase {
                 Phase::Span(dur) => {
                     write!(
@@ -315,13 +315,14 @@ impl Trace {
                         ev.ts.us(),
                         dur.us()
                     )
-                    .unwrap();
+                    .unwrap(); // xxi-allow: panic-path -- fmt::Write to String is infallible
                 }
                 Phase::Instant => {
+                    // xxi-allow: panic-path -- fmt::Write to String is infallible
                     write!(s, ",\"ph\":\"i\",\"ts\":{:.6},\"s\":\"t\"", ev.ts.us()).unwrap();
                 }
             }
-            write!(s, ",\"pid\":0,\"tid\":{}", ev.track).unwrap();
+            write!(s, ",\"pid\":0,\"tid\":{}", ev.track).unwrap(); // xxi-allow: panic-path -- fmt::Write to String is infallible
             if !ev.args.is_empty() {
                 s.push_str(",\"args\":{");
                 for (j, (k, v)) in ev.args.iter().enumerate() {
@@ -329,10 +330,10 @@ impl Trace {
                         s.push(',');
                     }
                     if v.is_finite() {
-                        write!(s, "\"{}\":{v}", escape(k)).unwrap();
+                        write!(s, "\"{}\":{v}", escape(k)).unwrap(); // xxi-allow: panic-path -- fmt::Write to String is infallible
                     } else {
                         // JSON has no NaN/inf literals.
-                        write!(s, "\"{}\":null", escape(k)).unwrap();
+                        write!(s, "\"{}\":null", escape(k)).unwrap(); // xxi-allow: panic-path -- fmt::Write to String is infallible
                     }
                 }
                 s.push('}');

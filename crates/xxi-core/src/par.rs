@@ -81,7 +81,7 @@ where
     });
     slots
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("chunk completed"))
+        .map(|m| m.into_inner().unwrap().expect("chunk completed")) // xxi-allow: panic-path -- see the expect message
         .collect()
 }
 

@@ -294,7 +294,7 @@ impl Parser<'_> {
                 break;
             }
         }
-        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap(); // xxi-allow: panic-path -- scanned span is ASCII by construction
         match s.parse::<f64>() {
             Ok(_) => Ok(Json::Num(s.to_string())),
             Err(_) => Err(format!("bad number {s:?} at byte {start}")),

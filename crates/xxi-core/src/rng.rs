@@ -215,7 +215,7 @@ impl Zipf {
             *c /= total;
         }
         // Guard against floating-point shortfall at the top.
-        *cdf.last_mut().unwrap() = 1.0;
+        *cdf.last_mut().unwrap() = 1.0; // xxi-allow: panic-path -- cdf has one entry per weight
         Zipf { cdf }
     }
 

@@ -131,7 +131,7 @@ impl Summary {
             "Summary over NaN-containing sample"
         );
         let mut sorted = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap()); // xxi-allow: panic-path -- samples are finite by construction
         let mean = if sorted.is_empty() {
             0.0
         } else {
@@ -157,7 +157,7 @@ impl Summary {
 
     /// Maximum (panics when empty).
     pub fn max(&self) -> f64 {
-        *self.sorted.last().unwrap()
+        *self.sorted.last().unwrap() // xxi-allow: panic-path -- documented: panics when empty
     }
 
     /// Median, alias for `percentile(50)`.
@@ -238,7 +238,7 @@ impl P2Quantile {
         if self.init.len() < 5 {
             self.init.push(x);
             if self.init.len() == 5 {
-                self.init.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                self.init.sort_by(|a, b| a.partial_cmp(b).unwrap()); // xxi-allow: panic-path -- samples are finite by construction
                 for i in 0..5 {
                     self.q[i] = self.init[i];
                 }
@@ -312,7 +312,7 @@ impl P2Quantile {
         }
         if self.init.len() < 5 && self.count < 5 {
             let mut v = self.init.clone();
-            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // xxi-allow: panic-path -- samples are finite by construction
             let rank = ((self.p * v.len() as f64).ceil() as usize).clamp(1, v.len());
             return v[rank - 1];
         }

@@ -269,7 +269,7 @@ impl Cache {
                 .enumerate()
                 .min_by_key(|(_, l)| l.stamp)
                 .map(|(i, _)| i)
-                .unwrap(),
+                .unwrap(), // xxi-allow: panic-path -- a set always has >= 1 way
             Replacement::Random => self.rng.below(ways as u64) as usize,
             Replacement::TreePlru => plru_victim(self.sets[set_idx].plru, ways),
         }

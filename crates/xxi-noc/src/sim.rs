@@ -263,7 +263,7 @@ impl NocSim {
                     if out == Dir::Local {
                         moves.push(Move::Deliver { from: r, port: inp });
                     } else {
-                        let to = mesh.neighbor(r, out).unwrap();
+                        let to = mesh.neighbor(r, out).unwrap(); // xxi-allow: panic-path -- route stays inside the mesh
                         let to_port = out.opposite().index();
                         claims[to][to_port] += 1;
                         moves.push(Move::Hop {
@@ -280,7 +280,7 @@ impl NocSim {
         for m in moves {
             match m {
                 Move::Deliver { from, port } => {
-                    let f = self.routers[from].inputs[port].pop_front().unwrap();
+                    let f = self.routers[from].inputs[port].pop_front().unwrap(); // xxi-allow: panic-path -- moves only name occupied ports
                     debug_assert_eq!(f.dest, from);
                     self.delivered_flit(f);
                 }
@@ -290,7 +290,7 @@ impl NocSim {
                     to,
                     to_port,
                 } => {
-                    let mut f = self.routers[from].inputs[port].pop_front().unwrap();
+                    let mut f = self.routers[from].inputs[port].pop_front().unwrap(); // xxi-allow: panic-path -- moves only name occupied ports
                     f.hops += 1;
                     self.link_traversals += 1;
                     if self.measuring {

@@ -9,7 +9,7 @@
 //! controlled cross-domain calls (gates) and an energy price per check, so
 //! "efficient enforcement" is measurable, not assumed.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use serde::{Deserialize, Serialize};
 
@@ -74,7 +74,9 @@ impl Perms {
 #[derive(Clone, Debug, Default)]
 pub struct ProtectionMatrix {
     /// region → (base word, length in words)
-    regions: HashMap<RegionId, (usize, usize)>,
+    // BTreeMap so overlap checks and `region_of` scans visit regions in
+    // id order — error messages and lookups stay deterministic.
+    regions: BTreeMap<RegionId, (usize, usize)>,
     /// (domain, region) → perms
     matrix: HashMap<(DomainId, RegionId), Perms>,
     /// Legal cross-domain calls (caller → callee), i.e. gates.

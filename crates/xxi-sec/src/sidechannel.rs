@@ -107,7 +107,7 @@ impl PartitionedCache {
                     ways: ways_each as u64,
                     ..cfg.clone()
                 })
-                .expect("partition config valid")
+                .expect("partition config valid") // xxi-allow: panic-path -- see the expect message
             })
             .collect();
         PartitionedCache { partitions }

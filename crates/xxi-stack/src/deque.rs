@@ -147,8 +147,11 @@ impl<T: Send> Worker<T> {
     pub fn pop(&self) -> Option<T> {
         let r = &self.ring;
         let b = r.bottom.load(Ordering::Relaxed) - 1;
+        // ORDERING: the classic Chase–Lev SC pair — the bottom store must
+        // be globally ordered before the top load, or a thief and the owner
+        // could both take the last element.
         r.bottom.store(b, Ordering::SeqCst);
-        let t = r.top.load(Ordering::SeqCst);
+        let t = r.top.load(Ordering::SeqCst); // ORDERING: second half of the SC pair
         if t > b {
             // Empty: restore.
             r.bottom.store(b + 1, Ordering::Relaxed);
@@ -156,6 +159,9 @@ impl<T: Send> Worker<T> {
         }
         if t == b {
             // Last element: race with thieves via CAS on top.
+            // ORDERING: SeqCst success keeps the claim in the same total
+            // order as the store/load pair above; Relaxed failure is fine —
+            // losing the race publishes nothing.
             let won = r
                 .top
                 .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
@@ -215,12 +221,17 @@ impl<T: Send> Stealer<T> {
     /// race (callers retry).
     pub fn steal(&self) -> Option<T> {
         let r = &self.ring;
+        // ORDERING: the thief-side SC pair mirroring `pop` — top must be
+        // read before bottom in the same total order as the owner's
+        // bottom-store/top-load, or both sides could claim the last slot.
         let t = r.top.load(Ordering::SeqCst);
-        let b = r.bottom.load(Ordering::SeqCst);
+        let b = r.bottom.load(Ordering::SeqCst); // ORDERING: second half of the SC pair
         if t >= b {
             return None;
         }
         // Claim index t first; only the CAS winner touches the slot.
+        // ORDERING: SeqCst success joins the claim to that total order;
+        // Relaxed failure publishes nothing (the loser walks away).
         if r.top
             .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
             .is_err()

@@ -96,7 +96,7 @@ impl Governor {
                 }
                 None => {
                     // Run flat-out the whole period and miss.
-                    let top = self.ladder.last().expect("non-empty ladder");
+                    let top = self.ladder.last().expect("non-empty ladder"); // xxi-allow: panic-path -- see the expect message
                     energy += top.power * period;
                     misses += 1;
                 }

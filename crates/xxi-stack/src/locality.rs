@@ -46,7 +46,7 @@ pub fn place_greedy(mesh: &Mesh, tasks: &[Task], slots_per_node: usize) -> Vec<u
         let best = (0..mesh.nodes())
             .filter(|&n| free[n] > 0)
             .min_by_key(|&n| (mesh.hops(shard, n), n))
-            .expect("capacity checked");
+            .expect("capacity checked"); // xxi-allow: panic-path -- see the expect message
         free[best] -= 1;
         place[i] = best;
     }

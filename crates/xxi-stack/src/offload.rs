@@ -167,7 +167,7 @@ pub fn plan_offload(
         let f = i as f64 / 10.0;
         consider(Decision::Split { local_fraction: f }, f);
     }
-    let (_, decision, latency, device_energy) = best.unwrap();
+    let (_, decision, latency, device_energy) = best.unwrap(); // xxi-allow: panic-path -- candidate list is non-empty
     OffloadPlan {
         decision,
         latency,

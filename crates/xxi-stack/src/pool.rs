@@ -210,7 +210,13 @@ impl Shared {
     /// between its emptiness re-check and its wait; the sleeper count
     /// keeps the common case (all workers busy) lock-free.
     fn notify_one(&self) {
+        // ORDERING: the epoch bump must be totally ordered against a
+        // parker's epoch-load/re-check/wait sequence — SeqCst is what rules
+        // out "worker re-checks, sees nothing; we bump; worker sleeps".
         self.epoch.fetch_add(1, Ordering::SeqCst);
+        // ORDERING: SeqCst pairs with the parker's sleeper increment under
+        // the idle lock; a stale 0 here would skip the wakeup a parked
+        // worker needs.
         if self.sleepers.load(Ordering::SeqCst) > 0 {
             let _g = self.idle.lock().unwrap();
             self.idle_cv.notify_one();
@@ -219,6 +225,8 @@ impl Shared {
 
     /// Wake every parked worker (shutdown).
     fn notify_all(&self) {
+        // ORDERING: as in `notify_one` — the bump must not reorder past a
+        // parker's wait-loop epoch check.
         self.epoch.fetch_add(1, Ordering::SeqCst);
         let _g = self.idle.lock().unwrap();
         self.idle_cv.notify_all();
@@ -253,6 +261,8 @@ impl<T> RawSlots<T> {
 // hand each task exclusive access to a disjoint index range of the
 // allocation and join every task before the buffer is read or freed.
 unsafe impl<T: Send> Send for RawSlots<T> {}
+// SAFETY: same disjoint-access argument as `Send` above — shared refs only
+// ever hand out raw pointers to per-task index ranges.
 unsafe impl<T: Send> Sync for RawSlots<T> {}
 
 /// The work-stealing pool.
@@ -295,7 +305,7 @@ impl Pool {
                 thread::Builder::new()
                     .name(format!("xxi-worker-{id}"))
                     .spawn(move || worker_loop(id, w, shared))
-                    .expect("spawn worker")
+                    .expect("spawn worker") // xxi-allow: panic-path -- see the expect message
             })
             .collect();
         Pool { shared, handles }
@@ -315,6 +325,9 @@ impl Pool {
     /// local-first (the submitting worker's own deque, no lock), with the
     /// global injector as the cross-thread / overflow route.
     fn inject(&self, task: Task) {
+        // ORDERING: pending must rise before the task becomes runnable —
+        // SeqCst orders it against `run`'s decrement and `wait`'s check so
+        // the pool can never look quiescent with a task in flight.
         self.shared.pending.fetch_add(1, Ordering::SeqCst);
         let task = match local_worker(&self.shared) {
             Some((_, w)) => match w.push(task) {
@@ -360,6 +373,9 @@ impl Pool {
     /// Block until every spawned task has completed.
     pub fn wait(&self) {
         let mut guard = self.shared.done.lock().unwrap();
+        // ORDERING: SeqCst pairs with inject's increment / run's decrement;
+        // the check runs under the done lock, so the final decrementer's
+        // notify cannot slip between our load and our wait.
         while self.shared.pending.load(Ordering::SeqCst) != 0 {
             guard = self.shared.done_cv.wait(guard).unwrap();
         }
@@ -413,6 +429,9 @@ impl Pool {
                         *slot = Some(p);
                     }
                 }
+                // ORDERING: SeqCst orders the decrement after the task body
+                // and the panic-slot write, and against the waiter's load —
+                // reaching 0 must imply every chunk's effects are visible.
                 if scope.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
                     let mut done = scope.done.lock().unwrap();
                     *done = true;
@@ -422,6 +441,8 @@ impl Pool {
         }
         // Help while waiting; park only when every queue is empty, which
         // means the remaining chunks are already running on other threads.
+        // ORDERING: SeqCst pairs with the chunk tasks' decrement; observing
+        // 0 here is what licenses reading the result buffer and returning.
         while scope.remaining.load(Ordering::SeqCst) != 0 {
             if self.help_one() {
                 continue;
@@ -448,7 +469,7 @@ impl Pool {
         // shared external slot for non-worker threads waiting on a scope.
         let c = match local {
             Some((id, _)) => &shared.counters[id],
-            None => shared.counters.last().expect("external counter slot"),
+            None => shared.counters.last().expect("external counter slot"), // xxi-allow: panic-path -- see the expect message
         };
         if let Some((_, w)) = local {
             if let Some(t) = w.pop() {
@@ -601,6 +622,8 @@ impl xxi_core::par::Parallelism for Pool {
 
 impl Drop for Pool {
     fn drop(&mut self) {
+        // ORDERING: SeqCst orders the flag ahead of notify_all's epoch bump
+        // so a worker that wakes on the bump cannot miss the shutdown.
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.notify_all();
         for h in self.handles.drain(..) {
@@ -665,6 +688,8 @@ fn worker_loop(id: usize, worker: Worker<Task>, shared: Arc<Shared>) {
             continue;
         }
         // 4. Nothing anywhere: park until the epoch moves (no polling).
+        // ORDERING: SeqCst keeps the shutdown check ordered against Drop's
+        // store + notify_all sequence.
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
@@ -672,19 +697,27 @@ fn worker_loop(id: usize, worker: Worker<Task>, shared: Arc<Shared>) {
         // queue. Any task made visible after this load bumps the epoch
         // (see `notify_one`), so either the re-check sees the task or the
         // wait loop below sees the bump — a wakeup can't be lost.
+        // ORDERING: SeqCst — the epoch sample must precede the re-check in
+        // the same total order the submitter's publish/bump uses.
         let epoch = shared.epoch.load(Ordering::SeqCst);
         let injector_empty = shared.injector.lock().unwrap().is_empty();
         if !injector_empty || !worker.is_empty() || shared.stealers.iter().any(|s| !s.is_empty()) {
             continue;
         }
         let mut guard = shared.idle.lock().unwrap();
+        // ORDERING: SeqCst pairs with notify_one's sleeper check; the
+        // increment happens under the idle lock, so a submitter either sees
+        // it (and notifies) or we see its epoch bump below.
         shared.sleepers.fetch_add(1, Ordering::SeqCst);
         WorkerCounters::bump(&c.parks);
+        // ORDERING: SeqCst on both loads — the wait-loop re-check is the
+        // second leg of the lost-wakeup protocol (see `notify_one`).
         while shared.epoch.load(Ordering::SeqCst) == epoch
             && !shared.shutdown.load(Ordering::SeqCst)
         {
             guard = shared.idle_cv.wait(guard).unwrap();
         }
+        // ORDERING: SeqCst, symmetric with the increment above.
         shared.sleepers.fetch_sub(1, Ordering::SeqCst);
         drop(guard);
         WorkerCounters::bump(&c.wakeups);
@@ -694,6 +727,8 @@ fn worker_loop(id: usize, worker: Worker<Task>, shared: Arc<Shared>) {
 fn run(task: Task, shared: &Shared, c: &WorkerCounters) {
     task();
     WorkerCounters::bump(&c.executed);
+    // ORDERING: SeqCst orders the decrement after the task body, pairing
+    // with `wait`'s check — pending hitting 0 implies all effects visible.
     if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
         let _g = shared.done.lock().unwrap();
         shared.done_cv.notify_all();

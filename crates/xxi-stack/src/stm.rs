@@ -88,11 +88,15 @@ impl TxArray {
     /// Non-transactional read (only safe when no transactions run, e.g.
     /// for final assertions in tests).
     pub fn read_direct(&self, i: usize) -> u64 {
+        // ORDERING: SeqCst joins the commit total order, so a quiescent
+        // read observes every committed write-back.
         self.cells[i].load(Ordering::SeqCst)
     }
 
     /// Non-transactional write (setup only).
     pub fn write_direct(&self, i: usize, v: u64) {
+        // ORDERING: SeqCst so setup writes are ordered before any
+        // transaction's first lock sample.
         self.cells[i].store(v, Ordering::SeqCst);
     }
 
@@ -110,6 +114,9 @@ impl TxArray {
     pub fn begin(&self) -> Tx<'_> {
         Tx {
             arr: self,
+            // ORDERING: the read-version sample must be totally ordered
+            // against committers' clock bumps (TL2's correctness hinges on
+            // version ≤ read_version implying the cell predates us).
             read_version: self.clock.load(Ordering::SeqCst),
             reads: HashMap::new(),
             writes: HashMap::new(),
@@ -147,9 +154,12 @@ impl<'a> Tx<'a> {
         }
         // TL2 read: sample lock, read value, re-sample lock; the cell must
         // be unlocked and unchanged, with version ≤ read_version.
+        // ORDERING: all three SeqCst so the lock/value/lock sandwich cannot
+        // be reordered — l1 == l2 (unlocked) then proves the value load saw
+        // a stable, committed cell.
         let l1 = self.arr.locks[i].load(Ordering::SeqCst);
-        let value = self.arr.cells[i].load(Ordering::SeqCst);
-        let l2 = self.arr.locks[i].load(Ordering::SeqCst);
+        let value = self.arr.cells[i].load(Ordering::SeqCst); // ORDERING: see sandwich note above
+        let l2 = self.arr.locks[i].load(Ordering::SeqCst); // ORDERING: see sandwich note above
         let locked = l2 & 1 == 1;
         let version = l2 >> 1;
         if locked || l1 != l2 || version > self.read_version {
@@ -178,8 +188,13 @@ impl<'a> Tx<'a> {
         order.sort_unstable();
         let mut held: Vec<usize> = Vec::with_capacity(order.len());
         for &i in &order {
+            // ORDERING: the lock sample and the acquiring CAS join the
+            // commit total order; SeqCst on CAS failure keeps the re-read
+            // `cur` coherent for the conflict path.
             let cur = arr.locks[i].load(Ordering::SeqCst);
             #[cfg(not(feature = "seeded_race"))]
+            // ORDERING: the acquiring CAS joins the commit total order;
+            // SeqCst on failure keeps the conflict path's view coherent.
             let ok = cur & 1 == 0
                 && (cur >> 1) <= self.read_version
                 && arr.locks[i]
@@ -194,12 +209,16 @@ impl<'a> Tx<'a> {
             let ok = {
                 let free = cur & 1 == 0 && (cur >> 1) <= self.read_version;
                 if free {
+                    // ORDERING: (planted bug) the store itself is SeqCst;
+                    // the race is the check-then-act, not the ordering.
                     arr.locks[i].store(cur | 1, Ordering::SeqCst);
                 }
                 free
             };
             if !ok {
                 for &h in &held {
+                    // ORDERING: SeqCst release keeps the unlock visible in
+                    // the same total order other committers sample locks in.
                     arr.locks[h].fetch_and(!1, Ordering::SeqCst);
                 }
                 return Err(Conflict);
@@ -207,24 +226,39 @@ impl<'a> Tx<'a> {
             held.push(i);
         }
         // 2. Bump the global clock.
+        // ORDERING: SeqCst orders the bump after every lock acquisition
+        // above and before read-set validation — the wv we take must be
+        // visible to any reader that later samples our locked cells.
         let wv = arr.clock.fetch_add(1, Ordering::SeqCst) + 1;
-        // 3. Validate the read set (cells we read but did not lock).
-        for (&i, &seen) in &self.reads {
+        // 3. Validate the read set (cells we read but did not lock), in
+        // address order so commit behavior is deterministic.
+        let mut read_order: Vec<(usize, u64)> = self.reads.iter().map(|(&i, &s)| (i, s)).collect();
+        read_order.sort_unstable();
+        for (i, seen) in read_order {
             if self.writes.contains_key(&i) {
                 continue; // we hold its lock
             }
+            // ORDERING: SeqCst so the validation load cannot move before
+            // the clock bump; a concurrent commit is either fully ordered
+            // before us (version visible) or after (lock bit visible).
             let l = arr.locks[i].load(Ordering::SeqCst);
             if l & 1 == 1 || (l >> 1) != seen {
                 for &h in &held {
+                    // ORDERING: SeqCst release, as on the lock-path abort.
                     arr.locks[h].fetch_and(!1, Ordering::SeqCst);
                 }
                 return Err(Conflict);
             }
         }
-        // 4. Write back and release with the new version.
-        for (&i, &v) in &self.writes {
+        // 4. Write back and release with the new version, in address order
+        // (same sorted order the locks were taken in) for determinism.
+        for &i in &order {
+            let v = self.writes[&i];
+            // ORDERING: the value store must be totally ordered before the
+            // version/unlock store, or a TL2 reader's lock-value-lock
+            // sandwich could see the new version with the old value.
             arr.cells[i].store(v, Ordering::SeqCst);
-            arr.locks[i].store(wv << 1, Ordering::SeqCst);
+            arr.locks[i].store(wv << 1, Ordering::SeqCst); // ORDERING: publishes v, see above
         }
         arr.commits.fetch_add(1, Ordering::Relaxed);
         Ok(())

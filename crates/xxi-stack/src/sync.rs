@@ -27,10 +27,12 @@ pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, WaitTimeoutResult};
 
 #[cfg(not(feature = "check"))]
 pub mod atomic {
+    // xxi-allow: sync-facade -- this IS the facade's production re-export
     pub use std::sync::atomic::{
         AtomicBool, AtomicIsize, AtomicPtr, AtomicU64, AtomicUsize, Ordering,
     };
 }
 
 #[cfg(not(feature = "check"))]
+// xxi-allow: sync-facade -- this IS the facade's production re-export
 pub use std::thread;

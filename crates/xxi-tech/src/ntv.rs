@@ -141,8 +141,8 @@ impl NtvModel {
         let pts = self.sweep(400);
         let best = pts
             .iter()
-            .min_by(|a, b| key(a).partial_cmp(&key(b)).unwrap())
-            .unwrap();
+            .min_by(|a, b| key(a).partial_cmp(&key(b)).unwrap()) // xxi-allow: panic-path -- energies are finite
+            .unwrap(); // xxi-allow: panic-path -- sweep(400) yields points
         (best.v, best.e_op)
     }
 }
