@@ -1,0 +1,6 @@
+//! Experiment E21, as a shim over the registry:
+//! `exp_e21_faults [flags]` is `xxi run e21 [flags]`.
+
+fn main() {
+    xxi_bench::cli::run_shim("e21");
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! xxi list [--format json]     every experiment: id, capabilities, title
-//! xxi run <id>... [flags]      run experiments by id (e1 .. e20)
+//! xxi run <id>... [flags]      run experiments by id (e1 .. e21)
 //! xxi run --all [flags]        run the whole registry in id order
 //! xxi validate <file|->        validate a JSON report file (one doc/line)
 //! xxi bench <id>...|--all      time experiments, emit bench JSON
@@ -23,7 +23,7 @@ usage: xxi <command> [args]
 
 commands:
   list [--format json]          list all experiments
-  run <id>... [flags]           run experiments by id (e1 .. e20)
+  run <id>... [flags]           run experiments by id (e1 .. e21)
   run --all [flags]             run every experiment in id order
   validate <file|->             validate a JSON report file (one document
                                 per line); `-` reads stdin

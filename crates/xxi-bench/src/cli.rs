@@ -448,7 +448,7 @@ mod tests {
     #[test]
     fn select_resolves_all_and_rejects_unknown_ids() {
         let f = parse_flags(&args(&["--all"])).unwrap();
-        assert_eq!(select(&f).unwrap().len(), 20);
+        assert_eq!(select(&f).unwrap().len(), 21);
         let f = parse_flags(&args(&["e99"])).unwrap();
         assert!(select(&f).err().unwrap().contains("unknown experiment"));
         let f = parse_flags(&args(&[])).unwrap();

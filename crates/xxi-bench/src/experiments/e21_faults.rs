@@ -1,0 +1,220 @@
+//! E21 — fault-tolerant serving: timeouts, retries, and failover keep the
+//! tail bounded while replicas die.
+//!
+//! §2.1 asks for architectures that "guarantee strict worst-case latency
+//! requirements"; §2.4 asks the same stack to stay dependable on
+//! undependable parts. This experiment runs the fault-injected cluster
+//! model (`xxi_cloud::cluster`) over a leaf-kill-rate sweep and shows the
+//! serving policy (budgeted timeouts + jittered-backoff retries + replica
+//! failover + hedging) holding p99.9 near the fault-free tail, while
+//! naive single-attempt serving strands requests on dead replicas for as
+//! long as its deadline allows. A gray-failure storm then exercises the
+//! failsafe machine's graceful degradation to partial results.
+//!
+//! Every sweep fans out on the executor from [`RunCtx`]; all numbers are
+//! byte-identical at every `--threads` count.
+
+use xxi_cloud::cluster::{cluster_sweep_on, ClusterSim, RetryPolicy};
+use xxi_cloud::qos::Budget;
+use xxi_core::des::fault::{Fault, FaultMix, FaultPlan};
+use xxi_core::table::fnum;
+use xxi_core::Report;
+use xxi_core::{SimTime, Table};
+
+use super::{Experiment, RunCtx};
+
+pub struct E21Faults;
+
+fn ms_to_sim(ms: f64) -> SimTime {
+    SimTime::from_ps((ms * 1e9).round().max(0.0) as u64)
+}
+
+impl Experiment for E21Faults {
+    fn id(&self) -> &'static str {
+        "e21"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fault-tolerant serving: retries, failover, graceful degradation"
+    }
+
+    fn paper_claim(&self) -> &'static str {
+        "§2.1/§2.4: strict latency targets on undependable, fault-ridden parts"
+    }
+
+    fn parallel(&self) -> bool {
+        true
+    }
+
+    // 2 sweeps x 5 rates x 1500 requests + the gray storm's 1200.
+    fn work_units(&self) -> Option<(&'static str, f64)> {
+        Some(("requests", 16_200.0))
+    }
+
+    fn fill(&self, ctx: &RunCtx, r: &mut Report) {
+        let exec = ctx.exec();
+        let rates = [0.0, 0.01, 0.02, 0.05, 0.1];
+
+        // The disciplined policy: 60 ms deadline sliced into 18 ms
+        // attempts, 3 attempts with jittered exponential backoff and
+        // failover, hedge at 10 ms.
+        let policy = ClusterSim {
+            requests: 1_500,
+            seed: ctx.seed_or(23),
+            ..ClusterSim::default()
+        };
+        // Naive serving: one attempt, no hedge, and a deadline as slack
+        // as its operators' patience (2 s) — requests stranded on dead
+        // replicas wait all of it out.
+        let naive = ClusterSim {
+            retry: RetryPolicy::none(),
+            budget: Budget::new(2_000.0, 2_000.0),
+            seed: ctx.seed_or(41),
+            ..policy
+        };
+
+        r.section("Cluster: 20 shards x 3 replicas, 1500 requests, 60 ms deadline");
+        r.text(format!(
+            "policy: {} attempts, {} ms base backoff x{} (jitter {}), hedge at {} ms\n\
+             naive:  1 attempt, no hedge, 2000 ms deadline",
+            policy.retry.max_attempts,
+            policy.retry.backoff_base_ms,
+            policy.retry.backoff_mult,
+            policy.retry.jitter,
+            policy.retry.hedge_after_ms.unwrap_or(f64::NAN),
+        ));
+
+        r.section("Kill-rate sweep: retry+failover policy vs naive serving");
+        let pol = cluster_sweep_on(&policy, &rates, FaultMix::kills_only(), exec);
+        let nai = cluster_sweep_on(&naive, &rates, FaultMix::kills_only(), exec);
+        let mut t = Table::new(&[
+            "kill rate",
+            "p99 (ms)",
+            "p99.9 (ms)",
+            "full %",
+            "retry amp",
+            "naive p99 (ms)",
+            "naive full %",
+        ]);
+        for (i, rate) in rates.iter().enumerate() {
+            let p = &pol[i];
+            let n = &nai[i];
+            let full = 100.0 * p.full as f64 / p.requests as f64;
+            let n_full = 100.0 * n.full as f64 / n.requests as f64;
+            t.row(&[
+                format!("{:.1}%", rate * 100.0),
+                fnum(p.p99),
+                fnum(p.p999),
+                format!("{full:.2}"),
+                fnum(p.retry_amplification),
+                fnum(n.p99),
+                format!("{n_full:.2}"),
+            ]);
+            ctx.observe("cluster.policy_p999_ms", p.p999);
+            ctx.observe("cluster.naive_p999_ms", n.p999);
+            ctx.count("cluster.requests", (p.requests + n.requests) as u64);
+            ctx.count("cluster.retries", p.metrics.counter("cluster.retries"));
+            ctx.count("cluster.hedges", p.metrics.counter("cluster.hedges"));
+            ctx.count("fault.scheduled", p.metrics.counter("fault.scheduled"));
+            ctx.count("fault.fired", p.metrics.counter("fault.fired"));
+            ctx.count("fault.cancelled", p.metrics.counter("fault.cancelled"));
+        }
+        r.table(t);
+
+        let base_p999 = pol[0].p999;
+        let at1 = &pol[1];
+        let tail_ratio = at1.p999 / base_p999;
+        ctx.gauge("cluster.goodput_rps_at_1pct", at1.goodput_rps);
+        r.finding("policy_p999_over_faultfree_at_1pct_kills", tail_ratio, "x");
+        r.finding("naive_p999_at_1pct_kills", nai[1].p999, "ms");
+        r.finding(
+            "retry_amplification_at_1pct_kills",
+            at1.retry_amplification,
+            "x",
+        );
+
+        r.section("Fault accounting (policy sweep): scheduled == fired + cancelled");
+        let mut t = Table::new(&["kill rate", "scheduled", "fired", "cancelled"]);
+        for (i, rate) in rates.iter().enumerate() {
+            let m = &pol[i].metrics;
+            t.row(&[
+                format!("{:.1}%", rate * 100.0),
+                m.counter("fault.scheduled").to_string(),
+                m.counter("fault.fired").to_string(),
+                m.counter("fault.cancelled").to_string(),
+            ]);
+        }
+        r.table(t);
+
+        r.section("Gray-failure storm: pauses + slowdowns + a two-shard blackout");
+        // One fault per replica (mixed pauses/slows/kills), plus a forced
+        // kill of every replica of shards 0 and 1 a quarter into the run:
+        // full coverage becomes impossible and the failsafe machine must
+        // degrade for requests to keep landing as partial results.
+        let gray = ClusterSim {
+            requests: 1_200,
+            seed: ctx.seed_or(59),
+            ..ClusterSim::default()
+        };
+        let mut plan = FaultPlan::seeded(
+            gray.seed,
+            ms_to_sim(gray.horizon_ms()),
+            gray.components(),
+            1.0,
+            FaultMix::gray(),
+        );
+        let quarter = ms_to_sim(gray.horizon_ms() / 4.0);
+        for comp in 0..2 * gray.replicas {
+            plan.at(quarter, comp, Fault::Kill);
+        }
+        let storm = gray.run(&plan);
+        let mut t = Table::new(&["outcome", "requests", "fraction"]);
+        for (name, n) in [
+            ("full", storm.full),
+            ("partial", storm.partial),
+            ("failed", storm.failed),
+        ] {
+            t.row(&[
+                name.to_string(),
+                n.to_string(),
+                format!("{:.3}", n as f64 / storm.requests as f64),
+            ]);
+        }
+        r.table(t);
+        r.text(format!(
+            "failsafe transitions: {}   degraded-mode accepts: {}   final mode gauge: {}",
+            storm.metrics.counter("failsafe.transitions"),
+            storm.metrics.counter("cluster.degraded_accepts"),
+            storm.metrics.gauge_value("failsafe.final_mode"),
+        ));
+        ctx.count("cluster.requests", storm.requests as u64);
+        ctx.count(
+            "cluster.degraded_accepts",
+            storm.metrics.counter("cluster.degraded_accepts"),
+        );
+        ctx.count(
+            "failsafe.transitions",
+            storm.metrics.counter("failsafe.transitions"),
+        );
+        r.finding(
+            "gray_storm_partial_fraction",
+            storm.partial_frac,
+            "of answered",
+        );
+
+        r.text(format!(
+            "\nHeadline: at a 1% leaf-kill rate the budgeted-retry+failover policy\n\
+             holds p99.9 at {}x the fault-free tail ({} ms vs {} ms) for {}x\n\
+             request amplification, while naive serving strands requests on dead\n\
+             replicas until its 2 s deadline ({} ms p99.9); under a gray-failure\n\
+             storm the failsafe machine degrades to partial results instead of\n\
+             failing — the paper's strict-tail and dependability agendas only\n\
+             compose when the serving layer spends its latency budget this way.",
+            fnum(tail_ratio),
+            fnum(at1.p999),
+            fnum(base_p999),
+            fnum(at1.retry_amplification),
+            fnum(nai[1].p999),
+        ));
+    }
+}

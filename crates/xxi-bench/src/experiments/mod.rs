@@ -28,6 +28,7 @@ mod e18_scaling;
 mod e19_security;
 mod e1_scaling;
 mod e20_tm;
+mod e21_faults;
 mod e2_cpudb;
 mod e3_reliability;
 mod e4_comm_energy;
@@ -229,7 +230,7 @@ pub trait Experiment: Sync {
 
 /// All experiments, in id order.
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 20] = [
+    static REGISTRY: [&dyn Experiment; 21] = [
         &e1_scaling::E1Scaling,
         &e2_cpudb::E2CpuDb,
         &e3_reliability::E3Reliability,
@@ -250,6 +251,7 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &e18_scaling::E18Scaling,
         &e19_security::E19Security,
         &e20_tm::E20Tm,
+        &e21_faults::E21Faults,
     ];
     &REGISTRY
 }
@@ -269,13 +271,13 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_ordered_and_resolvable() {
         let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
-        assert_eq!(ids.len(), 20);
+        assert_eq!(ids.len(), 21);
         for (i, id) in ids.iter().enumerate() {
             assert_eq!(*id, format!("e{}", i + 1));
             assert!(find(id).is_some());
             assert!(find(&id.to_uppercase()).is_some());
         }
-        assert!(find("e21").is_none());
+        assert!(find("e22").is_none());
     }
 
     #[test]
@@ -291,7 +293,7 @@ mod tests {
             .filter(|e| e.parallel())
             .map(|e| e.id())
             .collect();
-        assert_eq!(par, ["e9", "e17"]);
+        assert_eq!(par, ["e9", "e17", "e21"]);
     }
 
     #[test]

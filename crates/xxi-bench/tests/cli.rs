@@ -77,7 +77,7 @@ fn list_format_json_emits_one_document_per_experiment() {
     assert_eq!(out.status.code(), Some(0));
     let text = stdout_of(&out);
     let lines: Vec<&str> = text.lines().collect();
-    assert_eq!(lines.len(), 20);
+    assert_eq!(lines.len(), 21);
     for line in &lines {
         let v = json::parse(line).expect("each line is a JSON document");
         let obj = v.as_object().unwrap();

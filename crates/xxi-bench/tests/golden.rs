@@ -139,6 +139,7 @@ golden!(golden_e17, "e17");
 golden!(golden_e18, "e18", slow);
 golden!(golden_e19, "e19");
 golden!(golden_e20, "e20");
+golden!(golden_e21, "e21");
 
 /// The golden directory holds exactly the registry: no stale files for
 /// renamed/removed experiments, none missing (unless blessing is off and

@@ -1,0 +1,763 @@
+//! Fault-injected cluster serving: timeouts, retries, and failover on the
+//! DES engine.
+//!
+//! §2.1's tail-latency agenda and §2.4's dependability agenda meet here:
+//! *"architectural innovations can guarantee strict worst-case latency
+//! requirements"* only if the serving stack tolerates dead and slow
+//! replicas, not just statistical stragglers. This module runs a root →
+//! leaf fan-out service on [`xxi_core::des`] while a seeded
+//! [`FaultPlan`](xxi_core::des::fault::FaultPlan) kills, pauses, and slows
+//! replicas underneath it, and measures what the serving policy buys:
+//!
+//! * every shard query carries a per-attempt timeout sliced from the
+//!   request's QoS [`Budget`](crate::qos::Budget);
+//! * lost attempts retry with **jittered exponential backoff**, failing
+//!   over to the shard's next replica;
+//! * an optional **hedge** duplicates the first attempt after a fixed
+//!   delay (the Tail-at-Scale mitigation, now fault-aware);
+//! * a root-side [`FailsafeMachine`](xxi_rel::failsafe::FailsafeMachine)
+//!   watches the error stream and **degrades gracefully**: in `Degraded`
+//!   mode the root accepts thinner partial results instead of failing
+//!   requests, and in `Safe` mode it sheds hedging load entirely.
+//!
+//! [`ClusterSim::run`] produces a [`ClusterOutcome`] with goodput, the
+//! latency tail (p50/p99/p99.9), retry amplification, and the
+//! partial-result fraction; [`cluster_sweep_on`] sweeps the fault rate on
+//! the deterministic executor seam — byte-identical output at every
+//! `--threads` count (experiment E21).
+
+use std::sync::Mutex;
+
+use serde::Serialize;
+
+use crate::latency::LatencyDist;
+use crate::qos::Budget;
+use xxi_core::des::fault::{FaultInjector, FaultMix, FaultPlan};
+use xxi_core::des::Sim;
+use xxi_core::metrics::Metrics;
+use xxi_core::par::Parallelism;
+use xxi_core::rng::Rng64;
+use xxi_core::stats::Summary;
+use xxi_core::time::SimTime;
+use xxi_rel::failsafe::{FailsafeMachine, Mode};
+
+/// Retry/hedge policy for one shard query.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct RetryPolicy {
+    /// Total attempts allowed per shard (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry (ms).
+    pub backoff_base_ms: f64,
+    /// Multiplier applied per additional retry.
+    pub backoff_mult: f64,
+    /// Jitter fraction: the backoff is scaled by `1 + jitter·U[0,1)` so
+    /// synchronized failures don't retry in lockstep.
+    pub jitter: f64,
+    /// If set, duplicate the *first* attempt after this many ms with a
+    /// hedge to the next replica (suppressed in `Safe` mode).
+    pub hedge_after_ms: Option<f64>,
+}
+
+impl RetryPolicy {
+    /// The robust default: 3 attempts, 1 ms base backoff doubling with
+    /// 50% jitter, hedge at 10 ms.
+    pub fn standard() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base_ms: 1.0,
+            backoff_mult: 2.0,
+            jitter: 0.5,
+            hedge_after_ms: Some(10.0),
+        }
+    }
+
+    /// Naive serving: one attempt, no hedge — what a stack that only
+    /// models healthy leaves implicitly ships.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base_ms: 0.0,
+            backoff_mult: 1.0,
+            jitter: 0.0,
+            hedge_after_ms: None,
+        }
+    }
+
+    /// Jittered exponential backoff before retry number `nth` (0-based).
+    pub fn backoff_ms(&self, nth: u32, rng: &mut Rng64) -> f64 {
+        let exp = self.backoff_base_ms * self.backoff_mult.powi(nth as i32);
+        exp * (1.0 + self.jitter * rng.next_f64())
+    }
+}
+
+/// Configuration of one fault-injected serving run.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ClusterSim {
+    /// Shards per request (every shard must answer for a full result).
+    pub shards: u32,
+    /// Replicas per shard (failover targets).
+    pub replicas: u32,
+    /// Leaf service-time distribution (ms).
+    pub dist: LatencyDist,
+    /// Requests to simulate.
+    pub requests: u32,
+    /// Request interarrival time (ms).
+    pub interarrival_ms: f64,
+    /// Network round-trip overhead per attempt (ms); also the fast-fail
+    /// delay when a dead replica refuses the connection.
+    pub rpc_ms: f64,
+    /// The request's QoS budget: deadline + per-attempt timeout.
+    pub budget: Budget,
+    /// Retry/hedge policy.
+    pub retry: RetryPolicy,
+    /// Fraction of shards that must answer for a result to count
+    /// (full results always need all of them; this is the partial bar).
+    pub min_coverage: f64,
+    /// RNG seed (service times, replica picks, jitter).
+    pub seed: u64,
+}
+
+impl Default for ClusterSim {
+    fn default() -> ClusterSim {
+        ClusterSim {
+            shards: 20,
+            replicas: 3,
+            dist: LatencyDist::typical_leaf(),
+            requests: 2_000,
+            interarrival_ms: 1.0,
+            rpc_ms: 0.2,
+            budget: Budget::new(60.0, 18.0),
+            retry: RetryPolicy::standard(),
+            min_coverage: 0.95,
+            seed: 23,
+        }
+    }
+}
+
+/// Everything one serving run produced.
+#[derive(Clone, Debug, Serialize)]
+pub struct ClusterOutcome {
+    /// Requests simulated.
+    pub requests: u32,
+    /// Requests answered by every shard within the deadline.
+    pub full: u32,
+    /// Requests answered by ≥ the (mode-adjusted) coverage bar at the
+    /// deadline — the graceful-degradation path.
+    pub partial: u32,
+    /// Requests below the coverage bar at the deadline.
+    pub failed: u32,
+    /// Median request latency (ms; unanswered requests count at the
+    /// deadline, the time the client actually waited).
+    pub p50: f64,
+    /// 99th-percentile request latency (ms).
+    pub p99: f64,
+    /// 99.9th-percentile request latency (ms).
+    pub p999: f64,
+    /// Mean request latency (ms).
+    pub mean: f64,
+    /// Answered (full + partial) requests per simulated second.
+    pub goodput_rps: f64,
+    /// Attempts per required shard query (1.0 = no extra load).
+    pub retry_amplification: f64,
+    /// Fraction of answered requests that were partial.
+    pub partial_frac: f64,
+    /// Counters: attempts, retries, hedges, timeouts, refused, lost,
+    /// degraded accepts, failsafe transitions, and the fault-injection
+    /// accounting (`fault.scheduled == fault.fired + fault.cancelled`).
+    pub metrics: Metrics,
+}
+
+struct ShardSlot {
+    answered: bool,
+    given_up: bool,
+    /// Attempts dispatched so far (retries and hedges included).
+    attempts: u32,
+    /// Per-attempt resolution flag: an answer arrived, the connection was
+    /// refused, or the timeout fired. Guards double-handling.
+    resolved: Vec<bool>,
+    /// First replica tried; attempt `k` fails over to
+    /// `(first_pick + k) % replicas`.
+    first_pick: u32,
+}
+
+struct Req {
+    start: SimTime,
+    answered: u32,
+    done: bool,
+    slots: Vec<ShardSlot>,
+}
+
+struct CState {
+    cfg: ClusterSim,
+    rng: Rng64,
+    faults: FaultInjector,
+    machine: FailsafeMachine,
+    reqs: Vec<Req>,
+    latencies_ms: Vec<f64>,
+    full: u32,
+    partial: u32,
+    failed: u32,
+    degraded_accepts: u32,
+    attempts: u64,
+    retries: u64,
+    hedges: u64,
+    timeouts: u64,
+    refused: u64,
+    lost: u64,
+}
+
+fn ms_to_sim(ms: f64) -> SimTime {
+    SimTime::from_ps((ms * 1e9).round().max(0.0) as u64)
+}
+
+impl ClusterSim {
+    /// Simulated span of the whole run (ms): last arrival plus a full
+    /// deadline. Fault plans should cover this horizon.
+    pub fn horizon_ms(&self) -> f64 {
+        (self.requests.saturating_sub(1)) as f64 * self.interarrival_ms + self.budget.deadline_ms
+    }
+
+    /// Total replica count (`shards * replicas`) — the component space a
+    /// [`FaultPlan`] for this cluster addresses, shard-major: replica `r`
+    /// of shard `s` is component `s * replicas + r`.
+    pub fn components(&self) -> u32 {
+        self.shards * self.replicas
+    }
+
+    /// Run the simulation under `plan` (pass an empty plan for the
+    /// fault-free baseline). Deterministic: a pure function of
+    /// `(self, plan)`.
+    pub fn run(&self, plan: &FaultPlan) -> ClusterOutcome {
+        assert!(self.shards >= 1 && self.replicas >= 1 && self.requests >= 1);
+        assert!((0.0..=1.0).contains(&self.min_coverage));
+        let state = CState {
+            cfg: *self,
+            rng: Rng64::new(self.seed),
+            faults: FaultInjector::new(plan, self.components()),
+            // 10 errors in a window escalate to Degraded, 40 to Safe;
+            // 50 clean requests recover Degraded -> Normal.
+            machine: FailsafeMachine::new(10, 40, 50),
+            reqs: Vec::with_capacity(self.requests as usize),
+            latencies_ms: Vec::with_capacity(self.requests as usize),
+            full: 0,
+            partial: 0,
+            failed: 0,
+            degraded_accepts: 0,
+            attempts: 0,
+            retries: 0,
+            hedges: 0,
+            timeouts: 0,
+            refused: 0,
+            lost: 0,
+        };
+        let mut sim = Sim::new(state);
+        for r in 0..self.requests {
+            let at = ms_to_sim(r as f64 * self.interarrival_ms);
+            sim.schedule_at(at, arrive);
+        }
+        sim.run();
+
+        let s = sim.state;
+        let answered = s.full + s.partial;
+        let summary = Summary::from_slice(&s.latencies_ms);
+        let horizon_s = self.horizon_ms() * 1e-3;
+        let mut metrics = Metrics::new();
+        metrics.count("cluster.requests", self.requests as u64);
+        metrics.count("cluster.full", s.full as u64);
+        metrics.count("cluster.partial", s.partial as u64);
+        metrics.count("cluster.failed", s.failed as u64);
+        metrics.count("cluster.attempts", s.attempts);
+        metrics.count("cluster.retries", s.retries);
+        metrics.count("cluster.hedges", s.hedges);
+        metrics.count("cluster.timeouts", s.timeouts);
+        metrics.count("cluster.refused", s.refused);
+        metrics.count("cluster.lost_responses", s.lost);
+        metrics.count("cluster.degraded_accepts", s.degraded_accepts as u64);
+        metrics.count("failsafe.transitions", s.machine.transitions().len() as u64);
+        metrics.gauge(
+            "failsafe.final_mode",
+            match s.machine.mode() {
+                Mode::Normal => 0.0,
+                Mode::Degraded => 1.0,
+                Mode::Safe => 2.0,
+            },
+        );
+        s.faults.record(&mut metrics);
+
+        ClusterOutcome {
+            requests: self.requests,
+            full: s.full,
+            partial: s.partial,
+            failed: s.failed,
+            p50: summary.median(),
+            p99: summary.percentile(99.0),
+            p999: summary.percentile(99.9),
+            mean: summary.mean(),
+            goodput_rps: answered as f64 / horizon_s,
+            retry_amplification: s.attempts as f64 / (self.requests as f64 * self.shards as f64),
+            partial_frac: if answered == 0 {
+                0.0
+            } else {
+                s.partial as f64 / answered as f64
+            },
+            metrics,
+        }
+    }
+}
+
+fn arrive(sim: &mut Sim<CState>) {
+    let now = sim.now();
+    let cfg = sim.state.cfg;
+    let slots = (0..cfg.shards)
+        .map(|_| ShardSlot {
+            answered: false,
+            given_up: false,
+            attempts: 0,
+            resolved: Vec::new(),
+            first_pick: sim.state.rng.below(cfg.replicas as u64) as u32,
+        })
+        .collect();
+    sim.state.reqs.push(Req {
+        start: now,
+        answered: 0,
+        done: false,
+        slots,
+    });
+    let req = sim.state.reqs.len() - 1;
+    for shard in 0..cfg.shards as usize {
+        dispatch(sim, req, shard, false);
+    }
+    sim.schedule_in(ms_to_sim(cfg.budget.deadline_ms), move |sim| {
+        deadline(sim, req);
+    });
+}
+
+/// Launch one attempt of `shard` for `req`. `hedge` marks duplicates
+/// launched by the hedging timer (they share the attempt budget but not
+/// the retry counter).
+fn dispatch(sim: &mut Sim<CState>, req: usize, shard: usize, hedge: bool) {
+    let now = sim.now();
+    sim.state.faults.advance(now);
+    let cfg = sim.state.cfg;
+    let elapsed = {
+        let r = &sim.state.reqs[req];
+        let slot = &r.slots[shard];
+        if r.done || slot.answered || slot.given_up {
+            return;
+        }
+        now.since(r.start).ms()
+    };
+    let Some(timeout_ms) = cfg.budget.attempt_timeout(elapsed) else {
+        sim.state.reqs[req].slots[shard].given_up = true;
+        return;
+    };
+    let (attempt, replica) = {
+        let slot = &mut sim.state.reqs[req].slots[shard];
+        let attempt = slot.attempts as usize;
+        slot.attempts += 1;
+        slot.resolved.push(false);
+        debug_assert_eq!(slot.resolved.len(), slot.attempts as usize);
+        let replica =
+            shard as u32 * cfg.replicas + (slot.first_pick + attempt as u32) % cfg.replicas;
+        (attempt, replica)
+    };
+    sim.state.attempts += 1;
+
+    if !sim.state.faults.is_up(replica, now) {
+        // Connection refused: the dead/paused replica is detected after
+        // one RTT, far cheaper than waiting out the timeout.
+        sim.state.refused += 1;
+        sim.schedule_in(ms_to_sim(cfg.rpc_ms), move |sim| {
+            let r = &mut sim.state.reqs[req];
+            if r.done || r.slots[shard].answered || r.slots[shard].given_up {
+                return;
+            }
+            r.slots[shard].resolved[attempt] = true;
+            maybe_retry(sim, req, shard);
+        });
+    } else {
+        let slowdown = sim.state.faults.slowdown(replica, now);
+        let service = cfg.dist.sample(&mut sim.state.rng) * slowdown;
+        let latency = cfg.rpc_ms + service;
+        sim.schedule_in(ms_to_sim(latency), move |sim| {
+            respond(sim, req, shard, attempt, replica);
+        });
+        // The timeout declares the attempt lost; late answers that beat
+        // the *deadline* still count (work isn't thrown away).
+        sim.schedule_in(ms_to_sim(timeout_ms), move |sim| {
+            attempt_timeout(sim, req, shard, attempt);
+        });
+    }
+
+    // Hedge the first attempt (only): a duplicate to the next replica
+    // after `hedge_after_ms`, unless the failsafe machine is shedding.
+    if !hedge && attempt == 0 {
+        if let Some(h) = cfg.retry.hedge_after_ms {
+            if h < timeout_ms {
+                sim.schedule_in(ms_to_sim(h), move |sim| hedge_fire(sim, req, shard));
+            }
+        }
+    }
+}
+
+fn respond(sim: &mut Sim<CState>, req: usize, shard: usize, attempt: usize, replica: u32) {
+    let now = sim.now();
+    sim.state.faults.advance(now);
+    if !sim.state.faults.is_up(replica, now) {
+        // The replica died (or paused) mid-service: the response is lost
+        // and only the attempt timeout will notice.
+        sim.state.lost += 1;
+        return;
+    }
+    let shards = sim.state.cfg.shards;
+    let latency = {
+        let r = &mut sim.state.reqs[req];
+        r.slots[shard].resolved[attempt] = true;
+        if r.done || r.slots[shard].answered {
+            return;
+        }
+        r.slots[shard].answered = true;
+        r.answered += 1;
+        if r.answered < shards {
+            return;
+        }
+        r.done = true;
+        now.since(r.start).ms()
+    };
+    sim.state.latencies_ms.push(latency);
+    sim.state.full += 1;
+    sim.state.machine.ok();
+}
+
+fn attempt_timeout(sim: &mut Sim<CState>, req: usize, shard: usize, attempt: usize) {
+    {
+        let r = &sim.state.reqs[req];
+        let slot = &r.slots[shard];
+        if r.done || slot.answered || slot.given_up || slot.resolved[attempt] {
+            return;
+        }
+    }
+    sim.state.reqs[req].slots[shard].resolved[attempt] = true;
+    sim.state.timeouts += 1;
+    maybe_retry(sim, req, shard);
+}
+
+/// After a refused connection or a timed-out attempt: back off and fail
+/// over to the next replica, if the policy and the budget allow.
+fn maybe_retry(sim: &mut Sim<CState>, req: usize, shard: usize) {
+    let now = sim.now();
+    let cfg = sim.state.cfg;
+    let attempts = sim.state.reqs[req].slots[shard].attempts;
+    if attempts >= cfg.retry.max_attempts {
+        sim.state.reqs[req].slots[shard].given_up = true;
+        return;
+    }
+    let backoff = cfg.retry.backoff_ms(attempts - 1, &mut sim.state.rng);
+    let elapsed = now.since(sim.state.reqs[req].start).ms();
+    if cfg.budget.attempt_timeout(elapsed + backoff).is_none() {
+        sim.state.reqs[req].slots[shard].given_up = true;
+        return;
+    }
+    sim.state.retries += 1;
+    sim.schedule_in(ms_to_sim(backoff), move |sim| {
+        dispatch(sim, req, shard, false);
+    });
+}
+
+fn hedge_fire(sim: &mut Sim<CState>, req: usize, shard: usize) {
+    let r = &sim.state.reqs[req];
+    let slot = &r.slots[shard];
+    if r.done || slot.answered || slot.given_up {
+        return;
+    }
+    // Only hedge while the first attempt is the only one in flight, and
+    // shed hedging load entirely in Safe mode.
+    if slot.attempts != 1 || slot.attempts >= sim.state.cfg.retry.max_attempts {
+        return;
+    }
+    if sim.state.machine.mode() == Mode::Safe {
+        return;
+    }
+    sim.state.hedges += 1;
+    dispatch(sim, req, shard, true);
+}
+
+fn deadline(sim: &mut Sim<CState>, req: usize) {
+    let cfg = sim.state.cfg;
+    let mode = sim.state.machine.mode();
+    let answered = {
+        let r = &mut sim.state.reqs[req];
+        if r.done {
+            return;
+        }
+        r.done = true;
+        r.answered
+    };
+    let coverage = answered as f64 / cfg.shards as f64;
+    // Graceful degradation: under failsafe pressure the root lowers the
+    // coverage bar instead of failing requests outright. In Safe mode any
+    // answered shard yields a (minimal) result.
+    let bar = match mode {
+        Mode::Normal => cfg.min_coverage,
+        Mode::Degraded => cfg.min_coverage * 0.5,
+        Mode::Safe => f64::MIN_POSITIVE,
+    };
+    // The client waited out the whole deadline either way.
+    sim.state.latencies_ms.push(cfg.budget.deadline_ms);
+    if coverage >= bar && answered > 0 {
+        sim.state.partial += 1;
+        if coverage < cfg.min_coverage {
+            sim.state.degraded_accepts += 1;
+        }
+    } else {
+        sim.state.failed += 1;
+    }
+    // Either way the SLO took a hit; the machine sees it.
+    sim.state.machine.error();
+}
+
+/// One [`ClusterSim::run`] per fault rate on `exec`, with the plan and
+/// the sim seeded per-rate via [`Rng64::stream`] — results come back in
+/// input order and every number is executor- and thread-count-
+/// independent. Rates are *faults per replica* over the run (see
+/// [`FaultPlan::seeded`]).
+pub fn cluster_sweep_on(
+    base: &ClusterSim,
+    rates: &[f64],
+    mix: FaultMix,
+    exec: &dyn Parallelism,
+) -> Vec<ClusterOutcome> {
+    let slots: Vec<Mutex<Option<ClusterOutcome>>> =
+        rates.iter().map(|_| Mutex::new(None)).collect();
+    exec.for_tasks(rates.len(), &|i| {
+        let sub_seed = Rng64::stream(base.seed, i as u64).next_u64();
+        let cfg = ClusterSim {
+            seed: sub_seed,
+            ..*base
+        };
+        let plan = FaultPlan::seeded(
+            sub_seed,
+            ms_to_sim(cfg.horizon_ms()),
+            cfg.components(),
+            rates[i],
+            mix,
+        );
+        *slots[i].lock().unwrap() = Some(cfg.run(&plan));
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("sweep task completed")) // xxi-allow: panic-path -- see the expect message
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xxi_core::des::fault::Fault;
+    use xxi_core::par::Serial;
+
+    fn small() -> ClusterSim {
+        ClusterSim {
+            requests: 600,
+            ..ClusterSim::default()
+        }
+    }
+
+    #[test]
+    fn fault_free_run_answers_everything_in_budget() {
+        let out = small().run(&FaultPlan::new());
+        assert_eq!(out.full + out.partial + out.failed, out.requests);
+        // Virtually everything completes fully inside the deadline.
+        assert!(
+            out.full as f64 / out.requests as f64 > 0.99,
+            "full={} of {}",
+            out.full,
+            out.requests
+        );
+        assert!(out.p999 <= small().budget.deadline_ms + 1e-9);
+        assert!(out.goodput_rps > 0.0);
+        // Hedges + straggler timeouts add a little extra load, not a lot.
+        assert!(
+            out.retry_amplification < 1.3,
+            "amp={}",
+            out.retry_amplification
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let a = small().run(&FaultPlan::new());
+        let b = small().run(&FaultPlan::new());
+        assert_eq!(a.p999.to_bits(), b.p999.to_bits());
+        assert_eq!(
+            a.metrics.counter("cluster.attempts"),
+            b.metrics.counter("cluster.attempts")
+        );
+        let c = ClusterSim {
+            seed: 99,
+            ..small()
+        }
+        .run(&FaultPlan::new());
+        assert_ne!(a.p999.to_bits(), c.p999.to_bits());
+    }
+
+    #[test]
+    fn failover_absorbs_a_dead_replica() {
+        // Kill one replica before traffic starts: retries fail over to
+        // its siblings and the answer rate stays essentially perfect.
+        let mut plan = FaultPlan::new();
+        plan.at(SimTime::ZERO, 0, Fault::Kill);
+        let out = small().run(&plan);
+        assert!(
+            (out.full + out.partial) as f64 / out.requests as f64 > 0.99,
+            "answered {}+{} of {}",
+            out.full,
+            out.partial,
+            out.requests
+        );
+        assert!(
+            out.metrics.counter("cluster.refused") > 0,
+            "dead replica was contacted"
+        );
+        assert!(
+            out.metrics.counter("cluster.retries") > 0,
+            "and failed over"
+        );
+    }
+
+    #[test]
+    fn naive_serving_collapses_where_the_policy_holds_the_tail() {
+        // The acceptance shape: at a 1% leaf-kill rate the retry+failover
+        // policy holds p99.9 within 3x of the fault-free run, while naive
+        // (single-attempt, no-timeout-discipline) serving degrades toward
+        // whatever deadline it is given — unboundedly, as its SLO slackens.
+        let policy = ClusterSim {
+            requests: 1_500,
+            ..ClusterSim::default()
+        };
+        let baseline = policy.run(&FaultPlan::new());
+        let kills = |cfg: &ClusterSim| {
+            FaultPlan::seeded(
+                cfg.seed,
+                ms_to_sim(cfg.horizon_ms()),
+                cfg.components(),
+                0.01,
+                FaultMix::kills_only(),
+            )
+        };
+        let faulted = policy.run(&kills(&policy));
+        assert!(
+            faulted.p999 <= 3.0 * baseline.p999,
+            "policy p999 {} vs fault-free {}",
+            faulted.p999,
+            baseline.p999
+        );
+
+        let naive = ClusterSim {
+            retry: RetryPolicy::none(),
+            budget: Budget::new(2_000.0, 2_000.0),
+            ..policy
+        };
+        let naive_out = naive.run(&kills(&naive));
+        assert!(
+            naive_out.p999 >= 10.0 * faulted.p999,
+            "naive p999 {} vs policy {}",
+            naive_out.p999,
+            faulted.p999
+        );
+        // The stranded requests wait out the whole 2 s deadline.
+        assert!(
+            naive_out.full < naive_out.requests,
+            "naive strands requests on the dead replica"
+        );
+    }
+
+    #[test]
+    fn gray_storm_degrades_gracefully_instead_of_failing() {
+        // A heavy pause/slow storm pushes the failsafe machine out of
+        // Normal; degraded-mode coverage keeps answering partially.
+        let cfg = ClusterSim {
+            requests: 1_200,
+            ..ClusterSim::default()
+        };
+        let mut plan = FaultPlan::seeded(
+            cfg.seed,
+            ms_to_sim(cfg.horizon_ms()),
+            cfg.components(),
+            1.0,
+            FaultMix::gray(),
+        );
+        // On top of the storm, take out every replica of two shards a
+        // quarter into the run: coverage caps at 18/20 < min_coverage, so
+        // the failsafe machine must degrade for requests to keep landing.
+        let quarter = ms_to_sim(cfg.horizon_ms() / 4.0);
+        for comp in 0..2 * cfg.replicas {
+            plan.at(quarter, comp, Fault::Kill);
+        }
+        let out = cfg.run(&plan);
+        assert_eq!(out.full + out.partial + out.failed, out.requests);
+        assert!(
+            out.metrics.counter("failsafe.transitions") > 0,
+            "machine reacted"
+        );
+        assert!(out.partial > 0, "partial results happened");
+        assert!(
+            out.metrics.counter("cluster.degraded_accepts") > 0,
+            "degraded mode rescued sub-coverage results"
+        );
+        // Fault accounting is conserved and surfaced.
+        assert_eq!(
+            out.metrics.counter("fault.scheduled"),
+            out.metrics.counter("fault.fired") + out.metrics.counter("fault.cancelled")
+        );
+    }
+
+    #[test]
+    fn sweep_on_serial_matches_individual_runs_and_is_pure() {
+        let base = ClusterSim {
+            requests: 300,
+            ..ClusterSim::default()
+        };
+        let rates = [0.0, 0.05];
+        let sweep = cluster_sweep_on(&base, &rates, FaultMix::kills_only(), &Serial);
+        assert_eq!(sweep.len(), 2);
+        let again = cluster_sweep_on(&base, &rates, FaultMix::kills_only(), &Serial);
+        for (a, b) in sweep.iter().zip(&again) {
+            assert_eq!(a.p999.to_bits(), b.p999.to_bits());
+            assert_eq!(
+                a.metrics.counter("cluster.attempts"),
+                b.metrics.counter("cluster.attempts")
+            );
+        }
+        // Faults strictly increase the repair work.
+        assert!(sweep[1].metrics.counter("fault.fired") > sweep[0].metrics.counter("fault.fired"));
+    }
+
+    #[test]
+    fn latencies_never_exceed_the_deadline() {
+        let cfg = small();
+        let plan = FaultPlan::seeded(
+            cfg.seed,
+            ms_to_sim(cfg.horizon_ms()),
+            cfg.components(),
+            0.2,
+            FaultMix::gray(),
+        );
+        let out = cfg.run(&plan);
+        assert!(out.p999 <= cfg.budget.deadline_ms + 1e-9);
+        assert!(out.mean <= cfg.budget.deadline_ms + 1e-9);
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_jittered() {
+        let p = RetryPolicy::standard();
+        let mut rng = Rng64::new(5);
+        for nth in 0..3 {
+            let base = p.backoff_base_ms * p.backoff_mult.powi(nth);
+            for _ in 0..100 {
+                let b = p.backoff_ms(nth as u32, &mut rng);
+                assert!(b >= base && b < base * (1.0 + p.jitter), "nth={nth} b={b}");
+            }
+        }
+    }
+}

@@ -112,6 +112,13 @@ pub fn fanout_sweep(
 /// [`fanout_sweep`] on an explicit executor: each degree's Monte Carlo
 /// runs its chunks on `exec`; the sweep order (and every number) is
 /// executor-independent.
+///
+/// Per-degree seeds come from [`Rng64::stream`], the splittable-substream
+/// construction — a distinct, decorrelated generator per sweep point.
+/// (The original implementation derived them as `seed ^ f`, which
+/// collides whenever `seed ^ f == seed' ^ f'` — e.g. seed 10 at fan-out
+/// 10 and seed 12 at fan-out 12 both simulated from seed 0 — and feeds
+/// nearly identical bit patterns to neighbouring degrees.)
 pub fn fanout_sweep_on(
     dist: LatencyDist,
     fanouts: &[u32],
@@ -121,7 +128,11 @@ pub fn fanout_sweep_on(
 ) -> Vec<FanoutResult> {
     fanouts
         .iter()
-        .map(|&f| fanout_latency_on(dist, f, trials, seed ^ f as u64, exec))
+        .enumerate()
+        .map(|(i, &f)| {
+            let sub_seed = Rng64::stream(seed, i as u64).next_u64();
+            fanout_latency_on(dist, f, trials, sub_seed, exec)
+        })
         .collect()
 }
 
@@ -185,6 +196,33 @@ mod tests {
         for w in sweep.windows(2) {
             assert!(w[1].p50 > w[0].p50);
             assert!(w[1].frac_hit_by_leaf_p99 > w[0].frac_hit_by_leaf_p99);
+        }
+    }
+
+    #[test]
+    fn sweep_points_use_disjoint_rng_streams() {
+        // Regression: per-degree seeds used to be `seed ^ f`, so the
+        // sweep point (seed = 10, fanout = 10) ran from raw seed
+        // 10 ^ 10 = 0 — bit-identical to a solo run seeded 0, and
+        // likewise for every colliding (seed, degree) pair. With
+        // `Rng64::stream` substreams every (seed, position) pair gets its
+        // own decorrelated generator.
+        let dist = LatencyDist::typical_leaf();
+        let sweep10 = fanout_sweep(dist, &[10], 5_000, 10);
+        let aliased = fanout_latency(dist, 10, 5_000, 0);
+        assert_ne!(
+            sweep10[0].p50.to_bits(),
+            aliased.p50.to_bits(),
+            "XOR seed derivation aliased this sweep point to raw seed 0"
+        );
+        // And the sweep points themselves reproduce the documented
+        // substream construction.
+        let sweep = fanout_sweep(dist, &[1, 10, 100], 5_000, 7);
+        for (i, &f) in [1u32, 10, 100].iter().enumerate() {
+            let sub_seed = Rng64::stream(7, i as u64).next_u64();
+            let solo = fanout_latency(dist, f, 5_000, sub_seed);
+            assert_eq!(sweep[i].p50.to_bits(), solo.p50.to_bits());
+            assert_eq!(sweep[i].p99.to_bits(), solo.p99.to_bits());
         }
     }
 }

@@ -71,6 +71,9 @@ pub fn hedge_experiment_on(
     exec: &dyn Parallelism,
 ) -> HedgeOutcome {
     assert!((0.0..1.0).contains(&deadline_quantile));
+    // Same contract as `fanout_latency_on`: zero trials would divide
+    // `extra_load` by zero and let a NaN flow silently into reports.
+    assert!(trials > 0, "hedge experiment needs at least one trial");
     let mut root = Rng64::new(seed);
     let calib_seed = root.next_u64();
     let trial_seed = root.next_u64();
@@ -232,6 +235,15 @@ mod tests {
         let s = Summary::from_slice(&xs);
         assert_eq!(s.median().to_bits(), out.p50.to_bits());
         assert_eq!(s.percentile(99.9).to_bits(), out.p999.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_is_a_contract_violation_not_a_nan() {
+        // Regression: `extra_load = hedged / trials` used to evaluate
+        // 0 / 0 = NaN and flow silently into reports; now it's a loud
+        // contract violation like the fan-out model's.
+        hedge_experiment(LatencyDist::typical_leaf(), 0.95, 0, 1);
     }
 
     #[test]

@@ -25,8 +25,14 @@
 //! * [`power`] — datacenter power: server idle/peak, energy
 //!   proportionality, PUE, and the memory/storage share of the budget.
 //! * [`qos`] — latency-critical + batch colocation with an interference
-//!   model and an SLO-driven admission knob (§2.4's QoS interfaces).
+//!   model and an SLO-driven admission knob (§2.4's QoS interfaces), plus
+//!   the per-request [`qos::Budget`] (deadline + per-attempt timeout).
+//! * [`cluster`] — fault-injected cluster serving on the DES (experiment
+//!   E21): per-request deadlines, retries with jittered exponential
+//!   backoff, replica failover, hedging, and failsafe-driven graceful
+//!   degradation, driven by `xxi_core::des::fault` fault plans.
 
+pub mod cluster;
 pub mod fanout;
 pub mod hedge;
 pub mod latency;
@@ -36,6 +42,7 @@ pub mod qos;
 pub mod queueing;
 pub mod replication;
 
+pub use cluster::{cluster_sweep_on, ClusterOutcome, ClusterSim, RetryPolicy};
 pub use fanout::{analytic_straggler_prob, fanout_latency};
 pub use hedge::{hedged_request, HedgeOutcome};
 pub use latency::LatencyDist;

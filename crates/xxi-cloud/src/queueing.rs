@@ -83,13 +83,22 @@ fn arrival(sim: &mut Sim<QState>) {
 impl MG1Queue {
     /// Run `requests` arrivals and collect sojourn-time statistics (the
     /// first 10% are discarded as warmup).
+    ///
+    /// The empirical-ρ calibration draws from its own sub-seed, disjoint
+    /// from the stream that drives the DES. (The original implementation
+    /// estimated the mean service time from 100k draws of the *same*
+    /// `Rng64` that then generated arrivals and services, so the measured
+    /// sojourns silently depended on the calibration draw count.)
     pub fn run(&self, requests: usize, seed: u64) -> QueueResult {
         assert!(requests > 10);
-        let mut rng = Rng64::new(seed);
+        let mut root = Rng64::new(seed);
+        let calib_seed = root.next_u64();
+        let des_seed = root.next_u64();
         // Empirical mean service time for ρ.
-        let mean_s = self.service.sample_summary(100_000, &mut rng).mean();
+        let mut calib = Rng64::new(calib_seed);
+        let mean_s = self.service.sample_summary(100_000, &mut calib).mean();
         let state = QState {
-            rng,
+            rng: Rng64::new(des_seed),
             service: self.service,
             lambda_per_ms: self.lambda_per_ms,
             server_free_at: SimTime::ZERO,
@@ -183,7 +192,9 @@ mod tests {
             service: leaf,
         }
         .run(200_000, 2);
-        assert!((mg.rho - 0.7).abs() < 0.02);
+        // Two independent 100k-draw mean estimates of a distribution with
+        // a Pareto tail disagree by a few percent; loose bound on ρ only.
+        assert!((mg.rho - 0.7).abs() < 0.07, "rho={}", mg.rho);
         // Normalize tails by their own mean service time.
         let mm_tail = mm.p99 / 1.0;
         let mg_tail = mg.p99 / mean_s;
@@ -201,6 +212,35 @@ mod tests {
             assert_eq!(r.p99.to_bits(), solo.p99.to_bits());
             assert_eq!(r.completed, solo.completed);
         }
+    }
+
+    #[test]
+    fn measured_sojourns_never_touch_the_calibration_stream() {
+        // Regression: the mean-service calibration used to consume 100k
+        // draws of the same Rng64 stream that then drove the DES, so the
+        // measured sojourns depended on the calibration draw count. With
+        // disjoint sub-seeds the whole simulation is reproducible from
+        // the DES sub-seed without a single calibration draw.
+        let q = mm1(0.6);
+        let result = q.run(50_000, 13);
+        let mut root = Rng64::new(13);
+        let _calib_seed = root.next_u64();
+        let des_seed = root.next_u64();
+        let state = QState {
+            rng: Rng64::new(des_seed),
+            service: q.service,
+            lambda_per_ms: q.lambda_per_ms,
+            server_free_at: SimTime::ZERO,
+            sojourns_ms: Vec::new(),
+            max_requests: 50_000,
+            arrived: 0,
+        };
+        let mut sim = Sim::new(state);
+        sim.schedule_at(SimTime::ZERO, arrival);
+        sim.run();
+        let s = Summary::from_slice(&sim.state.sojourns_ms[50_000 / 10..]);
+        assert_eq!(s.mean().to_bits(), result.mean_ms.to_bits());
+        assert_eq!(s.percentile(99.0).to_bits(), result.p99.to_bits());
     }
 
     #[test]

@@ -5,6 +5,10 @@
 //! interleaving of harvest/compute/transmit (§2.1), NoC congestion from
 //! packet interactions (§2.3). Those experiments run on this engine.
 //!
+//! The [`fault`] submodule is the deterministic fault-injection seam:
+//! seeded [`fault::FaultPlan`]s kill, pause, or slow named components at
+//! scheduled sim-times, with exact injected-event accounting.
+//!
 //! ## Model
 //!
 //! A [`Sim<S>`] owns user state `S` and a priority queue of events. An event
@@ -28,6 +32,8 @@
 //! sim.run_until(SimTime::from_us(1));
 //! assert_eq!(sim.state.ticks, 1000);
 //! ```
+
+pub mod fault;
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;

@@ -17,7 +17,9 @@
 //! * [`time`] — picosecond-resolution simulated time for discrete-event
 //!   simulation.
 //! * [`des`] — a deterministic discrete-event simulation engine used by the
-//!   memory, interconnect, sensor-node, and warehouse-scale models.
+//!   memory, interconnect, sensor-node, and warehouse-scale models, with a
+//!   seeded fault-injection seam ([`des::fault`]) that kills, pauses, or
+//!   slows named components at scheduled sim-times.
 //! * [`stats`] — streaming statistics: Welford moments, exact and P²
 //!   (streaming) quantiles, histograms. Tail-latency experiments depend on
 //!   faithful percentile math.
@@ -59,6 +61,7 @@ pub mod table;
 pub mod time;
 pub mod units;
 
+pub use des::fault::{Fault, FaultInjector, FaultMix, FaultPlan};
 pub use des::Sim;
 pub use error::{Result, XxiError};
 pub use obs::{EnergyLedger, Layer, LogHistogram, SpanId, Trace};

@@ -7,10 +7,12 @@
 //! for `Serial` and for pools of any size — the thread count changes the
 //! wall clock and nothing else.
 
+use xxi::cloud::cluster::{cluster_sweep_on, ClusterSim};
 use xxi::cloud::fanout::{fanout_latency_on, fanout_sweep_on};
 use xxi::cloud::hedge::{hedge_experiment_on, tied_experiment_on};
 use xxi::cloud::latency::LatencyDist;
 use xxi::cloud::queueing::{mg1_sweep_on, MG1Queue};
+use xxi::core::des::fault::FaultMix;
 use xxi::core::par::Serial;
 use xxi::stack::Pool;
 
@@ -78,6 +80,37 @@ fn mg1_sweep_pool_matches_serial_bit_for_bit() {
         assert_eq!(s.mean_ms.to_bits(), p.mean_ms.to_bits());
         assert_eq!(s.p99.to_bits(), p.p99.to_bits());
         assert_eq!(s.completed, p.completed);
+    }
+}
+
+#[test]
+fn cluster_sweep_pool_matches_serial_bit_for_bit() {
+    // The fault-injected serving sweep: each rate's DES run (including
+    // its seeded fault plan) is a pure function of the sweep seed, so
+    // pool scheduling can reorder the points but not change a bit.
+    let base = ClusterSim {
+        requests: 500,
+        ..ClusterSim::default()
+    };
+    let rates = [0.0, 0.02, 0.1];
+    let serial = cluster_sweep_on(&base, &rates, FaultMix::gray(), &Serial);
+    for threads in [2, 8] {
+        let pool = Pool::new(threads);
+        let par = cluster_sweep_on(&base, &rates, FaultMix::gray(), &pool);
+        for (s, p) in serial.iter().zip(&par) {
+            assert_eq!(s.p50.to_bits(), p.p50.to_bits());
+            assert_eq!(s.p999.to_bits(), p.p999.to_bits());
+            assert_eq!(s.goodput_rps.to_bits(), p.goodput_rps.to_bits());
+            assert_eq!((s.full, s.partial, s.failed), (p.full, p.partial, p.failed));
+            assert_eq!(
+                s.metrics.counter("cluster.attempts"),
+                p.metrics.counter("cluster.attempts")
+            );
+            assert_eq!(
+                s.metrics.counter("fault.fired"),
+                p.metrics.counter("fault.fired")
+            );
+        }
     }
 }
 

@@ -685,3 +685,61 @@ fn metrics_merge_gauges_take_the_latest_writer() {
         assert_eq!(ba.gauge_value("g"), va);
     });
 }
+
+/// The fault-injection seam's accounting invariant: every planned fault is
+/// eventually either fired or cancelled — never both, never lost — no
+/// matter how the model slices its `advance` calls.
+#[test]
+fn fault_injector_accounting_conserved_under_any_advance_schedule() {
+    use xxi::core::des::fault::{FaultInjector, FaultMix, FaultPlan};
+    use xxi::core::time::SimTime;
+    cases(26, |rng| {
+        let comps = rng.range_u64(1, 40) as u32;
+        let rate = rng.next_f64();
+        let horizon = SimTime::from_ms(rng.range_u64(1, 2_000));
+        let mix = if rng.chance(0.5) {
+            FaultMix::kills_only()
+        } else {
+            FaultMix::gray()
+        };
+        let plan = FaultPlan::seeded(rng.next_u64(), horizon, comps, rate, mix);
+        let mut inj = FaultInjector::new(&plan, comps);
+        let mut now = SimTime::ZERO;
+        for _ in 0..rng.range_u64(1, 50) {
+            // Random increments, including zero-width re-advances.
+            now = now.saturating_add(SimTime::from_ps(rng.below(horizon.ps() / 8 + 1)));
+            inj.advance(now);
+            assert!(inj.fired() + inj.cancelled() <= inj.scheduled());
+        }
+        inj.advance(SimTime::MAX);
+        assert_eq!(inj.scheduled(), plan.len() as u64);
+        assert_eq!(
+            inj.scheduled(),
+            inj.fired() + inj.cancelled(),
+            "rate={rate} comps={comps}"
+        );
+    });
+}
+
+/// Seeded fault plans are pure functions of their arguments: replaying
+/// the same (seed, horizon, components, rate, mix) reproduces the exact
+/// fault schedule, event by event.
+#[test]
+fn seeded_fault_plans_replay_identically() {
+    use xxi::core::des::fault::{FaultMix, FaultPlan};
+    use xxi::core::time::SimTime;
+    cases(27, |rng| {
+        let seed = rng.next_u64();
+        let comps = rng.range_u64(1, 60) as u32;
+        let rate = rng.next_f64();
+        let horizon = SimTime::from_ms(rng.range_u64(1, 500));
+        let a = FaultPlan::seeded(seed, horizon, comps, rate, FaultMix::gray());
+        let b = FaultPlan::seeded(seed, horizon, comps, rate, FaultMix::gray());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.events().iter().zip(b.events()) {
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.comp, y.comp);
+            assert_eq!(x.fault, y.fault);
+        }
+    });
+}
