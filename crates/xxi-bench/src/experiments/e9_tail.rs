@@ -8,12 +8,17 @@ use xxi_cloud::fanout::{analytic_straggler_prob, fanout_sweep_on};
 use xxi_cloud::hedge::hedge_experiment_on;
 use xxi_cloud::latency::LatencyDist;
 use xxi_cloud::queueing::{mg1_sweep_on, MG1Queue};
+use xxi_core::des::fault::{Fault, FaultPlan};
 use xxi_core::table::fnum;
-use xxi_core::{Report, Table};
+use xxi_core::{Report, SimTime, Table};
 
 use super::{Experiment, RunCtx};
 
 pub struct E9Tail;
+
+fn ms_to_sim(ms: f64) -> SimTime {
+    SimTime::from_ps((ms * 1e9).round().max(0.0) as u64)
+}
 
 impl Experiment for E9Tail {
     fn id(&self) -> &'static str {
@@ -32,10 +37,11 @@ impl Experiment for E9Tail {
         true
     }
 
-    // 120k fan-out + 100k calibration + 600k M/G/1 + 300k baseline +
-    // 900k hedged trials — the counters recorded in `fill` sum to this.
+    // 120k fan-out + 100k calibration + 600k M/G/1 + 450k faulted M/G/1 +
+    // 300k baseline + 900k hedged trials — the counters recorded in
+    // `fill` sum to this.
     fn work_units(&self) -> Option<(&'static str, f64)> {
-        Some(("mc_trials", 2_020_000.0))
+        Some(("mc_trials", 2_470_000.0))
     }
 
     fn fill(&self, ctx: &RunCtx, r: &mut Report) {
@@ -100,6 +106,66 @@ impl Experiment for E9Tail {
             t.row(&[fnum(*rho), fnum(q.mean_ms), fnum(q.p99)]);
         }
         r.table(t);
+
+        r.section(
+            "Fault-injected M/G/1 (rho 0.85): a reboot wipes the queue, a crash refuses work",
+        );
+        // The same rho = 0.85 queue run through `run_faulted` (component 0 =
+        // the server). A mid-run pause (a 30 s reboot) loses every resident
+        // job and defers the backlog; a crash at 80% of the run refuses all
+        // later arrivals. The empty plan is bit-identical to the fault-free
+        // run above.
+        let q = &queues[3];
+        let end_ms = 150_000.0 / q.lambda_per_ms;
+        let mut reboot = FaultPlan::new();
+        reboot.at(
+            ms_to_sim(end_ms * 0.5),
+            0,
+            Fault::Pause {
+                for_time: ms_to_sim(30_000.0),
+            },
+        );
+        let mut crash = FaultPlan::new();
+        crash.at(ms_to_sim(end_ms * 0.8), 0, Fault::Kill);
+        let empty = FaultPlan::new();
+        let scenarios = [
+            ("fault-free", &empty),
+            ("reboot at 50% (30 s)", &reboot),
+            ("crash at 80%", &crash),
+        ];
+        let mut t = Table::new(&[
+            "scenario",
+            "completed",
+            "lost",
+            "refused",
+            "p50 (ms)",
+            "p99 (ms)",
+        ]);
+        let mut accounting = Vec::new();
+        for (name, plan) in scenarios {
+            let f = q.run_faulted(150_000, ctx.seed_or(11), plan);
+            ctx.count("mc.mg1_faulted_trials", 150_000);
+            t.row(&[
+                name.to_string(),
+                f.result.completed.to_string(),
+                f.lost.to_string(),
+                f.refused.to_string(),
+                fnum(f.result.p50),
+                fnum(f.result.p99),
+            ]);
+            accounting.push(format!(
+                "{name}: scheduled {} == fired {} + cancelled {}",
+                f.metrics.counter("fault.scheduled"),
+                f.metrics.counter("fault.fired"),
+                f.metrics.counter("fault.cancelled"),
+            ));
+            if name.starts_with("reboot") {
+                r.finding("mg1_reboot_lost_jobs", f.lost as f64, "jobs");
+                r.finding("mg1_reboot_p99_ms", f.result.p99, "ms");
+            }
+        }
+        r.table(t);
+        r.text(format!("fault accounting: {}", accounting.join("; ")));
 
         r.section("Mitigation: hedged requests (duplicate after a deadline quantile)");
         let base = leaf.sample_summary_on(300_000, ctx.seed_or(9), exec);

@@ -287,7 +287,7 @@ mod tests {
             .filter(|e| e.emits_trace())
             .map(|e| e.id())
             .collect();
-        assert_eq!(tracing, ["e10", "e17", "e18"]);
+        assert_eq!(tracing, ["e10", "e17", "e18", "e21"]);
         let par: Vec<&str> = registry()
             .iter()
             .filter(|e| e.parallel())

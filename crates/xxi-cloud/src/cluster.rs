@@ -1,5 +1,5 @@
-//! Fault-injected cluster serving: timeouts, retries, and failover on the
-//! DES engine.
+//! Fault-injected cluster serving: pluggable routing and hedging policies
+//! on the DES engine.
 //!
 //! §2.1's tail-latency agenda and §2.4's dependability agenda meet here:
 //! *"architectural innovations can guarantee strict worst-case latency
@@ -7,22 +7,37 @@
 //! replicas, not just statistical stragglers. This module runs a root →
 //! leaf fan-out service on [`xxi_core::des`] while a seeded
 //! [`FaultPlan`](xxi_core::des::fault::FaultPlan) kills, pauses, and slows
-//! replicas underneath it, and measures what the serving policy buys:
+//! replicas underneath it, and measures what the serving policy buys.
 //!
-//! * every shard query carries a per-attempt timeout sliced from the
-//!   request's QoS [`Budget`](crate::qos::Budget);
-//! * lost attempts retry with **jittered exponential backoff**, failing
-//!   over to the shard's next replica;
-//! * an optional **hedge** duplicates the first attempt after a fixed
-//!   delay (the Tail-at-Scale mitigation, now fault-aware);
-//! * a root-side [`FailsafeMachine`](xxi_rel::failsafe::FailsafeMachine)
-//!   watches the error stream and **degrades gracefully**: in `Degraded`
-//!   mode the root accepts thinner partial results instead of failing
-//!   requests, and in `Safe` mode it sheds hedging load entirely.
+//! The two decisions a root makes per attempt are *policy seams*, not
+//! constants:
 //!
-//! [`ClusterSim::run`] produces a [`ClusterOutcome`] with goodput, the
+//! * **Routing** ([`RoutingPolicy`]): which replica gets the next attempt.
+//!   [`RoundRobin`] walks the shard's replicas from a random first pick;
+//!   [`LeastOutstanding`] picks the candidate with the fewest in-flight
+//!   requests (live per-replica counters), steering around slow and
+//!   backed-up replicas. Either way the walk is a *permutation*: no
+//!   replica is revisited until every one has been tried.
+//! * **Hedging** ([`HedgePolicy`]): when to duplicate the first attempt.
+//!   [`FixedHedge`] waits a constant delay (the classic Tail-at-Scale
+//!   mitigation); [`AdaptiveHedge`] waits for the shard's *online* latency
+//!   quantile, read from a per-shard [`TailDigest`] fed by every observed
+//!   attempt — hedges fire early when the shard is fast and back off on
+//!   their own when it degrades.
+//!
+//! Around the seams, the serving discipline is fixed: every shard query
+//! carries a per-attempt timeout sliced from the request's QoS
+//! [`Budget`](crate::qos::Budget); lost attempts retry with jittered
+//! exponential backoff and fail over along the permutation; and a
+//! root-side [`FailsafeMachine`](xxi_rel::failsafe::FailsafeMachine)
+//! degrades gracefully — in `Degraded` mode the root accepts thinner
+//! partial results, in `Safe` mode it sheds hedging load entirely.
+//!
+//! [`ClusterConfig::run`] produces a [`ClusterOutcome`] with goodput, the
 //! latency tail (p50/p99/p99.9), retry amplification, and the
-//! partial-result fraction; [`cluster_sweep_on`] sweeps the fault rate on
+//! partial-result fraction; [`ClusterConfig::run_traced`] additionally
+//! records per-attempt spans and retry/hedge/failover instants into a
+//! Chrome-format [`Trace`]; [`cluster_sweep_on`] sweeps the fault rate on
 //! the deterministic executor seam — byte-identical output at every
 //! `--threads` count (experiment E21).
 
@@ -35,13 +50,250 @@ use crate::qos::Budget;
 use xxi_core::des::fault::{FaultInjector, FaultMix, FaultPlan};
 use xxi_core::des::Sim;
 use xxi_core::metrics::Metrics;
+use xxi_core::obs::{SpanId, TailDigest, Trace};
 use xxi_core::par::Parallelism;
 use xxi_core::rng::Rng64;
 use xxi_core::stats::Summary;
 use xxi_core::time::SimTime;
 use xxi_rel::failsafe::{FailsafeMachine, Mode};
 
-/// Retry/hedge policy for one shard query.
+/// Replica-selection seam: given the failover candidates for one shard
+/// attempt, pick the replica to try next.
+pub trait RoutingPolicy {
+    /// Choose from `candidates` (local replica indices in failover
+    /// preference order, never empty, none tried since the permutation
+    /// restarted). `outstanding[r]` is the live in-flight count of the
+    /// shard's local replica `r`. Must return a member of `candidates`
+    /// and must be deterministic — no RNG, no ambient state.
+    fn pick(&self, candidates: &[u32], outstanding: &[u32]) -> u32;
+
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Random-start round-robin: take the candidates in failover order. The
+/// random first pick (drawn per shard query at arrival) spreads load;
+/// the rotation spreads retries.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundRobin;
+
+impl RoutingPolicy for RoundRobin {
+    fn pick(&self, candidates: &[u32], _outstanding: &[u32]) -> u32 {
+        candidates[0]
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Least-outstanding-requests routing: pick the candidate with the
+/// fewest in-flight requests, breaking ties in failover order. Slow or
+/// paused replicas accumulate outstanding attempts and shed new load
+/// automatically.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LeastOutstanding;
+
+impl RoutingPolicy for LeastOutstanding {
+    fn pick(&self, candidates: &[u32], outstanding: &[u32]) -> u32 {
+        let mut best = candidates[0];
+        for &c in &candidates[1..] {
+            if outstanding[c as usize] < outstanding[best as usize] {
+                best = c;
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> &'static str {
+        "least-outstanding"
+    }
+}
+
+/// The routing policies a [`ClusterConfig`] can carry by value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Routing {
+    /// [`RoundRobin`].
+    RoundRobin,
+    /// [`LeastOutstanding`].
+    LeastOutstanding,
+}
+
+impl Routing {
+    /// Short human name for reports (same as [`RoutingPolicy::name`]).
+    pub fn describe(&self) -> &'static str {
+        self.name()
+    }
+}
+
+impl RoutingPolicy for Routing {
+    fn pick(&self, candidates: &[u32], outstanding: &[u32]) -> u32 {
+        match self {
+            Routing::RoundRobin => RoundRobin.pick(candidates, outstanding),
+            Routing::LeastOutstanding => LeastOutstanding.pick(candidates, outstanding),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            Routing::RoundRobin => RoundRobin.name(),
+            Routing::LeastOutstanding => LeastOutstanding.name(),
+        }
+    }
+}
+
+/// Hedging seam: how long after the first attempt of a shard query to
+/// launch a duplicate to another replica.
+pub trait HedgePolicy {
+    /// Delay (ms) before hedging, or `None` to never hedge. `digest` is
+    /// the shard's online attempt-latency digest; fixed policies ignore
+    /// it. Consulted once per shard query, at first dispatch.
+    fn delay_ms(&self, digest: &TailDigest) -> Option<f64>;
+
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Never hedge.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoHedge;
+
+impl HedgePolicy for NoHedge {
+    fn delay_ms(&self, _digest: &TailDigest) -> Option<f64> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "no-hedge"
+    }
+}
+
+/// Hedge after a fixed delay (ms) — the constant every deployment guide
+/// suggests and no deployment retunes.
+#[derive(Clone, Copy, Debug)]
+pub struct FixedHedge(pub f64);
+
+impl HedgePolicy for FixedHedge {
+    fn delay_ms(&self, _digest: &TailDigest) -> Option<f64> {
+        Some(self.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed-hedge"
+    }
+}
+
+/// Hedge at the shard's *online* latency quantile: the delay is
+/// `digest.quantile(quantile)` once `warmup` attempts have been
+/// observed, `fallback_ms` before that. A fast shard hedges early; a
+/// degraded shard stops wasting duplicates on a tail that moved.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveHedge {
+    /// Quantile of observed attempt latency to hedge at (e.g. 0.95).
+    pub quantile: f64,
+    /// Delay used until the digest has seen `warmup` attempts (ms).
+    pub fallback_ms: f64,
+    /// Observations required before the quantile is trusted.
+    pub warmup: u64,
+}
+
+impl HedgePolicy for AdaptiveHedge {
+    fn delay_ms(&self, digest: &TailDigest) -> Option<f64> {
+        if digest.count() < self.warmup {
+            Some(self.fallback_ms)
+        } else {
+            Some(digest.quantile(self.quantile))
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "adaptive-hedge"
+    }
+}
+
+/// The hedging policies a [`ClusterConfig`] can carry by value.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub enum Hedging {
+    /// [`NoHedge`].
+    None,
+    /// [`FixedHedge`] at `after_ms`.
+    Fixed {
+        /// Hedge delay (ms).
+        after_ms: f64,
+    },
+    /// [`AdaptiveHedge`] (see its field docs).
+    Adaptive {
+        /// Quantile of observed attempt latency to hedge at.
+        quantile: f64,
+        /// Delay until `warmup` attempts have been observed (ms).
+        fallback_ms: f64,
+        /// Observations required before the quantile is trusted.
+        warmup: u64,
+    },
+}
+
+impl Hedging {
+    /// Fixed hedge at `after_ms` ms.
+    pub fn fixed(after_ms: f64) -> Hedging {
+        Hedging::Fixed { after_ms }
+    }
+
+    /// Adaptive hedge at `quantile` with the default 10 ms fallback and
+    /// a 64-observation warmup.
+    pub fn adaptive(quantile: f64) -> Hedging {
+        assert!((0.0..1.0).contains(&quantile));
+        Hedging::Adaptive {
+            quantile,
+            fallback_ms: 10.0,
+            warmup: 64,
+        }
+    }
+
+    /// Human description with parameters, for reports.
+    pub fn describe(&self) -> String {
+        match *self {
+            Hedging::None => "no hedge".to_string(),
+            Hedging::Fixed { after_ms } => format!("hedge at {after_ms} ms"),
+            Hedging::Adaptive { quantile, .. } => {
+                format!("hedge at online p{:.0}", quantile * 100.0)
+            }
+        }
+    }
+}
+
+impl HedgePolicy for Hedging {
+    fn delay_ms(&self, digest: &TailDigest) -> Option<f64> {
+        match *self {
+            Hedging::None => NoHedge.delay_ms(digest),
+            Hedging::Fixed { after_ms } => FixedHedge(after_ms).delay_ms(digest),
+            Hedging::Adaptive {
+                quantile,
+                fallback_ms,
+                warmup,
+            } => AdaptiveHedge {
+                quantile,
+                fallback_ms,
+                warmup,
+            }
+            .delay_ms(digest),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match *self {
+            Hedging::None => NoHedge.name(),
+            Hedging::Fixed { .. } => FixedHedge(0.0).name(),
+            Hedging::Adaptive { .. } => AdaptiveHedge {
+                quantile: 0.0,
+                fallback_ms: 0.0,
+                warmup: 0,
+            }
+            .name(),
+        }
+    }
+}
+
+/// Retry policy for one shard query (hedging lives in [`Hedging`]).
 #[derive(Clone, Copy, Debug, Serialize)]
 pub struct RetryPolicy {
     /// Total attempts allowed per shard (1 = no retries).
@@ -53,33 +305,28 @@ pub struct RetryPolicy {
     /// Jitter fraction: the backoff is scaled by `1 + jitter·U[0,1)` so
     /// synchronized failures don't retry in lockstep.
     pub jitter: f64,
-    /// If set, duplicate the *first* attempt after this many ms with a
-    /// hedge to the next replica (suppressed in `Safe` mode).
-    pub hedge_after_ms: Option<f64>,
 }
 
 impl RetryPolicy {
     /// The robust default: 3 attempts, 1 ms base backoff doubling with
-    /// 50% jitter, hedge at 10 ms.
+    /// 50% jitter.
     pub fn standard() -> RetryPolicy {
         RetryPolicy {
             max_attempts: 3,
             backoff_base_ms: 1.0,
             backoff_mult: 2.0,
             jitter: 0.5,
-            hedge_after_ms: Some(10.0),
         }
     }
 
-    /// Naive serving: one attempt, no hedge — what a stack that only
-    /// models healthy leaves implicitly ships.
+    /// Naive serving: one attempt — what a stack that only models
+    /// healthy leaves implicitly ships.
     pub fn none() -> RetryPolicy {
         RetryPolicy {
             max_attempts: 1,
             backoff_base_ms: 0.0,
             backoff_mult: 1.0,
             jitter: 0.0,
-            hedge_after_ms: None,
         }
     }
 
@@ -92,7 +339,7 @@ impl RetryPolicy {
 
 /// Configuration of one fault-injected serving run.
 #[derive(Clone, Copy, Debug, Serialize)]
-pub struct ClusterSim {
+pub struct ClusterConfig {
     /// Shards per request (every shard must answer for a full result).
     pub shards: u32,
     /// Replicas per shard (failover targets).
@@ -108,8 +355,12 @@ pub struct ClusterSim {
     pub rpc_ms: f64,
     /// The request's QoS budget: deadline + per-attempt timeout.
     pub budget: Budget,
-    /// Retry/hedge policy.
+    /// Retry policy (attempts, backoff).
     pub retry: RetryPolicy,
+    /// Replica-selection policy.
+    pub routing: Routing,
+    /// Hedging policy for first attempts.
+    pub hedging: Hedging,
     /// Fraction of shards that must answer for a result to count
     /// (full results always need all of them; this is the partial bar).
     pub min_coverage: f64,
@@ -117,9 +368,9 @@ pub struct ClusterSim {
     pub seed: u64,
 }
 
-impl Default for ClusterSim {
-    fn default() -> ClusterSim {
-        ClusterSim {
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
             shards: 20,
             replicas: 3,
             dist: LatencyDist::typical_leaf(),
@@ -128,6 +379,8 @@ impl Default for ClusterSim {
             rpc_ms: 0.2,
             budget: Budget::new(60.0, 18.0),
             retry: RetryPolicy::standard(),
+            routing: Routing::RoundRobin,
+            hedging: Hedging::fixed(10.0),
             min_coverage: 0.95,
             seed: 23,
         }
@@ -167,6 +420,13 @@ pub struct ClusterOutcome {
     pub metrics: Metrics,
 }
 
+/// Why an attempt's books were closed — the `outcome` argument on its
+/// trace span.
+const OUT_RESPONSE: f64 = 0.0;
+const OUT_REFUSED: f64 = 1.0;
+const OUT_TIMEOUT: f64 = 2.0;
+const OUT_CANCELLED: f64 = 3.0;
+
 struct ShardSlot {
     answered: bool,
     given_up: bool,
@@ -175,8 +435,19 @@ struct ShardSlot {
     /// Per-attempt resolution flag: an answer arrived, the connection was
     /// refused, or the timeout fired. Guards double-handling.
     resolved: Vec<bool>,
-    /// First replica tried; attempt `k` fails over to
-    /// `(first_pick + k) % replicas`.
+    /// Per-attempt in-flight accounting flag: set exactly when the
+    /// attempt's connection closes and the replica's outstanding counter
+    /// is decremented.
+    settled: Vec<bool>,
+    /// When each attempt was dispatched (feeds the shard latency digest).
+    sent_at: Vec<SimTime>,
+    /// Local replica index each attempt was routed to.
+    replica: Vec<u32>,
+    /// Open trace span per attempt (`SpanId::DISABLED` when untraced).
+    span: Vec<SpanId>,
+    /// Replicas tried since the failover permutation last restarted.
+    tried: Vec<bool>,
+    /// Start of the failover rotation (drawn per shard query).
     first_pick: u32,
 }
 
@@ -184,15 +455,22 @@ struct Req {
     start: SimTime,
     answered: u32,
     done: bool,
+    span: SpanId,
     slots: Vec<ShardSlot>,
 }
 
 struct CState {
-    cfg: ClusterSim,
+    cfg: ClusterConfig,
     rng: Rng64,
     faults: FaultInjector,
     machine: FailsafeMachine,
     reqs: Vec<Req>,
+    /// Live in-flight attempts per replica (global component id) — the
+    /// signal [`LeastOutstanding`] routes on.
+    inflight: Vec<u32>,
+    /// Per-shard online attempt-latency digest — the signal
+    /// [`AdaptiveHedge`] hedges on.
+    digests: Vec<TailDigest>,
     latencies_ms: Vec<f64>,
     full: u32,
     partial: u32,
@@ -210,7 +488,17 @@ fn ms_to_sim(ms: f64) -> SimTime {
     SimTime::from_ps((ms * 1e9).round().max(0.0) as u64)
 }
 
-impl ClusterSim {
+/// The failover walk: local replica indices in rotation order from
+/// `first_pick`, restricted to replicas not yet tried — a permutation
+/// that never revisits a replica until every one has been offered.
+fn failover_candidates(replicas: u32, first_pick: u32, tried: &[bool]) -> Vec<u32> {
+    (0..replicas)
+        .map(|k| (first_pick + k) % replicas)
+        .filter(|&r| !tried[r as usize])
+        .collect()
+}
+
+impl ClusterConfig {
     /// Simulated span of the whole run (ms): last arrival plus a full
     /// deadline. Fault plans should cover this horizon.
     pub fn horizon_ms(&self) -> f64 {
@@ -228,6 +516,15 @@ impl ClusterSim {
     /// fault-free baseline). Deterministic: a pure function of
     /// `(self, plan)`.
     pub fn run(&self, plan: &FaultPlan) -> ClusterOutcome {
+        self.run_traced(plan, Trace::disabled()).0
+    }
+
+    /// [`ClusterConfig::run`], recording request spans, per-attempt spans
+    /// (with routing and outcome arguments), and retry/hedge/deadline
+    /// instants into `trace`. Track 0 carries request-level events; track
+    /// `1 + shard` carries that shard's attempts. Tracing never perturbs
+    /// the simulation: results are bit-identical with [`Trace::disabled`].
+    pub fn run_traced(&self, plan: &FaultPlan, trace: Trace) -> (ClusterOutcome, Trace) {
         assert!(self.shards >= 1 && self.replicas >= 1 && self.requests >= 1);
         assert!((0.0..=1.0).contains(&self.min_coverage));
         let state = CState {
@@ -238,6 +535,8 @@ impl ClusterSim {
             // 50 clean requests recover Degraded -> Normal.
             machine: FailsafeMachine::new(10, 40, 50),
             reqs: Vec::with_capacity(self.requests as usize),
+            inflight: vec![0; self.components() as usize],
+            digests: vec![TailDigest::new(); self.shards as usize],
             latencies_ms: Vec::with_capacity(self.requests as usize),
             full: 0,
             partial: 0,
@@ -250,7 +549,7 @@ impl ClusterSim {
             refused: 0,
             lost: 0,
         };
-        let mut sim = Sim::new(state);
+        let mut sim = Sim::with_trace(state, trace);
         for r in 0..self.requests {
             let at = ms_to_sim(r as f64 * self.interarrival_ms);
             sim.schedule_at(at, arrive);
@@ -258,6 +557,10 @@ impl ClusterSim {
         sim.run();
 
         let s = sim.state;
+        assert!(
+            s.inflight.iter().all(|&n| n == 0),
+            "in-flight accounting leaked: every attempt must settle"
+        );
         let answered = s.full + s.partial;
         let summary = Summary::from_slice(&s.latencies_ms);
         let horizon_s = self.horizon_ms() * 1e-3;
@@ -284,7 +587,7 @@ impl ClusterSim {
         );
         s.faults.record(&mut metrics);
 
-        ClusterOutcome {
+        let outcome = ClusterOutcome {
             requests: self.requests,
             full: s.full,
             partial: s.partial,
@@ -301,19 +604,26 @@ impl ClusterSim {
                 s.partial as f64 / answered as f64
             },
             metrics,
-        }
+        };
+        (outcome, sim.trace)
     }
 }
 
 fn arrive(sim: &mut Sim<CState>) {
     let now = sim.now();
     let cfg = sim.state.cfg;
+    let span = sim.trace_begin("request", "cluster", 0);
     let slots = (0..cfg.shards)
         .map(|_| ShardSlot {
             answered: false,
             given_up: false,
             attempts: 0,
             resolved: Vec::new(),
+            settled: Vec::new(),
+            sent_at: Vec::new(),
+            replica: Vec::new(),
+            span: Vec::new(),
+            tried: vec![false; cfg.replicas as usize],
             first_pick: sim.state.rng.below(cfg.replicas as u64) as u32,
         })
         .collect();
@@ -321,6 +631,7 @@ fn arrive(sim: &mut Sim<CState>) {
         start: now,
         answered: 0,
         done: false,
+        span,
         slots,
     });
     let req = sim.state.reqs.len() - 1;
@@ -351,23 +662,41 @@ fn dispatch(sim: &mut Sim<CState>, req: usize, shard: usize, hedge: bool) {
         sim.state.reqs[req].slots[shard].given_up = true;
         return;
     };
-    let (attempt, replica) = {
-        let slot = &mut sim.state.reqs[req].slots[shard];
+    let base = shard * cfg.replicas as usize;
+    let (attempt, local) = {
+        let s = &mut sim.state;
+        let slot = &mut s.reqs[req].slots[shard];
         let attempt = slot.attempts as usize;
         slot.attempts += 1;
         slot.resolved.push(false);
+        slot.settled.push(false);
+        slot.sent_at.push(now);
         debug_assert_eq!(slot.resolved.len(), slot.attempts as usize);
-        let replica =
-            shard as u32 * cfg.replicas + (slot.first_pick + attempt as u32) % cfg.replicas;
-        (attempt, replica)
+        if slot.tried.iter().all(|&t| t) {
+            // Every replica has been offered: start a fresh permutation.
+            slot.tried.fill(false);
+        }
+        let candidates = failover_candidates(cfg.replicas, slot.first_pick, &slot.tried);
+        let local = cfg
+            .routing
+            .pick(&candidates, &s.inflight[base..base + cfg.replicas as usize]);
+        debug_assert!(candidates.contains(&local), "policy picked a candidate");
+        slot.tried[local as usize] = true;
+        slot.replica.push(local);
+        s.inflight[base + local as usize] += 1;
+        (attempt, local)
     };
+    let replica = (base + local as usize) as u32;
     sim.state.attempts += 1;
+    let span = sim.trace_begin("attempt", "cluster", 1 + shard as u64);
+    sim.state.reqs[req].slots[shard].span.push(span);
 
     if !sim.state.faults.is_up(replica, now) {
         // Connection refused: the dead/paused replica is detected after
         // one RTT, far cheaper than waiting out the timeout.
         sim.state.refused += 1;
         sim.schedule_in(ms_to_sim(cfg.rpc_ms), move |sim| {
+            settle(sim, req, shard, attempt, OUT_REFUSED);
             let r = &mut sim.state.reqs[req];
             if r.done || r.slots[shard].answered || r.slots[shard].given_up {
                 return;
@@ -389,13 +718,54 @@ fn dispatch(sim: &mut Sim<CState>, req: usize, shard: usize, hedge: bool) {
         });
     }
 
-    // Hedge the first attempt (only): a duplicate to the next replica
-    // after `hedge_after_ms`, unless the failsafe machine is shedding.
+    // Hedge the first attempt (only): a duplicate to another replica
+    // after the hedging policy's delay, unless the failsafe machine is
+    // shedding. The delay is read from the shard's live digest *now*, so
+    // adaptive policies track the latency the shard currently exhibits.
     if !hedge && attempt == 0 {
-        if let Some(h) = cfg.retry.hedge_after_ms {
+        if let Some(h) = cfg.hedging.delay_ms(&sim.state.digests[shard]) {
             if h < timeout_ms {
                 sim.schedule_in(ms_to_sim(h), move |sim| hedge_fire(sim, req, shard));
             }
+        }
+    }
+}
+
+/// Close the books on one attempt: its connection is gone (answered,
+/// refused, timed out, or torn down with the request), so the replica's
+/// in-flight counter drops and the attempt's trace span closes with an
+/// `outcome` argument (0 response / 1 refused / 2 timeout / 3 cancelled).
+/// Idempotent per attempt.
+fn settle(sim: &mut Sim<CState>, req: usize, shard: usize, attempt: usize, outcome: f64) {
+    let (local, span) = {
+        let s = &mut sim.state;
+        let slot = &mut s.reqs[req].slots[shard];
+        if slot.settled[attempt] {
+            return;
+        }
+        slot.settled[attempt] = true;
+        (slot.replica[attempt], slot.span[attempt])
+    };
+    let comp = shard * sim.state.cfg.replicas as usize + local as usize;
+    sim.state.inflight[comp] -= 1;
+    sim.trace_end_args(
+        span,
+        &[
+            ("req", req as f64),
+            ("attempt", attempt as f64),
+            ("replica", f64::from(local)),
+            ("outcome", outcome),
+        ],
+    );
+}
+
+/// Tear down every still-open attempt of a finished request (the client
+/// hangs up its connections when it has an answer or hits the deadline).
+fn settle_request(sim: &mut Sim<CState>, req: usize) {
+    for shard in 0..sim.state.cfg.shards as usize {
+        let attempts = sim.state.reqs[req].slots[shard].attempts as usize;
+        for attempt in 0..attempts {
+            settle(sim, req, shard, attempt, OUT_CANCELLED);
         }
     }
 }
@@ -405,12 +775,19 @@ fn respond(sim: &mut Sim<CState>, req: usize, shard: usize, attempt: usize, repl
     sim.state.faults.advance(now);
     if !sim.state.faults.is_up(replica, now) {
         // The replica died (or paused) mid-service: the response is lost
-        // and only the attempt timeout will notice.
+        // and only the attempt timeout will notice (the connection stays
+        // open — in-flight until then).
         sim.state.lost += 1;
         return;
     }
+    settle(sim, req, shard, attempt, OUT_RESPONSE);
+    // Every arrived response feeds the shard's online latency digest —
+    // the signal adaptive hedging reads.
+    let sent = sim.state.reqs[req].slots[shard].sent_at[attempt];
+    let observed = now.since(sent).ms();
+    sim.state.digests[shard].add(observed);
     let shards = sim.state.cfg.shards;
-    let latency = {
+    let (latency, span) = {
         let r = &mut sim.state.reqs[req];
         r.slots[shard].resolved[attempt] = true;
         if r.done || r.slots[shard].answered {
@@ -422,14 +799,17 @@ fn respond(sim: &mut Sim<CState>, req: usize, shard: usize, attempt: usize, repl
             return;
         }
         r.done = true;
-        now.since(r.start).ms()
+        (now.since(r.start).ms(), r.span)
     };
+    settle_request(sim, req);
+    sim.trace_end_args(span, &[("latency_ms", latency), ("full", 1.0)]);
     sim.state.latencies_ms.push(latency);
     sim.state.full += 1;
     sim.state.machine.ok();
 }
 
 fn attempt_timeout(sim: &mut Sim<CState>, req: usize, shard: usize, attempt: usize) {
+    settle(sim, req, shard, attempt, OUT_TIMEOUT);
     {
         let r = &sim.state.reqs[req];
         let slot = &r.slots[shard];
@@ -459,6 +839,13 @@ fn maybe_retry(sim: &mut Sim<CState>, req: usize, shard: usize) {
         return;
     }
     sim.state.retries += 1;
+    sim.trace.instant_args(
+        "retry",
+        "cluster",
+        1 + shard as u64,
+        now,
+        &[("req", req as f64), ("backoff_ms", backoff)],
+    );
     sim.schedule_in(ms_to_sim(backoff), move |sim| {
         dispatch(sim, req, shard, false);
     });
@@ -479,20 +866,29 @@ fn hedge_fire(sim: &mut Sim<CState>, req: usize, shard: usize) {
         return;
     }
     sim.state.hedges += 1;
+    let now = sim.now();
+    sim.trace.instant_args(
+        "hedge",
+        "cluster",
+        1 + shard as u64,
+        now,
+        &[("req", req as f64)],
+    );
     dispatch(sim, req, shard, true);
 }
 
 fn deadline(sim: &mut Sim<CState>, req: usize) {
     let cfg = sim.state.cfg;
     let mode = sim.state.machine.mode();
-    let answered = {
+    let (answered, span) = {
         let r = &mut sim.state.reqs[req];
         if r.done {
             return;
         }
         r.done = true;
-        r.answered
+        (r.answered, r.span)
     };
+    settle_request(sim, req);
     let coverage = answered as f64 / cfg.shards as f64;
     // Graceful degradation: under failsafe pressure the root lowers the
     // coverage bar instead of failing requests outright. In Safe mode any
@@ -504,6 +900,15 @@ fn deadline(sim: &mut Sim<CState>, req: usize) {
     };
     // The client waited out the whole deadline either way.
     sim.state.latencies_ms.push(cfg.budget.deadline_ms);
+    sim.trace_end_args(span, &[("coverage", coverage), ("full", 0.0)]);
+    let now = sim.now();
+    sim.trace.instant_args(
+        "deadline",
+        "cluster",
+        0,
+        now,
+        &[("req", req as f64), ("coverage", coverage)],
+    );
     if coverage >= bar && answered > 0 {
         sim.state.partial += 1;
         if coverage < cfg.min_coverage {
@@ -516,13 +921,13 @@ fn deadline(sim: &mut Sim<CState>, req: usize) {
     sim.state.machine.error();
 }
 
-/// One [`ClusterSim::run`] per fault rate on `exec`, with the plan and
+/// One [`ClusterConfig::run`] per fault rate on `exec`, with the plan and
 /// the sim seeded per-rate via [`Rng64::stream`] — results come back in
 /// input order and every number is executor- and thread-count-
 /// independent. Rates are *faults per replica* over the run (see
 /// [`FaultPlan::seeded`]).
 pub fn cluster_sweep_on(
-    base: &ClusterSim,
+    base: &ClusterConfig,
     rates: &[f64],
     mix: FaultMix,
     exec: &dyn Parallelism,
@@ -531,7 +936,7 @@ pub fn cluster_sweep_on(
         rates.iter().map(|_| Mutex::new(None)).collect();
     exec.for_tasks(rates.len(), &|i| {
         let sub_seed = Rng64::stream(base.seed, i as u64).next_u64();
-        let cfg = ClusterSim {
+        let cfg = ClusterConfig {
             seed: sub_seed,
             ..*base
         };
@@ -553,13 +958,13 @@ pub fn cluster_sweep_on(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xxi_core::des::fault::Fault;
+    use xxi_core::des::fault::{Fault, Topology};
     use xxi_core::par::Serial;
 
-    fn small() -> ClusterSim {
-        ClusterSim {
+    fn small() -> ClusterConfig {
+        ClusterConfig {
             requests: 600,
-            ..ClusterSim::default()
+            ..ClusterConfig::default()
         }
     }
 
@@ -593,12 +998,199 @@ mod tests {
             a.metrics.counter("cluster.attempts"),
             b.metrics.counter("cluster.attempts")
         );
-        let c = ClusterSim {
+        let c = ClusterConfig {
             seed: 99,
             ..small()
         }
         .run(&FaultPlan::new());
         assert_ne!(a.p999.to_bits(), c.p999.to_bits());
+    }
+
+    #[test]
+    fn policy_grid_runs_are_deterministic_per_seed() {
+        // The new corners of the policy grid are as reproducible as the
+        // legacy round-robin + fixed-hedge pair.
+        for (routing, hedging) in [
+            (Routing::LeastOutstanding, Hedging::fixed(10.0)),
+            (Routing::RoundRobin, Hedging::adaptive(0.95)),
+            (Routing::LeastOutstanding, Hedging::adaptive(0.95)),
+        ] {
+            let cfg = ClusterConfig {
+                routing,
+                hedging,
+                ..small()
+            };
+            let a = cfg.run(&FaultPlan::new());
+            let b = cfg.run(&FaultPlan::new());
+            assert_eq!(a.p999.to_bits(), b.p999.to_bits());
+            assert_eq!(
+                a.metrics.counter("cluster.attempts"),
+                b.metrics.counter("cluster.attempts")
+            );
+        }
+    }
+
+    #[test]
+    fn failover_candidates_form_a_permutation() {
+        // Whatever has been tried, the candidates are distinct untried
+        // replicas in rotation order from the first pick.
+        for replicas in [1u32, 2, 3, 5] {
+            for first in 0..replicas {
+                for mask in 0..(1u32 << replicas) {
+                    let tried: Vec<bool> = (0..replicas).map(|r| mask & (1 << r) != 0).collect();
+                    let c = failover_candidates(replicas, first, &tried);
+                    assert_eq!(
+                        c.len(),
+                        tried.iter().filter(|&&t| !t).count(),
+                        "every untried replica is offered exactly once"
+                    );
+                    for w in c.windows(2) {
+                        let pos = |r: u32| (r + replicas - first) % replicas;
+                        assert!(pos(w[0]) < pos(w[1]), "rotation order from first_pick");
+                    }
+                    for &r in &c {
+                        assert!(!tried[r as usize]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn least_outstanding_never_revisits_a_dead_replica_early() {
+        // A dead replica refuses in one RTT, so its outstanding count is
+        // almost always the lowest — greedy least-outstanding would send
+        // every retry straight back to it. The failover permutation must
+        // force untried replicas first so the second attempt lands on a
+        // live one and the answer rate stays essentially perfect.
+        let cfg = ClusterConfig {
+            shards: 1,
+            replicas: 3,
+            requests: 400,
+            routing: Routing::LeastOutstanding,
+            hedging: Hedging::None,
+            ..ClusterConfig::default()
+        };
+        let mut plan = FaultPlan::new();
+        plan.at(SimTime::ZERO, 0, Fault::Kill);
+        plan.at(SimTime::ZERO, 1, Fault::Kill);
+        let out = cfg.run(&plan);
+        // Stragglers on the one live replica cost a few requests; dead
+        // replicas cost none.
+        assert!(
+            (out.full + out.partial) as f64 / out.requests as f64 > 0.97,
+            "answered {}+{} of {} with one live replica",
+            out.full,
+            out.partial,
+            out.requests
+        );
+        // The sharp regression assertion: each request can be refused at
+        // most twice, because the permutation must offer the live
+        // replica by the third attempt. Greedy least-outstanding (no
+        // permutation) chases the fast-refusing dead replicas and racks
+        // up three refusals per request.
+        assert!(
+            out.metrics.counter("cluster.refused") <= 2 * out.metrics.counter("cluster.requests"),
+            "refused {} > 2x requests {}: a dead replica was revisited",
+            out.metrics.counter("cluster.refused"),
+            out.metrics.counter("cluster.requests")
+        );
+    }
+
+    #[test]
+    fn least_outstanding_steers_around_a_slowed_replica() {
+        // One replica of every shard is slowed 8x for the whole run.
+        // Round-robin keeps sending a third of first attempts into it;
+        // least-outstanding watches the in-flight pile-up and routes
+        // around, cutting timeouts and retries.
+        let mk = |routing| ClusterConfig {
+            requests: 1_000,
+            routing,
+            hedging: Hedging::None,
+            ..ClusterConfig::default()
+        };
+        let slow_all = |cfg: &ClusterConfig| {
+            let mut plan = FaultPlan::new();
+            let topo = Topology::striped(cfg.components(), cfg.replicas);
+            plan.at_scope(
+                SimTime::ZERO,
+                &topo,
+                0,
+                Fault::Slow {
+                    factor: 8.0,
+                    for_time: ms_to_sim(cfg.horizon_ms()),
+                },
+            );
+            plan
+        };
+        let rr_cfg = mk(Routing::RoundRobin);
+        let lor_cfg = mk(Routing::LeastOutstanding);
+        let rr = rr_cfg.run(&slow_all(&rr_cfg));
+        let lor = lor_cfg.run(&slow_all(&lor_cfg));
+        assert!(
+            lor.metrics.counter("cluster.timeouts") < rr.metrics.counter("cluster.timeouts"),
+            "lor timeouts {} vs rr {}",
+            lor.metrics.counter("cluster.timeouts"),
+            rr.metrics.counter("cluster.timeouts")
+        );
+        assert!(
+            lor.p99 <= rr.p99,
+            "lor p99 {} vs rr p99 {}",
+            lor.p99,
+            rr.p99
+        );
+    }
+
+    #[test]
+    fn adaptive_hedging_tracks_the_observed_quantile() {
+        // Fault-free: after warmup the adaptive delay settles near the
+        // leaf p95 (~8 ms), earlier than the 10 ms fixed hedge, so it
+        // hedges at least as often.
+        let fixed = ClusterConfig {
+            hedging: Hedging::fixed(10.0),
+            ..small()
+        }
+        .run(&FaultPlan::new());
+        let adaptive = ClusterConfig {
+            hedging: Hedging::adaptive(0.95),
+            ..small()
+        }
+        .run(&FaultPlan::new());
+        assert!(
+            adaptive.metrics.counter("cluster.hedges") >= fixed.metrics.counter("cluster.hedges"),
+            "adaptive {} vs fixed {}",
+            adaptive.metrics.counter("cluster.hedges"),
+            fixed.metrics.counter("cluster.hedges")
+        );
+        assert!(adaptive.full + adaptive.partial == adaptive.requests);
+    }
+
+    #[test]
+    fn tracing_never_perturbs_the_simulation() {
+        let cfg = ClusterConfig {
+            requests: 300,
+            routing: Routing::LeastOutstanding,
+            hedging: Hedging::adaptive(0.95),
+            ..ClusterConfig::default()
+        };
+        let plan = FaultPlan::seeded(
+            cfg.seed,
+            ms_to_sim(cfg.horizon_ms()),
+            cfg.components(),
+            0.1,
+            FaultMix::gray(),
+        );
+        let untraced = cfg.run(&plan);
+        let (traced, trace) = cfg.run_traced(&plan, Trace::enabled());
+        assert_eq!(untraced.p999.to_bits(), traced.p999.to_bits());
+        assert_eq!(
+            untraced.metrics.counter("cluster.attempts"),
+            traced.metrics.counter("cluster.attempts")
+        );
+        assert!(!trace.is_empty(), "spans were recorded");
+        let json = trace.chrome_json();
+        assert!(json.contains("\"attempt\""));
+        assert!(json.contains("\"request\""));
     }
 
     #[test]
@@ -631,12 +1223,12 @@ mod tests {
         // policy holds p99.9 within 3x of the fault-free run, while naive
         // (single-attempt, no-timeout-discipline) serving degrades toward
         // whatever deadline it is given — unboundedly, as its SLO slackens.
-        let policy = ClusterSim {
+        let policy = ClusterConfig {
             requests: 1_500,
-            ..ClusterSim::default()
+            ..ClusterConfig::default()
         };
         let baseline = policy.run(&FaultPlan::new());
-        let kills = |cfg: &ClusterSim| {
+        let kills = |cfg: &ClusterConfig| {
             FaultPlan::seeded(
                 cfg.seed,
                 ms_to_sim(cfg.horizon_ms()),
@@ -653,8 +1245,9 @@ mod tests {
             baseline.p999
         );
 
-        let naive = ClusterSim {
+        let naive = ClusterConfig {
             retry: RetryPolicy::none(),
+            hedging: Hedging::None,
             budget: Budget::new(2_000.0, 2_000.0),
             ..policy
         };
@@ -676,9 +1269,9 @@ mod tests {
     fn gray_storm_degrades_gracefully_instead_of_failing() {
         // A heavy pause/slow storm pushes the failsafe machine out of
         // Normal; degraded-mode coverage keeps answering partially.
-        let cfg = ClusterSim {
+        let cfg = ClusterConfig {
             requests: 1_200,
-            ..ClusterSim::default()
+            ..ClusterConfig::default()
         };
         let mut plan = FaultPlan::seeded(
             cfg.seed,
@@ -714,9 +1307,9 @@ mod tests {
 
     #[test]
     fn sweep_on_serial_matches_individual_runs_and_is_pure() {
-        let base = ClusterSim {
+        let base = ClusterConfig {
             requests: 300,
-            ..ClusterSim::default()
+            ..ClusterConfig::default()
         };
         let rates = [0.0, 0.05];
         let sweep = cluster_sweep_on(&base, &rates, FaultMix::kills_only(), &Serial);
@@ -759,5 +1352,14 @@ mod tests {
                 assert!(b >= base && b < base * (1.0 + p.jitter), "nth={nth} b={b}");
             }
         }
+    }
+
+    #[test]
+    fn policy_names_surface_for_reports() {
+        assert_eq!(Routing::RoundRobin.name(), "round-robin");
+        assert_eq!(Routing::LeastOutstanding.name(), "least-outstanding");
+        assert_eq!(Hedging::None.name(), "no-hedge");
+        assert_eq!(Hedging::fixed(10.0).name(), "fixed-hedge");
+        assert_eq!(Hedging::adaptive(0.95).name(), "adaptive-hedge");
     }
 }

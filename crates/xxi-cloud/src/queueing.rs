@@ -6,13 +6,22 @@
 //! sojourn `= s/(1−ρ)`; the p99 inflates even faster). Experiment E9 uses
 //! this to connect "run your servers hotter" to "your fan-out tail gets
 //! worse".
+//!
+//! The server is also a fault-injection client ([`MG1Queue::run_faulted`]):
+//! component 0 of a [`FaultPlan`] is the server itself. A kill or pause
+//! that fires while jobs are resident (queued or in service) loses them; a
+//! dead server refuses new arrivals; a paused server defers service to the
+//! pause expiry. [`MG1Queue::run`] is the empty-plan special case —
+//! bit-identical to the pre-fault-seam behavior.
 
 use std::sync::Mutex;
 
 use serde::Serialize;
 
 use crate::latency::LatencyDist;
+use xxi_core::des::fault::{FaultInjector, FaultPlan};
 use xxi_core::des::Sim;
+use xxi_core::metrics::Metrics;
 use xxi_core::par::Parallelism;
 use xxi_core::rng::Rng64;
 use xxi_core::stats::Summary;
@@ -42,20 +51,40 @@ pub struct QueueResult {
     pub completed: usize,
 }
 
+/// Results of a fault-injected queueing run ([`MG1Queue::run_faulted`]).
+#[derive(Clone, Debug, Serialize)]
+pub struct FaultedQueueResult {
+    /// Sojourn statistics over the jobs that survived.
+    pub result: QueueResult,
+    /// Jobs wiped by a crash/reboot while resident (queued or in service).
+    pub lost: usize,
+    /// Arrivals refused because the server was dead.
+    pub refused: usize,
+    /// `queue.*` counters plus the fault accounting
+    /// (`fault.scheduled == fault.fired + fault.cancelled`).
+    pub metrics: Metrics,
+}
+
 struct QState {
     rng: Rng64,
     service: LatencyDist,
     lambda_per_ms: f64,
+    faults: FaultInjector,
     /// Time the server becomes free.
     server_free_at: SimTime,
     sojourns_ms: Vec<f64>,
     max_requests: usize,
     arrived: usize,
+    lost: usize,
+    refused: usize,
 }
 
 fn ms_to_sim(ms: f64) -> SimTime {
     SimTime::from_ps((ms * 1e9).round().max(0.0) as u64)
 }
+
+/// The server is fault-plan component 0.
+const SERVER: u32 = 0;
 
 fn arrival(sim: &mut Sim<QState>) {
     // Schedule next arrival.
@@ -69,14 +98,34 @@ fn arrival(sim: &mut Sim<QState>) {
     // Serve this one: FIFO single server.
     let now = sim.now();
     let s = &mut sim.state;
+    s.faults.advance(now);
+    // The service draw happens before the health check so every arrival
+    // consumes the same RNG stream regardless of the fault plan.
     let service_ms = s.service.sample(&mut s.rng);
-    let start = s.server_free_at.max(now);
+    let Some(ready) = s.faults.up_at(SERVER, now) else {
+        // Dead server: the connection is refused, the job is never queued.
+        s.refused += 1;
+        return;
+    };
+    // A paused server accepts the job but can only start it at the pause
+    // expiry; the slowdown in effect at arrival stretches the service.
+    let service_ms = service_ms * s.faults.slowdown(SERVER, now);
+    let start = s.server_free_at.max(now).max(ready);
     let finish = start.saturating_add(ms_to_sim(service_ms));
     s.server_free_at = finish;
+    // Jobs resident (queued or in service) when a kill/pause fires are
+    // wiped with the server's memory: compare disruption epochs.
+    let epoch = s.faults.disruptions(SERVER);
     let arrived_at = now;
     sim.schedule_at(finish, move |sim| {
+        let s = &mut sim.state;
+        s.faults.advance(finish);
+        if s.faults.disruptions(SERVER) != epoch {
+            s.lost += 1;
+            return;
+        }
         let sojourn = finish.since(arrived_at);
-        sim.state.sojourns_ms.push(sojourn.ms());
+        s.sojourns_ms.push(sojourn.ms());
     });
 }
 
@@ -90,6 +139,15 @@ impl MG1Queue {
     /// `Rng64` that then generated arrivals and services, so the measured
     /// sojourns silently depended on the calibration draw count.)
     pub fn run(&self, requests: usize, seed: u64) -> QueueResult {
+        self.run_faulted(requests, seed, &FaultPlan::new()).result
+    }
+
+    /// [`MG1Queue::run`] with the server exposed to a [`FaultPlan`]
+    /// (component 0 = the server): a kill or pause wipes every resident
+    /// job, a dead server refuses arrivals, a paused server defers
+    /// service to the pause expiry, and a slowdown stretches it. With an
+    /// empty plan this is bit-identical to the fault-free run.
+    pub fn run_faulted(&self, requests: usize, seed: u64, plan: &FaultPlan) -> FaultedQueueResult {
         assert!(requests > 10);
         let mut root = Rng64::new(seed);
         let calib_seed = root.next_u64();
@@ -101,23 +159,46 @@ impl MG1Queue {
             rng: Rng64::new(des_seed),
             service: self.service,
             lambda_per_ms: self.lambda_per_ms,
+            faults: FaultInjector::new(plan, 1),
             server_free_at: SimTime::ZERO,
             sojourns_ms: Vec::with_capacity(requests),
             max_requests: requests,
             arrived: 0,
+            lost: 0,
+            refused: 0,
         };
         let mut sim = Sim::new(state);
         sim.schedule_at(SimTime::ZERO, arrival);
         sim.run();
-        let warmup = requests / 10;
-        let xs = &sim.state.sojourns_ms[warmup..];
-        let s = Summary::from_slice(xs);
-        QueueResult {
-            rho: self.lambda_per_ms * mean_s,
-            mean_ms: s.mean(),
-            p50: s.median(),
-            p99: s.percentile(99.0),
-            completed: xs.len(),
+        // Fire any plan remainder past the last event so the accounting
+        // always covers the whole plan.
+        sim.state.faults.advance(SimTime::MAX);
+        let s = &sim.state;
+        let warmup = (requests / 10).min(s.sojourns_ms.len());
+        let xs = &s.sojourns_ms[warmup..];
+        let sm = Summary::from_slice(xs);
+        let (p50, p99) = if sm.count() == 0 {
+            (0.0, 0.0)
+        } else {
+            (sm.median(), sm.percentile(99.0))
+        };
+        let mut metrics = Metrics::new();
+        metrics.count("queue.arrivals", requests as u64);
+        metrics.count("queue.completed", s.sojourns_ms.len() as u64);
+        metrics.count("queue.lost_jobs", s.lost as u64);
+        metrics.count("queue.refused_arrivals", s.refused as u64);
+        s.faults.record(&mut metrics);
+        FaultedQueueResult {
+            result: QueueResult {
+                rho: self.lambda_per_ms * mean_s,
+                mean_ms: sm.mean(),
+                p50,
+                p99,
+                completed: xs.len(),
+            },
+            lost: s.lost,
+            refused: s.refused,
+            metrics,
         }
     }
 }
@@ -145,6 +226,7 @@ pub fn mg1_sweep_on(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xxi_core::des::fault::Fault;
 
     fn mm1(rho: f64) -> MG1Queue {
         // Exponential service with mean 1 ms; λ = ρ.
@@ -230,10 +312,13 @@ mod tests {
             rng: Rng64::new(des_seed),
             service: q.service,
             lambda_per_ms: q.lambda_per_ms,
+            faults: FaultInjector::new(&FaultPlan::new(), 1),
             server_free_at: SimTime::ZERO,
             sojourns_ms: Vec::new(),
             max_requests: 50_000,
             arrived: 0,
+            lost: 0,
+            refused: 0,
         };
         let mut sim = Sim::new(state);
         sim.schedule_at(SimTime::ZERO, arrival);
@@ -248,5 +333,85 @@ mod tests {
         let r = mm1(0.5).run(50_000, 4);
         assert!((r.rho - 0.5).abs() < 0.01);
         assert!(r.completed > 40_000);
+    }
+
+    #[test]
+    fn empty_plan_run_faulted_matches_run_bit_for_bit() {
+        let q = mm1(0.7);
+        let plain = q.run(50_000, 11);
+        let faulted = q.run_faulted(50_000, 11, &FaultPlan::new());
+        assert_eq!(plain.mean_ms.to_bits(), faulted.result.mean_ms.to_bits());
+        assert_eq!(plain.p99.to_bits(), faulted.result.p99.to_bits());
+        assert_eq!(plain.completed, faulted.result.completed);
+        assert_eq!(faulted.lost, 0);
+        assert_eq!(faulted.refused, 0);
+    }
+
+    #[test]
+    fn a_crash_loses_resident_jobs_and_refuses_later_arrivals() {
+        // Kill the server mid-run at high utilization: jobs queued at the
+        // kill instant are lost, everything after is refused.
+        let mut plan = FaultPlan::new();
+        plan.at(ms_to_sim(5_000.0), SERVER, Fault::Kill);
+        let r = mm1(0.9).run_faulted(20_000, 7, &plan);
+        assert!(r.lost > 0, "a hot server holds jobs when the kill lands");
+        assert!(r.refused > 0, "post-kill arrivals must be refused");
+        // Nothing completes after the kill: sojourns all end before it.
+        assert!(r.result.completed < 20_000 - 20_000 / 10);
+    }
+
+    #[test]
+    fn a_pause_defers_service_and_wipes_the_queue() {
+        // Pause (reboot) at t=1s for 2s: resident jobs are lost, arrivals
+        // during the pause wait for the expiry instead of being refused.
+        let mut plan = FaultPlan::new();
+        plan.at(
+            ms_to_sim(1_000.0),
+            SERVER,
+            Fault::Pause {
+                for_time: ms_to_sim(2_000.0),
+            },
+        );
+        let r = mm1(0.8).run_faulted(20_000, 8, &plan);
+        assert!(r.lost > 0);
+        assert_eq!(r.refused, 0, "a paused server still accepts connections");
+        // Jobs arriving during the 2 s outage sojourn for up to ~2 s —
+        // far beyond anything a fault-free 0.8-utilization M/M/1 shows.
+        assert!(r.result.p99 > 100.0, "p99={}", r.result.p99);
+    }
+
+    #[test]
+    fn faulted_accounting_is_conserved() {
+        let mut plan = FaultPlan::new();
+        for k in 0..6 {
+            plan.at(
+                ms_to_sim(1_000.0 * (k + 1) as f64),
+                SERVER,
+                Fault::Pause {
+                    for_time: ms_to_sim(200.0),
+                },
+            );
+        }
+        plan.at(
+            ms_to_sim(8_000.0),
+            SERVER,
+            Fault::Slow {
+                factor: 4.0,
+                for_time: ms_to_sim(500.0),
+            },
+        );
+        let r = mm1(0.8).run_faulted(20_000, 5, &plan);
+        let m = &r.metrics;
+        assert_eq!(
+            m.counter("fault.scheduled"),
+            m.counter("fault.fired") + m.counter("fault.cancelled")
+        );
+        assert_eq!(
+            m.counter("queue.arrivals"),
+            m.counter("queue.completed")
+                + m.counter("queue.lost_jobs")
+                + m.counter("queue.refused_arrivals"),
+            "every arrival completes, is lost, or is refused"
+        );
     }
 }

@@ -11,6 +11,11 @@
 //!   by hand ([`FaultPlan::at`]) or generated from a seed
 //!   ([`FaultPlan::seeded`]), and a given `(seed, horizon, components,
 //!   rate, mix)` always yields the same plan;
+//! * a [`Topology`] maps components to failure scopes (racks, switches,
+//!   power domains) so [`FaultPlan::correlated`] can draw *scope-level*
+//!   faults that strike every component sharing the scope at the same
+//!   instant — the blast-radius failure mode independent per-component
+//!   draws can never produce;
 //! * a [`FaultInjector`] executes the plan as simulated time advances:
 //!   the owning model calls [`FaultInjector::advance`] with the DES clock
 //!   and queries [`FaultInjector::is_up`] / [`FaultInjector::slowdown`]
@@ -112,6 +117,85 @@ impl FaultMix {
     }
 }
 
+/// Component → failure-scope map: which components share a rack, a
+/// top-of-rack switch, a power domain — anything that fails as a unit.
+///
+/// Scopes are numbered `0..scopes()`; every component belongs to exactly
+/// one. [`FaultPlan::correlated`] draws faults per *scope* and expands
+/// them to every member, so a "rack kill" takes out all its components
+/// at one instant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Topology {
+    /// `scope_of[comp]` is the failure scope of component `comp`.
+    scope_of: Vec<u32>,
+    scopes: u32,
+}
+
+impl Topology {
+    /// Build from an explicit component → scope map. Scope ids must be
+    /// dense (`0..=max`); a gap means a scope no fault can ever strike.
+    pub fn new(scope_of: Vec<u32>) -> Topology {
+        assert!(!scope_of.is_empty(), "a topology needs components");
+        let scopes = scope_of.iter().max().unwrap() + 1; // xxi-allow: panic-path -- non-empty is asserted above
+        Topology { scope_of, scopes }
+    }
+
+    /// Every component in its own scope — correlated draws degenerate to
+    /// independent per-component faults (the budget-matched baseline).
+    pub fn flat(components: u32) -> Topology {
+        Topology {
+            scope_of: (0..components).collect(),
+            scopes: components,
+        }
+    }
+
+    /// Striped assignment: component `c` lands in scope `c % scopes`.
+    /// With components numbered shard-major (replica `r` of shard `s` is
+    /// `s * replicas + r`), `striped(components, replicas)` puts replica
+    /// column `r` of every shard in rack `r` — the classic
+    /// one-replica-per-rack placement.
+    pub fn striped(components: u32, scopes: u32) -> Topology {
+        assert!(scopes > 0 && scopes <= components);
+        Topology {
+            scope_of: (0..components).map(|c| c % scopes).collect(),
+            scopes,
+        }
+    }
+
+    /// Contiguous blocks of `per_scope` components per scope — nodes
+    /// racked in order.
+    pub fn blocks(components: u32, per_scope: u32) -> Topology {
+        assert!(per_scope > 0);
+        let scopes = components.div_ceil(per_scope);
+        Topology {
+            scope_of: (0..components).map(|c| c / per_scope).collect(),
+            scopes,
+        }
+    }
+
+    /// Number of components mapped.
+    pub fn components(&self) -> u32 {
+        self.scope_of.len() as u32
+    }
+
+    /// Number of failure scopes.
+    pub fn scopes(&self) -> u32 {
+        self.scopes
+    }
+
+    /// Scope of component `comp`.
+    pub fn scope_of(&self, comp: CompId) -> u32 {
+        self.scope_of[comp as usize]
+    }
+
+    /// Components in `scope`, in component order.
+    pub fn members(&self, scope: u32) -> Vec<CompId> {
+        (0..self.components())
+            .filter(|&c| self.scope_of[c as usize] == scope)
+            .collect()
+    }
+}
+
 /// A deterministic schedule of faults, sorted by strike time.
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
@@ -127,6 +211,21 @@ impl FaultPlan {
     /// Schedule `fault` against `comp` at sim-time `at`.
     pub fn at(&mut self, at: SimTime, comp: CompId, fault: Fault) -> &mut FaultPlan {
         self.events.push(PlannedFault { at, comp, fault });
+        self
+    }
+
+    /// Schedule `fault` against every member of `scope` at sim-time
+    /// `at` — a hand-built blast: one rack, one instant, all of it.
+    pub fn at_scope(
+        &mut self,
+        at: SimTime,
+        topo: &Topology,
+        scope: u32,
+        fault: Fault,
+    ) -> &mut FaultPlan {
+        for comp in topo.members(scope) {
+            self.at(at, comp, fault);
+        }
         self
     }
 
@@ -152,26 +251,43 @@ impl FaultPlan {
         let faults = (rate * components as f64).ceil() as usize * usize::from(rate > 0.0);
         let mut rng = Rng64::stream(seed, 0xFA_017);
         let mut plan = FaultPlan::new();
-        let total = mix.kill + mix.pause + mix.slow;
-        assert!(total > 0.0, "fault mix must have positive weight");
         for _ in 0..faults {
             let at = SimTime::from_ps(rng.below(horizon.ps().max(1)));
             let comp = rng.below(components as u64) as CompId;
-            let pick = rng.next_f64() * total;
-            let fault = if pick < mix.kill {
-                Fault::Kill
-            } else if pick < mix.kill + mix.pause {
-                let (lo, hi) = mix.pause_ms;
-                Fault::Pause {
-                    for_time: ms_time(rng.range_f64(lo, hi)),
-                }
-            } else {
-                Fault::Slow {
-                    factor: rng.range_f64(mix.slow_factor.0, mix.slow_factor.1),
-                    for_time: ms_time(rng.range_f64(mix.slow_ms.0, mix.slow_ms.1)),
-                }
-            };
+            let fault = draw_fault(&mut rng, &mix);
             plan.at(at, comp, fault);
+        }
+        plan
+    }
+
+    /// Generate a seeded *correlated* plan: exactly `ceil(rate *
+    /// topo.scopes())` scope-level faults (zero when `rate == 0`), each
+    /// striking a scope drawn uniformly at a time drawn uniformly in
+    /// `[0, horizon)`, with kinds drawn from `mix` — then expanded into
+    /// one [`PlannedFault`] per member of the scope, all sharing the
+    /// same instant and the same fault. Per-component accounting
+    /// (`scheduled == fired + cancelled`) is preserved because the
+    /// expansion is ordinary planned faults, one per component.
+    ///
+    /// Drawn from its own RNG substream, disjoint from
+    /// [`FaultPlan::seeded`]'s, so a model can layer both plans from one
+    /// root seed without the draws colliding.
+    pub fn correlated(
+        seed: u64,
+        horizon: SimTime,
+        topo: &Topology,
+        rate: f64,
+        mix: FaultMix,
+    ) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&rate), "rate is faults per scope");
+        let faults = (rate * topo.scopes() as f64).ceil() as usize * usize::from(rate > 0.0);
+        let mut rng = Rng64::stream(seed, 0xFA_C08);
+        let mut plan = FaultPlan::new();
+        for _ in 0..faults {
+            let at = SimTime::from_ps(rng.below(horizon.ps().max(1)));
+            let scope = rng.below(topo.scopes() as u64) as u32;
+            let fault = draw_fault(&mut rng, &mix);
+            plan.at_scope(at, topo, scope, fault);
         }
         plan
     }
@@ -196,6 +312,27 @@ fn ms_time(ms: f64) -> SimTime {
     SimTime::from_ps((ms * 1e9).round().max(0.0) as u64)
 }
 
+/// Draw one fault kind from `mix` — shared by [`FaultPlan::seeded`] and
+/// [`FaultPlan::correlated`] so both consume the mix identically.
+fn draw_fault(rng: &mut Rng64, mix: &FaultMix) -> Fault {
+    let total = mix.kill + mix.pause + mix.slow;
+    assert!(total > 0.0, "fault mix must have positive weight");
+    let pick = rng.next_f64() * total;
+    if pick < mix.kill {
+        Fault::Kill
+    } else if pick < mix.kill + mix.pause {
+        let (lo, hi) = mix.pause_ms;
+        Fault::Pause {
+            for_time: ms_time(rng.range_f64(lo, hi)),
+        }
+    } else {
+        Fault::Slow {
+            factor: rng.range_f64(mix.slow_factor.0, mix.slow_factor.1),
+            for_time: ms_time(rng.range_f64(mix.slow_ms.0, mix.slow_ms.1)),
+        }
+    }
+}
+
 /// Health of one component at one instant.
 #[derive(Clone, Copy, Debug, PartialEq)]
 enum Status {
@@ -215,6 +352,11 @@ pub struct FaultInjector {
     status: Vec<Status>,
     fired: u64,
     cancelled: u64,
+    /// Fired work-losing faults (Kill/Pause) per component — models use
+    /// the delta across an interval to detect "the server crashed while
+    /// this job was resident".
+    disruptions: Vec<u64>,
+    total_disruptions: u64,
 }
 
 impl FaultInjector {
@@ -229,6 +371,8 @@ impl FaultInjector {
             status: vec![Status::Up; components as usize],
             fired: 0,
             cancelled: 0,
+            disruptions: vec![0; components as usize],
+            total_disruptions: 0,
         }
     }
 
@@ -267,6 +411,10 @@ impl FaultInjector {
             Fault::Restore => Status::Up,
         };
         self.fired += 1;
+        if matches!(f.fault, Fault::Kill | Fault::Pause { .. }) {
+            self.disruptions[f.comp as usize] += 1;
+            self.total_disruptions += 1;
+        }
     }
 
     /// True when `comp` accepts and answers requests at `now` (a pause
@@ -285,6 +433,30 @@ impl FaultInjector {
             Status::Slowed { factor, until } if now < until => factor,
             _ => 1.0,
         }
+    }
+
+    /// Earliest instant ≥ `now` at which `comp` answers requests:
+    /// `Some(now)` when up, the pause expiry when paused, `None` when
+    /// dead (no planned recovery before another `advance`).
+    pub fn up_at(&self, comp: CompId, now: SimTime) -> Option<SimTime> {
+        match self.status[comp as usize] {
+            Status::Up | Status::Slowed { .. } => Some(now),
+            Status::Dead => None,
+            Status::Paused { until } => Some(if now >= until { now } else { until }),
+        }
+    }
+
+    /// Fired work-losing faults (Kill/Pause) against `comp` so far.
+    /// Comparing the value before and after an interval tells a model
+    /// whether the component crashed while its work was resident.
+    pub fn disruptions(&self, comp: CompId) -> u64 {
+        self.disruptions[comp as usize]
+    }
+
+    /// Fired work-losing faults across all components. A correlated
+    /// scope fault contributes one per member, all at the same instant.
+    pub fn total_disruptions(&self) -> u64 {
+        self.total_disruptions
     }
 
     /// Faults in the plan.
@@ -452,6 +624,134 @@ mod tests {
             m.counter("fault.scheduled"),
             m.counter("fault.fired") + m.counter("fault.cancelled")
         );
+    }
+
+    #[test]
+    fn topology_constructors_partition_components() {
+        let striped = Topology::striped(6, 3);
+        assert_eq!(striped.scopes(), 3);
+        assert_eq!(striped.members(1), vec![1, 4]);
+        let blocks = Topology::blocks(6, 2);
+        assert_eq!(blocks.scopes(), 3);
+        assert_eq!(blocks.members(1), vec![2, 3]);
+        let flat = Topology::flat(4);
+        assert_eq!(flat.scopes(), 4);
+        assert_eq!(flat.members(2), vec![2]);
+        for topo in [striped, blocks, flat] {
+            let mut seen = 0u32;
+            for s in 0..topo.scopes() {
+                seen += topo.members(s).len() as u32;
+            }
+            assert_eq!(seen, topo.components(), "scopes partition components");
+        }
+    }
+
+    #[test]
+    fn correlated_fires_every_scope_member_at_the_same_instant() {
+        // Property: every fault a correlated plan schedules is part of a
+        // scope-wide group — same instant, same fault, one event per
+        // member, nothing outside the scope at that instant.
+        for seed in 0..32 {
+            let topo = Topology::striped(24, 4);
+            let plan = FaultPlan::correlated(seed, ms(1000), &topo, 1.0, FaultMix::gray());
+            for ev in plan.events() {
+                let scope = topo.scope_of(ev.comp);
+                for member in topo.members(scope) {
+                    assert!(
+                        plan.events()
+                            .iter()
+                            .any(|e| e.at == ev.at && e.comp == member && e.fault == ev.fault),
+                        "seed {seed}: member {member} missing from scope {scope} blast at {:?}",
+                        ev.at
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn correlated_plans_are_pure_and_disjoint_from_seeded() {
+        let topo = Topology::blocks(12, 4);
+        let a = FaultPlan::correlated(5, ms(500), &topo, 0.5, FaultMix::gray());
+        let b = FaultPlan::correlated(5, ms(500), &topo, 0.5, FaultMix::gray());
+        assert_eq!(a.events(), b.events());
+        // Same seed, flat topology vs per-component seeded: different
+        // substreams, different draws.
+        let flat = Topology::flat(12);
+        let c = FaultPlan::correlated(5, ms(500), &flat, 0.5, FaultMix::gray());
+        let s = FaultPlan::seeded(5, ms(500), 12, 0.5, FaultMix::gray());
+        assert_ne!(c.events(), s.events());
+    }
+
+    #[test]
+    fn correlated_budget_is_rate_times_scopes_expanded_by_members() {
+        let topo = Topology::striped(60, 3); // 3 racks of 20
+        let plan = FaultPlan::correlated(1, ms(100), &topo, 0.5, FaultMix::kills_only());
+        // ceil(0.5 * 3) = 2 scope faults x 20 members each.
+        assert_eq!(plan.len(), 40);
+        assert!(FaultPlan::correlated(1, ms(100), &topo, 0.0, FaultMix::gray()).is_empty());
+    }
+
+    #[test]
+    fn correlated_accounting_is_conserved() {
+        for seed in 0..32 {
+            let topo = Topology::blocks(16, 4);
+            let plan = FaultPlan::correlated(seed, ms(1000), &topo, 1.0, FaultMix::gray());
+            let mut inj = FaultInjector::new(&plan, 16);
+            inj.advance(SimTime::MAX);
+            assert_eq!(inj.scheduled(), inj.fired() + inj.cancelled());
+        }
+    }
+
+    #[test]
+    fn at_scope_strikes_all_members() {
+        let topo = Topology::striped(6, 3);
+        let mut plan = FaultPlan::new();
+        plan.at_scope(ms(7), &topo, 0, Fault::Kill);
+        assert_eq!(plan.len(), 2);
+        let mut inj = FaultInjector::new(&plan, 6);
+        inj.advance(ms(7));
+        assert!(!inj.is_up(0, ms(7)) && !inj.is_up(3, ms(7)));
+        assert!(inj.is_up(1, ms(7)) && inj.is_up(2, ms(7)));
+    }
+
+    #[test]
+    fn up_at_reports_recovery_instants() {
+        let mut plan = FaultPlan::new();
+        plan.at(ms(10), 0, Fault::Kill);
+        plan.at(ms(10), 1, Fault::Pause { for_time: ms(5) });
+        let mut inj = FaultInjector::new(&plan, 3);
+        inj.advance(ms(10));
+        assert_eq!(inj.up_at(0, ms(10)), None, "dead: no planned recovery");
+        assert_eq!(inj.up_at(1, ms(12)), Some(ms(15)), "pause expiry");
+        assert_eq!(inj.up_at(1, ms(20)), Some(ms(20)), "after expiry: now");
+        assert_eq!(inj.up_at(2, ms(10)), Some(ms(10)), "healthy: now");
+    }
+
+    #[test]
+    fn disruptions_count_work_losing_faults_only() {
+        let mut plan = FaultPlan::new();
+        plan.at(ms(1), 0, Fault::Pause { for_time: ms(1) });
+        plan.at(
+            ms(3),
+            0,
+            Fault::Slow {
+                factor: 2.0,
+                for_time: ms(1),
+            },
+        );
+        plan.at(ms(5), 0, Fault::Kill);
+        plan.at(ms(6), 0, Fault::Restore);
+        plan.at(ms(7), 1, Fault::Kill);
+        let mut inj = FaultInjector::new(&plan, 2);
+        inj.advance(ms(2));
+        assert_eq!(inj.disruptions(0), 1, "pause disrupts");
+        inj.advance(ms(4));
+        assert_eq!(inj.disruptions(0), 1, "slow does not");
+        inj.advance(SimTime::MAX);
+        assert_eq!(inj.disruptions(0), 2, "kill disrupts; restore does not");
+        assert_eq!(inj.disruptions(1), 1);
+        assert_eq!(inj.total_disruptions(), 3);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod invariant;
 pub mod scrub;
 pub mod tmr;
 
-pub use checkpoint::{young_daly_interval, CheckpointSim};
+pub use checkpoint::{outage_instants, young_daly_interval, CheckpointSim, PlannedOutcome};
 pub use ecc::{Codeword, DecodeResult};
 pub use failsafe::{FailsafeMachine, Mode};
 pub use inject::{FaultInjector, Outcome};

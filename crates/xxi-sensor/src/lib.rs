@@ -30,6 +30,6 @@ pub mod radio;
 
 pub use intermittent::{IntermittentTask, RunStats};
 pub use mcu::Mcu;
-pub use node::{NodeObservation, NodePolicy, SensorNode, SensorNodeConfig};
+pub use node::{FaultedNodeOutcome, NodeObservation, NodePolicy, SensorNode, SensorNodeConfig};
 pub use power::{Battery, Harvester};
 pub use radio::{Radio, RadioTech};

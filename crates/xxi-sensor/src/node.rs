@@ -14,6 +14,15 @@
 //! The simulation marches a battery through sampling epochs and reports
 //! lifetime, plus the detector's recall so the energy saving is shown not
 //! to come from dropping the signal.
+//!
+//! The node is also a fault-injection client ([`SensorNode::run_faulted`]):
+//! component 0 of a [`FaultPlan`] is the radio. During a brownout (kill or
+//! pause) the node buffers its payload, burns a short probe transmission
+//! discovering the dead link, and flushes the backlog — bits *and* pending
+//! anomaly reports — once the radio recovers; a slowdown stretches transmit
+//! energy (link-layer retransmissions). [`SensorNode::run`] and
+//! [`SensorNode::run_observed`] are the empty-plan special case,
+//! bit-identical to the pre-fault-seam behavior.
 
 use serde::{Deserialize, Serialize};
 
@@ -21,6 +30,8 @@ use crate::mcu::Mcu;
 use crate::power::{Battery, Harvester};
 use crate::radio::Radio;
 use xxi_approx::signal::SignalGen;
+use xxi_core::des::fault::{FaultInjector, FaultPlan};
+use xxi_core::metrics::Metrics;
 use xxi_core::obs::{EnergyLedger, Layer, LogHistogram, Trace};
 use xxi_core::time::SimTime;
 use xxi_core::units::{Energy, Seconds};
@@ -102,6 +113,27 @@ pub struct NodeObservation {
     pub trace: Trace,
 }
 
+/// Result of a fault-injected node run ([`SensorNode::run_faulted`]).
+#[derive(Clone, Debug)]
+pub struct FaultedNodeOutcome {
+    /// Lifetime / bits / recall outcome, as for [`SensorNode::run`].
+    pub outcome: NodeOutcome,
+    /// Epochs whose transmission was deferred by a radio brownout.
+    pub deferred_epochs: u64,
+    /// Energy burned probing a browned-out radio (part of the battery
+    /// draw, excluded from [`NodeOutcome::radio_energy`]'s useful bits).
+    pub probe_energy: Energy,
+    /// `sensor.*` counters plus the fault accounting
+    /// (`fault.scheduled == fault.fired + fault.cancelled`).
+    pub metrics: Metrics,
+}
+
+/// The radio is fault-plan component 0.
+const RADIO: u32 = 0;
+
+/// Bits in the probe frame a node wastes discovering a browned-out link.
+const PROBE_BITS: u64 = 64;
+
 /// The node simulator.
 pub struct SensorNode {
     /// Node configuration.
@@ -139,12 +171,73 @@ impl SensorNode {
     pub fn run_observed(
         &self,
         policy: NodePolicy,
+        battery: Battery,
+        harvester: Option<Harvester>,
+        horizon: Seconds,
+        seed: u64,
+        trace: Trace,
+    ) -> (NodeOutcome, NodeObservation) {
+        let (out, obs, _) = self.run_inner(
+            policy,
+            battery,
+            harvester,
+            horizon,
+            seed,
+            trace,
+            &FaultPlan::new(),
+        );
+        (out, obs)
+    }
+
+    /// [`SensorNode::run`] with the radio exposed to a [`FaultPlan`]
+    /// (component 0 = the radio). During a brownout the payload is
+    /// buffered, a [`PROBE_BITS`]-bit probe is wasted discovering the dead
+    /// link, and the backlog — bits and pending anomaly reports — flushes
+    /// once the radio recovers; a slowdown multiplies transmit energy.
+    /// With an empty plan this is bit-identical to the fault-free run.
+    /// Fault times must stay under the `SimTime` horizon (~200 days).
+    pub fn run_faulted(
+        &self,
+        policy: NodePolicy,
+        battery: Battery,
+        horizon: Seconds,
+        seed: u64,
+        plan: &FaultPlan,
+    ) -> FaultedNodeOutcome {
+        let (outcome, _, stats) = self.run_inner(
+            policy,
+            battery,
+            None,
+            horizon,
+            seed,
+            Trace::disabled(),
+            plan,
+        );
+        let mut metrics = Metrics::new();
+        metrics.count("sensor.epochs", stats.epochs);
+        metrics.count("sensor.deferred_epochs", stats.deferred);
+        metrics.count("sensor.anomaly_epochs", stats.anomaly_epochs);
+        metrics.count("sensor.reported_epochs", stats.reported_epochs);
+        stats.faults.record(&mut metrics);
+        FaultedNodeOutcome {
+            outcome,
+            deferred_epochs: stats.deferred,
+            probe_energy: stats.probe_energy,
+            metrics,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // the one shared body behind run/run_observed/run_faulted
+    fn run_inner(
+        &self,
+        policy: NodePolicy,
         mut battery: Battery,
         mut harvester: Option<Harvester>,
         horizon: Seconds,
         seed: u64,
         trace: Trace,
-    ) -> (NodeOutcome, NodeObservation) {
+        plan: &FaultPlan,
+    ) -> (NodeOutcome, NodeObservation, FaultStats) {
         let cfg = &self.cfg;
         let epoch_dt = Seconds(cfg.epoch_samples as f64 / cfg.sample_hz);
         // Clinically interesting events are rare: ~5% of epochs.
@@ -162,8 +255,15 @@ impl SensorNode {
         let mut ledger = EnergyLedger::new();
         let mut epoch_energy = LogHistogram::new();
         let mut trace = trace;
+        let mut faults = FaultInjector::new(plan, 1);
+        let mut pending_bits = 0u64;
+        let mut pending_reports = 0u64;
+        let mut deferred = 0u64;
+        let mut probe_energy = Energy::ZERO;
+        let mut epochs = 0u64;
 
         while elapsed < horizon.value() && !battery.dead() {
+            epochs += 1;
             if let Some(h) = harvester.as_mut() {
                 let e_h = h.harvest(epoch_dt);
                 battery.charge(e_h);
@@ -201,41 +301,72 @@ impl SensorNode {
                 }
             }
 
+            // Radio health at the epoch boundary; brownouts defer the
+            // payload and cost a probe frame discovering the dead link.
+            let now = SimTime::from_seconds(Seconds(elapsed));
+            faults.advance(now);
+            let radio_up = faults.is_up(RADIO, now);
+            let mut tx_bits = 0u64;
+            let mut e_probe = Energy::ZERO;
+            if radio_up {
+                tx_bits = bits + pending_bits;
+                pending_bits = 0;
+            } else if bits > 0 || pending_bits > 0 {
+                pending_bits += bits;
+                e_probe = self.radio.tx_energy(PROBE_BITS);
+                deferred += 1;
+            }
+
             let e_compute = self.mcu.compute_energy(ops);
-            let e_radio = if bits > 0 {
-                self.radio.tx_energy(bits)
+            let e_radio = if tx_bits > 0 {
+                self.radio.tx_energy(tx_bits) * faults.slowdown(RADIO, now)
             } else {
                 Energy::ZERO
             };
             let e_sleep = self.mcu.sleep_power * epoch_dt;
-            let e_total = e_compute + e_radio + e_sleep;
+            let e_total = e_compute + e_radio + e_sleep + e_probe;
             if !battery.draw(e_total) {
                 break;
             }
             compute_energy += e_compute;
             radio_energy += e_radio;
-            bits_sent += bits;
+            probe_energy += e_probe;
+            bits_sent += tx_bits;
             if reported && has_anomaly {
-                reported_anomaly_epochs += 1;
+                if radio_up {
+                    reported_anomaly_epochs += 1;
+                } else {
+                    pending_reports += 1;
+                }
+            }
+            if radio_up && pending_reports > 0 {
+                // The backlog just flushed: its anomaly reports arrive now.
+                reported_anomaly_epochs += pending_reports;
+                pending_reports = 0;
             }
 
             ledger.charge("mcu_compute", Layer::Compute, e_compute);
             ledger.charge("mcu_sleep", Layer::Idle, e_sleep);
-            if bits > 0 {
+            if tx_bits > 0 {
                 ledger.charge("radio_tx", Layer::Network, e_radio);
+            }
+            if e_probe.value() > 0.0 {
+                ledger.charge("radio_probe", Layer::Network, e_probe);
             }
             epoch_energy.add(e_total.value());
             if trace.is_enabled() {
                 let t0 = SimTime::from_seconds(Seconds(elapsed));
                 let t1 = SimTime::from_seconds(Seconds(elapsed + epoch_dt.value()));
                 trace.span_args("epoch", "sensor", 0, t0, t1, &[("soc", battery.soc())]);
-                if bits > 0 {
-                    trace.instant_args("tx", "sensor", 1, t1, &[("bits", bits as f64)]);
+                if tx_bits > 0 {
+                    trace.instant_args("tx", "sensor", 1, t1, &[("bits", tx_bits as f64)]);
                 }
             }
 
             elapsed += epoch_dt.value();
         }
+        // Fire any plan remainder so the accounting covers the whole plan.
+        faults.advance(SimTime::MAX);
 
         let outcome = NodeOutcome {
             lifetime: Seconds(elapsed),
@@ -255,8 +386,26 @@ impl SensorNode {
                 epoch_energy,
                 trace,
             },
+            FaultStats {
+                epochs,
+                deferred,
+                anomaly_epochs,
+                reported_epochs: reported_anomaly_epochs,
+                probe_energy,
+                faults,
+            },
         )
     }
+}
+
+/// Fault-path bookkeeping threaded out of `run_inner`.
+struct FaultStats {
+    epochs: u64,
+    deferred: u64,
+    anomaly_epochs: u64,
+    reported_epochs: u64,
+    probe_energy: Energy,
+    faults: FaultInjector,
 }
 
 /// Moving-mean-of-squares anomaly detector: fires when any window's RMS
@@ -434,6 +583,104 @@ mod tests {
         let json = obs.trace.chrome_json();
         assert!(json.contains("\"epoch\""), "{json}");
         assert!(json.contains("\"tx\""), "{json}");
+    }
+
+    #[test]
+    fn empty_plan_run_faulted_matches_run_bit_for_bit() {
+        let n = node();
+        let horizon = Seconds::from_hours(1_000.0);
+        let plain = n.run(NodePolicy::FilterThenSend, small_battery(), horizon, 21);
+        let faulted = n.run_faulted(
+            NodePolicy::FilterThenSend,
+            small_battery(),
+            horizon,
+            21,
+            &FaultPlan::new(),
+        );
+        assert_eq!(
+            plain.lifetime.value().to_bits(),
+            faulted.outcome.lifetime.value().to_bits()
+        );
+        assert_eq!(plain.bits_sent, faulted.outcome.bits_sent);
+        assert_eq!(
+            plain.radio_energy.value().to_bits(),
+            faulted.outcome.radio_energy.value().to_bits()
+        );
+        assert_eq!(faulted.deferred_epochs, 0);
+        assert_eq!(faulted.probe_energy.value(), 0.0);
+    }
+
+    #[test]
+    fn a_brownout_defers_bits_then_flushes_the_backlog() {
+        use xxi_core::des::fault::Fault;
+        let n = node();
+        let horizon = Seconds(3_600.0);
+        // Radio pauses (brownout) from t = 600 s for 1200 s.
+        let mut plan = FaultPlan::new();
+        plan.at(
+            SimTime::from_seconds(Seconds(600.0)),
+            0,
+            Fault::Pause {
+                for_time: SimTime::from_seconds(Seconds(1_200.0)),
+            },
+        );
+        let free = n.run_faulted(
+            NodePolicy::SendRaw,
+            Battery::new(Energy(5.0)),
+            horizon,
+            22,
+            &FaultPlan::new(),
+        );
+        let browned = n.run_faulted(
+            NodePolicy::SendRaw,
+            Battery::new(Energy(5.0)),
+            horizon,
+            22,
+            &plan,
+        );
+        // SendRaw transmits every epoch, so every brownout epoch defers.
+        assert!(browned.deferred_epochs > 100, "{}", browned.deferred_epochs);
+        assert!(browned.probe_energy.value() > 0.0);
+        // No bits are dropped — the backlog flushes after recovery — but
+        // the probes drain the battery: same horizon, same bits, more
+        // energy gone.
+        assert_eq!(browned.outcome.bits_sent, free.outcome.bits_sent);
+        assert_eq!(
+            browned.metrics.counter("fault.scheduled"),
+            browned.metrics.counter("fault.fired") + browned.metrics.counter("fault.cancelled")
+        );
+    }
+
+    #[test]
+    fn a_killed_radio_strands_the_backlog_and_recall() {
+        use xxi_core::des::fault::Fault;
+        let n = node();
+        let horizon = Seconds::from_hours(100.0);
+        let mut plan = FaultPlan::new();
+        plan.at(SimTime::from_seconds(Seconds(60.0)), 0, Fault::Kill);
+        let dead = n.run_faulted(
+            NodePolicy::SendRaw,
+            Battery::new(Energy(5.0)),
+            horizon,
+            23,
+            &plan,
+        );
+        let free = n.run_faulted(
+            NodePolicy::SendRaw,
+            Battery::new(Energy(5.0)),
+            horizon,
+            23,
+            &FaultPlan::new(),
+        );
+        // Everything after t=60 s is deferred forever.
+        assert!(dead.outcome.bits_sent < free.outcome.bits_sent / 10);
+        assert!(dead.deferred_epochs > 0);
+        // Anomalies after the kill are never reported.
+        assert!(
+            dead.outcome.recall < 1.0 || dead.metrics.counter("sensor.anomaly_epochs") == 0,
+            "recall={}",
+            dead.outcome.recall
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! for `Serial` and for pools of any size — the thread count changes the
 //! wall clock and nothing else.
 
-use xxi::cloud::cluster::{cluster_sweep_on, ClusterSim};
+use xxi::cloud::cluster::{cluster_sweep_on, ClusterConfig, Hedging, Routing};
 use xxi::cloud::fanout::{fanout_latency_on, fanout_sweep_on};
 use xxi::cloud::hedge::{hedge_experiment_on, tied_experiment_on};
 use xxi::cloud::latency::LatencyDist;
@@ -88,9 +88,9 @@ fn cluster_sweep_pool_matches_serial_bit_for_bit() {
     // The fault-injected serving sweep: each rate's DES run (including
     // its seeded fault plan) is a pure function of the sweep seed, so
     // pool scheduling can reorder the points but not change a bit.
-    let base = ClusterSim {
+    let base = ClusterConfig {
         requests: 500,
-        ..ClusterSim::default()
+        ..ClusterConfig::default()
     };
     let rates = [0.0, 0.02, 0.1];
     let serial = cluster_sweep_on(&base, &rates, FaultMix::gray(), &Serial);
@@ -126,4 +126,40 @@ fn trial_prefix_property_of_fixed_grain_chunks() {
         r.map(|_| rng.next_u64()).collect::<Vec<u64>>()
     });
     assert_eq!(long[..2], short[..]);
+}
+
+#[test]
+fn policy_grid_cluster_sweep_pool_matches_serial_bit_for_bit() {
+    // The new policy seams must not leak executor state into the DES:
+    // least-outstanding routing reads per-replica in-flight counters and
+    // adaptive hedging reads a per-shard latency digest, both inside the
+    // single-threaded simulation — the sweep fan-out around them cannot
+    // change a bit.
+    let base = ClusterConfig {
+        requests: 500,
+        routing: Routing::LeastOutstanding,
+        hedging: Hedging::adaptive(0.95),
+        ..ClusterConfig::default()
+    };
+    let rates = [0.0, 0.02, 0.1];
+    let serial = cluster_sweep_on(&base, &rates, FaultMix::gray(), &Serial);
+    for threads in [2, 8] {
+        let pool = Pool::new(threads);
+        let par = cluster_sweep_on(&base, &rates, FaultMix::gray(), &pool);
+        for (s, p) in serial.iter().zip(&par) {
+            assert_eq!(s.p50.to_bits(), p.p50.to_bits());
+            assert_eq!(s.p99.to_bits(), p.p99.to_bits());
+            assert_eq!(s.p999.to_bits(), p.p999.to_bits());
+            assert_eq!(s.goodput_rps.to_bits(), p.goodput_rps.to_bits());
+            assert_eq!((s.full, s.partial, s.failed), (p.full, p.partial, p.failed));
+            assert_eq!(
+                s.metrics.counter("cluster.hedges"),
+                p.metrics.counter("cluster.hedges")
+            );
+            assert_eq!(
+                s.metrics.counter("cluster.retries"),
+                p.metrics.counter("cluster.retries")
+            );
+        }
+    }
 }

@@ -743,3 +743,44 @@ fn seeded_fault_plans_replay_identically() {
         }
     });
 }
+
+/// Correlated plans are scope blasts: every drawn fault expands to the
+/// full membership of one scope, every member struck at the same instant
+/// with the same fault, and nothing else sneaks into the plan.
+#[test]
+fn correlated_fault_plans_blast_whole_scopes_at_one_instant() {
+    use xxi::core::des::fault::{FaultMix, FaultPlan, Topology};
+    use xxi::core::time::SimTime;
+    cases(28, |rng| {
+        let comps = rng.range_u64(2, 80) as u32;
+        let scopes = rng.range_u64(1, comps as u64) as u32;
+        let topo = if rng.chance(0.5) {
+            Topology::striped(comps, scopes)
+        } else {
+            Topology::blocks(comps, comps.div_ceil(scopes))
+        };
+        let rate = rng.next_f64();
+        let horizon = SimTime::from_ms(rng.range_u64(1, 2_000));
+        let mix = if rng.chance(0.5) {
+            FaultMix::kills_only()
+        } else {
+            FaultMix::gray()
+        };
+        let plan = FaultPlan::correlated(rng.next_u64(), horizon, &topo, rate, mix);
+        let draws = (rate * topo.scopes() as f64).ceil() as usize * usize::from(rate > 0.0);
+        let events = plan.events();
+        let mut idx = 0;
+        for _ in 0..draws {
+            let scope = topo.scope_of(events[idx].comp);
+            let members = topo.members(scope);
+            let blast = &events[idx..idx + members.len()];
+            for (e, m) in blast.iter().zip(&members) {
+                assert_eq!(e.comp, *m, "a blast covers its whole scope in order");
+                assert_eq!(e.at, blast[0].at, "scope members share the instant");
+                assert_eq!(e.fault, blast[0].fault, "and the fault");
+            }
+            idx += members.len();
+        }
+        assert_eq!(idx, events.len(), "every event belongs to some blast");
+    });
+}
