@@ -28,7 +28,9 @@ commands:
   validate <file|->             validate a JSON report file (one document
                                 per line); `-` reads stdin
   bench <id>...|--all [flags]   time experiments (--iters N, --warmup K,
-                                --threads N, --seed S, --out bench.json)
+                                --threads N, --seed S, --out bench.json);
+                                also accepts the des-* scheduler
+                                microbenches, and --all includes them
   compare <base> <new>          diff two bench JSON files by median wall
                                 time; --threshold <pct> (default 10) sets
                                 the regression gate (exit 3 when exceeded)
@@ -156,7 +158,7 @@ fn run_bench(args: &[String]) -> i32 {
         eprintln!("error: --threshold is only valid with `xxi compare`\n\n{USAGE}");
         return 2;
     }
-    let exps = match cli::select(&flags) {
+    let exps = match cli::select_bench(&flags) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");

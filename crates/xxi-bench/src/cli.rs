@@ -211,6 +211,34 @@ pub fn select(flags: &Flags) -> Result<Vec<&'static dyn Experiment>, String> {
     Ok(exps)
 }
 
+/// Resolve the experiments `xxi bench` should time. Same id grammar as
+/// [`select`], plus the `des-*` scheduler microbenches: ids resolve
+/// against both registries, and `--all` means the full paper registry
+/// followed by every microbench. The run/list/golden paths never see the
+/// micro registry — benching is the only consumer.
+pub fn select_bench(flags: &Flags) -> Result<Vec<&'static dyn Experiment>, String> {
+    if flags.all {
+        if !flags.ids.is_empty() {
+            return Err("pass either --all or experiment ids, not both".into());
+        }
+        let mut v = experiments::registry().to_vec();
+        v.extend_from_slice(experiments::micro_registry());
+        return Ok(v);
+    }
+    if flags.ids.is_empty() {
+        return Err("no experiment ids given (try `xxi bench --all`)".into());
+    }
+    let mut v = Vec::new();
+    for id in &flags.ids {
+        v.push(
+            experiments::find(id)
+                .or_else(|| experiments::find_micro(id))
+                .ok_or_else(|| format!("unknown experiment: {id} (see `xxi list`)"))?,
+        );
+    }
+    Ok(v)
+}
+
 /// Run `exps` under `flags` and render them in the requested format:
 /// text reports are concatenated with a blank line between experiments
 /// (one report is byte-identical to the historical binary); JSON is one

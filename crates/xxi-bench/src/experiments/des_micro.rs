@@ -1,0 +1,254 @@
+//! The `des-*` scheduler microbenches: synthetic event patterns that
+//! isolate the DES core (timer wheel + event arena + cancellation) from
+//! any model physics. They live in a separate micro registry reachable
+//! only from `xxi bench` — `xxi run`/`xxi list` stay pinned to the 21
+//! paper experiments — and their committed baselines in
+//! `tests/bench/baseline.json` put the scheduler itself under the
+//! `xxi compare` CI gate.
+//!
+//! The four patterns bracket the engine's regimes:
+//!
+//! * `des-hold` — a fixed population of self-rescheduling timers, the
+//!   classic steady-state "timer hold" loop: level-0 wheel hits and
+//!   arena recycling, no cancellation.
+//! * `des-churn` — burst-schedule a horizon-spanning batch, drain it,
+//!   repeat: insert/cascade/far-heap migration under churn.
+//! * `des-cancel` — the cluster-shaped pattern: every request arms a
+//!   hedge, a timeout, and a deadline guard, and settling the request
+//!   reaps all three — three of every four scheduled events cancel.
+//! * `des-drain` — one huge pre-scheduled backlog (with same-tick
+//!   bursts) drained to empty: pop/batch-sort throughput.
+//!
+//! All four run the identical seeded schedule every time; only the wall
+//! clock is interesting, which is why their reports carry event counts
+//! and the bench harness turns them into events/s.
+
+use xxi_core::{Report, Rng64, Sim, SimTime};
+
+use super::{Experiment, RunCtx};
+
+/// Per-event delay scale (ps). Big enough to spread events across wheel
+/// levels, small enough that a run never leaves the first far block.
+const US: u64 = 1_000_000;
+
+fn finish(sim: Sim<Rng64>, ctx: &RunCtx, r: &mut Report) {
+    let stats = sim.stats();
+    ctx.count("des.events_fired", stats.events_fired);
+    ctx.count("des.cancelled", stats.cancelled);
+    ctx.count("des.arena_high_water", stats.arena.high_water);
+    ctx.count("des.arena_recycled", stats.arena.recycled);
+    ctx.count("des.inline_events", stats.arena.inline_events);
+    ctx.count("des.boxed_events", stats.arena.boxed_events);
+    r.finding("events_fired", stats.events_fired as f64, "events");
+    r.finding("timers_cancelled", stats.cancelled as f64, "events");
+    r.finding("arena_high_water", stats.arena.high_water as f64, "slots");
+    assert_eq!(
+        stats.arena.boxed_events, 0,
+        "microbench closures must stay on the inline arena path"
+    );
+}
+
+/// `des-hold`: `POPULATION` self-rescheduling timers, run until
+/// `EVENTS` have fired.
+pub struct DesHold;
+
+impl DesHold {
+    const POPULATION: u64 = 16_384;
+    const EVENTS: u64 = 2_000_000;
+}
+
+impl Experiment for DesHold {
+    fn id(&self) -> &'static str {
+        "des-hold"
+    }
+
+    fn title(&self) -> &'static str {
+        "DES micro: steady-state timer hold (self-rescheduling population)"
+    }
+
+    fn paper_claim(&self) -> &'static str {
+        "scheduler microbench: wheel level-0 + arena recycling steady state"
+    }
+
+    fn work_units(&self) -> Option<(&'static str, f64)> {
+        Some(("events", Self::EVENTS as f64))
+    }
+
+    fn fill(&self, ctx: &RunCtx, r: &mut Report) {
+        fn hold(sim: &mut Sim<Rng64>) {
+            let delay = 1 + sim.state.below(64 * US);
+            sim.schedule_in(SimTime::from_ps(delay), hold);
+        }
+        let mut sim = Sim::new(Rng64::new(ctx.seed_or(0xD0_11)));
+        for _ in 0..Self::POPULATION {
+            let delay = 1 + sim.state.below(64 * US);
+            sim.schedule_in(SimTime::from_ps(delay), hold);
+        }
+        let fired = sim.run_events(Self::EVENTS);
+        r.section("Steady-state hold");
+        r.text(format!(
+            "{} timers held, {fired} events fired, clock at {} ps",
+            Self::POPULATION,
+            sim.now().ps()
+        ));
+        finish(sim, ctx, r);
+    }
+}
+
+/// `des-churn`: burst-schedule `BATCH` timers across a horizon that
+/// spans every wheel level and the far heap, drain, repeat `ROUNDS`x.
+pub struct DesChurn;
+
+impl DesChurn {
+    const BATCH: u64 = 250_000;
+    const ROUNDS: u64 = 4;
+}
+
+impl Experiment for DesChurn {
+    fn id(&self) -> &'static str {
+        "des-churn"
+    }
+
+    fn title(&self) -> &'static str {
+        "DES micro: burst churn across wheel levels and the far heap"
+    }
+
+    fn paper_claim(&self) -> &'static str {
+        "scheduler microbench: insert/cascade/far-migration under churn"
+    }
+
+    fn work_units(&self) -> Option<(&'static str, f64)> {
+        Some(("events", (Self::BATCH * Self::ROUNDS) as f64))
+    }
+
+    fn fill(&self, ctx: &RunCtx, r: &mut Report) {
+        let mut sim = Sim::new(Rng64::new(ctx.seed_or(0xC4_42)));
+        for _ in 0..Self::ROUNDS {
+            for _ in 0..Self::BATCH {
+                // Log-uniform delays: most land in the low levels, a
+                // long tail reaches past the 2^48 ps wheel span into the
+                // far heap (shift up to 2^53 ps).
+                let shift = sim.state.below(34);
+                let delay = (1 + sim.state.below(1 << 20)) << shift;
+                sim.schedule_in(SimTime::from_ps(delay), |_| {});
+            }
+            sim.run();
+        }
+        r.section("Burst churn");
+        r.text(format!(
+            "{} rounds x {} timers, clock at {} ps",
+            Self::ROUNDS,
+            Self::BATCH,
+            sim.now().ps()
+        ));
+        finish(sim, ctx, r);
+    }
+}
+
+/// `des-cancel`: the cluster-shaped cancel-heavy pattern, mirroring the
+/// `xxi-cloud` request lifecycle: each request arms a hedge, a timeout,
+/// and a deadline guard, and settling the request reaps all three — so
+/// three of every four scheduled events are cancelled instead of fired.
+pub struct DesCancel;
+
+impl DesCancel {
+    const REQUESTS: u64 = 589_824;
+}
+
+impl Experiment for DesCancel {
+    fn id(&self) -> &'static str {
+        "des-cancel"
+    }
+
+    fn title(&self) -> &'static str {
+        "DES micro: cancel-heavy cluster shape (hedge/timeout/deadline reaped)"
+    }
+
+    fn paper_claim(&self) -> &'static str {
+        "scheduler microbench: generation-checked cancellation off the hot path"
+    }
+
+    fn work_units(&self) -> Option<(&'static str, f64)> {
+        // Scheduled events: completion + hedge + timeout + deadline.
+        Some(("events", (4 * Self::REQUESTS) as f64))
+    }
+
+    fn fill(&self, ctx: &RunCtx, r: &mut Report) {
+        let mut sim = Sim::new(Rng64::new(ctx.seed_or(0xCA_9C)));
+        // A rolling open window, like a cluster under steady load: each
+        // arrival arms its guard timers exactly as `xxi-cloud::cluster`
+        // does (hedge at +6 us, attempt timeout at +18 us, deadline at
+        // +40 us), the work settles at +1..4 us and reaps all three.
+        fn arrive(sim: &mut Sim<Rng64>, remaining: u64) {
+            let work = 1 + sim.state.below(4 * US);
+            let hedge = sim.schedule_in_handle(SimTime::from_ps(6 * US), |_| {});
+            let timeout = sim.schedule_in_handle(SimTime::from_ps(18 * US), |_| {});
+            let deadline = sim.schedule_in_handle(SimTime::from_ps(40 * US), |_| {});
+            sim.schedule_in(SimTime::from_ps(work), move |sim| {
+                let reaped = sim.cancel(hedge) && sim.cancel(timeout) && sim.cancel(deadline);
+                assert!(reaped, "guard timers were still pending");
+                if remaining > 0 {
+                    arrive(sim, remaining - 1);
+                }
+            });
+        }
+        const OPEN: u64 = 4_096;
+        let per_chain = DesCancel::REQUESTS / OPEN;
+        for _ in 0..OPEN {
+            arrive(&mut sim, per_chain - 1);
+        }
+        sim.run();
+        r.section("Cancel-heavy serving shape");
+        r.text(format!(
+            "{} requests ({} open), 3 guards reaped each, clock at {} ps",
+            OPEN * per_chain,
+            OPEN,
+            sim.now().ps()
+        ));
+        assert_eq!(sim.cancelled(), 3 * OPEN * per_chain, "every guard reaped");
+        finish(sim, ctx, r);
+    }
+}
+
+/// `des-drain`: pre-schedule one huge backlog (with same-tick bursts),
+/// then drain it to empty.
+pub struct DesDrain;
+
+impl DesDrain {
+    const EVENTS: u64 = 1_000_000;
+}
+
+impl Experiment for DesDrain {
+    fn id(&self) -> &'static str {
+        "des-drain"
+    }
+
+    fn title(&self) -> &'static str {
+        "DES micro: drain a pre-scheduled backlog with same-tick bursts"
+    }
+
+    fn paper_claim(&self) -> &'static str {
+        "scheduler microbench: pop/batch-sort throughput at high occupancy"
+    }
+
+    fn work_units(&self) -> Option<(&'static str, f64)> {
+        Some(("events", Self::EVENTS as f64))
+    }
+
+    fn fill(&self, ctx: &RunCtx, r: &mut Report) {
+        let mut sim = Sim::new(Rng64::new(ctx.seed_or(0xD7_A1)));
+        for _ in 0..Self::EVENTS {
+            // Coarse ticks force same-tick FIFO bursts (~4 events/tick).
+            let at = sim.state.below(Self::EVENTS / 4) * US;
+            sim.schedule_at(SimTime::from_ps(at), |_| {});
+        }
+        let fired = sim.run();
+        r.section("Backlog drain");
+        r.text(format!(
+            "{fired} events drained, clock at {} ps",
+            sim.now().ps()
+        ));
+        assert_eq!(fired, Self::EVENTS);
+        finish(sim, ctx, r);
+    }
+}

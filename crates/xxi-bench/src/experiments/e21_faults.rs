@@ -10,11 +10,13 @@
 //! naive single-attempt serving strands requests on dead replicas for as
 //! long as its deadline allows. A gray-failure storm then exercises the
 //! failsafe machine's graceful degradation to partial results. Finally a
-//! 2×2 policy grid — {round-robin, least-outstanding} routing ×
-//! {fixed, adaptive} hedging — runs under a correlated two-rack
-//! blast-radius plan, showing load-aware routing and quantile-tracking
-//! hedging beating the static policies on p99.9 at lower retry
-//! amplification.
+//! 3×3 policy grid — {round-robin, least-outstanding, power-of-two}
+//! routing × {fixed, adaptive, capped-adaptive} hedging — runs under a
+//! correlated two-rack blast-radius plan, showing load-aware routing and
+//! quantile-tracking hedging beating the static policies on p99.9 at
+//! lower retry amplification, and the capped-adaptive guard repairing
+//! the digest-poisoning regression that raw adaptive hedging suffers
+//! under round-robin.
 //!
 //! Every sweep fans out on the executor from [`RunCtx`]; all numbers are
 //! byte-identical at every `--threads` count. With `--trace`, the
@@ -84,9 +86,9 @@ impl Experiment for E21Faults {
     }
 
     // 2 sweeps x 5 rates x 1500 requests + the gray storm's 1200 + the
-    // 2x2 policy grid x 1500.
+    // 3x3 policy grid x 1500.
     fn work_units(&self) -> Option<(&'static str, f64)> {
-        Some(("requests", 22_200.0))
+        Some(("requests", 29_700.0))
     }
 
     fn fill(&self, ctx: &RunCtx, r: &mut Report) {
@@ -263,8 +265,13 @@ impl Experiment for E21Faults {
         let cells = [
             (Routing::RoundRobin, Hedging::fixed(10.0)),
             (Routing::RoundRobin, Hedging::adaptive(0.80)),
+            (Routing::RoundRobin, Hedging::adaptive_capped(0.80)),
             (Routing::LeastOutstanding, Hedging::fixed(10.0)),
             (Routing::LeastOutstanding, Hedging::adaptive(0.80)),
+            (Routing::LeastOutstanding, Hedging::adaptive_capped(0.80)),
+            (Routing::PowerOfTwo, Hedging::fixed(10.0)),
+            (Routing::PowerOfTwo, Hedging::adaptive(0.80)),
+            (Routing::PowerOfTwo, Hedging::adaptive_capped(0.80)),
         ];
         let slots: Vec<Mutex<Option<_>>> = cells.iter().map(|_| Mutex::new(None)).collect();
         exec.for_tasks(cells.len(), &|i| {
@@ -304,6 +311,15 @@ impl Experiment for E21Faults {
             ]);
             ctx.count("cluster.requests", out.requests as u64);
             ctx.count("cluster.hedges", out.metrics.counter("cluster.hedges"));
+            // DES engine telemetry: cancelled timers absorb what used to
+            // fire as settled-attempt no-ops; the stale-fire tripwire
+            // must stay zero.
+            ctx.count("des.events_fired", out.metrics.counter("des.events_fired"));
+            ctx.count("des.cancelled", out.metrics.counter("des.cancelled"));
+            ctx.count(
+                "cluster.stale_fires",
+                out.metrics.counter("cluster.stale_fires"),
+            );
         }
         r.table(t);
 
@@ -320,9 +336,21 @@ impl Experiment for E21Faults {
         ctx.count("fault.cancelled", m.counter("fault.cancelled"));
 
         let rr_fixed = &grid[0];
-        let lor_adaptive = &grid[3];
+        let rr_adaptive = &grid[1];
+        let rr_capped = &grid[2];
+        let lor_adaptive = &grid[4];
         r.finding("grid_rr_fixed_p999", rr_fixed.p999, "ms");
         r.finding("grid_lor_adaptive_p999", lor_adaptive.p999, "ms");
+        // The digest-poisoning regression and its guard: under round-robin
+        // the blast drags the online p80 past the attempt timeout, so raw
+        // adaptive hedges arrive too late to rescue attempts; capping the
+        // delay at the static fallback repairs the tail.
+        r.finding("grid_rr_adaptive_p999", rr_adaptive.p999, "ms");
+        r.finding(
+            "grid_capped_hedge_rescue",
+            rr_adaptive.p999 / rr_capped.p999,
+            "x (round-robin adaptive over capped-adaptive)",
+        );
         r.finding(
             "grid_p999_win",
             rr_fixed.p999 / lor_adaptive.p999,

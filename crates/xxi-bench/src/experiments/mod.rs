@@ -16,6 +16,7 @@ use xxi_core::par::Parallelism;
 use xxi_core::Report;
 use xxi_stack::pool::Pool;
 
+mod des_micro;
 mod e10_sensor;
 mod e11_ntv;
 mod e12_nvm;
@@ -259,6 +260,28 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
 /// Look up an experiment by id, case-insensitively (`e9` or `E9`).
 pub fn find(id: &str) -> Option<&'static dyn Experiment> {
     registry()
+        .iter()
+        .copied()
+        .find(|e| e.id().eq_ignore_ascii_case(id))
+}
+
+/// The `des-*` scheduler microbenches, in fixed order. A separate
+/// registry on purpose: `xxi run`/`xxi list` and the golden suite stay
+/// pinned to the 21 paper experiments; only the bench path
+/// ([`crate::cli::select_bench`]) reaches these.
+pub fn micro_registry() -> &'static [&'static dyn Experiment] {
+    static MICRO: [&dyn Experiment; 4] = [
+        &des_micro::DesHold,
+        &des_micro::DesChurn,
+        &des_micro::DesCancel,
+        &des_micro::DesDrain,
+    ];
+    &MICRO
+}
+
+/// Look up a microbench by id, case-insensitively (`des-hold`).
+pub fn find_micro(id: &str) -> Option<&'static dyn Experiment> {
+    micro_registry()
         .iter()
         .copied()
         .find(|e| e.id().eq_ignore_ascii_case(id))

@@ -16,14 +16,29 @@
 //!   [`RoundRobin`] walks the shard's replicas from a random first pick;
 //!   [`LeastOutstanding`] picks the candidate with the fewest in-flight
 //!   requests (live per-replica counters), steering around slow and
-//!   backed-up replicas. Either way the walk is a *permutation*: no
-//!   replica is revisited until every one has been tried.
+//!   backed-up replicas; [`PowerOfTwoChoices`] samples two candidates on a
+//!   dedicated [`Rng64::stream`] substream and keeps the less loaded one —
+//!   most of least-outstanding's benefit without reading every counter.
+//!   Either way the walk is a *permutation*: no replica is revisited until
+//!   every one has been tried.
 //! * **Hedging** ([`HedgePolicy`]): when to duplicate the first attempt.
 //!   [`FixedHedge`] waits a constant delay (the classic Tail-at-Scale
 //!   mitigation); [`AdaptiveHedge`] waits for the shard's *online* latency
 //!   quantile, read from a per-shard [`TailDigest`] fed by every observed
 //!   attempt — hedges fire early when the shard is fast and back off on
-//!   their own when it degrades.
+//!   their own when it degrades. [`CappedAdaptiveHedge`] additionally caps
+//!   the online delay at the static fallback — the digest-poisoning guard:
+//!   a blast window of stragglers can inflate the raw quantile past the
+//!   attempt timeout and silently disable hedging exactly when it is
+//!   needed most.
+//!
+//! Per-attempt timeout timers, hedge timers, and the request deadline are
+//! scheduled through the DES's cancellable `_handle` API and cancelled the
+//! moment they become stale (the attempt settled, a second attempt exists,
+//! the request closed) — no guarded no-op fires; `des.cancelled` in the
+//! outcome metrics accounts for every one, and `cluster.stale_fires`
+//! counts the timer fires whose guards found nothing to do (zero under
+//! cancellation, asserted in tests).
 //!
 //! Around the seams, the serving discipline is fixed: every shard query
 //! carries a per-attempt timeout sliced from the request's QoS
@@ -48,7 +63,7 @@ use serde::Serialize;
 use crate::latency::LatencyDist;
 use crate::qos::Budget;
 use xxi_core::des::fault::{FaultInjector, FaultMix, FaultPlan};
-use xxi_core::des::Sim;
+use xxi_core::des::{Sim, TimerHandle};
 use xxi_core::metrics::Metrics;
 use xxi_core::obs::{SpanId, TailDigest, Trace};
 use xxi_core::par::Parallelism;
@@ -110,6 +125,52 @@ impl RoutingPolicy for LeastOutstanding {
     }
 }
 
+/// Power-of-two-choices routing: sample two of the untried candidates and
+/// keep the one with fewer in-flight requests, ties in failover order.
+/// The classic load-balancing result: two random probes get most of the
+/// benefit of scanning every counter, without the herd behavior of
+/// deterministic least-loaded picks.
+///
+/// The two probes come from a *dedicated* [`Rng64::stream`] substream of
+/// the cluster seed (never the service-time RNG), so enabling this policy
+/// cannot shift any other random draw in the run. [`RoutingPolicy::pick`]
+/// is RNG-free by contract, so this type's trait impl degrades to
+/// comparing the first two failover candidates; the cluster dispatch path
+/// uses [`PowerOfTwoChoices::pick_with`] with the live substream.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PowerOfTwoChoices;
+
+impl PowerOfTwoChoices {
+    /// The real power-of-two pick: two substream probes into `candidates`
+    /// (with replacement), keeping the less-loaded, ties in failover
+    /// order.
+    pub fn pick_with(&self, candidates: &[u32], outstanding: &[u32], rng: &mut Rng64) -> u32 {
+        let n = candidates.len() as u64;
+        let i = rng.below(n) as usize;
+        let j = rng.below(n) as usize;
+        // Earlier failover position wins ties.
+        let x = candidates[i.min(j)];
+        let y = candidates[i.max(j)];
+        if outstanding[y as usize] < outstanding[x as usize] {
+            y
+        } else {
+            x
+        }
+    }
+}
+
+impl RoutingPolicy for PowerOfTwoChoices {
+    fn pick(&self, candidates: &[u32], outstanding: &[u32]) -> u32 {
+        // RNG-free fallback: probe the first two failover candidates.
+        let two = &candidates[..candidates.len().min(2)];
+        LeastOutstanding.pick(two, outstanding)
+    }
+
+    fn name(&self) -> &'static str {
+        "power-of-two"
+    }
+}
+
 /// The routing policies a [`ClusterConfig`] can carry by value.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
 pub enum Routing {
@@ -117,12 +178,24 @@ pub enum Routing {
     RoundRobin,
     /// [`LeastOutstanding`].
     LeastOutstanding,
+    /// [`PowerOfTwoChoices`].
+    PowerOfTwo,
 }
 
 impl Routing {
     /// Short human name for reports (same as [`RoutingPolicy::name`]).
     pub fn describe(&self) -> &'static str {
         self.name()
+    }
+
+    /// Replica selection with the cluster's dedicated routing substream.
+    /// Only [`Routing::PowerOfTwo`] draws from `rng`; the deterministic
+    /// policies delegate to their RNG-free [`RoutingPolicy`] impls.
+    fn pick_with(&self, candidates: &[u32], outstanding: &[u32], rng: &mut Rng64) -> u32 {
+        match self {
+            Routing::PowerOfTwo => PowerOfTwoChoices.pick_with(candidates, outstanding, rng),
+            _ => self.pick(candidates, outstanding),
+        }
     }
 }
 
@@ -131,6 +204,7 @@ impl RoutingPolicy for Routing {
         match self {
             Routing::RoundRobin => RoundRobin.pick(candidates, outstanding),
             Routing::LeastOutstanding => LeastOutstanding.pick(candidates, outstanding),
+            Routing::PowerOfTwo => PowerOfTwoChoices.pick(candidates, outstanding),
         }
     }
 
@@ -138,6 +212,7 @@ impl RoutingPolicy for Routing {
         match self {
             Routing::RoundRobin => RoundRobin.name(),
             Routing::LeastOutstanding => LeastOutstanding.name(),
+            Routing::PowerOfTwo => PowerOfTwoChoices.name(),
         }
     }
 }
@@ -211,6 +286,38 @@ impl HedgePolicy for AdaptiveHedge {
     }
 }
 
+/// [`AdaptiveHedge`] with the online delay capped at `fallback_ms` — the
+/// digest-poisoning guard. The raw adaptive policy trusts the observed
+/// quantile unconditionally, so a correlated blast window full of
+/// stragglers drags the quantile above the attempt timeout and hedging
+/// silently turns itself off for the rest of the run (observable as the
+/// round-robin + adaptive regression in E21's policy grid). Capping at
+/// the static fallback keeps the "hedge earlier when the shard is fast"
+/// upside while bounding the downside at exactly the fixed policy.
+#[derive(Clone, Copy, Debug)]
+pub struct CappedAdaptiveHedge {
+    /// Quantile of observed attempt latency to hedge at (e.g. 0.95).
+    pub quantile: f64,
+    /// Warmup delay *and* the upper bound on the online delay (ms).
+    pub fallback_ms: f64,
+    /// Observations required before the quantile is consulted.
+    pub warmup: u64,
+}
+
+impl HedgePolicy for CappedAdaptiveHedge {
+    fn delay_ms(&self, digest: &TailDigest) -> Option<f64> {
+        if digest.count() < self.warmup {
+            Some(self.fallback_ms)
+        } else {
+            Some(digest.quantile(self.quantile).min(self.fallback_ms))
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "capped-adaptive-hedge"
+    }
+}
+
 /// The hedging policies a [`ClusterConfig`] can carry by value.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize)]
 pub enum Hedging {
@@ -228,6 +335,16 @@ pub enum Hedging {
         /// Delay until `warmup` attempts have been observed (ms).
         fallback_ms: f64,
         /// Observations required before the quantile is trusted.
+        warmup: u64,
+    },
+    /// [`CappedAdaptiveHedge`]: adaptive, with the online delay capped at
+    /// `fallback_ms` (the digest-poisoning guard).
+    AdaptiveCapped {
+        /// Quantile of observed attempt latency to hedge at.
+        quantile: f64,
+        /// Warmup delay and the cap on the online delay (ms).
+        fallback_ms: f64,
+        /// Observations required before the quantile is consulted.
         warmup: u64,
     },
 }
@@ -249,6 +366,17 @@ impl Hedging {
         }
     }
 
+    /// [`Hedging::adaptive`] with the online delay capped at the same
+    /// 10 ms fallback (see [`CappedAdaptiveHedge`]).
+    pub fn adaptive_capped(quantile: f64) -> Hedging {
+        assert!((0.0..1.0).contains(&quantile));
+        Hedging::AdaptiveCapped {
+            quantile,
+            fallback_ms: 10.0,
+            warmup: 64,
+        }
+    }
+
     /// Human description with parameters, for reports.
     pub fn describe(&self) -> String {
         match *self {
@@ -256,6 +384,9 @@ impl Hedging {
             Hedging::Fixed { after_ms } => format!("hedge at {after_ms} ms"),
             Hedging::Adaptive { quantile, .. } => {
                 format!("hedge at online p{:.0}", quantile * 100.0)
+            }
+            Hedging::AdaptiveCapped { quantile, .. } => {
+                format!("hedge at online p{:.0} (capped)", quantile * 100.0)
             }
         }
     }
@@ -276,6 +407,16 @@ impl HedgePolicy for Hedging {
                 warmup,
             }
             .delay_ms(digest),
+            Hedging::AdaptiveCapped {
+                quantile,
+                fallback_ms,
+                warmup,
+            } => CappedAdaptiveHedge {
+                quantile,
+                fallback_ms,
+                warmup,
+            }
+            .delay_ms(digest),
         }
     }
 
@@ -284,6 +425,12 @@ impl HedgePolicy for Hedging {
             Hedging::None => NoHedge.name(),
             Hedging::Fixed { .. } => FixedHedge(0.0).name(),
             Hedging::Adaptive { .. } => AdaptiveHedge {
+                quantile: 0.0,
+                fallback_ms: 0.0,
+                warmup: 0,
+            }
+            .name(),
+            Hedging::AdaptiveCapped { .. } => CappedAdaptiveHedge {
                 quantile: 0.0,
                 fallback_ms: 0.0,
                 warmup: 0,
@@ -445,6 +592,12 @@ struct ShardSlot {
     replica: Vec<u32>,
     /// Open trace span per attempt (`SpanId::DISABLED` when untraced).
     span: Vec<SpanId>,
+    /// The attempt's pending timeout timer; cancelled when the attempt
+    /// settles first (`None` on the refused path, which schedules none).
+    timeout_timer: Vec<Option<TimerHandle>>,
+    /// The shard query's pending hedge timer; cancelled as soon as a
+    /// second attempt exists or the query closes.
+    hedge_timer: Option<TimerHandle>,
     /// Replicas tried since the failover permutation last restarted.
     tried: Vec<bool>,
     /// Start of the failover rotation (drawn per shard query).
@@ -456,12 +609,23 @@ struct Req {
     answered: u32,
     done: bool,
     span: SpanId,
+    /// The request's deadline timer; cancelled when every shard answers
+    /// before it fires.
+    deadline_timer: Option<TimerHandle>,
     slots: Vec<ShardSlot>,
 }
+
+/// Substream index for the power-of-two routing probes (disjoint from the
+/// fault-plan streams in `xxi_core::des::fault`).
+const ROUTING_STREAM: u64 = 0xFA_207;
 
 struct CState {
     cfg: ClusterConfig,
     rng: Rng64,
+    /// Dedicated substream for [`PowerOfTwoChoices`] probes; drawn from
+    /// only when that policy is configured, so the other policies' runs
+    /// see exactly the seed repo's draw sequence.
+    route_rng: Rng64,
     faults: FaultInjector,
     machine: FailsafeMachine,
     reqs: Vec<Req>,
@@ -482,6 +646,10 @@ struct CState {
     timeouts: u64,
     refused: u64,
     lost: u64,
+    /// Timer events that fired but found their guards already satisfied —
+    /// pure no-ops. Real cancellation keeps this at zero (tested); the
+    /// seed engine burned one heap pop + closure call on each.
+    stale_fires: u64,
 }
 
 fn ms_to_sim(ms: f64) -> SimTime {
@@ -530,6 +698,7 @@ impl ClusterConfig {
         let state = CState {
             cfg: *self,
             rng: Rng64::new(self.seed),
+            route_rng: Rng64::stream(self.seed, ROUTING_STREAM),
             faults: FaultInjector::new(plan, self.components()),
             // 10 errors in a window escalate to Degraded, 40 to Safe;
             // 50 clean requests recover Degraded -> Normal.
@@ -548,6 +717,7 @@ impl ClusterConfig {
             timeouts: 0,
             refused: 0,
             lost: 0,
+            stale_fires: 0,
         };
         let mut sim = Sim::with_trace(state, trace);
         for r in 0..self.requests {
@@ -556,6 +726,7 @@ impl ClusterConfig {
         }
         sim.run();
 
+        let des_stats = sim.stats();
         let s = sim.state;
         assert!(
             s.inflight.iter().all(|&n| n == 0),
@@ -576,7 +747,9 @@ impl ClusterConfig {
         metrics.count("cluster.refused", s.refused);
         metrics.count("cluster.lost_responses", s.lost);
         metrics.count("cluster.degraded_accepts", s.degraded_accepts as u64);
+        metrics.count("cluster.stale_fires", s.stale_fires);
         metrics.count("failsafe.transitions", s.machine.transitions().len() as u64);
+        des_stats.record(&mut metrics);
         metrics.gauge(
             "failsafe.final_mode",
             match s.machine.mode() {
@@ -623,6 +796,8 @@ fn arrive(sim: &mut Sim<CState>) {
             sent_at: Vec::new(),
             replica: Vec::new(),
             span: Vec::new(),
+            timeout_timer: Vec::new(),
+            hedge_timer: None,
             tried: vec![false; cfg.replicas as usize],
             first_pick: sim.state.rng.below(cfg.replicas as u64) as u32,
         })
@@ -632,15 +807,27 @@ fn arrive(sim: &mut Sim<CState>) {
         answered: 0,
         done: false,
         span,
+        deadline_timer: None,
         slots,
     });
     let req = sim.state.reqs.len() - 1;
     for shard in 0..cfg.shards as usize {
         dispatch(sim, req, shard, false);
     }
-    sim.schedule_in(ms_to_sim(cfg.budget.deadline_ms), move |sim| {
+    let h = sim.schedule_in_handle(ms_to_sim(cfg.budget.deadline_ms), move |sim| {
         deadline(sim, req);
     });
+    sim.state.reqs[req].deadline_timer = Some(h);
+}
+
+/// Cancel the shard query's hedge timer, if one is still pending. Called
+/// whenever a permanent no-hedge condition latches (a second attempt
+/// exists, the shard answered or gave up, the request closed); cancelling
+/// the just-fired timer's own stale handle is a harmless no-op.
+fn cancel_hedge(sim: &mut Sim<CState>, req: usize, shard: usize) {
+    if let Some(h) = sim.state.reqs[req].slots[shard].hedge_timer.take() {
+        sim.cancel(h);
+    }
 }
 
 /// Launch one attempt of `shard` for `req`. `hedge` marks duplicates
@@ -660,6 +847,7 @@ fn dispatch(sim: &mut Sim<CState>, req: usize, shard: usize, hedge: bool) {
     };
     let Some(timeout_ms) = cfg.budget.attempt_timeout(elapsed) else {
         sim.state.reqs[req].slots[shard].given_up = true;
+        cancel_hedge(sim, req, shard);
         return;
     };
     let base = shard * cfg.replicas as usize;
@@ -671,21 +859,29 @@ fn dispatch(sim: &mut Sim<CState>, req: usize, shard: usize, hedge: bool) {
         slot.resolved.push(false);
         slot.settled.push(false);
         slot.sent_at.push(now);
+        slot.timeout_timer.push(None);
         debug_assert_eq!(slot.resolved.len(), slot.attempts as usize);
         if slot.tried.iter().all(|&t| t) {
             // Every replica has been offered: start a fresh permutation.
             slot.tried.fill(false);
         }
         let candidates = failover_candidates(cfg.replicas, slot.first_pick, &slot.tried);
-        let local = cfg
-            .routing
-            .pick(&candidates, &s.inflight[base..base + cfg.replicas as usize]);
+        let local = cfg.routing.pick_with(
+            &candidates,
+            &s.inflight[base..base + cfg.replicas as usize],
+            &mut s.route_rng,
+        );
         debug_assert!(candidates.contains(&local), "policy picked a candidate");
         slot.tried[local as usize] = true;
         slot.replica.push(local);
         s.inflight[base + local as usize] += 1;
         (attempt, local)
     };
+    if attempt >= 1 {
+        // A second attempt exists; the hedge-once condition is permanently
+        // dead, so its timer (if still pending) is stale.
+        cancel_hedge(sim, req, shard);
+    }
     let replica = (base + local as usize) as u32;
     sim.state.attempts += 1;
     let span = sim.trace_begin("attempt", "cluster", 1 + shard as u64);
@@ -712,10 +908,12 @@ fn dispatch(sim: &mut Sim<CState>, req: usize, shard: usize, hedge: bool) {
             respond(sim, req, shard, attempt, replica);
         });
         // The timeout declares the attempt lost; late answers that beat
-        // the *deadline* still count (work isn't thrown away).
-        sim.schedule_in(ms_to_sim(timeout_ms), move |sim| {
+        // the *deadline* still count (work isn't thrown away). Cancelled
+        // if the attempt settles first.
+        let h = sim.schedule_in_handle(ms_to_sim(timeout_ms), move |sim| {
             attempt_timeout(sim, req, shard, attempt);
         });
+        sim.state.reqs[req].slots[shard].timeout_timer[attempt] = Some(h);
     }
 
     // Hedge the first attempt (only): a duplicate to another replica
@@ -725,7 +923,10 @@ fn dispatch(sim: &mut Sim<CState>, req: usize, shard: usize, hedge: bool) {
     if !hedge && attempt == 0 {
         if let Some(h) = cfg.hedging.delay_ms(&sim.state.digests[shard]) {
             if h < timeout_ms {
-                sim.schedule_in(ms_to_sim(h), move |sim| hedge_fire(sim, req, shard));
+                let timer = sim.schedule_in_handle(ms_to_sim(h), move |sim| {
+                    hedge_fire(sim, req, shard);
+                });
+                sim.state.reqs[req].slots[shard].hedge_timer = Some(timer);
             }
         }
     }
@@ -733,19 +934,30 @@ fn dispatch(sim: &mut Sim<CState>, req: usize, shard: usize, hedge: bool) {
 
 /// Close the books on one attempt: its connection is gone (answered,
 /// refused, timed out, or torn down with the request), so the replica's
-/// in-flight counter drops and the attempt's trace span closes with an
-/// `outcome` argument (0 response / 1 refused / 2 timeout / 3 cancelled).
-/// Idempotent per attempt.
-fn settle(sim: &mut Sim<CState>, req: usize, shard: usize, attempt: usize, outcome: f64) {
-    let (local, span) = {
+/// in-flight counter drops, the attempt's now-stale timeout timer is
+/// cancelled, and the attempt's trace span closes with an `outcome`
+/// argument (0 response / 1 refused / 2 timeout / 3 cancelled).
+/// Idempotent per attempt; returns whether this call did the settling.
+fn settle(sim: &mut Sim<CState>, req: usize, shard: usize, attempt: usize, outcome: f64) -> bool {
+    let (local, span, timer) = {
         let s = &mut sim.state;
         let slot = &mut s.reqs[req].slots[shard];
         if slot.settled[attempt] {
-            return;
+            return false;
         }
         slot.settled[attempt] = true;
-        (slot.replica[attempt], slot.span[attempt])
+        (
+            slot.replica[attempt],
+            slot.span[attempt],
+            slot.timeout_timer[attempt].take(),
+        )
     };
+    if let Some(h) = timer {
+        // A settled attempt's timeout fire would be a pure no-op (the
+        // per-attempt guards all latch); when the timeout itself settles
+        // us, its own handle is already stale and this is a no-op.
+        sim.cancel(h);
+    }
     let comp = shard * sim.state.cfg.replicas as usize + local as usize;
     sim.state.inflight[comp] -= 1;
     sim.trace_end_args(
@@ -757,12 +969,18 @@ fn settle(sim: &mut Sim<CState>, req: usize, shard: usize, attempt: usize, outco
             ("outcome", outcome),
         ],
     );
+    true
 }
 
 /// Tear down every still-open attempt of a finished request (the client
-/// hangs up its connections when it has an answer or hits the deadline).
+/// hangs up its connections when it has an answer or hits the deadline),
+/// cancelling the request's remaining timers on the way out.
 fn settle_request(sim: &mut Sim<CState>, req: usize) {
+    if let Some(h) = sim.state.reqs[req].deadline_timer.take() {
+        sim.cancel(h);
+    }
     for shard in 0..sim.state.cfg.shards as usize {
+        cancel_hedge(sim, req, shard);
         let attempts = sim.state.reqs[req].slots[shard].attempts as usize;
         for attempt in 0..attempts {
             settle(sim, req, shard, attempt, OUT_CANCELLED);
@@ -787,19 +1005,30 @@ fn respond(sim: &mut Sim<CState>, req: usize, shard: usize, attempt: usize, repl
     let observed = now.since(sent).ms();
     sim.state.digests[shard].add(observed);
     let shards = sim.state.cfg.shards;
-    let (latency, span) = {
+    let mut answered_now = false;
+    let full_close = {
         let r = &mut sim.state.reqs[req];
         r.slots[shard].resolved[attempt] = true;
         if r.done || r.slots[shard].answered {
-            return;
+            None
+        } else {
+            r.slots[shard].answered = true;
+            answered_now = true;
+            r.answered += 1;
+            if r.answered < shards {
+                None
+            } else {
+                r.done = true;
+                Some((now.since(r.start).ms(), r.span))
+            }
         }
-        r.slots[shard].answered = true;
-        r.answered += 1;
-        if r.answered < shards {
-            return;
-        }
-        r.done = true;
-        (now.since(r.start).ms(), r.span)
+    };
+    if answered_now {
+        // The shard has its answer: a pending hedge timer is stale.
+        cancel_hedge(sim, req, shard);
+    }
+    let Some((latency, span)) = full_close else {
+        return;
     };
     settle_request(sim, req);
     sim.trace_end_args(span, &[("latency_ms", latency), ("full", 1.0)]);
@@ -809,11 +1038,16 @@ fn respond(sim: &mut Sim<CState>, req: usize, shard: usize, attempt: usize, repl
 }
 
 fn attempt_timeout(sim: &mut Sim<CState>, req: usize, shard: usize, attempt: usize) {
-    settle(sim, req, shard, attempt, OUT_TIMEOUT);
+    let settled_now = settle(sim, req, shard, attempt, OUT_TIMEOUT);
     {
         let r = &sim.state.reqs[req];
         let slot = &r.slots[shard];
         if r.done || slot.answered || slot.given_up || slot.resolved[attempt] {
+            if !settled_now {
+                // The fire did literally nothing — a stale timer that
+                // cancellation should have reaped. Kept as a tripwire.
+                sim.state.stale_fires += 1;
+            }
             return;
         }
     }
@@ -830,12 +1064,14 @@ fn maybe_retry(sim: &mut Sim<CState>, req: usize, shard: usize) {
     let attempts = sim.state.reqs[req].slots[shard].attempts;
     if attempts >= cfg.retry.max_attempts {
         sim.state.reqs[req].slots[shard].given_up = true;
+        cancel_hedge(sim, req, shard);
         return;
     }
     let backoff = cfg.retry.backoff_ms(attempts - 1, &mut sim.state.rng);
     let elapsed = now.since(sim.state.reqs[req].start).ms();
     if cfg.budget.attempt_timeout(elapsed + backoff).is_none() {
         sim.state.reqs[req].slots[shard].given_up = true;
+        cancel_hedge(sim, req, shard);
         return;
     }
     sim.state.retries += 1;
@@ -854,12 +1090,15 @@ fn maybe_retry(sim: &mut Sim<CState>, req: usize, shard: usize) {
 fn hedge_fire(sim: &mut Sim<CState>, req: usize, shard: usize) {
     let r = &sim.state.reqs[req];
     let slot = &r.slots[shard];
-    if r.done || slot.answered || slot.given_up {
+    if r.done || slot.answered || slot.given_up || slot.attempts != 1 {
+        // Permanent conditions: cancellation reaps these timers before
+        // they fire, so reaching here means a stale fire slipped through.
+        sim.state.stale_fires += 1;
         return;
     }
-    // Only hedge while the first attempt is the only one in flight, and
-    // shed hedging load entirely in Safe mode.
-    if slot.attempts != 1 || slot.attempts >= sim.state.cfg.retry.max_attempts {
+    // Only hedge while hedging leaves room for a retry, and shed hedging
+    // load entirely in Safe mode — transient conditions, not staleness.
+    if slot.attempts >= sim.state.cfg.retry.max_attempts {
         return;
     }
     if sim.state.machine.mode() == Mode::Safe {
@@ -883,6 +1122,9 @@ fn deadline(sim: &mut Sim<CState>, req: usize) {
     let (answered, span) = {
         let r = &mut sim.state.reqs[req];
         if r.done {
+            // The deadline timer is cancelled when the request completes;
+            // a fire against a done request is a stale fire.
+            sim.state.stale_fires += 1;
             return;
         }
         r.done = true;
@@ -1358,8 +1600,256 @@ mod tests {
     fn policy_names_surface_for_reports() {
         assert_eq!(Routing::RoundRobin.name(), "round-robin");
         assert_eq!(Routing::LeastOutstanding.name(), "least-outstanding");
+        assert_eq!(Routing::PowerOfTwo.name(), "power-of-two");
         assert_eq!(Hedging::None.name(), "no-hedge");
         assert_eq!(Hedging::fixed(10.0).name(), "fixed-hedge");
         assert_eq!(Hedging::adaptive(0.95).name(), "adaptive-hedge");
+        assert_eq!(
+            Hedging::adaptive_capped(0.95).name(),
+            "capped-adaptive-hedge"
+        );
+    }
+
+    #[test]
+    fn cancellation_eliminates_stale_timer_fires() {
+        // Every settled attempt used to leave its timeout timer to fire as
+        // a guarded no-op; hedge and deadline timers likewise. With
+        // first-class cancellation those timers are reaped instead:
+        // `des.cancelled` absorbs them and the stale-fire tripwire reads
+        // zero even under a gray-failure storm that exercises timeouts,
+        // retries, hedges, and deadline misses all at once.
+        let cfg = ClusterConfig {
+            requests: 800,
+            ..ClusterConfig::default()
+        };
+        let plan = FaultPlan::seeded(
+            cfg.seed,
+            ms_to_sim(cfg.horizon_ms()),
+            cfg.components(),
+            0.5,
+            FaultMix::gray(),
+        );
+        let out = cfg.run(&plan);
+        assert_eq!(
+            out.metrics.counter("cluster.stale_fires"),
+            0,
+            "a timer fired against an already-settled attempt/request"
+        );
+        assert!(
+            out.metrics.counter("des.cancelled") > 0,
+            "settled attempts cancelled their timeout timers"
+        );
+        // The run still did real timer work: events fired, and the timers
+        // that did fire (real timeouts, deadline misses) are all there.
+        assert!(out.metrics.counter("des.events_fired") > 0);
+        assert!(
+            out.metrics.counter("cluster.timeouts") > 0,
+            "plan was hot enough"
+        );
+        // Arena telemetry surfaces alongside: steady-state scheduling
+        // recycles slots and stays on the inline path.
+        assert!(out.metrics.counter("des.arena_recycled") > 0);
+        assert!(out.metrics.counter("des.inline_events") > 0);
+    }
+
+    #[test]
+    fn power_of_two_runs_are_deterministic_and_leave_other_draws_alone() {
+        let cfg = ClusterConfig {
+            routing: Routing::PowerOfTwo,
+            ..small()
+        };
+        let a = cfg.run(&FaultPlan::new());
+        let b = cfg.run(&FaultPlan::new());
+        assert_eq!(a.p999.to_bits(), b.p999.to_bits());
+        assert_eq!(
+            a.metrics.counter("cluster.attempts"),
+            b.metrics.counter("cluster.attempts")
+        );
+        // The probes draw from a dedicated substream: the service-time
+        // draw sequence is untouched, so a round-robin run of the same
+        // seed sees the exact same request arrivals and leaf latencies
+        // (identical fault-free full-answer accounting).
+        let rr = small().run(&FaultPlan::new());
+        assert_eq!(a.requests, rr.requests);
+        assert_eq!(
+            a.metrics.counter("cluster.requests"),
+            rr.metrics.counter("cluster.requests")
+        );
+    }
+
+    #[test]
+    fn power_of_two_steers_around_a_slowed_replica() {
+        // Same shape as the least-outstanding steering test: one replica
+        // of every shard slowed 8x. Two random probes see the pile-up on
+        // the slow replica often enough to route most first attempts away
+        // from it, cutting timeouts well below round-robin's third.
+        let mk = |routing| ClusterConfig {
+            requests: 1_000,
+            routing,
+            hedging: Hedging::None,
+            ..ClusterConfig::default()
+        };
+        let slow_all = |cfg: &ClusterConfig| {
+            let mut plan = FaultPlan::new();
+            let topo = Topology::striped(cfg.components(), cfg.replicas);
+            plan.at_scope(
+                SimTime::ZERO,
+                &topo,
+                0,
+                Fault::Slow {
+                    factor: 8.0,
+                    for_time: ms_to_sim(cfg.horizon_ms()),
+                },
+            );
+            plan
+        };
+        let rr_cfg = mk(Routing::RoundRobin);
+        let p2c_cfg = mk(Routing::PowerOfTwo);
+        let rr = rr_cfg.run(&slow_all(&rr_cfg));
+        let p2c = p2c_cfg.run(&slow_all(&p2c_cfg));
+        assert!(
+            p2c.metrics.counter("cluster.timeouts") < rr.metrics.counter("cluster.timeouts"),
+            "p2c timeouts {} vs rr {}",
+            p2c.metrics.counter("cluster.timeouts"),
+            rr.metrics.counter("cluster.timeouts")
+        );
+        assert!(
+            p2c.p99 <= rr.p99,
+            "p2c p99 {} vs rr p99 {}",
+            p2c.p99,
+            rr.p99
+        );
+    }
+
+    #[test]
+    fn two_probe_pick_prefers_less_loaded_and_breaks_ties_by_failover_order() {
+        let candidates = [3u32, 1, 4];
+        let outstanding = [9u32, 2, 0, 7, 2];
+        let mut rng = Rng64::new(7);
+        for _ in 0..200 {
+            let pick = PowerOfTwoChoices.pick_with(&candidates, &outstanding, &mut rng);
+            assert!(candidates.contains(&pick));
+            // Replica 3 carries the heaviest load of the candidate set; a
+            // two-probe pick only returns it when both probes land on it.
+            if pick == 3 {
+                continue;
+            }
+            assert!(outstanding[pick as usize] <= outstanding[3]);
+        }
+        // Ties (replicas 1 and 4 both at 2 outstanding) resolve to the
+        // earlier failover position whenever the two probes differ; only
+        // a double probe of the later position can return it. Over many
+        // draws that makes the earlier candidate a 3:1 favorite.
+        let tied = [1u32, 4];
+        let (mut first, mut second) = (0, 0);
+        for _ in 0..400 {
+            match PowerOfTwoChoices.pick_with(&tied, &outstanding, &mut rng) {
+                1 => first += 1,
+                4 => second += 1,
+                other => panic!("picked {other} outside the candidate set"),
+            }
+        }
+        assert!(second > 0, "double probes of the later position happen");
+        assert!(
+            first > 2 * second,
+            "tie-break favors failover order: {first} vs {second}"
+        );
+    }
+
+    #[test]
+    fn capped_hedge_ignores_a_poisoned_digest() {
+        // Poison the digest the way a correlated blast does: enough
+        // straggler samples that the online p80 leaps past the attempt
+        // timeout. The raw adaptive policy follows it up (and effectively
+        // stops hedging); the capped policy holds at the static fallback.
+        let mut digest = TailDigest::new();
+        for _ in 0..100 {
+            digest.add(120.0);
+        }
+        let adaptive = AdaptiveHedge {
+            quantile: 0.8,
+            fallback_ms: 10.0,
+            warmup: 64,
+        };
+        let capped = CappedAdaptiveHedge {
+            quantile: 0.8,
+            fallback_ms: 10.0,
+            warmup: 64,
+        };
+        assert!(adaptive.delay_ms(&digest).unwrap() > 100.0);
+        assert_eq!(capped.delay_ms(&digest).unwrap(), 10.0);
+        // On a fast shard both track the digest below the cap.
+        let mut fast = TailDigest::new();
+        for _ in 0..100 {
+            fast.add(4.0);
+        }
+        let a = adaptive.delay_ms(&fast).unwrap();
+        let c = capped.delay_ms(&fast).unwrap();
+        assert_eq!(a.to_bits(), c.to_bits());
+        assert!(c < 10.0);
+        // And before warmup both sit at the fallback.
+        assert_eq!(capped.delay_ms(&TailDigest::new()).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn capped_hedge_survives_the_blast_that_poisons_adaptive() {
+        // The E21 policy-grid regression, reproduced at the grid's seed: a
+        // correlated rack blast fills the per-shard digests with 6x
+        // stragglers, the raw adaptive p80 climbs past the 18 ms attempt
+        // timeout, and from then on round-robin + adaptive schedules its
+        // hedges too late to beat the timeout — attempts that a 10 ms
+        // hedge would have rescued expire instead, and p99.9 blows out
+        // past the fixed-hedge cell. Capping the online delay at the
+        // static fallback keeps the hedge inside the attempt budget: far
+        // fewer timeouts and a tighter tail on the same plan.
+        let mk = |hedging| ClusterConfig {
+            requests: 1_500,
+            seed: 67,
+            routing: Routing::RoundRobin,
+            hedging,
+            ..ClusterConfig::default()
+        };
+        let blast = |cfg: &ClusterConfig| {
+            let topo = Topology::striped(cfg.components(), cfg.replicas);
+            let horizon = cfg.horizon_ms();
+            let mut plan = FaultPlan::new();
+            for (rack, start) in [(0u32, 0.20), (1, 0.575)] {
+                plan.at_scope(
+                    ms_to_sim(horizon * start),
+                    &topo,
+                    rack,
+                    Fault::Slow {
+                        factor: 6.0,
+                        for_time: ms_to_sim(horizon * 0.35),
+                    },
+                );
+            }
+            plan
+        };
+        let adaptive_cfg = mk(Hedging::adaptive(0.80));
+        let capped_cfg = mk(Hedging::adaptive_capped(0.80));
+        let adaptive = adaptive_cfg.run(&blast(&adaptive_cfg));
+        let capped = capped_cfg.run(&blast(&capped_cfg));
+        assert!(
+            capped.metrics.counter("cluster.hedges") >= adaptive.metrics.counter("cluster.hedges"),
+            "capped hedges {} vs adaptive {}",
+            capped.metrics.counter("cluster.hedges"),
+            adaptive.metrics.counter("cluster.hedges")
+        );
+        // The poisoning signature: adaptive's late hedges let attempts
+        // expire that the capped delay rescues.
+        assert!(
+            2 * capped.metrics.counter("cluster.timeouts")
+                < adaptive.metrics.counter("cluster.timeouts"),
+            "capped timeouts {} vs adaptive {}",
+            capped.metrics.counter("cluster.timeouts"),
+            adaptive.metrics.counter("cluster.timeouts")
+        );
+        assert!(
+            capped.p999 < adaptive.p999,
+            "capped p999 {} vs adaptive {}",
+            capped.p999,
+            adaptive.p999
+        );
     }
 }

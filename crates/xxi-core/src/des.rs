@@ -11,11 +11,29 @@
 //!
 //! ## Model
 //!
-//! A [`Sim<S>`] owns user state `S` and a priority queue of events. An event
-//! is a boxed `FnOnce(&mut Sim<S>)`: when it fires it can mutate the state
-//! *and* schedule further events. Events fire in time order; ties are broken
-//! by scheduling sequence number, which makes runs **bit-reproducible**
-//! regardless of heap internals.
+//! A [`Sim<S>`] owns user state `S` and a pending-event queue. An event is
+//! an `FnOnce(&mut Sim<S>)`: when it fires it can mutate the state *and*
+//! schedule further events. Events fire in time order; ties are broken by
+//! scheduling sequence number, which makes runs **bit-reproducible**
+//! regardless of queue internals.
+//!
+//! ## Engine
+//!
+//! The ready queue is a hierarchical timer wheel ([`wheel`]): a wide
+//! 4096-slot level 0 plus four 512-slot levels hash events by bit-fields
+//! of their absolute picosecond tick, cascading coarse buckets toward
+//! level 0 only when the clock reaches them, with a fallback far-heap
+//! for events beyond the wheel's `2^48`-tick span. Same-tick events share one level-0 bucket, so FIFO
+//! ties cost a single sort of the burst instead of per-event heap
+//! comparisons. Event closures live in a recycling arena ([`arena`]):
+//! small closures (≤ 64 bytes — the common case) are stored inline in
+//! reused slots, so steady-state scheduling is allocation-free; oversized
+//! closures take a cold boxed path. Scheduling returns a generation-checked
+//! [`TimerHandle`] (via the `_handle` variants) that [`Sim::cancel`]
+//! resolves in O(1), unlinking the event from its wheel bucket so it
+//! never runs and the clock never visits its tick; only events parked in
+//! the far-heap fall back to a tombstone that is skipped silently when
+//! the queue drains past it.
 //!
 //! ```
 //! use xxi_core::{Sim, SimTime};
@@ -33,41 +51,53 @@
 //! assert_eq!(sim.state.ticks, 1000);
 //! ```
 
+mod arena;
 pub mod fault;
+mod wheel;
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+pub use arena::ArenaStats;
 
+use crate::metrics::Metrics;
 use crate::obs::{SpanId, Trace};
 use crate::time::SimTime;
 
 type EventFn<S> = Box<dyn FnOnce(&mut Sim<S>)>;
 
-struct Scheduled<S> {
-    time: SimTime,
-    seq: u64,
-    f: EventFn<S>,
+/// A cancellation handle for a scheduled event, returned by
+/// [`Sim::schedule_at_handle`] / [`Sim::schedule_in_handle`].
+///
+/// Handles are generation-checked: once the event fires (or its slot is
+/// recycled by a later event), the handle goes stale and
+/// [`Sim::cancel`] returns `false` instead of touching the new occupant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimerHandle {
+    idx: u32,
+    gen: u32,
 }
 
-impl<S> PartialEq for Scheduled<S> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
+/// A snapshot of the engine's own counters, for the `== Runtime ==`
+/// telemetry section. See [`Sim::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DesStats {
+    /// Events whose closure actually ran.
+    pub events_fired: u64,
+    /// Events tombstoned by [`Sim::cancel`] before they could fire.
+    pub cancelled: u64,
+    /// Events still pending (scheduled, neither fired nor cancelled).
+    pub pending: u64,
+    /// Event-arena allocation counters.
+    pub arena: ArenaStats,
 }
-impl<S> Eq for Scheduled<S> {}
-impl<S> PartialOrd for Scheduled<S> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<S> Ord for Scheduled<S> {
-    /// Reversed so that the `BinaryHeap` (a max-heap) pops the *earliest*
-    /// event; among equal times, the event scheduled first fires first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+
+impl DesStats {
+    /// Record the snapshot as `des.*` counters.
+    pub fn record(&self, m: &mut Metrics) {
+        m.count("des.events_fired", self.events_fired);
+        m.count("des.cancelled", self.cancelled);
+        m.count("des.arena_high_water", self.arena.high_water);
+        m.count("des.arena_recycled", self.arena.recycled);
+        m.count("des.inline_events", self.arena.inline_events);
+        m.count("des.boxed_events", self.arena.boxed_events);
     }
 }
 
@@ -83,7 +113,12 @@ pub struct Sim<S> {
     now: SimTime,
     seq: u64,
     fired: u64,
-    heap: BinaryHeap<Scheduled<S>>,
+    cancelled: u64,
+    /// Cancelled far-heap entries still awaiting their silent drain.
+    /// Wheel-resident cancellations unlink eagerly and never tombstone.
+    tombstones: u64,
+    arena: arena::Arena<S>,
+    wheel: wheel::Wheel,
 }
 
 impl<S> Sim<S> {
@@ -95,7 +130,10 @@ impl<S> Sim<S> {
             now: SimTime::ZERO,
             seq: 0,
             fired: 0,
-            heap: BinaryHeap::new(),
+            cancelled: 0,
+            tombstones: 0,
+            arena: arena::Arena::new(),
+            wheel: wheel::Wheel::new(),
         }
     }
 
@@ -113,16 +151,33 @@ impl<S> Sim<S> {
         self.now
     }
 
-    /// Total number of events fired so far.
+    /// Total number of events fired so far. Cancelled events never fire
+    /// and are not counted here — see [`Sim::cancelled`].
     #[inline]
     pub fn events_fired(&self) -> u64 {
         self.fired
     }
 
-    /// Number of events currently pending.
+    /// Total number of events cancelled so far.
+    #[inline]
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled
+    }
+
+    /// Number of events currently pending (excluding cancelled ones).
     #[inline]
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.wheel.len() - self.tombstones as usize
+    }
+
+    /// Engine counters for runtime telemetry (`des.*`).
+    pub fn stats(&self) -> DesStats {
+        DesStats {
+            events_fired: self.fired,
+            cancelled: self.cancelled,
+            pending: self.pending() as u64,
+            arena: self.arena.stats(),
+        }
     }
 
     /// Schedule `f` to fire at absolute time `at`.
@@ -131,35 +186,130 @@ impl<S> Sim<S> {
     /// at the current time (it will still fire after already-queued events
     /// at `now`, preserving causality).
     pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Sim<S>) + 'static) {
-        let time = at.max(self.now);
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Scheduled {
-            time,
-            seq,
-            f: Box::new(f),
-        });
+        let _ = self.schedule_at_handle(at, f);
     }
 
     /// Schedule `f` to fire `delay` after the current time.
     pub fn schedule_in(&mut self, delay: SimTime, f: impl FnOnce(&mut Sim<S>) + 'static) {
+        let _ = self.schedule_in_handle(delay, f);
+    }
+
+    /// Like [`Sim::schedule_at`], returning a [`TimerHandle`] for
+    /// [`Sim::cancel`].
+    pub fn schedule_at_handle(
+        &mut self,
+        at: SimTime,
+        f: impl FnOnce(&mut Sim<S>) + 'static,
+    ) -> TimerHandle {
+        let time = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        let (idx, gen) = self.arena.insert(time.ps(), f);
+        self.wheel.insert(time.ps(), seq, idx);
+        TimerHandle { idx, gen }
+    }
+
+    /// Like [`Sim::schedule_in`], returning a [`TimerHandle`] for
+    /// [`Sim::cancel`].
+    pub fn schedule_in_handle(
+        &mut self,
+        delay: SimTime,
+        f: impl FnOnce(&mut Sim<S>) + 'static,
+    ) -> TimerHandle {
         let at = self.now.saturating_add(delay);
-        self.schedule_at(at, f);
+        self.schedule_at_handle(at, f)
+    }
+
+    /// Cancel a scheduled event in O(1). Returns `true` if the event was
+    /// still pending (it will now never run — its closure is dropped
+    /// immediately); `false` if it already fired, was already cancelled,
+    /// or the handle is stale (its slot was recycled).
+    ///
+    /// A cancelled event is removed from the timeline outright: its wheel
+    /// entry is unlinked and the clock never visits its tick. (Events
+    /// parked beyond the wheel span in the far-heap leave a tombstone
+    /// instead, skipped silently — without advancing the clock — when the
+    /// queue drains past it.) Since user code only ever runs at the tick
+    /// of a *surviving* event, cancellation can never change the firing
+    /// order or clamping of the events that remain.
+    pub fn cancel(&mut self, handle: TimerHandle) -> bool {
+        let Some(time) = self.arena.sched_time(handle.idx, handle.gen) else {
+            return false;
+        };
+        if self.wheel.remove(time, handle.idx) {
+            // Unlinked from its bucket: drop the closure and free the
+            // slot now.
+            self.arena.discard(handle.idx);
+        } else {
+            // Far-heap resident: tombstone, drained silently at pop.
+            let hit = self.arena.cancel(handle.idx, handle.gen);
+            debug_assert!(hit, "sched_time proved the slot live");
+            self.tombstones += 1;
+        }
+        self.cancelled += 1;
+        true
+    }
+
+    /// Fire or discard the earliest entry strictly before `horizon_ps`,
+    /// repeating past tombstones. Returns `true` iff an event fired.
+    fn step_before(&mut self, horizon_ps: u64) -> bool {
+        loop {
+            match self.wheel.peek_time() {
+                Some(t) if t < horizon_ps => {
+                    let e = self.wheel.pop().expect("peeked entry vanished"); // xxi-allow: panic-path -- peek just proved the wheel non-empty
+                    debug_assert!(e.time >= self.now.ps(), "wheel returned past event");
+                    match self.arena.take(e.idx) {
+                        arena::Fired::Inline(call, p) => {
+                            self.now = SimTime::from_ps(e.time);
+                            self.fired += 1;
+                            let sim: *mut Sim<S> = self;
+                            // SAFETY: `take` returned the live thunk for
+                            // this entry; it runs exactly once, here,
+                            // and `sim` is `self` — valid and exclusive.
+                            unsafe { call(p, sim) };
+                            return true;
+                        }
+                        arena::Fired::Boxed(f) => {
+                            self.now = SimTime::from_ps(e.time);
+                            self.fired += 1;
+                            f(self);
+                            return true;
+                        }
+                        arena::Fired::Tombstone => self.tombstones -= 1,
+                    }
+                }
+                _ => return false,
+            }
+        }
     }
 
     /// Fire the next pending event, if any. Returns `false` when the queue
-    /// is empty.
+    /// is empty. Tombstones of cancelled far-heap events are drained
+    /// silently on the way, without advancing the clock.
     pub fn step(&mut self) -> bool {
-        match self.heap.pop() {
-            Some(ev) => {
-                debug_assert!(ev.time >= self.now, "event heap returned past event");
-                self.now = ev.time;
-                self.fired += 1;
-                (ev.f)(self);
-                true
+        while let Some(e) = self.wheel.pop() {
+            debug_assert!(e.time >= self.now.ps(), "wheel returned past event");
+            match self.arena.take(e.idx) {
+                arena::Fired::Inline(call, p) => {
+                    self.now = SimTime::from_ps(e.time);
+                    self.fired += 1;
+                    let sim: *mut Sim<S> = self;
+                    // SAFETY: `take` returned the live thunk for this
+                    // entry; it runs exactly once, here, and `sim` is
+                    // `self` — valid and exclusive.
+                    unsafe { call(p, sim) };
+                    return true;
+                }
+                arena::Fired::Boxed(f) => {
+                    self.now = SimTime::from_ps(e.time);
+                    self.fired += 1;
+                    f(self);
+                    return true;
+                }
+                arena::Fired::Tombstone => self.tombstones -= 1,
             }
-            None => false,
         }
+        false
     }
 
     /// Run until the event queue drains. Returns the number of events fired
@@ -171,17 +321,31 @@ impl<S> Sim<S> {
     }
 
     /// Run until the queue drains or the next event would fire at or after
-    /// `horizon`. The clock is left at the last fired event's time (or
-    /// unchanged if nothing fired). Events at exactly `horizon` do **not**
-    /// fire, so `run_until(t)` covers the half-open interval `[now, t)`.
+    /// `horizon`. Events at exactly `horizon` do **not** fire, so
+    /// `run_until(t)` covers the half-open interval `[now, t)`, and the
+    /// clock is left at `min(horizon, last-fired-time)` exclusive of the
+    /// horizon itself: at the last drained event's time (always `<
+    /// horizon`), or unchanged if nothing drained. Callers that need the
+    /// clock *at* the horizon (e.g. to take an end-of-window measurement)
+    /// must read [`Sim::now`] and handle the gap explicitly.
+    ///
+    /// ```
+    /// use xxi_core::{Sim, SimTime};
+    ///
+    /// let mut sim = Sim::new(Vec::new());
+    /// for ns in [5u64, 10, 15] {
+    ///     sim.schedule_at(SimTime::from_ns(ns), move |s| s.state.push(ns));
+    /// }
+    /// // Half-open: the event at exactly 10 ns does not fire...
+    /// assert_eq!(sim.run_until(SimTime::from_ns(10)), 1);
+    /// assert_eq!(sim.state, vec![5]);
+    /// // ...and the clock sits at the last fired event, not the horizon.
+    /// assert_eq!(sim.now(), SimTime::from_ns(5));
+    /// assert_eq!(sim.pending(), 2);
+    /// ```
     pub fn run_until(&mut self, horizon: SimTime) -> u64 {
         let start = self.fired;
-        while let Some(next) = self.heap.peek() {
-            if next.time >= horizon {
-                break;
-            }
-            self.step();
-        }
+        while self.step_before(horizon.ps()) {}
         self.fired - start
     }
 
@@ -246,6 +410,108 @@ pub fn every<S: 'static>(
     arm(sim, start, period, f);
 }
 
+/// The seed repo's `BinaryHeap` engine, kept verbatim as the ordering
+/// oracle for the wheel+arena engine's property tests.
+#[cfg(test)]
+pub(crate) mod oracle {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    use crate::time::SimTime;
+
+    type EventFn<S> = Box<dyn FnOnce(&mut OracleSim<S>)>;
+
+    struct Scheduled<S> {
+        time: SimTime,
+        seq: u64,
+        f: EventFn<S>,
+    }
+
+    impl<S> PartialEq for Scheduled<S> {
+        fn eq(&self, other: &Self) -> bool {
+            self.time == other.time && self.seq == other.seq
+        }
+    }
+    impl<S> Eq for Scheduled<S> {}
+    impl<S> PartialOrd for Scheduled<S> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<S> Ord for Scheduled<S> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            other
+                .time
+                .cmp(&self.time)
+                .then_with(|| other.seq.cmp(&self.seq))
+        }
+    }
+
+    pub(crate) struct OracleSim<S> {
+        pub state: S,
+        now: SimTime,
+        seq: u64,
+        fired: u64,
+        heap: BinaryHeap<Scheduled<S>>,
+    }
+
+    impl<S> OracleSim<S> {
+        pub fn new(state: S) -> OracleSim<S> {
+            OracleSim {
+                state,
+                now: SimTime::ZERO,
+                seq: 0,
+                fired: 0,
+                heap: BinaryHeap::new(),
+            }
+        }
+
+        pub fn now(&self) -> SimTime {
+            self.now
+        }
+
+        pub fn events_fired(&self) -> u64 {
+            self.fired
+        }
+
+        pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut OracleSim<S>) + 'static) {
+            let time = at.max(self.now);
+            let seq = self.seq;
+            self.seq += 1;
+            self.heap.push(Scheduled {
+                time,
+                seq,
+                f: Box::new(f),
+            });
+        }
+
+        pub fn step(&mut self) -> bool {
+            match self.heap.pop() {
+                Some(ev) => {
+                    self.now = ev.time;
+                    self.fired += 1;
+                    (ev.f)(self);
+                    true
+                }
+                None => false,
+            }
+        }
+
+        pub fn run(&mut self) {
+            while self.step() {}
+        }
+
+        pub fn run_until(&mut self, horizon: SimTime) {
+            while let Some(next) = self.heap.peek() {
+                if next.time >= horizon {
+                    break;
+                }
+                self.step();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +562,8 @@ mod tests {
         let fired = sim.run_until(SimTime::from_ns(10));
         assert_eq!(fired, 1);
         assert_eq!(sim.state, vec![5]);
+        // The clock stays at the last fired event, short of the horizon.
+        assert_eq!(sim.now(), SimTime::from_ns(5));
         // The 10 ns event is still pending.
         assert_eq!(sim.pending(), 2);
         sim.run();
@@ -405,5 +673,374 @@ mod tests {
         assert_eq!(sim.run(), 0);
         assert!(!sim.step());
         assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn far_future_events_fire_in_order() {
+        // Exercise the far-heap: events beyond the wheel's 2^48-tick span
+        // (≈ 281 s), across multiple far blocks, interleaved with near ones.
+        let mut sim = Sim::new(Vec::<u64>::new());
+        let times = [
+            1u64,
+            500,
+            1 << 20,
+            (1 << 48) - 1,
+            1 << 48,
+            (1 << 48) + 7,
+            3 << 48,
+            (3 << 48) + 1,
+            u64::MAX - 1,
+        ];
+        // Schedule in a scrambled order.
+        for &t in &[
+            times[4], times[0], times[8], times[2], times[6], times[1], times[3], times[7],
+            times[5],
+        ] {
+            sim.schedule_at(SimTime::from_ps(t), move |s| s.state.push(t));
+        }
+        sim.run();
+        assert_eq!(sim.state, times.to_vec());
+        assert_eq!(sim.now(), SimTime::from_ps(u64::MAX - 1));
+    }
+
+    #[test]
+    fn cancel_prevents_firing_and_counts() {
+        let mut sim = Sim::new(Vec::<u32>::new());
+        sim.schedule_at(SimTime::from_ns(1), |s| s.state.push(1));
+        let h = sim.schedule_at_handle(SimTime::from_ns(2), |s| s.state.push(2));
+        sim.schedule_at(SimTime::from_ns(3), |s| s.state.push(3));
+        assert!(sim.cancel(h));
+        // Double-cancel is a no-op.
+        assert!(!sim.cancel(h));
+        assert_eq!(sim.pending(), 2);
+        sim.run();
+        assert_eq!(sim.state, vec![1, 3]);
+        assert_eq!(sim.events_fired(), 2);
+        assert_eq!(sim.cancelled(), 1);
+    }
+
+    #[test]
+    fn cancel_of_fired_event_is_stale_even_after_slot_reuse() {
+        let mut sim = Sim::new(Vec::<u32>::new());
+        let h_a = sim.schedule_at_handle(SimTime::from_ns(1), |s| s.state.push(1));
+        sim.run();
+        assert_eq!(sim.state, vec![1]);
+        // B recycles A's arena slot; A's stale handle must not touch it.
+        let h_b = sim.schedule_at_handle(SimTime::from_ns(2), |s| s.state.push(2));
+        assert!(!sim.cancel(h_a));
+        sim.run();
+        assert_eq!(sim.state, vec![1, 2]);
+        assert_eq!(sim.cancelled(), 0);
+        // The fresh handle is stale only after its own event fired.
+        assert!(!sim.cancel(h_b));
+    }
+
+    #[test]
+    fn cancelled_event_never_fires_and_never_advances_the_clock() {
+        // Cancellation removes the event from the timeline outright: the
+        // clock only ever visits ticks of events that actually fire.
+        let mut sim = Sim::new(Vec::<u64>::new());
+        let h = sim.schedule_at_handle(SimTime::from_ns(10), |s| s.state.push(10));
+        sim.cancel(h);
+        sim.run();
+        assert!(sim.state.is_empty());
+        assert_eq!(sim.now(), SimTime::ZERO);
+        assert_eq!(sim.events_fired(), 0);
+        assert_eq!(sim.pending(), 0);
+
+        // The same holds for a far-heap resident (beyond the 2^48 ps wheel
+        // span), which takes the tombstone path internally.
+        let far = sim.schedule_at_handle(SimTime::from_ps(1 << 60), |s| s.state.push(60));
+        sim.schedule_at(SimTime::from_ns(1), |s| s.state.push(1));
+        assert!(sim.cancel(far));
+        sim.run();
+        assert_eq!(sim.state, vec![1]);
+        assert_eq!(sim.now(), SimTime::from_ns(1));
+        assert_eq!(sim.cancelled(), 2);
+        assert_eq!(sim.pending(), 0);
+    }
+
+    #[test]
+    fn cancelled_closure_is_dropped_exactly_once() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        struct DropFlag(Rc<Cell<u32>>);
+        impl Drop for DropFlag {
+            fn drop(&mut self) {
+                self.0.set(self.0.get() + 1);
+            }
+        }
+
+        let drops = Rc::new(Cell::new(0));
+        let flag = DropFlag(Rc::clone(&drops));
+        let mut sim = Sim::new(());
+        let h = sim.schedule_at_handle(SimTime::from_ns(1), move |_| {
+            let _keep = &flag;
+            unreachable!("cancelled event fired");
+        });
+        assert_eq!(drops.get(), 0);
+        assert!(sim.cancel(h));
+        // Cancel drops the closure (and its captures) immediately.
+        assert_eq!(drops.get(), 1);
+        sim.run();
+        assert_eq!(drops.get(), 1);
+    }
+
+    #[test]
+    fn unfired_closures_drop_with_the_sim() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        struct DropFlag(Rc<Cell<u32>>);
+        impl Drop for DropFlag {
+            fn drop(&mut self) {
+                self.0.set(self.0.get() + 1);
+            }
+        }
+
+        let drops = Rc::new(Cell::new(0));
+        {
+            let mut sim = Sim::new(());
+            for _ in 0..3 {
+                let flag = DropFlag(Rc::clone(&drops));
+                sim.schedule_at(SimTime::from_ns(1), move |_| {
+                    let _keep = &flag;
+                });
+            }
+            // Drop the sim with the events still pending.
+        }
+        assert_eq!(drops.get(), 3);
+    }
+
+    #[test]
+    fn oversized_closures_take_the_boxed_path() {
+        let big = [7u8; 200];
+        let mut sim = Sim::new(0u64);
+        sim.schedule_at(SimTime::from_ns(1), move |s| {
+            s.state = big.iter().map(|&b| b as u64).sum();
+        });
+        sim.run();
+        assert_eq!(sim.state, 7 * 200);
+        let stats = sim.stats();
+        assert_eq!(stats.arena.boxed_events, 1);
+        assert_eq!(stats.arena.inline_events, 0);
+    }
+
+    #[test]
+    fn arena_recycles_slots_in_steady_state() {
+        let mut sim = Sim::new(0u64);
+        fn chain(sim: &mut Sim<u64>) {
+            sim.state += 1;
+            if sim.state < 1000 {
+                sim.schedule_in(SimTime::from_ns(1), chain);
+            }
+        }
+        sim.schedule_at(SimTime::ZERO, chain);
+        sim.run();
+        let stats = sim.stats();
+        // One event in flight at a time: the arena never grows past a
+        // handful of slots and recycles for the rest of the run.
+        assert_eq!(stats.events_fired, 1000);
+        assert!(stats.arena.high_water <= 2, "{stats:?}");
+        assert!(stats.arena.recycled >= 998, "{stats:?}");
+        assert_eq!(stats.arena.inline_events, 1000);
+    }
+
+    #[test]
+    fn des_stats_record_as_counters() {
+        let mut sim = Sim::new(());
+        sim.schedule_at(SimTime::from_ns(1), |_| {});
+        let h = sim.schedule_at_handle(SimTime::from_ns(2), |_| {});
+        sim.cancel(h);
+        sim.run();
+        let mut m = Metrics::new();
+        sim.stats().record(&mut m);
+        assert_eq!(m.counter("des.events_fired"), 1);
+        assert_eq!(m.counter("des.cancelled"), 1);
+        assert!(m.counter("des.arena_high_water") >= 1);
+    }
+
+    /// Drive the wheel+arena engine and the seed `BinaryHeap` oracle
+    /// through the same randomized program and demand identical firing
+    /// logs. Cancellation in the oracle is modeled exactly as the seed
+    /// consumers did it: the event still fires but a guard makes it a
+    /// no-op — the new engine's contract is that real cancellation is
+    /// indistinguishable from that *to user code* (every surviving event
+    /// fires at the same tick in the same order; only the clock's idle
+    /// walk past cancelled ticks disappears).
+    fn check_against_oracle(seed: u64, horizons: &[u64]) {
+        use crate::rng::Rng64;
+        use std::cell::RefCell;
+        use std::collections::HashSet;
+        use std::rc::Rc;
+
+        // A step of the shared program, decided by a per-event RNG stream
+        // so both engines see identical choices as long as their firing
+        // orders match.
+        #[derive(Clone, Copy)]
+        enum Op {
+            /// Schedule a child this many ps ahead (0 = same-tick burst).
+            Child(u64),
+            /// Schedule a child in the past (clamps to now).
+            PastChild,
+            /// Cancel the event with this id, if still tracked.
+            Cancel(u64),
+        }
+
+        fn ops_for(seed: u64, id: u64, next_id: u64, fired: u64) -> Vec<Op> {
+            let mut rng = Rng64::stream(seed, id);
+            let mut ops = Vec::new();
+            if fired > 4000 {
+                return ops; // damp the branching process
+            }
+            for _ in 0..rng.below(4) {
+                ops.push(match rng.below(10) {
+                    0 => Op::Child(0),
+                    1 => Op::PastChild,
+                    2 => Op::Cancel(rng.below(next_id.max(1))),
+                    // Mix near ticks with far-heap range jumps.
+                    n if n < 8 => Op::Child(rng.below(1 << 16)),
+                    _ => Op::Child(rng.below(1 << 52)),
+                });
+            }
+            ops
+        }
+
+        // --- New engine ---
+        struct NewState {
+            log: Vec<(u64, u64)>,
+            next_id: u64,
+            handles: Vec<TimerHandle>,
+        }
+        fn new_fire(sim: &mut Sim<NewState>, seed: u64, id: u64) {
+            sim.state.log.push((id, sim.now().ps()));
+            let fired = sim.events_fired();
+            for op in ops_for(seed, id, sim.state.next_id, fired) {
+                match op {
+                    Op::Child(d) => {
+                        let cid = sim.state.next_id;
+                        sim.state.next_id += 1;
+                        let at = sim.now().saturating_add(SimTime::from_ps(d));
+                        let h = sim.schedule_at_handle(at, move |s| new_fire(s, seed, cid));
+                        sim.state.handles.push(h);
+                    }
+                    Op::PastChild => {
+                        let cid = sim.state.next_id;
+                        sim.state.next_id += 1;
+                        let at = SimTime::from_ps(sim.now().ps() / 2);
+                        let h = sim.schedule_at_handle(at, move |s| new_fire(s, seed, cid));
+                        sim.state.handles.push(h);
+                    }
+                    Op::Cancel(target) => {
+                        let h = sim.state.handles[target as usize];
+                        sim.cancel(h);
+                    }
+                }
+            }
+        }
+
+        // --- Oracle: seed engine + guarded-no-op "cancellation" ---
+        struct OracleState {
+            log: Vec<(u64, u64)>,
+            next_id: u64,
+            cancelled: Rc<RefCell<HashSet<u64>>>,
+            real_fired: u64,
+        }
+        fn oracle_fire(sim: &mut oracle::OracleSim<OracleState>, seed: u64, id: u64) {
+            if sim.state.cancelled.borrow().contains(&id) {
+                return; // guarded no-op, exactly like the seed consumers
+            }
+            sim.state.real_fired += 1;
+            sim.state.log.push((id, sim.now().ps()));
+            let fired = sim.state.real_fired;
+            for op in ops_for(seed, id, sim.state.next_id, fired) {
+                match op {
+                    Op::Child(d) => {
+                        let cid = sim.state.next_id;
+                        sim.state.next_id += 1;
+                        let at = sim.now().saturating_add(SimTime::from_ps(d));
+                        sim.schedule_at(at, move |s| oracle_fire(s, seed, cid));
+                    }
+                    Op::PastChild => {
+                        let cid = sim.state.next_id;
+                        sim.state.next_id += 1;
+                        let at = SimTime::from_ps(sim.now().ps() / 2);
+                        sim.schedule_at(at, move |s| oracle_fire(s, seed, cid));
+                    }
+                    Op::Cancel(target) => {
+                        sim.state.cancelled.borrow_mut().insert(target);
+                    }
+                }
+            }
+        }
+
+        let mut new_sim = Sim::new(NewState {
+            log: Vec::new(),
+            next_id: 0,
+            handles: Vec::new(),
+        });
+        let cancelled = Rc::new(RefCell::new(HashSet::new()));
+        let mut ora_sim = oracle::OracleSim::new(OracleState {
+            log: Vec::new(),
+            next_id: 0,
+            cancelled: Rc::clone(&cancelled),
+            real_fired: 0,
+        });
+
+        // Identical root schedules, including same-tick ties.
+        let mut root_rng = Rng64::stream(seed, u64::MAX);
+        for _ in 0..32 {
+            let t = root_rng.below(1 << 40);
+            let id_new = new_sim.state.next_id;
+            new_sim.state.next_id += 1;
+            let h =
+                new_sim.schedule_at_handle(SimTime::from_ps(t), move |s| new_fire(s, seed, id_new));
+            new_sim.state.handles.push(h);
+            let id_ora = ora_sim.state.next_id;
+            ora_sim.state.next_id += 1;
+            ora_sim.schedule_at(SimTime::from_ps(t), move |s| oracle_fire(s, seed, id_ora));
+        }
+
+        // Run in lock-stepped horizons, comparing at each boundary, then
+        // drain both.
+        for &h in horizons {
+            new_sim.run_until(SimTime::from_ps(h));
+            ora_sim.run_until(SimTime::from_ps(h));
+            assert_eq!(
+                new_sim.state.log, ora_sim.state.log,
+                "seed {seed} horizon {h}"
+            );
+        }
+        new_sim.run();
+        ora_sim.run();
+        assert_eq!(new_sim.state.log, ora_sim.state.log, "seed {seed}");
+        // The oracle's guarded no-ops still advance its clock; the new
+        // engine removes cancelled events from the timeline, so its final
+        // clock sits at the last *real* fire — never past the oracle's.
+        assert!(new_sim.now() <= ora_sim.now(), "seed {seed}");
+        if let Some(&(_, t)) = new_sim.state.log.last() {
+            assert_eq!(new_sim.now().ps(), t, "seed {seed}");
+        }
+        // Every event the oracle fired was either real or a cancelled no-op.
+        assert_eq!(
+            ora_sim.events_fired(),
+            new_sim.events_fired() + new_sim.cancelled(),
+            "seed {seed}"
+        );
+    }
+
+    #[test]
+    fn wheel_matches_binary_heap_oracle_on_random_schedules() {
+        for seed in 0..12 {
+            check_against_oracle(seed, &[]);
+        }
+    }
+
+    #[test]
+    fn wheel_matches_oracle_across_run_until_horizons() {
+        for seed in 100..106 {
+            check_against_oracle(seed, &[1 << 10, 1 << 20, 1 << 36, 1 << 41, 1 << 50]);
+        }
     }
 }

@@ -62,7 +62,7 @@ pub mod time;
 pub mod units;
 
 pub use des::fault::{Fault, FaultInjector, FaultMix, FaultPlan};
-pub use des::Sim;
+pub use des::{ArenaStats, DesStats, Sim, TimerHandle};
 pub use error::{Result, XxiError};
 pub use obs::{EnergyLedger, Layer, LogHistogram, SpanId, Trace};
 pub use par::{Parallelism, Serial};

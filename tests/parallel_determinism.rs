@@ -115,6 +115,48 @@ fn cluster_sweep_pool_matches_serial_bit_for_bit() {
 }
 
 #[test]
+fn timer_cancellation_is_thread_count_invariant() {
+    // First-class cancellation lives entirely inside each DES run: the
+    // number of timers reaped (`des.cancelled`), the events that still
+    // fired, and the stale-fire tripwire are pure functions of the sweep
+    // seed, whatever pool runs the sweep. Power-of-two routing rides
+    // along: its probes come from a dedicated substream, not anything
+    // executor-ordered.
+    let base = ClusterConfig {
+        requests: 500,
+        routing: Routing::PowerOfTwo,
+        hedging: Hedging::adaptive_capped(0.80),
+        ..ClusterConfig::default()
+    };
+    let rates = [0.0, 0.02, 0.1];
+    let serial = cluster_sweep_on(&base, &rates, FaultMix::gray(), &Serial);
+    for s in &serial {
+        assert_eq!(s.metrics.counter("cluster.stale_fires"), 0);
+    }
+    for threads in [2, 8] {
+        let pool = Pool::new(threads);
+        let par = cluster_sweep_on(&base, &rates, FaultMix::gray(), &pool);
+        for (s, p) in serial.iter().zip(&par) {
+            assert_eq!(s.p999.to_bits(), p.p999.to_bits());
+            assert_eq!(
+                s.metrics.counter("des.events_fired"),
+                p.metrics.counter("des.events_fired")
+            );
+            assert_eq!(
+                s.metrics.counter("des.cancelled"),
+                p.metrics.counter("des.cancelled")
+            );
+            assert!(p.metrics.counter("des.cancelled") > 0);
+            assert_eq!(p.metrics.counter("cluster.stale_fires"), 0);
+            assert_eq!(
+                s.metrics.counter("des.arena_high_water"),
+                p.metrics.counter("des.arena_high_water")
+            );
+        }
+    }
+}
+
+#[test]
 fn trial_prefix_property_of_fixed_grain_chunks() {
     // Fixed-grain substreams mean a longer run's first chunks equal a
     // shorter run's chunks: growing an experiment never rewrites history.
